@@ -1,0 +1,81 @@
+//! Ablation `abl-sparse`: dense bit matrix vs CSR sparse representation.
+//!
+//! The paper notes sparse storage as a memory optimization whose choice
+//! "should be chosen considering other factors, such as conversion time,
+//! based on the experimental evaluation" — this bench is that evaluation:
+//! T4 grouping and pairwise Hamming scans on both representations across
+//! densities, plus the conversion itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rolediet_core::cooccur::same_groups;
+use rolediet_matrix::{CsrMatrix, RowMatrix};
+use rolediet_synth::{generate_matrix, MatrixGenConfig};
+
+fn matrix_repr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_matrix_repr");
+    group.sample_size(10);
+    for density in [0.005f64, 0.05, 0.3] {
+        let gen = generate_matrix(MatrixGenConfig {
+            density,
+            ..MatrixGenConfig::paper(800, 800, 1)
+        });
+        let dense = gen.dense.clone();
+        let sparse = gen.sparse();
+
+        group.bench_with_input(
+            BenchmarkId::new("same_groups/dense", density),
+            &dense,
+            |b, m| b.iter(|| same_groups(m)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("same_groups/sparse", density),
+            &sparse,
+            |b, m| b.iter(|| same_groups(m)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hamming_scan/dense", density),
+            &dense,
+            |b, m| {
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for i in 0..m.rows().min(200) {
+                        for j in 0..m.rows() {
+                            acc += m.row_hamming(i, j);
+                        }
+                    }
+                    acc
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hamming_scan/sparse", density),
+            &sparse,
+            |b, m| {
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for i in 0..m.rows().min(200) {
+                        for j in 0..m.rows() {
+                            acc += m.row_hamming(i, j);
+                        }
+                    }
+                    acc
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("convert/dense-to-sparse", density),
+            &dense,
+            |b, m| b.iter(|| CsrMatrix::from_dense(m)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("convert/sparse-to-dense", density),
+            &sparse,
+            |b, m| b.iter(|| m.to_dense()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, matrix_repr);
+criterion_main!(benches);

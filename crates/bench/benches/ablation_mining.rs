@@ -1,0 +1,46 @@
+//! Ablation: role mining (regenerate) vs. the role diet (refine) runtime
+//! on identical organizations, plus mining candidate-depth sensitivity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rolediet_core::{DetectionConfig, MergePlan, Pipeline};
+use rolediet_mining::{mine_greedy_cover, CandidateConfig, MiningConfig};
+use rolediet_synth::profiles::generate_ing_like;
+
+fn mining_vs_diet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_mining");
+    group.sample_size(10);
+    let org = generate_ing_like(0.01, 4);
+    let graph = org.graph;
+    let upam = graph.upam_sparse();
+
+    group.bench_function("diet/detect-and-plan", |b| {
+        b.iter(|| {
+            let cfg = DetectionConfig {
+                skip_similarity: true,
+                ..DetectionConfig::default()
+            };
+            let report = Pipeline::new(cfg).run(&graph);
+            MergePlan::from_report(&report, graph.n_roles(), true)
+        });
+    });
+    for rounds in [1usize, 2] {
+        group.bench_with_input(
+            BenchmarkId::new("mining/greedy-cover", rounds),
+            &rounds,
+            |b, &rounds| {
+                let cfg = MiningConfig {
+                    candidates: CandidateConfig {
+                        closure_rounds: rounds,
+                        ..CandidateConfig::default()
+                    },
+                };
+                b.iter(|| mine_greedy_cover(&upam, &cfg));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, mining_vs_diet);
+criterion_main!(benches);

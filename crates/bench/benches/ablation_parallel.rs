@@ -1,0 +1,32 @@
+//! Ablation `abl-parallel`: the custom T5 detector across thread counts.
+//!
+//! The co-occurrence walk is embarrassingly parallel over roles; this
+//! bench measures the scaling of `similar_pairs_parallel` at 1, 2, 4 and
+//! 8 workers on a paper-shaped matrix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rolediet_bench::sweep_matrix;
+use rolediet_core::cooccur::similar_pairs_parallel;
+use rolediet_core::SimilarityConfig;
+
+fn parallel_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_parallel");
+    group.sample_size(10);
+    let matrix = sweep_matrix(3_000, 1_000, 0);
+    let transpose = matrix.transpose();
+    let cfg = SimilarityConfig::default();
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("similar_pairs", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| similar_pairs_parallel(&matrix, &transpose, &cfg, threads));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, parallel_scaling);
+criterion_main!(benches);

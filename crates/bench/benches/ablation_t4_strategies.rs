@@ -1,0 +1,73 @@
+//! Ablation `abl-signature`: the two exact T4 oracles and the two
+//! approximate strategies on identical input.
+//!
+//! Compares the signature fast path (what [`Strategy::Custom`] uses)
+//! against the literal co-occurrence indicator evaluation of the paper,
+//! plus DBSCAN, HNSW and MinHash LSH, for finding roles sharing the same
+//! users.
+//!
+//! [`Strategy::Custom`]: rolediet_core::Strategy::Custom
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rolediet_bench::sweep_matrix;
+use rolediet_core::cooccur::{same_groups, same_groups_naive, same_groups_via_indicator};
+use rolediet_core::strategy::find_same_groups;
+use rolediet_core::{Parallelism, Strategy};
+
+fn t4_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_t4_strategies");
+    group.sample_size(10);
+    let matrix = sweep_matrix(1_000, 500, 0);
+    let transpose = matrix.transpose();
+
+    group.bench_function("signature-fast-path", |b| {
+        b.iter(|| same_groups(&matrix));
+    });
+    group.bench_function("cooccurrence-indicator", |b| {
+        b.iter(|| same_groups_via_indicator(&matrix, &transpose));
+    });
+    group.bench_function("naive-all-pairs", |b| {
+        b.iter(|| same_groups_naive(&matrix));
+    });
+    for strategy in [
+        Strategy::ExactDbscan,
+        Strategy::hnsw_default(),
+        Strategy::minhash_default(),
+    ] {
+        group.bench_function(strategy.name(), |b| {
+            b.iter(|| find_same_groups(&matrix, &strategy, Parallelism::Sequential));
+        });
+    }
+    // DBSCAN with a VP-tree index instead of brute-force region queries:
+    // the exact baseline with a real metric index (still exact).
+    {
+        use rolediet_cluster::dbscan::{Dbscan, DbscanParams};
+        use rolediet_cluster::metric::{BinaryMetric, BinaryRows};
+        use rolediet_cluster::vptree::VpTree;
+        let points = BinaryRows::new(&matrix, BinaryMetric::Hamming);
+        group.bench_function("exact-dbscan-vptree", |b| {
+            b.iter(|| {
+                let tree = VpTree::build(&points, 0);
+                Dbscan::new(DbscanParams::exact_duplicates()).fit_with_vptree(&points, &tree)
+            });
+        });
+    }
+    // HNSW with plain closest-first neighbour selection instead of the
+    // diversity heuristic: faster builds, worse connectivity on
+    // duplicate-heavy data (see hnsw module docs).
+    let simple = Strategy::ApproxHnsw {
+        params: rolediet_cluster::hnsw::HnswParams {
+            select_heuristic: false,
+            ..Default::default()
+        },
+        probe_k: 16,
+    };
+    group.bench_function("approx-hnsw-simple-select", |b| {
+        b.iter(|| find_same_groups(&matrix, &simple, Parallelism::Sequential));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, t4_strategies);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 2 — duration of the analysis depending on user number (number
+//! of roles fixed).
+//!
+//! Paper setup: roles = 1,000; users swept 1,000 → 10,000; task = find
+//! roles sharing the same users; cluster fraction 0.2; max cluster size
+//! 10. Paper result: all three methods are nearly flat in the number of
+//! users; approx (index build) ≫ exact ≫ custom.
+//!
+//! The Criterion bench uses a scaled sweep so `cargo bench` stays
+//! minutes-long; the full paper-sized sweep is
+//! `cargo run --release -p rolediet-bench --bin repro -- fig2`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rolediet_bench::{paper_strategies, sweep_matrix};
+use rolediet_core::strategy::find_same_groups;
+use rolediet_core::Parallelism;
+
+fn fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_users_sweep");
+    group.sample_size(10);
+    let roles = 500;
+    for users in [500usize, 1_000, 2_000, 4_000] {
+        let matrix = sweep_matrix(roles, users, 0);
+        for strategy in paper_strategies() {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), users),
+                &matrix,
+                |b, m| {
+                    b.iter(|| find_same_groups(m, &strategy, Parallelism::Sequential));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 3 — duration of the analysis depending on role number (number
+//! of users fixed).
+//!
+//! Paper setup: users = 1,000; roles swept 1,000 → 10,000; task = find
+//! roles sharing the same users. Paper result: all methods grow with the
+//! role count; exact grows fastest (496 s at 10k roles), approx crosses
+//! below exact around 7k roles (328 s at 10k), custom stays far below
+//! both (2.27 s at 10k).
+//!
+//! The Criterion bench uses a scaled sweep; the full paper-sized sweep is
+//! `cargo run --release -p rolediet-bench --bin repro -- fig3`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rolediet_bench::{paper_strategies, sweep_matrix};
+use rolediet_core::strategy::find_same_groups;
+use rolediet_core::Parallelism;
+
+fn fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_roles_sweep");
+    group.sample_size(10);
+    let users = 500;
+    for roles in [250usize, 500, 1_000, 2_000] {
+        let matrix = sweep_matrix(roles, users, 0);
+        for strategy in paper_strategies() {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), roles),
+                &matrix,
+                |b, m| {
+                    b.iter(|| find_same_groups(m, &strategy, Parallelism::Sequential));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

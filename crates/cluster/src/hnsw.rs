@@ -1,0 +1,572 @@
+//! HNSW — Hierarchical Navigable Small World graphs.
+//!
+//! A from-scratch implementation of Malkov & Yashunin (2018), the
+//! *approximate clustering* baseline of the paper (there via the
+//! `datasketch` library). Points are inserted into a stack of
+//! progressively denser proximity graphs; queries greedily descend from
+//! the sparse top layer and run a beam search (width `ef`) at layer 0.
+//!
+//! Approximate means *recall < 1 is possible*: a query can miss true
+//! neighbours. The paper argues this is acceptable for RBAC cleanup
+//! because the detector runs periodically and converges over runs; the
+//! [`recall`](crate::recall) module measures exactly this trade-off.
+//!
+//! Determinism: level draws come from a seeded RNG ([`HnswParams::seed`]),
+//! so builds and searches are reproducible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::metric::PointSet;
+
+/// Total order wrapper for non-NaN distances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Dist(f64);
+
+impl Eq for Dist {}
+
+impl PartialOrd for Dist {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Dist {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("distances are never NaN")
+    }
+}
+
+/// HNSW hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HnswParams {
+    /// Maximum number of links per node on layers above 0; layer 0 allows
+    /// `2 * m`.
+    pub m: usize,
+    /// Beam width while inserting.
+    pub ef_construction: usize,
+    /// Default beam width while searching (can be overridden per query).
+    pub ef_search: usize,
+    /// Use the diversity-aware neighbour selection heuristic (Algorithm 4
+    /// of Malkov & Yashunin) when choosing a node's links at insert time,
+    /// instead of simply taking the `m` closest candidates.
+    ///
+    /// The heuristic keeps a candidate only if it is closer to the new
+    /// node than to every already-selected neighbour, which preserves
+    /// connectivity between distant clusters — exactly the failure mode
+    /// that loses duplicate-role groups sitting far from the bulk of the
+    /// data. Costs a little extra insert time.
+    pub select_heuristic: bool,
+    /// Seed for the level-assignment RNG.
+    pub seed: u64,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        HnswParams {
+            m: 16,
+            ef_construction: 200,
+            ef_search: 64,
+            select_heuristic: true,
+            seed: 0xD1E7,
+        }
+    }
+}
+
+/// A built HNSW index over the points `0..n` of some [`PointSet`].
+///
+/// The index stores only graph structure; distances are recomputed against
+/// the point set on demand, so the same index type serves dense rows,
+/// sparse rows and test point clouds.
+///
+/// # Examples
+///
+/// ```
+/// use rolediet_cluster::hnsw::{Hnsw, HnswParams};
+/// use rolediet_cluster::metric::VecPoints;
+///
+/// let pts = VecPoints::new((0..100).map(|i| vec![i as f64]).collect());
+/// let index = Hnsw::build(&pts, HnswParams::default());
+/// let hits = index.knn_by_index(&pts, 50, 3, 64);
+/// assert_eq!(hits[0].0, 50); // the query itself at distance 0
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hnsw {
+    params: HnswParams,
+    /// links[node][layer] → neighbour ids; a node exists on layers
+    /// `0..=levels[node]`.
+    links: Vec<Vec<Vec<u32>>>,
+    levels: Vec<usize>,
+    entry: Option<usize>,
+    max_level: usize,
+}
+
+impl Hnsw {
+    /// Builds an index over all points of `points`, inserting in index
+    /// order.
+    pub fn build<P: PointSet>(points: &P, params: HnswParams) -> Self {
+        assert!(params.m >= 2, "m must be at least 2");
+        let mut index = Hnsw {
+            params,
+            links: Vec::with_capacity(points.len()),
+            levels: Vec::with_capacity(points.len()),
+            entry: None,
+            max_level: 0,
+        };
+        let ml = 1.0 / (params.m as f64).ln();
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        for node in 0..points.len() {
+            let level = Self::draw_level(&mut rng, ml);
+            index.insert(points, node, level);
+        }
+        index
+    }
+
+    /// The parameters the index was built with.
+    pub fn params(&self) -> HnswParams {
+        self.params
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Returns `true` if the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    fn draw_level(rng: &mut StdRng, ml: f64) -> usize {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        ((-u.ln()) * ml).floor() as usize
+    }
+
+    fn max_links(&self, layer: usize) -> usize {
+        if layer == 0 {
+            self.params.m * 2
+        } else {
+            self.params.m
+        }
+    }
+
+    fn insert<P: PointSet>(&mut self, points: &P, node: usize, level: usize) {
+        self.links.push(vec![Vec::new(); level + 1]);
+        self.levels.push(level);
+        let Some(entry) = self.entry else {
+            self.entry = Some(node);
+            self.max_level = level;
+            return;
+        };
+        let dist = |a: usize| points.distance(node, a);
+        let mut ep = entry;
+        // Greedy descent through layers above the node's level.
+        let top = self.max_level;
+        for layer in ((level + 1)..=top).rev() {
+            ep = self.greedy_closest(&dist, ep, layer);
+        }
+        // Beam insert on the shared layers.
+        for layer in (0..=level.min(top)).rev() {
+            let nearest = self.search_layer(&dist, &[ep], self.params.ef_construction, layer);
+            let m = self.params.m;
+            let chosen: Vec<u32> = if self.params.select_heuristic {
+                Self::select_neighbors_heuristic(points, node, &nearest, m)
+            } else {
+                nearest.iter().take(m).map(|&(id, _)| id as u32).collect()
+            };
+            for &nb in &chosen {
+                self.links[node][layer].push(nb);
+                self.links[nb as usize][layer].push(node as u32);
+                self.shrink(points, nb as usize, layer);
+            }
+            if let Some(&(best, _)) = nearest.first() {
+                ep = best;
+            }
+        }
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = Some(node);
+        }
+    }
+
+    /// Algorithm 4 of the HNSW paper: scan candidates in ascending
+    /// distance to `base`, keeping one only if it is closer to `base`
+    /// than to every neighbour already kept (then pad with the nearest
+    /// rejected candidates if fewer than `m` survive).
+    fn select_neighbors_heuristic<P: PointSet>(
+        points: &P,
+        _base: usize,
+        candidates: &[(usize, f64)],
+        m: usize,
+    ) -> Vec<u32> {
+        let mut kept: Vec<(usize, f64)> = Vec::with_capacity(m);
+        let mut rejected: Vec<usize> = Vec::new();
+        for &(cand, d_base) in candidates {
+            if kept.len() >= m {
+                break;
+            }
+            let dominated = kept
+                .iter()
+                .any(|&(k, _)| points.distance(cand, k) < d_base);
+            if dominated {
+                rejected.push(cand);
+            } else {
+                kept.push((cand, d_base));
+            }
+        }
+        let mut out: Vec<u32> = kept.into_iter().map(|(id, _)| id as u32).collect();
+        for r in rejected {
+            if out.len() >= m {
+                break;
+            }
+            out.push(r as u32);
+        }
+        out
+    }
+
+    /// Trims `node`'s links on `layer` back to capacity, keeping the
+    /// closest.
+    fn shrink<P: PointSet>(&mut self, points: &P, node: usize, layer: usize) {
+        let cap = self.max_links(layer);
+        let list = &mut self.links[node][layer];
+        if list.len() <= cap {
+            return;
+        }
+        // Dedup by id first (bidirectional inserts can add repeats), then
+        // keep `cap` links — with the diversity heuristic when enabled
+        // (as in hnswlib, which prunes with the same heuristic it selects
+        // with; plain closest-first pruning is what orphans nodes inside
+        // duplicate-heavy clusters).
+        list.sort_unstable();
+        list.dedup();
+        if list.len() <= cap {
+            return;
+        }
+        let mut with_d: Vec<(usize, f64)> = self.links[node][layer]
+            .iter()
+            .map(|&nb| (nb as usize, points.distance(node, nb as usize)))
+            .collect();
+        with_d.sort_by_key(|&(id, d)| (Dist(d), id));
+        let kept: Vec<u32> = if self.params.select_heuristic {
+            Self::select_neighbors_heuristic(points, node, &with_d, cap)
+        } else {
+            with_d.iter().take(cap).map(|&(id, _)| id as u32).collect()
+        };
+        self.links[node][layer] = kept;
+    }
+
+    /// Greedy walk on one layer to the locally closest node to the query.
+    fn greedy_closest<F: Fn(usize) -> f64>(&self, dist: &F, mut ep: usize, layer: usize) -> usize {
+        let mut best = dist(ep);
+        loop {
+            let mut improved = false;
+            for &nb in &self.links[ep][layer] {
+                let d = dist(nb as usize);
+                if d < best {
+                    best = d;
+                    ep = nb as usize;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return ep;
+            }
+        }
+    }
+
+    /// Beam search on one layer. Returns up to `ef` nodes sorted by
+    /// ascending distance.
+    fn search_layer<F: Fn(usize) -> f64>(
+        &self,
+        dist: &F,
+        entry_points: &[usize],
+        ef: usize,
+        layer: usize,
+    ) -> Vec<(usize, f64)> {
+        let mut visited = vec![false; self.links.len()];
+        // candidates: min-heap by distance; results: max-heap by distance.
+        let mut candidates: BinaryHeap<Reverse<(Dist, usize)>> = BinaryHeap::new();
+        let mut results: BinaryHeap<(Dist, usize)> = BinaryHeap::new();
+        for &ep in entry_points {
+            if visited[ep] {
+                continue;
+            }
+            visited[ep] = true;
+            let d = Dist(dist(ep));
+            candidates.push(Reverse((d, ep)));
+            results.push((d, ep));
+        }
+        while let Some(Reverse((d, node))) = candidates.pop() {
+            let worst = results.peek().expect("results nonempty").0;
+            if results.len() >= ef && d > worst {
+                break;
+            }
+            if layer < self.links[node].len() {
+                for &nb in &self.links[node][layer] {
+                    let nb = nb as usize;
+                    if visited[nb] {
+                        continue;
+                    }
+                    visited[nb] = true;
+                    let dnb = Dist(dist(nb));
+                    let worst = results.peek().expect("results nonempty").0;
+                    if results.len() < ef || dnb < worst {
+                        candidates.push(Reverse((dnb, nb)));
+                        results.push((dnb, nb));
+                        if results.len() > ef {
+                            results.pop();
+                        }
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(usize, f64)> = results.into_iter().map(|(d, n)| (n, d.0)).collect();
+        out.sort_by(|a, b| Dist(a.1).cmp(&Dist(b.1)).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Approximate k-nearest-neighbour query given a distance oracle from
+    /// the query to any indexed point.
+    ///
+    /// Returns up to `k` `(index, distance)` pairs sorted by distance. The
+    /// beam width is `max(ef, k)`.
+    pub fn search_with<F: Fn(usize) -> f64>(&self, dist: F, k: usize, ef: usize) -> Vec<(usize, f64)> {
+        self.search_internal(dist, k, ef, None)
+    }
+
+    fn search_internal<F: Fn(usize) -> f64>(
+        &self,
+        dist: F,
+        k: usize,
+        ef: usize,
+        extra_entry: Option<usize>,
+    ) -> Vec<(usize, f64)> {
+        let Some(entry) = self.entry else {
+            return Vec::new();
+        };
+        let mut ep = entry;
+        for layer in (1..=self.max_level).rev() {
+            ep = self.greedy_closest(&dist, ep, layer);
+        }
+        let mut entries = vec![ep];
+        if let Some(extra) = extra_entry {
+            entries.push(extra);
+        }
+        let mut out = self.search_layer(&dist, &entries, ef.max(k), 0);
+        out.truncate(k);
+        out
+    }
+
+    /// Approximate k-NN of an indexed point (the point itself is always
+    /// the first hit at distance 0).
+    ///
+    /// Besides the usual entry-point descent, the layer-0 beam is also
+    /// seeded *at the query node itself*. Aggressive link pruning can
+    /// leave a node with no incoming links (a known HNSW failure mode,
+    /// especially on data with many exact duplicates — precisely the RBAC
+    /// case); since self-queries know the node's id, starting there too
+    /// restores its out-neighbourhood at zero cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query >= points.len()`.
+    pub fn knn_by_index<P: PointSet>(
+        &self,
+        points: &P,
+        query: usize,
+        k: usize,
+        ef: usize,
+    ) -> Vec<(usize, f64)> {
+        assert!(query < points.len(), "query index out of range");
+        self.search_internal(|i| points.distance(query, i), k, ef, Some(query))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::{BinaryMetric, BinaryRows, VecPoints};
+    use crate::neighbors::knn as exact_knn;
+    use rolediet_matrix::BitMatrix;
+
+    fn grid_points(n: usize) -> VecPoints {
+        // n points on a line — easy geometry with unambiguous neighbours.
+        VecPoints::new((0..n).map(|i| vec![i as f64]).collect())
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let pts = VecPoints::new(vec![]);
+        let idx = Hnsw::build(&pts, HnswParams::default());
+        assert!(idx.is_empty());
+        assert!(idx.search_with(|_| 0.0, 3, 16).is_empty());
+
+        let one = VecPoints::new(vec![vec![1.0]]);
+        let idx = Hnsw::build(&one, HnswParams::default());
+        assert_eq!(idx.len(), 1);
+        let hits = idx.knn_by_index(&one, 0, 5, 16);
+        assert_eq!(hits, vec![(0, 0.0)]);
+    }
+
+    #[test]
+    fn finds_self_and_true_neighbours_on_line() {
+        let pts = grid_points(200);
+        let idx = Hnsw::build(&pts, HnswParams::default());
+        for q in [0usize, 17, 99, 199] {
+            let hits = idx.knn_by_index(&pts, q, 3, 64);
+            assert_eq!(hits[0], (q, 0.0), "self is the closest hit");
+            let approx: Vec<usize> = hits.iter().skip(1).map(|&(i, _)| i).collect();
+            let exact: Vec<usize> = exact_knn(&pts, q, 2).into_iter().map(|(i, _)| i).collect();
+            // On this trivial geometry the index should be exact.
+            assert_eq!(approx, exact, "query {q}");
+        }
+    }
+
+    #[test]
+    fn high_recall_on_random_binary_rows() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let rows: Vec<Vec<usize>> = (0..300)
+            .map(|_| {
+                (0..64)
+                    .filter(|_| rng.gen_bool(0.2))
+                    .collect::<Vec<usize>>()
+            })
+            .collect();
+        let m = BitMatrix::from_rows_of_indices(300, 64, &rows).unwrap();
+        let pts = BinaryRows::new(&m, BinaryMetric::Hamming);
+        let idx = Hnsw::build(&pts, HnswParams::default());
+        let mut found = 0usize;
+        let mut total = 0usize;
+        for q in 0..300 {
+            let exact: std::collections::HashSet<usize> =
+                exact_knn(&pts, q, 5).into_iter().map(|(i, _)| i).collect();
+            let approx: std::collections::HashSet<usize> = idx
+                .knn_by_index(&pts, q, 6, 128)
+                .into_iter()
+                .map(|(i, _)| i)
+                .filter(|&i| i != q)
+                .collect();
+            // Compare by distance values (ties make identity comparisons flaky).
+            let kth = exact_knn(&pts, q, 5).last().map(|&(_, d)| d).unwrap();
+            total += exact.len();
+            found += approx
+                .iter()
+                .filter(|&&i| pts.distance(q, i) <= kth)
+                .count()
+                .min(exact.len());
+        }
+        let recall = found as f64 / total as f64;
+        assert!(recall > 0.9, "recall {recall} too low");
+    }
+
+    #[test]
+    fn duplicate_points_are_found_at_distance_zero() {
+        // The paper's use case: identical role rows must surface as
+        // 0-distance neighbours.
+        let m = BitMatrix::from_rows_of_indices(
+            6,
+            8,
+            &[
+                vec![0, 1],
+                vec![2],
+                vec![0, 1],
+                vec![3, 4, 5],
+                vec![0, 1],
+                vec![6],
+            ],
+        )
+        .unwrap();
+        let pts = BinaryRows::new(&m, BinaryMetric::Hamming);
+        let idx = Hnsw::build(&pts, HnswParams::default());
+        let hits = idx.knn_by_index(&pts, 0, 6, 32);
+        let zero_hits: std::collections::HashSet<usize> = hits
+            .iter()
+            .filter(|&&(_, d)| d == 0.0)
+            .map(|&(i, _)| i)
+            .collect();
+        assert_eq!(zero_hits, [0usize, 2, 4].into_iter().collect());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = grid_points(100);
+        let a = Hnsw::build(&pts, HnswParams::default());
+        let b = Hnsw::build(&pts, HnswParams::default());
+        for q in 0..100 {
+            assert_eq!(
+                a.knn_by_index(&pts, q, 4, 32),
+                b.knn_by_index(&pts, q, 4, 32)
+            );
+        }
+    }
+
+    #[test]
+    fn search_with_external_query() {
+        let pts = grid_points(50);
+        let idx = Hnsw::build(&pts, HnswParams::default());
+        // Query point at 10.4 — nearest indexed points are 10 and 11.
+        let hits = idx.search_with(|i| (i as f64 - 10.4).abs(), 2, 32);
+        assert_eq!(hits[0].0, 10);
+        assert_eq!(hits[1].0, 11);
+    }
+
+    #[test]
+    fn respects_k_and_ef() {
+        let pts = grid_points(100);
+        let idx = Hnsw::build(&pts, HnswParams::default());
+        assert_eq!(idx.knn_by_index(&pts, 5, 3, 64).len(), 3);
+        // ef smaller than k is raised to k.
+        assert_eq!(idx.knn_by_index(&pts, 5, 10, 1).len(), 10);
+    }
+
+    #[test]
+    fn heuristic_selection_prefers_diverse_neighbours() {
+        // base at 0; candidates at 1, 1.2 and -5. Simple selection with
+        // m=2 takes {1, 1.2}; the heuristic rejects 1.2 (closer to 1 than
+        // to base) and keeps -5 on the far side, preserving connectivity.
+        let pts = VecPoints::new(vec![vec![0.0], vec![1.0], vec![1.2], vec![-5.0]]);
+        let candidates = vec![(1usize, 1.0), (2usize, 1.2), (3usize, 5.0)];
+        let chosen = Hnsw::select_neighbors_heuristic(&pts, 0, &candidates, 2);
+        assert_eq!(chosen, vec![1, 3]);
+        // With room for all, rejected candidates are padded back in.
+        let chosen = Hnsw::select_neighbors_heuristic(&pts, 0, &candidates, 3);
+        assert_eq!(chosen, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn heuristic_index_keeps_high_recall() {
+        let pts = grid_points(200);
+        let idx = Hnsw::build(
+            &pts,
+            HnswParams {
+                select_heuristic: true,
+                ..HnswParams::default()
+            },
+        );
+        for q in [0usize, 50, 150, 199] {
+            let hits = idx.knn_by_index(&pts, q, 3, 64);
+            assert_eq!(hits[0], (q, 0.0));
+            let approx: Vec<usize> = hits.iter().skip(1).map(|&(i, _)| i).collect();
+            let exact: Vec<usize> = exact_knn(&pts, q, 2).into_iter().map(|(i, _)| i).collect();
+            assert_eq!(approx, exact, "query {q}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "m must be at least 2")]
+    fn rejects_degenerate_m() {
+        let pts = grid_points(3);
+        Hnsw::build(
+            &pts,
+            HnswParams {
+                m: 1,
+                ..HnswParams::default()
+            },
+        );
+    }
+}

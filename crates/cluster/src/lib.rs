@@ -1,0 +1,57 @@
+//! Clustering substrate for the IAM Role Diet detectors.
+//!
+//! The paper evaluates three ways of finding groups of roles that share the
+//! same or similar users/permissions. Two of them are classic algorithms it
+//! takes from Python libraries; this crate implements both from scratch,
+//! plus the supporting machinery:
+//!
+//! * [`dbscan`] — exact density-based clustering (the scikit-learn
+//!   baseline): minPts, eps, arbitrary metric, noise labelling.
+//! * [`hnsw`] — Hierarchical Navigable Small World approximate
+//!   nearest-neighbour search (the datasketch baseline): multi-layer
+//!   greedy/beam search with `M`, `ef_construction`, `ef_search`.
+//! * [`minhash`] — MinHash LSH, a second approximate baseline from the
+//!   same library family as the paper's, used in our ablations.
+//! * [`metric`] — distance functions on binary rows (Hamming ≡ Manhattan
+//!   on 0/1 data, Euclidean, Jaccard) behind the [`PointSet`] abstraction.
+//! * [`neighbors`] — brute-force range and k-NN queries (ground truth for
+//!   recall measurements).
+//! * [`vptree`] — an exact metric index (vantage-point tree) that
+//!   accelerates DBSCAN's region queries with triangle-inequality
+//!   pruning — "how far can the exact baseline be pushed".
+//! * [`unionfind`] — disjoint sets for turning pairs into groups.
+//! * [`recall`] — precision/recall of approximate against exact results.
+//!
+//! # Examples
+//!
+//! ```
+//! use rolediet_cluster::dbscan::{Dbscan, DbscanParams};
+//! use rolediet_cluster::metric::{BinaryMetric, BinaryRows};
+//! use rolediet_matrix::BitMatrix;
+//!
+//! // Roles 0 and 2 have identical user sets.
+//! let ruam = BitMatrix::from_rows_of_indices(3, 4, &[
+//!     vec![0, 1], vec![2], vec![0, 1],
+//! ]).unwrap();
+//! let points = BinaryRows::new(&ruam, BinaryMetric::Hamming);
+//! let labels = Dbscan::new(DbscanParams::exact_duplicates()).fit(&points);
+//! assert_eq!(labels.clusters(), vec![vec![0, 2]]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dbscan;
+pub mod hnsw;
+pub mod metric;
+pub mod minhash;
+pub mod neighbors;
+pub mod recall;
+pub mod unionfind;
+pub mod vptree;
+
+pub use dbscan::{ClusterLabels, Dbscan, DbscanParams};
+pub use hnsw::{Hnsw, HnswParams};
+pub use metric::{BinaryMetric, BinaryRows, PointSet, VecPoints};
+pub use minhash::{MinHashLsh, MinHashLshParams};
+pub use unionfind::UnionFind;

@@ -1,0 +1,228 @@
+//! Distance metrics and the [`PointSet`] abstraction.
+
+use rolediet_matrix::RowMatrix;
+
+/// A finite set of points with pairwise distances.
+///
+/// Both clustering baselines (DBSCAN and the HNSW group finder) only ever
+/// need distances *between points of the dataset* — in the paper each role
+/// row is indexed and then queried against the same index — so the
+/// abstraction is deliberately index-based.
+pub trait PointSet {
+    /// Number of points.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the set is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Distance between points `i` and `j`. Must be symmetric with
+    /// `distance(i, i) == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if an index is out of range.
+    fn distance(&self, i: usize, j: usize) -> f64;
+}
+
+/// Metrics on binary (0/1) rows.
+///
+/// The paper uses Hamming for DBSCAN and Manhattan for HNSW; on binary
+/// data the two coincide (|a−b| per coordinate is 0 or 1), which the
+/// `manhattan_equals_hamming` test pins down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BinaryMetric {
+    /// Number of differing positions (== Manhattan/L1 on binary data).
+    #[default]
+    Hamming,
+    /// Euclidean distance: `sqrt(hamming)` on binary data.
+    Euclidean,
+    /// Jaccard distance `1 − |A∩B|/|A∪B|` (0 for two empty rows).
+    Jaccard,
+}
+
+/// Adapter exposing the rows of an assignment matrix as a [`PointSet`].
+///
+/// # Examples
+///
+/// ```
+/// use rolediet_cluster::metric::{BinaryMetric, BinaryRows, PointSet};
+/// use rolediet_matrix::BitMatrix;
+///
+/// let m = BitMatrix::from_rows_of_indices(2, 4, &[vec![0, 1], vec![1, 2]]).unwrap();
+/// let pts = BinaryRows::new(&m, BinaryMetric::Hamming);
+/// assert_eq!(pts.distance(0, 1), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BinaryRows<'a, M> {
+    matrix: &'a M,
+    metric: BinaryMetric,
+}
+
+impl<'a, M: RowMatrix> BinaryRows<'a, M> {
+    /// Wraps a matrix with the given metric.
+    pub fn new(matrix: &'a M, metric: BinaryMetric) -> Self {
+        BinaryRows { matrix, metric }
+    }
+
+    /// The wrapped matrix.
+    pub fn matrix(&self) -> &'a M {
+        self.matrix
+    }
+
+    /// The metric in use.
+    pub fn metric(&self) -> BinaryMetric {
+        self.metric
+    }
+}
+
+impl<M: RowMatrix> PointSet for BinaryRows<'_, M> {
+    fn len(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    fn distance(&self, i: usize, j: usize) -> f64 {
+        match self.metric {
+            BinaryMetric::Hamming => self.matrix.row_hamming(i, j) as f64,
+            BinaryMetric::Euclidean => (self.matrix.row_hamming(i, j) as f64).sqrt(),
+            BinaryMetric::Jaccard => {
+                let inter = self.matrix.row_dot(i, j);
+                let union = self.matrix.row_norm(i) + self.matrix.row_norm(j) - inter;
+                if union == 0 {
+                    0.0
+                } else {
+                    1.0 - inter as f64 / union as f64
+                }
+            }
+        }
+    }
+}
+
+/// Dense real-valued points with Euclidean distance — used to test the
+/// clustering algorithms on the classic geometric cases they were designed
+/// for, independent of the RBAC encoding.
+#[derive(Debug, Clone, Default)]
+pub struct VecPoints {
+    points: Vec<Vec<f64>>,
+}
+
+impl VecPoints {
+    /// Wraps a list of equally-sized coordinate vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors do not all have the same dimension.
+    pub fn new(points: Vec<Vec<f64>>) -> Self {
+        if let Some(first) = points.first() {
+            assert!(
+                points.iter().all(|p| p.len() == first.len()),
+                "all points must share one dimension"
+            );
+        }
+        VecPoints { points }
+    }
+
+    /// The coordinates of point `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.points[i]
+    }
+}
+
+impl PointSet for VecPoints {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn distance(&self, i: usize, j: usize) -> f64 {
+        self.points[i]
+            .iter()
+            .zip(&self.points[j])
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rolediet_matrix::BitMatrix;
+
+    fn m() -> BitMatrix {
+        BitMatrix::from_rows_of_indices(4, 6, &[vec![0, 1, 2], vec![1, 2, 3], vec![], vec![]])
+            .unwrap()
+    }
+
+    #[test]
+    fn hamming_distances() {
+        let m = m();
+        let p = BinaryRows::new(&m, BinaryMetric::Hamming);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.distance(0, 1), 2.0);
+        assert_eq!(p.distance(0, 0), 0.0);
+        assert_eq!(p.distance(2, 3), 0.0);
+        assert_eq!(p.distance(0, 1), p.distance(1, 0));
+    }
+
+    #[test]
+    fn euclidean_is_sqrt_hamming() {
+        let m = m();
+        let h = BinaryRows::new(&m, BinaryMetric::Hamming);
+        let e = BinaryRows::new(&m, BinaryMetric::Euclidean);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((e.distance(i, j) - h.distance(i, j).sqrt()).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn jaccard_distances() {
+        let m = m();
+        let p = BinaryRows::new(&m, BinaryMetric::Jaccard);
+        // |A∩B| = 2, |A∪B| = 4 → d = 0.5
+        assert!((p.distance(0, 1) - 0.5).abs() < 1e-12);
+        // Two empty rows are identical under Jaccard here.
+        assert_eq!(p.distance(2, 3), 0.0);
+        assert_eq!(p.distance(0, 2), 1.0);
+    }
+
+    #[test]
+    fn manhattan_equals_hamming_on_binary_data() {
+        // The reason the paper can use HNSW with Manhattan distance for a
+        // Hamming problem: per coordinate |a-b| ∈ {0, 1}.
+        let m = m();
+        let h = BinaryRows::new(&m, BinaryMetric::Hamming);
+        for i in 0..4 {
+            for j in 0..4 {
+                let manhattan: f64 = (0..6)
+                    .map(|c| {
+                        let a = m.get(i, c) as u8 as f64;
+                        let b = m.get(j, c) as u8 as f64;
+                        (a - b).abs()
+                    })
+                    .sum();
+                assert_eq!(manhattan, h.distance(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn vec_points_euclidean() {
+        let p = VecPoints::new(vec![vec![0.0, 0.0], vec![3.0, 4.0]]);
+        assert_eq!(p.distance(0, 1), 5.0);
+        assert_eq!(p.point(1), &[3.0, 4.0]);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "share one dimension")]
+    fn vec_points_dimension_checked() {
+        VecPoints::new(vec![vec![0.0], vec![1.0, 2.0]]);
+    }
+}

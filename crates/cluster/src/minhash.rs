@@ -1,0 +1,241 @@
+//! MinHash LSH — locality-sensitive hashing for Jaccard similarity.
+//!
+//! The paper's approximate baseline comes from the `datasketch` library,
+//! whose flagship structure is MinHash LSH; we implement it as a second
+//! approximate method for the ablation study (`abl-recall` in DESIGN.md).
+//! Each role's user set is sketched into `num_perm` MinHash values; the
+//! signature is split into bands, and roles colliding in any band become
+//! *candidate pairs*. Identical sets always collide (probability 1), so
+//! duplicate-role detection has perfect recall; near-duplicates collide
+//! with probability `1 − (1 − s^r)^b` for Jaccard similarity `s`, `r` rows
+//! per band and `b` bands.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Mersenne prime 2⁶¹ − 1: modulus of the universal hash family.
+const PRIME: u128 = (1u128 << 61) - 1;
+
+/// Sentinel MinHash value of an empty set.
+const EMPTY: u64 = u64::MAX;
+
+/// MinHash LSH parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinHashLshParams {
+    /// Number of hash permutations (signature length).
+    pub num_perm: usize,
+    /// Number of bands the signature is split into. Must divide
+    /// `num_perm`.
+    pub bands: usize,
+    /// RNG seed for the hash family.
+    pub seed: u64,
+}
+
+impl Default for MinHashLshParams {
+    fn default() -> Self {
+        MinHashLshParams {
+            num_perm: 128,
+            bands: 32,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// A built MinHash LSH index over item sets.
+///
+/// # Examples
+///
+/// ```
+/// use rolediet_cluster::minhash::{MinHashLsh, MinHashLshParams};
+///
+/// let sets = vec![
+///     vec![1u32, 2, 3],
+///     vec![1, 2, 3],      // duplicate of set 0
+///     vec![100, 200],
+/// ];
+/// let lsh = MinHashLsh::build(&sets, MinHashLshParams::default());
+/// assert!(lsh.candidate_pairs().contains(&(0, 1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MinHashLsh {
+    params: MinHashLshParams,
+    signatures: Vec<Vec<u64>>,
+}
+
+impl MinHashLsh {
+    /// Sketches every set and builds the index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bands` does not divide `num_perm` or either is zero.
+    pub fn build(sets: &[Vec<u32>], params: MinHashLshParams) -> Self {
+        assert!(params.num_perm > 0 && params.bands > 0, "parameters must be positive");
+        assert_eq!(
+            params.num_perm % params.bands,
+            0,
+            "bands must divide num_perm"
+        );
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let coeffs: Vec<(u64, u64)> = (0..params.num_perm)
+            .map(|_| {
+                (
+                    rng.gen_range(1..(PRIME as u64)),
+                    rng.gen_range(0..(PRIME as u64)),
+                )
+            })
+            .collect();
+        let signatures = sets
+            .iter()
+            .map(|set| {
+                coeffs
+                    .iter()
+                    .map(|&(a, b)| {
+                        set.iter()
+                            .map(|&x| {
+                                ((u128::from(a) * u128::from(x) + u128::from(b)) % PRIME) as u64
+                            })
+                            .min()
+                            .unwrap_or(EMPTY)
+                    })
+                    .collect()
+            })
+            .collect();
+        MinHashLsh { params, signatures }
+    }
+
+    /// The parameters the index was built with.
+    pub fn params(&self) -> MinHashLshParams {
+        self.params
+    }
+
+    /// Number of indexed sets.
+    pub fn len(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// Returns `true` if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.signatures.is_empty()
+    }
+
+    /// Estimated Jaccard similarity between sets `i` and `j`: the fraction
+    /// of matching signature components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn estimate_jaccard(&self, i: usize, j: usize) -> f64 {
+        let (a, b) = (&self.signatures[i], &self.signatures[j]);
+        let eq = a.iter().zip(b).filter(|(x, y)| x == y).count();
+        eq as f64 / self.params.num_perm as f64
+    }
+
+    /// All candidate pairs `(i, j)`, `i < j`, that collide in at least one
+    /// band, sorted and deduplicated.
+    pub fn candidate_pairs(&self) -> Vec<(usize, usize)> {
+        use std::collections::HashMap;
+        let rows = self.params.num_perm / self.params.bands;
+        let mut pairs = Vec::new();
+        for band in 0..self.params.bands {
+            let lo = band * rows;
+            let hi = lo + rows;
+            let mut buckets: HashMap<&[u64], Vec<usize>> = HashMap::new();
+            for (i, sig) in self.signatures.iter().enumerate() {
+                buckets.entry(&sig[lo..hi]).or_default().push(i);
+            }
+            for members in buckets.into_values() {
+                if members.len() < 2 {
+                    continue;
+                }
+                for (x, &i) in members.iter().enumerate() {
+                    for &j in &members[x + 1..] {
+                        pairs.push((i, j));
+                    }
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets_always_collide() {
+        let sets = vec![vec![5u32, 9, 100], vec![5, 9, 100], vec![5, 9, 100]];
+        let lsh = MinHashLsh::build(&sets, MinHashLshParams::default());
+        let pairs = lsh.candidate_pairs();
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(lsh.estimate_jaccard(0, 1), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_rarely_collide() {
+        let sets: Vec<Vec<u32>> = (0..20)
+            .map(|i| ((i * 50)..(i * 50 + 10)).collect())
+            .collect();
+        let lsh = MinHashLsh::build(&sets, MinHashLshParams::default());
+        // With 4 rows per band and Jaccard 0, collisions are overwhelmingly
+        // unlikely; allow a small number for robustness.
+        assert!(lsh.candidate_pairs().len() <= 1);
+    }
+
+    #[test]
+    fn estimate_tracks_true_jaccard() {
+        // |A∩B| = 50, |A∪B| = 150 → J = 1/3.
+        let a: Vec<u32> = (0..100).collect();
+        let b: Vec<u32> = (50..150).collect();
+        let lsh = MinHashLsh::build(
+            &[a, b],
+            MinHashLshParams {
+                num_perm: 256,
+                bands: 32,
+                seed: 1,
+            },
+        );
+        let est = lsh.estimate_jaccard(0, 1);
+        assert!((est - 1.0 / 3.0).abs() < 0.12, "estimate {est} too far");
+    }
+
+    #[test]
+    fn empty_sets_collide_with_each_other_only() {
+        let sets = vec![vec![], vec![], vec![1u32, 2]];
+        let lsh = MinHashLsh::build(&sets, MinHashLshParams::default());
+        assert_eq!(lsh.candidate_pairs(), vec![(0, 1)]);
+        assert_eq!(lsh.estimate_jaccard(0, 1), 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sets = vec![vec![1u32, 2, 3], vec![2, 3, 4], vec![9, 10]];
+        let a = MinHashLsh::build(&sets, MinHashLshParams::default());
+        let b = MinHashLsh::build(&sets, MinHashLshParams::default());
+        assert_eq!(a.candidate_pairs(), b.candidate_pairs());
+        assert_eq!(a.estimate_jaccard(0, 1), b.estimate_jaccard(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "bands must divide num_perm")]
+    fn bad_band_count_panics() {
+        MinHashLsh::build(
+            &[vec![1]],
+            MinHashLshParams {
+                num_perm: 10,
+                bands: 3,
+                seed: 0,
+            },
+        );
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let lsh = MinHashLsh::build(&[], MinHashLshParams::default());
+        assert!(lsh.is_empty());
+        assert!(lsh.candidate_pairs().is_empty());
+    }
+}

@@ -1,0 +1,131 @@
+//! Brute-force neighbour queries.
+//!
+//! These O(n) scans are the exact reference that (a) DBSCAN uses for its
+//! region queries and (b) [`recall`](crate::recall) measures the
+//! approximate indexes against.
+
+use crate::metric::PointSet;
+
+/// All points within distance `eps` of point `i` (inclusive), including
+/// `i` itself, ascending by index.
+///
+/// # Panics
+///
+/// Panics if `i` is out of range.
+pub fn range_query<P: PointSet>(points: &P, i: usize, eps: f64) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&j| points.distance(i, j) <= eps)
+        .collect()
+}
+
+/// The `k` nearest neighbours of point `i` (excluding `i`), sorted by
+/// distance then index. Returns fewer than `k` when the set is small.
+///
+/// # Panics
+///
+/// Panics if `i` is out of range.
+pub fn knn<P: PointSet>(points: &P, i: usize, k: usize) -> Vec<(usize, f64)> {
+    let mut all: Vec<(usize, f64)> = (0..points.len())
+        .filter(|&j| j != i)
+        .map(|j| (j, points.distance(i, j)))
+        .collect();
+    all.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN distances").then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+/// The sorted k-distance curve: for every point, the distance to its
+/// `k`-th nearest neighbour, descending.
+///
+/// This is the standard instrument for choosing DBSCAN's `eps` (Ester et
+/// al. §4.2): plot the curve and pick the "elbow". For the RBAC problem
+/// the paper derives `eps` analytically (0 for T4, `t` for T5), but the
+/// curve remains useful for diagnosing how separated the duplicate
+/// clusters are from the background.
+///
+/// Points with fewer than `k` neighbours contribute `f64::INFINITY`.
+pub fn k_distance_curve<P: PointSet>(points: &P, k: usize) -> Vec<f64> {
+    let mut out: Vec<f64> = (0..points.len())
+        .map(|i| {
+            let nn = knn(points, i, k);
+            if nn.len() < k {
+                f64::INFINITY
+            } else {
+                nn[k - 1].1
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.partial_cmp(a).expect("no NaN distances"));
+    out
+}
+
+/// Every unordered pair `(i, j)`, `i < j`, within distance `eps` —
+/// the exact ground-truth pair set for a similarity threshold.
+pub fn all_pairs_within<P: PointSet>(points: &P, eps: f64) -> Vec<(usize, usize)> {
+    let n = points.len();
+    let mut out = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if points.distance(i, j) <= eps {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::VecPoints;
+
+    fn line() -> VecPoints {
+        VecPoints::new(vec![vec![0.0], vec![1.0], vec![2.0], vec![10.0]])
+    }
+
+    #[test]
+    fn range_query_includes_self() {
+        let p = line();
+        assert_eq!(range_query(&p, 0, 1.0), vec![0, 1]);
+        assert_eq!(range_query(&p, 1, 1.0), vec![0, 1, 2]);
+        assert_eq!(range_query(&p, 3, 0.5), vec![3]);
+    }
+
+    #[test]
+    fn knn_sorted_by_distance() {
+        let p = line();
+        let nn = knn(&p, 0, 2);
+        assert_eq!(nn, vec![(1, 1.0), (2, 2.0)]);
+        let nn = knn(&p, 0, 10);
+        assert_eq!(nn.len(), 3, "never returns self or phantom points");
+    }
+
+    #[test]
+    fn knn_ties_break_by_index() {
+        let p = VecPoints::new(vec![vec![0.0], vec![1.0], vec![-1.0]]);
+        let nn = knn(&p, 0, 2);
+        assert_eq!(nn, vec![(1, 1.0), (2, 1.0)]);
+    }
+
+    #[test]
+    fn k_distance_curve_shapes() {
+        let p = line();
+        // 1-distances: [1, 1, 1, 8] → sorted descending [8, 1, 1, 1].
+        assert_eq!(k_distance_curve(&p, 1), vec![8.0, 1.0, 1.0, 1.0]);
+        // k larger than available neighbours → all infinite.
+        let curve = k_distance_curve(&p, 5);
+        assert!(curve.iter().all(|d| d.is_infinite()));
+        // Duplicate points put a 0 on the curve.
+        let dup = VecPoints::new(vec![vec![0.0], vec![0.0], vec![9.0]]);
+        let curve = k_distance_curve(&dup, 1);
+        assert_eq!(curve.last(), Some(&0.0));
+    }
+
+    #[test]
+    fn all_pairs_within_eps() {
+        let p = line();
+        assert_eq!(all_pairs_within(&p, 1.0), vec![(0, 1), (1, 2)]);
+        assert_eq!(all_pairs_within(&p, 2.0), vec![(0, 1), (0, 2), (1, 2)]);
+        assert!(all_pairs_within(&p, 0.5).is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! Disjoint-set (union-find) structure.
+
+/// Union-find with path compression and union by rank.
+///
+/// Turns a stream of "these two roles belong together" pairs into final
+/// groups. Used to assemble duplicate groups (T4) and similar-role
+/// candidate components (T5) from pairwise evidence.
+///
+/// # Examples
+///
+/// ```
+/// use rolediet_cluster::UnionFind;
+///
+/// let mut uf = UnionFind::new(5);
+/// uf.union(0, 3);
+/// uf.union(3, 4);
+/// assert!(uf.connected(0, 4));
+/// assert_eq!(uf.groups_min_size(2), vec![vec![0, 3, 4]]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` does not fit in `u32`.
+    pub fn new(n: usize) -> Self {
+        assert!(u32::try_from(n).is_ok(), "UnionFind size overflows u32");
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the structure tracks zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint components.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// Finds the representative of `x`, compressing the path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= len()`.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] as usize != cur {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`. Returns `true` if they were
+    /// previously disjoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.components -= 1;
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb as u32,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra as u32,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra as u32;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if `a` and `b` are in the same set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// All groups with at least `min_size` members, each sorted ascending,
+    /// ordered by their smallest member.
+    pub fn groups_min_size(&mut self, min_size: usize) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut by_root: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for x in 0..n {
+            by_root.entry(self.find(x)).or_default().push(x);
+        }
+        let mut groups: Vec<Vec<usize>> = by_root
+            .into_values()
+            .filter(|g| g.len() >= min_size)
+            .collect();
+        // members were pushed in ascending order already
+        groups.sort_unstable_by_key(|g| g[0]);
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let mut uf = UnionFind::new(3);
+        assert_eq!(uf.components(), 3);
+        assert_eq!(uf.len(), 3);
+        assert!(!uf.connected(0, 1));
+        assert!(uf.groups_min_size(2).is_empty());
+        assert_eq!(uf.groups_min_size(1), vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0), "already merged");
+        assert!(uf.union(2, 3));
+        assert!(uf.union(0, 3));
+        assert_eq!(uf.components(), 3);
+        assert!(uf.connected(1, 2));
+        assert!(!uf.connected(0, 4));
+        assert_eq!(uf.groups_min_size(2), vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn long_chain_compresses() {
+        let n = 1000;
+        let mut uf = UnionFind::new(n);
+        for i in 1..n {
+            uf.union(i - 1, i);
+        }
+        assert_eq!(uf.components(), 1);
+        let g = uf.groups_min_size(2);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].len(), n);
+        // After find() with compression all parents point near the root.
+        let root = uf.find(0);
+        assert_eq!(uf.find(n - 1), root);
+    }
+
+    #[test]
+    fn empty_structure() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.components(), 0);
+        assert!(uf.groups_min_size(1).is_empty());
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the clustering substrate: DBSCAN semantics against
+//! first principles, index exactness (VP-tree) and index soundness
+//! (HNSW, MinHash) on arbitrary binary-row datasets.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use rolediet_cluster::dbscan::{Dbscan, DbscanParams, NOISE};
+use rolediet_cluster::hnsw::{Hnsw, HnswParams};
+use rolediet_cluster::metric::{BinaryMetric, BinaryRows, PointSet};
+use rolediet_cluster::minhash::{MinHashLsh, MinHashLshParams};
+use rolediet_cluster::neighbors::{all_pairs_within, range_query};
+use rolediet_cluster::vptree::VpTree;
+use rolediet_matrix::BitMatrix;
+
+fn dataset() -> impl Strategy<Value = (usize, usize, Vec<Vec<usize>>)> {
+    (2usize..28, 2usize..18).prop_flat_map(|(rows, cols)| {
+        vec(vec(0..cols, 0..=5), rows).prop_map(move |data| (rows, cols, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // p indexes points and labels in parallel
+    fn dbscan_labels_satisfy_first_principles(
+        (rows, cols, data) in dataset(),
+        eps in 0usize..4,
+        min_pts in 2usize..4,
+    ) {
+        let m = BitMatrix::from_rows_of_indices(rows, cols, &data).unwrap();
+        let pts = BinaryRows::new(&m, BinaryMetric::Hamming);
+        let eps = eps as f64 + 1e-9;
+        let labels = Dbscan::new(DbscanParams { eps, min_pts }).fit(&pts);
+        let l = labels.labels();
+        // 1. A core point is never noise.
+        for p in 0..rows {
+            if range_query(&pts, p, eps).len() >= min_pts {
+                prop_assert_ne!(l[p], NOISE, "core point {} labelled noise", p);
+            }
+        }
+        // 2. Two core points within eps share a cluster.
+        for i in 0..rows {
+            for j in (i + 1)..rows {
+                let core_i = range_query(&pts, i, eps).len() >= min_pts;
+                let core_j = range_query(&pts, j, eps).len() >= min_pts;
+                if core_i && core_j && pts.distance(i, j) <= eps {
+                    prop_assert_eq!(l[i], l[j], "core pair ({}, {}) split", i, j);
+                }
+            }
+        }
+        // 3. A noise point has no core point within eps.
+        for p in 0..rows {
+            if l[p] == NOISE {
+                for q in range_query(&pts, p, eps) {
+                    prop_assert!(
+                        range_query(&pts, q, eps).len() < min_pts,
+                        "noise point {} adjacent to core {}", p, q
+                    );
+                }
+            }
+        }
+        // 4. Cluster ids are dense 0..n_clusters.
+        let max = l.iter().copied().max().unwrap_or(-1);
+        prop_assert_eq!(labels.n_clusters() as i64, max + 1);
+    }
+
+    #[test]
+    fn vptree_range_queries_are_exact(
+        (rows, cols, data) in dataset(),
+        eps in 0usize..5,
+        seed in 0u64..4,
+    ) {
+        let m = BitMatrix::from_rows_of_indices(rows, cols, &data).unwrap();
+        let pts = BinaryRows::new(&m, BinaryMetric::Hamming);
+        let tree = VpTree::build(&pts, seed);
+        for q in 0..rows {
+            prop_assert_eq!(
+                tree.range_query(&pts, q, eps as f64),
+                range_query(&pts, q, eps as f64),
+                "query {} eps {}", q, eps
+            );
+        }
+    }
+
+    #[test]
+    fn hnsw_results_are_sound((rows, cols, data) in dataset()) {
+        let m = BitMatrix::from_rows_of_indices(rows, cols, &data).unwrap();
+        let pts = BinaryRows::new(&m, BinaryMetric::Hamming);
+        let idx = Hnsw::build(&pts, HnswParams::default());
+        for q in 0..rows {
+            let hits = idx.knn_by_index(&pts, q, 5, 32);
+            // A 0-distance hit is always first (the query itself, or an
+            // exact duplicate of it winning the index tie-break), and the
+            // query is among the results unless crowded out by >= 5 exact
+            // duplicates.
+            prop_assert_eq!(hits[0].1, 0.0);
+            let self_found = hits.iter().any(|&(i, _)| i == q);
+            let duplicates = (0..rows).filter(|&i| pts.distance(q, i) == 0.0).count();
+            prop_assert!(
+                self_found || duplicates > 5,
+                "query {} missing from its own results", q
+            );
+            // Reported distances are true distances, sorted ascending.
+            for w in hits.windows(2) {
+                prop_assert!(w[0].1 <= w[1].1);
+            }
+            for &(i, d) in &hits {
+                prop_assert_eq!(d, pts.distance(q, i));
+            }
+            // No duplicates.
+            let mut ids: Vec<usize> = hits.iter().map(|&(i, _)| i).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), hits.len());
+        }
+    }
+
+    #[test]
+    fn minhash_covers_every_identical_pair((rows, cols, data) in dataset()) {
+        let m = BitMatrix::from_rows_of_indices(rows, cols, &data).unwrap();
+        let sets: Vec<Vec<u32>> = (0..rows)
+            .map(|r| {
+                rolediet_matrix::RowMatrix::row_indices(&m, r)
+                    .into_iter()
+                    .map(|c| c as u32)
+                    .collect()
+            })
+            .collect();
+        let lsh = MinHashLsh::build(&sets, MinHashLshParams::default());
+        let candidates: std::collections::HashSet<(usize, usize)> =
+            lsh.candidate_pairs().into_iter().collect();
+        let identical = all_pairs_within(&BinaryRows::new(&m, BinaryMetric::Hamming), 0.0);
+        for (i, j) in identical {
+            prop_assert!(
+                candidates.contains(&(i, j)),
+                "identical pair ({}, {}) missed by LSH", i, j
+            );
+        }
+    }
+}

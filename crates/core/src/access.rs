@@ -1,0 +1,139 @@
+//! Dual-side analysis: the *effective* user→permission view.
+//!
+//! RBAC indirection exists to manage the user→permission relation; the
+//! same machinery that groups roles by their RUAM/RPAM rows groups
+//! *users* by their effective access (the UPAM rows). Two users with
+//! identical effective permissions are the user-side mirror of T4 — a
+//! signal the access review can sample by equivalence class instead of
+//! per-user — and a user whose access is a strict superset of a peer's
+//! is a classic over-provisioning lead.
+
+use serde::{Deserialize, Serialize};
+
+use rolediet_matrix::{CsrMatrix, RowMatrix};
+use rolediet_model::TripartiteGraph;
+
+use crate::cooccur;
+use crate::suggest::{subset_pairs, SubsetPair};
+
+/// Summary of the effective-access analysis.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessAnalysis {
+    /// Groups of users (indices) with bit-identical effective permission
+    /// sets — access-review equivalence classes. Excludes users with no
+    /// permissions at all (they are T1-adjacent hygiene, not classes).
+    pub identical_access_groups: Vec<Vec<usize>>,
+    /// Users with zero effective permissions (either standalone or all
+    /// their roles are permission-less).
+    pub no_access_users: Vec<usize>,
+    /// Strict containment pairs: `sub`'s access ⊂ `sup`'s access.
+    /// Sorted; quadratic only in co-occurring users.
+    pub containment_pairs: Vec<SubsetPair>,
+    /// Number of access-review items after grouping (classes + loners)
+    /// versus the naive per-user count.
+    pub review_items: usize,
+}
+
+/// Runs the effective-access analysis over a graph.
+///
+/// # Examples
+///
+/// ```
+/// use rolediet_core::access::analyze_access;
+/// use rolediet_model::TripartiteGraph;
+///
+/// let g = TripartiteGraph::figure1_example();
+/// let a = analyze_access(&g);
+/// // U02, U03 (via R04) and U04 (via R05) all hold exactly {P05, P06}.
+/// assert_eq!(a.identical_access_groups, vec![vec![1, 2, 3]]);
+/// ```
+pub fn analyze_access(graph: &TripartiteGraph) -> AccessAnalysis {
+    analyze_access_matrix(&graph.upam_sparse())
+}
+
+/// The same analysis over a pre-built UPAM (users × permissions).
+pub fn analyze_access_matrix(upam: &CsrMatrix) -> AccessAnalysis {
+    let transpose = upam.transpose();
+    let mut identical: Vec<Vec<usize>> = cooccur::same_groups(upam)
+        .into_iter()
+        .filter(|g| upam.row_norm(g[0]) > 0)
+        .collect();
+    identical.sort_unstable_by_key(|g| g[0]);
+    let no_access: Vec<usize> = (0..upam.n_rows())
+        .filter(|&u| upam.row_norm(u) == 0)
+        .collect();
+    let containment = subset_pairs(upam, &transpose);
+    let grouped_users: usize = identical.iter().map(Vec::len).sum();
+    let review_items = upam.n_rows() - grouped_users + identical.len();
+    AccessAnalysis {
+        identical_access_groups: identical,
+        no_access_users: no_access,
+        containment_pairs: containment,
+        review_items,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rolediet_model::{PermissionId, RoleId, UserId};
+
+    #[test]
+    fn figure1_access_analysis() {
+        let g = TripartiteGraph::figure1_example();
+        let a = analyze_access(&g);
+        // U02 = U03 = U04: the R04/R05 duplication makes three users'
+        // effective access identical ({P05, P06}).
+        assert_eq!(a.identical_access_groups, vec![vec![1, 2, 3]]);
+        // Every user has some access in Figure 1.
+        assert!(a.no_access_users.is_empty());
+        // 4 users − 3 grouped + 1 class = 2 review items.
+        assert_eq!(a.review_items, 2);
+    }
+
+    #[test]
+    fn no_access_users_detected() {
+        let mut g = TripartiteGraph::with_counts(3, 1, 1);
+        g.assign_user(RoleId(0), UserId(0)).unwrap();
+        g.grant_permission(RoleId(0), PermissionId(0)).unwrap();
+        // User 1 has a permission-less role; user 2 is standalone.
+        let r = g.add_role();
+        g.assign_user(r, UserId(1)).unwrap();
+        let a = analyze_access(&g);
+        assert_eq!(a.no_access_users, vec![1, 2]);
+        assert!(a.identical_access_groups.is_empty());
+        assert_eq!(a.review_items, 3);
+    }
+
+    #[test]
+    fn containment_pairs_on_access() {
+        // User 0: {p0}; user 1: {p0, p1} → 0 ⊂ 1.
+        let mut g = TripartiteGraph::with_counts(2, 2, 2);
+        g.assign_user(RoleId(0), UserId(0)).unwrap();
+        g.assign_user(RoleId(0), UserId(1)).unwrap();
+        g.grant_permission(RoleId(0), PermissionId(0)).unwrap();
+        g.assign_user(RoleId(1), UserId(1)).unwrap();
+        g.grant_permission(RoleId(1), PermissionId(1)).unwrap();
+        let a = analyze_access(&g);
+        assert_eq!(a.containment_pairs, vec![SubsetPair { sub: 0, sup: 1 }]);
+    }
+
+    #[test]
+    fn consolidation_leaves_access_analysis_invariant() {
+        use crate::config::DetectionConfig;
+        use crate::consolidate::MergePlan;
+        use crate::pipeline::Pipeline;
+        let g = TripartiteGraph::figure1_example();
+        let report = Pipeline::new(DetectionConfig::default()).run(&g);
+        let plan = MergePlan::from_report(&report, g.n_roles(), true);
+        let outcome = plan.apply(&g);
+        // UPAM is exactly preserved, so the analysis is too.
+        assert_eq!(analyze_access(&g), analyze_access(&outcome.graph));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let a = analyze_access(&TripartiteGraph::new());
+        assert_eq!(a, AccessAnalysis::default());
+    }
+}

@@ -1,0 +1,196 @@
+//! Detection configuration.
+
+use serde::{Deserialize, Serialize};
+
+use rolediet_cluster::hnsw::HnswParams;
+use rolediet_cluster::minhash::MinHashLshParams;
+
+/// Which role-grouping strategy handles the expensive types T4/T5
+/// (Section III-C of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Strategy {
+    /// The paper's co-occurrence algorithm: exact and deterministic —
+    /// "consistently identifies all clusters without fail" — and the
+    /// fastest by orders of magnitude.
+    #[default]
+    Custom,
+    /// Exact DBSCAN clustering with Hamming distance (`min_pts = 2`,
+    /// `eps = 0 + ε` for T4, `eps = t + ε` for T5). Exact but O(n²).
+    ExactDbscan,
+    /// Approximate HNSW nearest-neighbour search (Manhattan ≡ Hamming on
+    /// binary rows). May miss pairs; `probe_k` neighbours are retrieved
+    /// per role and filtered by distance.
+    ApproxHnsw {
+        /// Index build/search parameters.
+        params: HnswParams,
+        /// Neighbours retrieved per role before distance filtering.
+        probe_k: usize,
+    },
+    /// MinHash LSH candidate generation followed by exact verification —
+    /// a second approximate baseline (ablation `abl-recall`).
+    MinHashLsh {
+        /// Sketching/banding parameters.
+        params: MinHashLshParams,
+    },
+}
+
+impl Strategy {
+    /// Default HNSW strategy configuration.
+    pub fn hnsw_default() -> Strategy {
+        Strategy::ApproxHnsw {
+            params: HnswParams::default(),
+            probe_k: 16,
+        }
+    }
+
+    /// Default MinHash LSH strategy configuration.
+    pub fn minhash_default() -> Strategy {
+        Strategy::MinHashLsh {
+            params: MinHashLshParams::default(),
+        }
+    }
+
+    /// Short stable name for tables and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Custom => "custom",
+            Strategy::ExactDbscan => "exact-dbscan",
+            Strategy::ApproxHnsw { .. } => "approx-hnsw",
+            Strategy::MinHashLsh { .. } => "minhash-lsh",
+        }
+    }
+
+    /// Whether the strategy is guaranteed to find every group/pair.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Strategy::Custom | Strategy::ExactDbscan)
+    }
+}
+
+
+/// Configuration of the T5 (similar roles) detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimilarityConfig {
+    /// Maximum number of differing users/permissions for two roles to be
+    /// reported as similar. The paper's real-data experiment uses `1`
+    /// ("share all but one user or permission").
+    pub threshold: usize,
+    /// Also report role pairs with *disjoint* sets whose combined size is
+    /// within the threshold (e.g. an empty role vs. a single-user role at
+    /// `t = 1`).
+    ///
+    /// The paper's co-occurrence formulation only sees pairs sharing at
+    /// least one user (`gⁱʲ ≥ 1`), so its reported counts exclude
+    /// disjoint pairs; `false` reproduces that behaviour. Setting `true`
+    /// adds a supplementary pass over low-norm rows — beware that on data
+    /// with many empty roles this can produce quadratically many pairs.
+    pub include_disjoint: bool,
+    /// Cap on reported similar pairs per side (`usize::MAX` = unlimited).
+    /// Applied after sorting by distance, so the closest pairs survive.
+    pub max_pairs: usize,
+}
+
+impl Default for SimilarityConfig {
+    fn default() -> Self {
+        SimilarityConfig {
+            threshold: 1,
+            include_disjoint: false,
+            max_pairs: usize::MAX,
+        }
+    }
+}
+
+/// Thread configuration for the parallelizable stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Parallelism {
+    /// Single-threaded (default; matches the paper's setup).
+    #[default]
+    Sequential,
+    /// Use up to this many worker threads (clamped to at least 1).
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// Number of worker threads this setting resolves to.
+    pub fn threads(&self) -> usize {
+        match *self {
+            Parallelism::Sequential => 1,
+            Parallelism::Threads(n) => n.max(1),
+        }
+    }
+}
+
+
+/// Full configuration of a detection run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct DetectionConfig {
+    /// Strategy for the expensive types (T4/T5).
+    pub strategy: Strategy,
+    /// Similar-roles (T5) settings.
+    pub similarity: SimilarityConfig,
+    /// Skip the T5 detector entirely (it dominates runtime on some
+    /// datasets).
+    pub skip_similarity: bool,
+    /// Report roles with *empty* rows as duplicate groups too.
+    ///
+    /// All userless roles trivially share "the same users" (none), but
+    /// they are already reported as T2 findings, and the paper's real-org
+    /// counts (8,000 same-user roles vs. 12,000 userless roles) show T4
+    /// excludes them. `false` (default) reproduces that semantics.
+    pub include_empty_duplicates: bool,
+    /// Thread configuration.
+    pub parallelism: Parallelism,
+}
+
+impl DetectionConfig {
+    /// Configuration using the given strategy, defaults elsewhere.
+    pub fn with_strategy(strategy: Strategy) -> Self {
+        DetectionConfig {
+            strategy,
+            ..DetectionConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = DetectionConfig::default();
+        assert_eq!(cfg.strategy, Strategy::Custom);
+        assert_eq!(cfg.similarity.threshold, 1);
+        assert!(!cfg.similarity.include_disjoint);
+        assert!(!cfg.skip_similarity);
+        assert_eq!(cfg.parallelism.threads(), 1);
+    }
+
+    #[test]
+    fn strategy_names_and_exactness() {
+        assert_eq!(Strategy::Custom.name(), "custom");
+        assert_eq!(Strategy::ExactDbscan.name(), "exact-dbscan");
+        assert_eq!(Strategy::hnsw_default().name(), "approx-hnsw");
+        assert_eq!(Strategy::minhash_default().name(), "minhash-lsh");
+        assert!(Strategy::Custom.is_exact());
+        assert!(Strategy::ExactDbscan.is_exact());
+        assert!(!Strategy::hnsw_default().is_exact());
+        assert!(!Strategy::minhash_default().is_exact());
+    }
+
+    #[test]
+    fn parallelism_clamps() {
+        assert_eq!(Parallelism::Threads(0).threads(), 1);
+        assert_eq!(Parallelism::Threads(8).threads(), 8);
+        assert_eq!(Parallelism::Sequential.threads(), 1);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cfg = DetectionConfig::with_strategy(Strategy::hnsw_default());
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: DetectionConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

@@ -1,0 +1,353 @@
+//! Consolidation planning: turning approved T4 findings into a verified
+//! role merge.
+//!
+//! The paper is explicit that inefficiencies "must not be fixed
+//! automatically as they may correspond to legitimate corner cases"; the
+//! flow here is therefore *plan → (administrator approves) → apply →
+//! verify*:
+//!
+//! 1. [`MergePlan::from_report`] proposes one merge per duplicate group
+//!    (T4), keeping the lowest-id role as the representative;
+//! 2. the caller may drop or edit individual [`Merge`]s (each one is an
+//!    independent proposal);
+//! 3. [`MergePlan::apply`] rebuilds the graph with merged roles — edge
+//!    sets are unioned, which for same-user groups means the surviving
+//!    role carries the union of the permissions, and vice versa;
+//! 4. [`verify_preserves_access`] checks the safety invariant: **no user
+//!    gains or loses any effective permission**.
+//!
+//! Merging a same-user group is always safe: the affected users already
+//! held the union of the group's permissions through the group's roles.
+//! Symmetrically for same-permission groups. The invariant is re-verified
+//! on the actual graphs anyway (and property-tested), because plans can be
+//! hand-edited.
+
+use serde::{Deserialize, Serialize};
+
+use rolediet_model::{RoleId, TripartiteGraph, UserId};
+
+use crate::report::Report;
+
+/// What a merge group was based on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MergeBasis {
+    /// The roles share exactly the same users (T4-user).
+    SameUsers,
+    /// The roles share exactly the same permissions (T4-permission).
+    SamePermissions,
+}
+
+/// One proposed merge: `absorbed` roles are folded into `keep`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Merge {
+    /// The surviving role.
+    pub keep: RoleId,
+    /// Roles to be absorbed into `keep` (their edges are unioned in).
+    pub absorbed: Vec<RoleId>,
+    /// Which T4 finding motivated this merge.
+    pub basis: MergeBasis,
+}
+
+/// A set of non-overlapping merges plus optional standalone-role removal.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MergePlan {
+    /// The proposed merges. No role appears in two merges.
+    pub merges: Vec<Merge>,
+    /// Standalone roles (T1) to drop entirely (they have no edges, so
+    /// dropping them cannot change anyone's access).
+    pub drop_standalone: Vec<RoleId>,
+}
+
+/// Result of applying a [`MergePlan`].
+#[derive(Debug, Clone)]
+pub struct ConsolidationOutcome {
+    /// The consolidated graph.
+    pub graph: TripartiteGraph,
+    /// For each old role index: its new index, or `None` if dropped.
+    pub role_map: Vec<Option<usize>>,
+    /// Number of roles removed (`old roles − new roles`).
+    pub roles_removed: usize,
+}
+
+impl MergePlan {
+    /// Builds a plan from a report's T4 groups.
+    ///
+    /// Same-user groups are planned first; a role already claimed by one
+    /// merge is skipped by later groups (a role can appear in both a
+    /// same-user and a same-permission group — the paper notes "the same
+    /// roles can be linked to multiple types of inefficiencies"). Groups
+    /// reduced to fewer than two unclaimed members are dropped.
+    ///
+    /// Standalone roles are scheduled for removal when
+    /// `drop_standalone` is `true`.
+    pub fn from_report(report: &Report, n_roles: usize, drop_standalone: bool) -> MergePlan {
+        let mut claimed = vec![false; n_roles];
+        // Standalone roles have empty rows on both sides, so they also
+        // show up as T4 groups (all-empty rows are identical). Dropping
+        // them outright removes more roles than merging them, so claim
+        // them first.
+        let drop_standalone_roles: Vec<RoleId> = if drop_standalone {
+            report
+                .standalone_roles
+                .iter()
+                .map(|&r| {
+                    claimed[r] = true;
+                    RoleId::from_index(r)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut merges = Vec::new();
+        let sides = [
+            (&report.same_user_groups, MergeBasis::SameUsers),
+            (&report.same_permission_groups, MergeBasis::SamePermissions),
+        ];
+        for (groups, basis) in sides {
+            for group in groups.iter() {
+                let free: Vec<usize> =
+                    group.iter().copied().filter(|&r| !claimed[r]).collect();
+                if free.len() < 2 {
+                    continue;
+                }
+                for &r in &free {
+                    claimed[r] = true;
+                }
+                merges.push(Merge {
+                    keep: RoleId::from_index(free[0]),
+                    absorbed: free[1..].iter().map(|&r| RoleId::from_index(r)).collect(),
+                    basis,
+                });
+            }
+        }
+        MergePlan {
+            merges,
+            drop_standalone: drop_standalone_roles,
+        }
+    }
+
+    /// Number of roles this plan would remove.
+    pub fn roles_removed(&self) -> usize {
+        self.merges.iter().map(|m| m.absorbed.len()).sum::<usize>()
+            + self.drop_standalone.len()
+    }
+
+    /// Applies the plan, producing a new graph and the old→new role map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan references roles outside the graph or if a role
+    /// appears in more than one merge (plans built by
+    /// [`from_report`](Self::from_report) never do).
+    pub fn apply(&self, graph: &TripartiteGraph) -> ConsolidationOutcome {
+        let n = graph.n_roles();
+        // target[i] = the representative old-index role i folds into.
+        let mut target: Vec<usize> = (0..n).collect();
+        let mut dropped = vec![false; n];
+        let mut seen = vec![false; n];
+        let claim = |r: usize, seen: &mut Vec<bool>| {
+            assert!(r < n, "merge references unknown role {r}");
+            assert!(!seen[r], "role {r} appears in two merges");
+            seen[r] = true;
+        };
+        for m in &self.merges {
+            claim(m.keep.index(), &mut seen);
+            for a in &m.absorbed {
+                claim(a.index(), &mut seen);
+                target[a.index()] = m.keep.index();
+            }
+        }
+        for d in &self.drop_standalone {
+            claim(d.index(), &mut seen);
+            dropped[d.index()] = true;
+        }
+        // Assign dense new indices to surviving representatives.
+        let mut new_index: Vec<Option<usize>> = vec![None; n];
+        let mut next = 0usize;
+        for r in 0..n {
+            if !dropped[r] && target[r] == r {
+                new_index[r] = Some(next);
+                next += 1;
+            }
+        }
+        let role_map: Vec<Option<usize>> = (0..n)
+            .map(|r| {
+                if dropped[r] {
+                    None
+                } else {
+                    new_index[target[r]]
+                }
+            })
+            .collect();
+        let new_graph = graph
+            .rebuild_with_role_map(&role_map, next)
+            .expect("plan indices validated above");
+        ConsolidationOutcome {
+            roles_removed: n - next,
+            graph: new_graph,
+            role_map,
+        }
+    }
+}
+
+/// Checks the consolidation safety invariant: every user has exactly the
+/// same effective permission set in both graphs.
+///
+/// Returns the ids of users whose access changed (empty = safe).
+pub fn verify_preserves_access(before: &TripartiteGraph, after: &TripartiteGraph) -> Vec<UserId> {
+    assert_eq!(
+        before.n_users(),
+        after.n_users(),
+        "consolidation never adds or removes users"
+    );
+    (0..before.n_users())
+        .map(UserId::from_index)
+        .filter(|&u| before.effective_permissions(u) != after.effective_permissions(u))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DetectionConfig;
+    use crate::pipeline::Pipeline;
+
+    fn figure1_plan() -> (TripartiteGraph, Report, MergePlan) {
+        let graph = TripartiteGraph::figure1_example();
+        let report = Pipeline::new(DetectionConfig::default()).run(&graph);
+        let plan = MergePlan::from_report(&report, graph.n_roles(), true);
+        (graph, report, plan)
+    }
+
+    #[test]
+    fn figure1_plan_contents() {
+        let (_, _, plan) = figure1_plan();
+        // {R02, R04} same users → merge; {R04, R05} same perms, but R04 is
+        // claimed → group shrinks below 2 and is dropped.
+        assert_eq!(plan.merges.len(), 1);
+        assert_eq!(plan.merges[0].keep, RoleId(1));
+        assert_eq!(plan.merges[0].absorbed, vec![RoleId(3)]);
+        assert_eq!(plan.merges[0].basis, MergeBasis::SameUsers);
+        assert!(plan.drop_standalone.is_empty());
+        assert_eq!(plan.roles_removed(), 1);
+    }
+
+    #[test]
+    fn figure1_apply_preserves_access() {
+        let (graph, _, plan) = figure1_plan();
+        let outcome = plan.apply(&graph);
+        assert_eq!(outcome.roles_removed, 1);
+        assert_eq!(outcome.graph.n_roles(), 4);
+        outcome.graph.validate().unwrap();
+        assert!(verify_preserves_access(&graph, &outcome.graph).is_empty());
+        // The merged role carries the union of permissions of R02 (none)
+        // and R04 ({P05, P06}).
+        let merged = outcome.role_map[1].expect("keeper survives");
+        let perms: Vec<_> = outcome
+            .graph
+            .permissions_of(RoleId::from_index(merged))
+            .collect();
+        assert_eq!(perms.len(), 2);
+        // R04 maps to the same new role as R02.
+        assert_eq!(outcome.role_map[3], outcome.role_map[1]);
+    }
+
+    #[test]
+    fn same_permission_merge_unions_users() {
+        // Two roles with identical permissions, different users.
+        let mut g = TripartiteGraph::with_counts(3, 2, 2);
+        g.assign_user(RoleId(0), UserId(0)).unwrap();
+        g.assign_user(RoleId(0), UserId(1)).unwrap();
+        g.assign_user(RoleId(1), UserId(2)).unwrap();
+        for r in 0..2 {
+            for p in 0..2 {
+                g.grant_permission(RoleId(r), rolediet_model::PermissionId(p))
+                    .unwrap();
+            }
+        }
+        let report = Pipeline::new(DetectionConfig::default()).run(&g);
+        assert_eq!(report.same_permission_groups, vec![vec![0, 1]]);
+        let plan = MergePlan::from_report(&report, 2, false);
+        let outcome = plan.apply(&g);
+        assert_eq!(outcome.graph.n_roles(), 1);
+        assert_eq!(outcome.graph.users_of(RoleId(0)).count(), 3);
+        assert!(verify_preserves_access(&g, &outcome.graph).is_empty());
+    }
+
+    #[test]
+    fn standalone_roles_are_dropped_safely() {
+        let mut g = TripartiteGraph::with_counts(1, 3, 1);
+        g.assign_user(RoleId(0), UserId(0)).unwrap();
+        g.grant_permission(RoleId(0), rolediet_model::PermissionId(0))
+            .unwrap();
+        // Roles 1 and 2 are standalone.
+        let report = Pipeline::new(DetectionConfig::default()).run(&g);
+        assert_eq!(report.standalone_roles, vec![1, 2]);
+        let plan = MergePlan::from_report(&report, 3, true);
+        assert_eq!(plan.drop_standalone.len(), 2);
+        let outcome = plan.apply(&g);
+        assert_eq!(outcome.graph.n_roles(), 1);
+        assert_eq!(outcome.role_map, vec![Some(0), None, None]);
+        assert!(verify_preserves_access(&g, &outcome.graph).is_empty());
+    }
+
+    #[test]
+    fn empty_plan_is_identity() {
+        let graph = TripartiteGraph::figure1_example();
+        let outcome = MergePlan::default().apply(&graph);
+        assert_eq!(outcome.roles_removed, 0);
+        assert_eq!(outcome.graph, graph);
+    }
+
+    #[test]
+    #[should_panic(expected = "two merges")]
+    fn overlapping_merges_rejected() {
+        let graph = TripartiteGraph::figure1_example();
+        let plan = MergePlan {
+            merges: vec![
+                Merge {
+                    keep: RoleId(0),
+                    absorbed: vec![RoleId(1)],
+                    basis: MergeBasis::SameUsers,
+                },
+                Merge {
+                    keep: RoleId(1),
+                    absorbed: vec![RoleId(2)],
+                    basis: MergeBasis::SameUsers,
+                },
+            ],
+            drop_standalone: vec![],
+        };
+        plan.apply(&graph);
+    }
+
+    #[test]
+    fn verify_detects_access_change() {
+        let g = TripartiteGraph::figure1_example();
+        let mut broken = g.clone();
+        broken
+            .revoke_permission(RoleId(0), rolediet_model::PermissionId(1))
+            .unwrap();
+        let changed = verify_preserves_access(&g, &broken);
+        // U01 (index 0) held P02 only through R01.
+        assert_eq!(changed, vec![UserId(0)]);
+    }
+
+    #[test]
+    fn unsafe_hand_edited_merge_is_caught_by_verification() {
+        // Hand-merge two roles that do NOT share users or permissions:
+        // access changes and verification reports it.
+        let g = TripartiteGraph::figure1_example();
+        let plan = MergePlan {
+            merges: vec![Merge {
+                keep: RoleId(0),  // R01: {U01} / {P02, P03}
+                absorbed: vec![RoleId(4)], // R05: {U04} / {P05, P06}
+                basis: MergeBasis::SameUsers, // (claimed, but false)
+            }],
+            drop_standalone: vec![],
+        };
+        let outcome = plan.apply(&g);
+        let changed = verify_preserves_access(&g, &outcome.graph);
+        assert!(!changed.is_empty(), "U01 and U04 both gain permissions");
+    }
+}

@@ -1,0 +1,442 @@
+//! The paper's custom co-occurrence algorithm (Section III-C, "Our
+//! Algorithm").
+//!
+//! Let `|Rⁱ|` be the norm of role `i` (number of users assigned to it) and
+//! `gⁱʲ` the number of user co-occurrences between roles `i` and `j` — the
+//! off-diagonal entries of `C = A·Aᵀ` for RUAM `A`. The paper defines the
+//! indicator
+//!
+//! ```text
+//! 𝕀ⁱʲ = 1  iff  |Rⁱ| = gⁱʲ = |Rʲ|,  i ≠ j
+//! ```
+//!
+//! and the groups of interest are the sets closed under `𝕀ⁱʲ = 1` —
+//! exactly the roles with *identical* user sets (T4). Because
+//! `Hamming(i,j) = |Rⁱ| + |Rʲ| − 2gⁱʲ`, the same machinery generalizes to
+//! T5: roles within a user-set distance `t`.
+//!
+//! # Why this is fast
+//!
+//! Materializing `C` is quadratic, but `C` is extremely sparse: a pair of
+//! roles only has `gⁱʲ > 0` if some user holds both. Walking the inverted
+//! index (RUAM transposed) therefore enumerates only the non-zero entries,
+//! in `O(Σ_u deg(u)²)` — the number of co-assignments, not the number of
+//! role pairs. Two refinements on top:
+//!
+//! * **T4 signature fast path** — identical rows are found by verified
+//!   content hashing in one linear pass ([`same_groups`]); the indicator
+//!   evaluation ([`same_groups_via_indicator`]) is kept as an
+//!   independently-implemented verification oracle and for tests.
+//! * **T5 disjoint supplement** — pairs with `gⁱʲ = 0` can still be within
+//!   distance `t` when both norms are small (`|Rⁱ| + |Rʲ| ≤ t`). The
+//!   co-occurrence stream cannot see them; an optional pass over low-norm
+//!   rows adds them (see
+//!   [`SimilarityConfig::include_disjoint`](crate::SimilarityConfig)).
+
+use rolediet_matrix::ops::for_each_cooccurring_pair;
+use rolediet_matrix::{CsrMatrix, RowMatrix, SignatureIndex};
+
+use crate::config::SimilarityConfig;
+use crate::report::SimilarPair;
+
+/// T4 — groups of roles with identical rows, via the signature fast path.
+///
+/// Exact: candidates grouped by a 128-bit content hash are re-verified
+/// bit-for-bit. Groups are sorted by first member; zero-norm (empty) roles
+/// form one group when there are at least two of them.
+///
+/// # Examples
+///
+/// ```
+/// use rolediet_core::cooccur::same_groups;
+/// use rolediet_matrix::CsrMatrix;
+///
+/// let ruam = CsrMatrix::from_rows_of_indices(4, 3, &[
+///     vec![0, 1], vec![2], vec![0, 1], vec![2],
+/// ]).unwrap();
+/// assert_eq!(same_groups(&ruam), vec![vec![0, 2], vec![1, 3]]);
+/// ```
+pub fn same_groups<M: RowMatrix>(matrix: &M) -> Vec<Vec<usize>> {
+    SignatureIndex::build(matrix).groups_verified(matrix)
+}
+
+/// T4 — the same groups, computed by literally evaluating the paper's
+/// indicator function over the streamed co-occurrence matrix.
+///
+/// Used as a second, independently-implemented exact oracle (the two
+/// implementations cross-check each other in tests) and to demonstrate
+/// the algorithm exactly as published. Zero-norm roles never co-occur with
+/// anything, but `|Rⁱ| = gⁱʲ = |Rʲ| = 0` still holds for any two of them,
+/// so they are grouped explicitly.
+pub fn same_groups_via_indicator(matrix: &CsrMatrix, transpose: &CsrMatrix) -> Vec<Vec<usize>> {
+    let n = matrix.n_rows();
+    let mut uf = rolediet_cluster::UnionFind::new(n);
+    for_each_cooccurring_pair(matrix, transpose, |i, j, g| {
+        if matrix.row_norm(i) == g && matrix.row_norm(j) == g {
+            uf.union(i, j);
+        }
+    });
+    // Degenerate case: all-empty rows are identical to each other.
+    let mut first_empty: Option<usize> = None;
+    for i in 0..n {
+        if matrix.row_norm(i) == 0 {
+            if let Some(f) = first_empty {
+                uf.union(f, i);
+            } else {
+                first_empty = Some(i);
+            }
+        }
+    }
+    uf.groups_min_size(2)
+}
+
+/// T4 — the naïve all-pairs baseline the paper dismisses ("largely
+/// inefficient and does not scale"): compare every pair of rows and union
+/// the equal ones.
+///
+/// Quadratic in roles. Kept as a third independent oracle and as the
+/// lower anchor of the `abl-signature` ablation bench.
+pub fn same_groups_naive<M: RowMatrix>(matrix: &M) -> Vec<Vec<usize>> {
+    let n = matrix.rows();
+    let mut uf = rolediet_cluster::UnionFind::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if matrix.rows_equal(i, j) {
+                uf.union(i, j);
+            }
+        }
+    }
+    uf.groups_min_size(2)
+}
+
+/// T5 — role pairs whose rows differ in `1..=cfg.threshold` positions.
+///
+/// Streams the co-occurrence pairs and applies
+/// `|Rⁱ| + |Rʲ| − 2gⁱʲ ≤ t`; identical pairs (distance 0) are excluded —
+/// they are T4 findings. With [`SimilarityConfig::include_disjoint`] the
+/// low-norm supplement is added. Pairs are sorted by distance, then by
+/// `(a, b)`, and truncated to `cfg.max_pairs`.
+pub fn similar_pairs(
+    matrix: &CsrMatrix,
+    transpose: &CsrMatrix,
+    cfg: &SimilarityConfig,
+) -> Vec<SimilarPair> {
+    let t = cfg.threshold;
+    let mut pairs: Vec<SimilarPair> = Vec::new();
+    for_each_cooccurring_pair(matrix, transpose, |i, j, g| {
+        let d = matrix.row_norm(i) + matrix.row_norm(j) - 2 * g;
+        if d >= 1 && d <= t {
+            pairs.push(SimilarPair::new(i, j, d));
+        }
+    });
+    if cfg.include_disjoint {
+        pairs.extend(disjoint_supplement(matrix, t));
+    }
+    finalize_pairs(pairs, cfg.max_pairs)
+}
+
+/// T5 — the same computation with the outer loop split over `threads`
+/// worker threads (each thread owns a private accumulator; results are
+/// merged and sorted at the end). Produces exactly the same pairs as
+/// [`similar_pairs`].
+pub fn similar_pairs_parallel(
+    matrix: &CsrMatrix,
+    transpose: &CsrMatrix,
+    cfg: &SimilarityConfig,
+    threads: usize,
+) -> Vec<SimilarPair> {
+    let threads = threads.max(1);
+    if threads == 1 {
+        return similar_pairs(matrix, transpose, cfg);
+    }
+    let n = matrix.n_rows();
+    let t = cfg.threshold;
+    let chunk = n.div_ceil(threads);
+    let mut per_thread: Vec<Vec<SimilarPair>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                scope.spawn(move |_| {
+                    let mut acc: Vec<usize> = vec![0; n];
+                    let mut touched: Vec<usize> = Vec::new();
+                    let mut out: Vec<SimilarPair> = Vec::new();
+                    for i in lo..hi {
+                        for &col in matrix.row(i) {
+                            for &j in transpose.row(col as usize) {
+                                let j = j as usize;
+                                if j <= i {
+                                    continue;
+                                }
+                                if acc[j] == 0 {
+                                    touched.push(j);
+                                }
+                                acc[j] += 1;
+                            }
+                        }
+                        for &j in &touched {
+                            let d = matrix.row_norm(i) + matrix.row_norm(j) - 2 * acc[j];
+                            if d >= 1 && d <= t {
+                                out.push(SimilarPair::new(i, j, d));
+                            }
+                            acc[j] = 0;
+                        }
+                        touched.clear();
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            per_thread.push(h.join().expect("similarity worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    let mut pairs: Vec<SimilarPair> = per_thread.into_iter().flatten().collect();
+    if cfg.include_disjoint {
+        pairs.extend(disjoint_supplement(matrix, t));
+    }
+    finalize_pairs(pairs, cfg.max_pairs)
+}
+
+/// Pairs of rows with disjoint supports whose combined norm is within the
+/// threshold (`gⁱʲ = 0`, so the co-occurrence stream never emits them).
+///
+/// Quadratic in the number of low-norm rows; this is opt-in precisely
+/// because real RBAC data can contain thousands of empty roles (the
+/// paper's organization had 12,000), which would produce millions of
+/// administratively useless "empty vs. nearly-empty" pairs.
+fn disjoint_supplement(matrix: &CsrMatrix, t: usize) -> Vec<SimilarPair> {
+    let low: Vec<usize> = (0..matrix.n_rows())
+        .filter(|&i| matrix.row_norm(i) <= t)
+        .collect();
+    let mut out = Vec::new();
+    for (x, &i) in low.iter().enumerate() {
+        for &j in &low[x + 1..] {
+            let (ni, nj) = (matrix.row_norm(i), matrix.row_norm(j));
+            if ni + nj >= 1 && ni + nj <= t && matrix.row_dot(i, j) == 0 {
+                out.push(SimilarPair::new(i, j, ni + nj));
+            }
+        }
+    }
+    out
+}
+
+fn finalize_pairs(mut pairs: Vec<SimilarPair>, max_pairs: usize) -> Vec<SimilarPair> {
+    pairs.sort_unstable_by_key(|p| (p.distance, p.a, p.b));
+    pairs.dedup();
+    pairs.truncate(max_pairs);
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 1 RUAM (5 roles × 4 users).
+    fn paper_ruam() -> CsrMatrix {
+        CsrMatrix::from_rows_of_indices(
+            5,
+            4,
+            &[vec![0], vec![1, 2], vec![], vec![1, 2], vec![3]],
+        )
+        .unwrap()
+    }
+
+    /// The Figure 1 RPAM (5 roles × 6 permissions).
+    fn paper_rpam() -> CsrMatrix {
+        CsrMatrix::from_rows_of_indices(
+            5,
+            6,
+            &[vec![1, 2], vec![], vec![3], vec![4, 5], vec![4, 5]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_example_same_users() {
+        // Section III-C: roles R02 and R04 (indices 1, 3) satisfy
+        // |R²| = g²⁴ = |R⁴| = 2.
+        let m = paper_ruam();
+        assert_eq!(same_groups(&m), vec![vec![1, 3]]);
+        assert_eq!(
+            same_groups_via_indicator(&m, &m.transpose()),
+            vec![vec![1, 3]]
+        );
+    }
+
+    #[test]
+    fn paper_example_same_permissions() {
+        // Roles R04 and R05 (indices 3, 4) share {P05, P06}.
+        let m = paper_rpam();
+        assert_eq!(same_groups(&m), vec![vec![3, 4]]);
+        assert_eq!(
+            same_groups_via_indicator(&m, &m.transpose()),
+            vec![vec![3, 4]]
+        );
+    }
+
+    #[test]
+    fn indicator_groups_empty_rows() {
+        let m = CsrMatrix::from_rows_of_indices(4, 3, &[vec![], vec![0], vec![], vec![]])
+            .unwrap();
+        let groups = same_groups_via_indicator(&m, &m.transpose());
+        assert_eq!(groups, vec![vec![0, 2, 3]]);
+        assert_eq!(same_groups(&m), groups, "both oracles agree");
+    }
+
+    #[test]
+    fn all_three_oracles_agree_on_random_data() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        for trial in 0..20 {
+            let rows: Vec<Vec<usize>> = (0..40)
+                .map(|_| (0..12).filter(|_| rng.gen_bool(0.2)).collect())
+                .collect();
+            let m = CsrMatrix::from_rows_of_indices(40, 12, &rows).unwrap();
+            let sig = same_groups(&m);
+            assert_eq!(
+                sig,
+                same_groups_via_indicator(&m, &m.transpose()),
+                "trial {trial}"
+            );
+            assert_eq!(sig, same_groups_naive(&m), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn similar_pairs_at_threshold_one() {
+        // Rows: {0,1}, {0,1,2}, {0,1}, {5} — distances:
+        // (0,1)=1, (0,2)=0, (1,2)=1, (0,3)=3 …
+        let m = CsrMatrix::from_rows_of_indices(
+            4,
+            6,
+            &[vec![0, 1], vec![0, 1, 2], vec![0, 1], vec![5]],
+        )
+        .unwrap();
+        let t = m.transpose();
+        let pairs = similar_pairs(&m, &t, &SimilarityConfig::default());
+        assert_eq!(
+            pairs,
+            vec![SimilarPair::new(0, 1, 1), SimilarPair::new(1, 2, 1)],
+            "identical pair (0,2) excluded; distant pairs excluded"
+        );
+    }
+
+    #[test]
+    fn similar_pairs_larger_threshold() {
+        let m = CsrMatrix::from_rows_of_indices(
+            3,
+            8,
+            &[vec![0, 1, 2, 3], vec![0, 1, 2, 4], vec![0, 1]],
+        )
+        .unwrap();
+        let t = m.transpose();
+        let cfg = SimilarityConfig {
+            threshold: 2,
+            ..SimilarityConfig::default()
+        };
+        let pairs = similar_pairs(&m, &t, &cfg);
+        // (0,1): d=2 ✓; (0,2): d=2 ✓; (1,2): d=2 ✓.
+        assert_eq!(pairs.len(), 3);
+        assert!(pairs.iter().all(|p| p.distance == 2));
+    }
+
+    #[test]
+    fn disjoint_supplement_finds_gap_pairs() {
+        // Rows: {} and {3}: distance 1 but g=0 — invisible to the
+        // co-occurrence stream.
+        let m =
+            CsrMatrix::from_rows_of_indices(3, 5, &[vec![], vec![3], vec![0, 1, 2]]).unwrap();
+        let t = m.transpose();
+        let without = similar_pairs(&m, &t, &SimilarityConfig::default());
+        assert!(without.is_empty(), "paper semantics: g ≥ 1 only");
+        let with = similar_pairs(
+            &m,
+            &t,
+            &SimilarityConfig {
+                include_disjoint: true,
+                ..SimilarityConfig::default()
+            },
+        );
+        assert_eq!(with, vec![SimilarPair::new(0, 1, 1)]);
+    }
+
+    #[test]
+    fn max_pairs_keeps_closest() {
+        let m = CsrMatrix::from_rows_of_indices(
+            4,
+            8,
+            &[vec![0, 1, 2], vec![0, 1, 2, 3], vec![0, 1], vec![0, 1, 2]],
+        )
+        .unwrap();
+        let t = m.transpose();
+        let cfg = SimilarityConfig {
+            threshold: 3,
+            max_pairs: 2,
+            ..SimilarityConfig::default()
+        };
+        let pairs = similar_pairs(&m, &t, &cfg);
+        assert_eq!(pairs.len(), 2);
+        // distance-0 pair (0,3) excluded; the two distance-1 pairs win.
+        assert!(pairs.iter().all(|p| p.distance == 1));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let rows: Vec<Vec<usize>> = (0..200)
+            .map(|_| (0..30).filter(|_| rng.gen_bool(0.15)).collect())
+            .collect();
+        let m = CsrMatrix::from_rows_of_indices(200, 30, &rows).unwrap();
+        let t = m.transpose();
+        for threshold in [1, 2, 4] {
+            let cfg = SimilarityConfig {
+                threshold,
+                include_disjoint: true,
+                ..SimilarityConfig::default()
+            };
+            let seq = similar_pairs(&m, &t, &cfg);
+            for threads in [2, 3, 8] {
+                assert_eq!(
+                    similar_pairs_parallel(&m, &t, &cfg, threads),
+                    seq,
+                    "threshold {threshold}, threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn similar_pairs_match_brute_force() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let rows: Vec<Vec<usize>> = (0..60)
+            .map(|_| (0..16).filter(|_| rng.gen_bool(0.25)).collect())
+            .collect();
+        let m = CsrMatrix::from_rows_of_indices(60, 16, &rows).unwrap();
+        let tr = m.transpose();
+        let cfg = SimilarityConfig {
+            threshold: 3,
+            include_disjoint: true,
+            ..SimilarityConfig::default()
+        };
+        let fast: std::collections::BTreeSet<(usize, usize, usize)> =
+            similar_pairs(&m, &tr, &cfg)
+                .into_iter()
+                .map(|p| (p.a, p.b, p.distance))
+                .collect();
+        let mut brute = std::collections::BTreeSet::new();
+        for i in 0..60 {
+            for j in (i + 1)..60 {
+                let d = m.row_hamming(i, j);
+                if (1..=3).contains(&d) {
+                    brute.insert((i, j, d));
+                }
+            }
+        }
+        assert_eq!(fast, brute);
+    }
+}

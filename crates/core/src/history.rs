@@ -1,0 +1,207 @@
+//! Trend tracking across detection runs.
+//!
+//! The framework is meant to run periodically; what an operator watches
+//! is the *trend* — are inefficiencies accumulating faster than cleanup
+//! approvals burn them down? [`Trend`] accumulates per-run snapshots of
+//! the taxonomy counts and renders them as a time-series table or CSV
+//! (for the dashboard the paper's operators would wire this into).
+
+use serde::{Deserialize, Serialize};
+
+use rolediet_model::TripartiteGraph;
+
+use crate::report::Report;
+use crate::taxonomy::InefficiencyKind;
+
+/// One run's snapshot: taxonomy counts plus graph size.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrendPoint {
+    /// Caller-supplied label (a date, a run id, a quarter…).
+    pub label: String,
+    /// Counts per taxonomy kind, in [`InefficiencyKind::all`] order.
+    pub counts: Vec<usize>,
+    /// Users in the graph at this run.
+    pub users: usize,
+    /// Roles in the graph at this run.
+    pub roles: usize,
+    /// Permissions in the graph at this run.
+    pub permissions: usize,
+}
+
+impl TrendPoint {
+    /// Total findings in this snapshot.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+}
+
+/// An append-only series of detection snapshots.
+///
+/// # Examples
+///
+/// ```
+/// use rolediet_core::history::Trend;
+/// use rolediet_core::{DetectionConfig, Pipeline};
+/// use rolediet_model::TripartiteGraph;
+///
+/// let graph = TripartiteGraph::figure1_example();
+/// let report = Pipeline::new(DetectionConfig::default()).run(&graph);
+/// let mut trend = Trend::new();
+/// trend.record("2026-Q1", &report, &graph);
+/// assert_eq!(trend.len(), 1);
+/// assert!(trend.to_csv().starts_with("label,users,roles,permissions,"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trend {
+    points: Vec<TrendPoint>,
+}
+
+impl Trend {
+    /// Creates an empty trend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded snapshots.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The recorded snapshots, oldest first.
+    pub fn points(&self) -> &[TrendPoint] {
+        &self.points
+    }
+
+    /// Appends a snapshot of `report` over `graph`.
+    pub fn record(&mut self, label: &str, report: &Report, graph: &TripartiteGraph) {
+        self.points.push(TrendPoint {
+            label: label.to_owned(),
+            counts: report.findings_by_kind().into_iter().map(|(_, c)| c).collect(),
+            users: graph.n_users(),
+            roles: graph.n_roles(),
+            permissions: graph.n_permissions(),
+        });
+    }
+
+    /// Per-kind change between the last two snapshots
+    /// (`latest − previous`, signed), or `None` with fewer than two.
+    pub fn latest_delta(&self) -> Option<Vec<(InefficiencyKind, i64)>> {
+        let n = self.points.len();
+        if n < 2 {
+            return None;
+        }
+        let (prev, last) = (&self.points[n - 2], &self.points[n - 1]);
+        Some(
+            InefficiencyKind::all()
+                .into_iter()
+                .zip(last.counts.iter().zip(&prev.counts))
+                .map(|(kind, (&l, &p))| (kind, l as i64 - p as i64))
+                .collect(),
+        )
+    }
+
+    /// Renders the series as CSV: one row per snapshot, one column per
+    /// taxonomy kind (labelled `T1-user` …), plus graph sizes.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("label,users,roles,permissions");
+        for kind in InefficiencyKind::all() {
+            out.push(',');
+            out.push_str(&kind.label());
+        }
+        out.push('\n');
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{},{},{}",
+                p.label, p.users, p.roles, p.permissions
+            ));
+            for c in &p.counts {
+                out.push_str(&format!(",{c}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DetectionConfig;
+    use crate::pipeline::Pipeline;
+
+    fn snapshot(graph: &TripartiteGraph) -> Report {
+        Pipeline::new(DetectionConfig::default()).run(graph)
+    }
+
+    #[test]
+    fn record_and_total() {
+        let graph = TripartiteGraph::figure1_example();
+        let mut trend = Trend::new();
+        assert!(trend.is_empty());
+        trend.record("t0", &snapshot(&graph), &graph);
+        assert_eq!(trend.len(), 1);
+        let p = &trend.points()[0];
+        assert_eq!(p.roles, 5);
+        assert_eq!(p.counts.len(), InefficiencyKind::all().len());
+        assert!(p.total() > 0);
+        assert!(trend.latest_delta().is_none(), "needs two points");
+    }
+
+    #[test]
+    fn delta_tracks_cleanup() {
+        let graph = TripartiteGraph::figure1_example();
+        let mut trend = Trend::new();
+        trend.record("before", &snapshot(&graph), &graph);
+        // Consolidate the same-user duplicates and re-detect.
+        let plan = crate::consolidate::MergePlan::from_report(
+            &snapshot(&graph),
+            graph.n_roles(),
+            true,
+        );
+        let cleaned = plan.apply(&graph).graph;
+        trend.record("after", &snapshot(&cleaned), &cleaned);
+        let delta = trend.latest_delta().unwrap();
+        let d = |label: &str| {
+            delta
+                .iter()
+                .find(|(k, _)| k.label() == label)
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
+        // The merged same-user group disappears (2 roles → 0).
+        assert_eq!(d("T4-user"), -2);
+        // Role count in the points reflects the merge.
+        assert_eq!(trend.points()[1].roles, 4);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let graph = TripartiteGraph::figure1_example();
+        let mut trend = Trend::new();
+        trend.record("q1", &snapshot(&graph), &graph);
+        trend.record("q2", &snapshot(&graph), &graph);
+        let csv = trend.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("T1-user"));
+        assert!(lines[0].contains("T5-permission"));
+        assert!(lines[1].starts_with("q1,4,5,6,"));
+        let cols = lines[0].split(',').count();
+        assert!(lines.iter().all(|l| l.split(',').count() == cols));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let graph = TripartiteGraph::figure1_example();
+        let mut trend = Trend::new();
+        trend.record("x", &snapshot(&graph), &graph);
+        let json = serde_json::to_string(&trend).unwrap();
+        let back: Trend = serde_json::from_str(&json).unwrap();
+        assert_eq!(trend, back);
+    }
+}

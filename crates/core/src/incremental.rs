@@ -1,0 +1,242 @@
+//! Incremental duplicate tracking under edge churn.
+//!
+//! The batch pipeline recomputes everything per run; between runs an IAM
+//! system keeps mutating. This maintains the T4 state — which roles have
+//! identical rows — *online*: each `set` updates one row's signature
+//! bucket in `O(row words + log bucket)`, so the duplicate groups are
+//! always current without rescanning the matrix. It is the engine a
+//! "detect on every change" deployment would embed, and the batch
+//! algorithms serve as its test oracle.
+
+use std::collections::{BTreeSet, HashMap};
+
+use rolediet_matrix::{hash_words, BitVec, CsrMatrix, RowMatrix, RowSignature};
+
+/// Online index of duplicate rows (roles with identical user or
+/// permission sets).
+///
+/// # Examples
+///
+/// ```
+/// use rolediet_core::incremental::IncrementalDuplicates;
+///
+/// let mut idx = IncrementalDuplicates::new(3, 4);
+/// idx.set(0, 1, true);
+/// idx.set(2, 1, true);
+/// assert_eq!(idx.groups(), vec![vec![0, 2]]);
+/// idx.set(2, 3, true); // rows diverge again
+/// assert!(idx.groups().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalDuplicates {
+    rows: Vec<BitVec>,
+    signatures: Vec<RowSignature>,
+    buckets: HashMap<RowSignature, BTreeSet<usize>>,
+    /// Report groups of all-zero rows too? Default `false`, matching the
+    /// batch pipeline's semantics (empty roles are T2 findings).
+    include_empty: bool,
+}
+
+impl IncrementalDuplicates {
+    /// Creates an index of `rows` all-zero rows of width `cols`.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        let empty = BitVec::new(cols);
+        let sig = hash_words(empty.as_words());
+        let mut buckets: HashMap<RowSignature, BTreeSet<usize>> = HashMap::new();
+        buckets.insert(sig, (0..rows).collect());
+        IncrementalDuplicates {
+            rows: vec![empty; rows],
+            signatures: vec![sig; rows],
+            buckets,
+            include_empty: false,
+        }
+    }
+
+    /// Builds the index from an existing matrix.
+    pub fn from_matrix(matrix: &CsrMatrix) -> Self {
+        let mut idx = IncrementalDuplicates::new(matrix.rows(), matrix.cols());
+        for r in 0..matrix.rows() {
+            for &c in matrix.row(r) {
+                idx.set(r, c as usize, true);
+            }
+        }
+        idx
+    }
+
+    /// Whether all-empty rows are reported as a duplicate group.
+    pub fn include_empty(mut self, yes: bool) -> Self {
+        self.include_empty = yes;
+        self
+    }
+
+    /// Number of tracked rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Row width.
+    pub fn n_cols(&self) -> usize {
+        self.rows.first().map_or(0, BitVec::len)
+    }
+
+    /// Current contents of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row(&self, r: usize) -> &BitVec {
+        &self.rows[r]
+    }
+
+    /// Sets cell `(row, col)`; updates the duplicate state. Returns
+    /// `true` if the cell changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn set(&mut self, row: usize, col: usize, value: bool) -> bool {
+        if self.rows[row].get(col) == value {
+            return false;
+        }
+        let old_sig = self.signatures[row];
+        let bucket = self
+            .buckets
+            .get_mut(&old_sig)
+            .expect("row is always registered in its bucket");
+        bucket.remove(&row);
+        if bucket.is_empty() {
+            self.buckets.remove(&old_sig);
+        }
+        self.rows[row].set(col, value);
+        let new_sig = hash_words(self.rows[row].as_words());
+        self.signatures[row] = new_sig;
+        self.buckets.entry(new_sig).or_default().insert(row);
+        true
+    }
+
+    /// The rows currently identical to `row` (including itself), in
+    /// ascending order — verified bit-for-bit, so hash collisions cannot
+    /// leak through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn duplicates_of(&self, row: usize) -> Vec<usize> {
+        let sig = self.signatures[row];
+        self.buckets[&sig]
+            .iter()
+            .copied()
+            .filter(|&r| self.rows[r] == self.rows[row])
+            .collect()
+    }
+
+    /// All current duplicate groups (≥ 2 members), sorted by first
+    /// member; empty-row groups filtered per [`include_empty`].
+    ///
+    /// [`include_empty`]: Self::include_empty
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        for members in self.buckets.values() {
+            if members.len() < 2 {
+                continue;
+            }
+            // Verify within the bucket (collision-safe): partition by
+            // actual content.
+            let mut remaining: Vec<usize> = members.iter().copied().collect();
+            while remaining.len() >= 2 {
+                let pivot = remaining[0];
+                let (same, diff): (Vec<usize>, Vec<usize>) = remaining
+                    .into_iter()
+                    .partition(|&r| self.rows[r] == self.rows[pivot]);
+                if same.len() >= 2 && (self.include_empty || !self.rows[pivot].is_zero()) {
+                    out.push(same);
+                }
+                remaining = diff;
+            }
+        }
+        out.sort_unstable_by_key(|g| g[0]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cooccur::same_groups;
+
+    #[test]
+    fn tracks_convergence_and_divergence() {
+        let mut idx = IncrementalDuplicates::new(3, 5);
+        assert!(idx.groups().is_empty(), "empty rows excluded by default");
+        assert!(idx.set(0, 2, true));
+        assert!(!idx.set(0, 2, true), "idempotent");
+        assert!(idx.set(1, 2, true));
+        assert_eq!(idx.groups(), vec![vec![0, 1]]);
+        assert_eq!(idx.duplicates_of(0), vec![0, 1]);
+        assert!(idx.set(1, 4, true));
+        assert!(idx.groups().is_empty());
+        assert!(idx.set(1, 4, false));
+        assert_eq!(idx.groups(), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn include_empty_matches_batch_semantics() {
+        let idx = IncrementalDuplicates::new(3, 4);
+        assert!(idx.groups().is_empty());
+        let idx = IncrementalDuplicates::new(3, 4).include_empty(true);
+        assert_eq!(idx.groups(), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn from_matrix_matches_batch_groups() {
+        let m = CsrMatrix::from_rows_of_indices(
+            5,
+            6,
+            &[vec![0, 1], vec![2], vec![0, 1], vec![], vec![2]],
+        )
+        .unwrap();
+        let idx = IncrementalDuplicates::from_matrix(&m);
+        assert_eq!(idx.groups(), same_groups(&m).into_iter().filter(|g| m.row_norm(g[0]) > 0).collect::<Vec<_>>());
+        assert_eq!(idx.groups(), vec![vec![0, 2], vec![1, 4]]);
+    }
+
+    #[test]
+    fn random_edit_sequences_agree_with_batch_oracle() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let (rows, cols) = (12usize, 10usize);
+        let mut idx = IncrementalDuplicates::new(rows, cols);
+        let mut reference: Vec<Vec<usize>> = vec![Vec::new(); rows];
+        for step in 0..500 {
+            let r = rng.gen_range(0..rows);
+            let c = rng.gen_range(0..cols);
+            let v = rng.gen_bool(0.55);
+            idx.set(r, c, v);
+            if v {
+                if !reference[r].contains(&c) {
+                    reference[r].push(c);
+                }
+            } else {
+                reference[r].retain(|&x| x != c);
+            }
+            if step % 25 == 0 {
+                let m = CsrMatrix::from_rows_of_indices(rows, cols, &reference).unwrap();
+                let batch: Vec<Vec<usize>> = same_groups(&m)
+                    .into_iter()
+                    .filter(|g| m.row_norm(g[0]) > 0)
+                    .collect();
+                assert_eq!(idx.groups(), batch, "step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_of_singleton() {
+        let mut idx = IncrementalDuplicates::new(2, 3);
+        idx.set(0, 0, true);
+        assert_eq!(idx.duplicates_of(0), vec![0]);
+        assert_eq!(idx.n_rows(), 2);
+        assert_eq!(idx.n_cols(), 3);
+        assert!(idx.row(0).get(0));
+    }
+}

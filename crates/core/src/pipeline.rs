@@ -1,0 +1,252 @@
+//! The end-to-end detection pipeline (Figure 1 of the paper).
+//!
+//! Step 1 — represent the tripartite graph as its two assignment
+//! matrices; Step 2/3 — extract RUAM and RPAM; then run the linear-time
+//! detectors (T1–T3) off row/column sums and the configured grouping
+//! strategy for T4/T5, on both sides. Every stage is timed.
+
+use std::time::Instant;
+
+use rolediet_matrix::CsrMatrix;
+use rolediet_model::TripartiteGraph;
+
+use crate::config::DetectionConfig;
+use crate::detector::detect_degrees;
+use crate::report::Report;
+use crate::strategy::{find_same_groups, find_same_groups_with_empty, find_similar_pairs};
+
+/// The detection framework: runs all detectors over a graph or a pair of
+/// assignment matrices.
+///
+/// # Examples
+///
+/// ```
+/// use rolediet_core::{DetectionConfig, Pipeline, Strategy};
+/// use rolediet_model::TripartiteGraph;
+///
+/// let graph = TripartiteGraph::figure1_example();
+/// let report = Pipeline::new(DetectionConfig::with_strategy(Strategy::ExactDbscan))
+///     .run(&graph);
+/// assert_eq!(report.userless_roles, vec![2]); // R03
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    config: DetectionConfig,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: DetectionConfig) -> Self {
+        Pipeline { config }
+    }
+
+    /// The pipeline's configuration.
+    pub fn config(&self) -> &DetectionConfig {
+        &self.config
+    }
+
+    /// Runs all detectors over a tripartite graph.
+    pub fn run(&self, graph: &TripartiteGraph) -> Report {
+        let start = Instant::now();
+        let ruam = graph.ruam_sparse();
+        let rpam = graph.rpam_sparse();
+        let matrix_build = start.elapsed();
+        let mut report = self.run_on_matrices(&ruam, &rpam);
+        report.timings.matrix_build = matrix_build;
+        report
+    }
+
+    /// Runs all detectors over pre-built RUAM and RPAM matrices (rows =
+    /// roles; RUAM columns = users, RPAM columns = permissions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrices disagree on the number of roles.
+    pub fn run_on_matrices(&self, ruam: &CsrMatrix, rpam: &CsrMatrix) -> Report {
+        let cfg = &self.config;
+        let mut report = Report {
+            config: *cfg,
+            ..Report::default()
+        };
+
+        let t0 = Instant::now();
+        let degrees = detect_degrees(ruam, rpam);
+        report.timings.degree_detectors = t0.elapsed();
+        report.standalone_users = degrees.standalone_users;
+        report.standalone_permissions = degrees.standalone_permissions;
+        report.standalone_roles = degrees.standalone_roles;
+        report.userless_roles = degrees.userless_roles;
+        report.permless_roles = degrees.permless_roles;
+        report.single_user_roles = degrees.single_user_roles;
+        report.single_permission_roles = degrees.single_permission_roles;
+
+        let same = |m: &CsrMatrix| {
+            if cfg.include_empty_duplicates {
+                find_same_groups_with_empty(m, &cfg.strategy, cfg.parallelism)
+            } else {
+                find_same_groups(m, &cfg.strategy, cfg.parallelism)
+            }
+        };
+        let t0 = Instant::now();
+        report.same_user_groups = same(ruam);
+        report.timings.same_users = t0.elapsed();
+
+        let t0 = Instant::now();
+        report.same_permission_groups = same(rpam);
+        report.timings.same_permissions = t0.elapsed();
+
+        if !cfg.skip_similarity {
+            let t0 = Instant::now();
+            let ruam_t = ruam.transpose();
+            report.similar_user_pairs = find_similar_pairs(
+                ruam,
+                &ruam_t,
+                &cfg.strategy,
+                &cfg.similarity,
+                cfg.parallelism,
+            );
+            report.timings.similar_users = t0.elapsed();
+
+            let t0 = Instant::now();
+            let rpam_t = rpam.transpose();
+            report.similar_permission_pairs = find_similar_pairs(
+                rpam,
+                &rpam_t,
+                &cfg.strategy,
+                &cfg.similarity,
+                cfg.parallelism,
+            );
+            report.timings.similar_permissions = t0.elapsed();
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Strategy;
+    use crate::report::SimilarPair;
+
+    #[test]
+    fn figure1_full_report() {
+        let graph = TripartiteGraph::figure1_example();
+        let report = Pipeline::new(DetectionConfig::default()).run(&graph);
+        // T1: P01 standalone (index 0); no standalone users/roles.
+        assert_eq!(report.standalone_permissions, vec![0]);
+        assert!(report.standalone_users.is_empty());
+        assert!(report.standalone_roles.is_empty());
+        // T2: R03 (index 2) userless; R02 (index 1) permless.
+        assert_eq!(report.userless_roles, vec![2]);
+        assert_eq!(report.permless_roles, vec![1]);
+        // T3: R01 and R05 single-user; R03 single-permission.
+        assert_eq!(report.single_user_roles, vec![0, 4]);
+        assert_eq!(report.single_permission_roles, vec![2]);
+        // T4: {R02, R04} same users; {R04, R05} same permissions.
+        assert_eq!(report.same_user_groups, vec![vec![1, 3]]);
+        assert_eq!(report.same_permission_groups, vec![vec![3, 4]]);
+        // Consolidating both groups saves 2 of 5 roles.
+        assert_eq!(
+            report.reducible_roles(crate::Side::User)
+                + report.reducible_roles(crate::Side::Permission),
+            2
+        );
+    }
+
+    #[test]
+    fn all_strategies_agree_on_figure1() {
+        let graph = TripartiteGraph::figure1_example();
+        let baseline = Pipeline::new(DetectionConfig::default()).run(&graph);
+        for strategy in [
+            Strategy::ExactDbscan,
+            Strategy::hnsw_default(),
+            Strategy::minhash_default(),
+        ] {
+            let report =
+                Pipeline::new(DetectionConfig::with_strategy(strategy)).run(&graph);
+            assert_eq!(report.same_user_groups, baseline.same_user_groups);
+            assert_eq!(
+                report.same_permission_groups,
+                baseline.same_permission_groups
+            );
+            // Degree findings are strategy-independent.
+            assert_eq!(report.single_user_roles, baseline.single_user_roles);
+        }
+    }
+
+    #[test]
+    fn skip_similarity_flag() {
+        let graph = TripartiteGraph::figure1_example();
+        let cfg = DetectionConfig {
+            skip_similarity: true,
+            ..DetectionConfig::default()
+        };
+        let report = Pipeline::new(cfg).run(&graph);
+        assert!(report.similar_user_pairs.is_empty());
+        assert!(report.similar_permission_pairs.is_empty());
+        assert_eq!(report.timings.similar_users, std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn similar_pairs_on_crafted_graph() {
+        // Two roles sharing 3 users, one differing in a 4th.
+        let mut g = TripartiteGraph::with_counts(4, 2, 1);
+        for u in 0..3 {
+            g.assign_user(rolediet_model::RoleId(0), rolediet_model::UserId(u))
+                .unwrap();
+            g.assign_user(rolediet_model::RoleId(1), rolediet_model::UserId(u))
+                .unwrap();
+        }
+        g.assign_user(rolediet_model::RoleId(1), rolediet_model::UserId(3))
+            .unwrap();
+        let report = Pipeline::new(DetectionConfig::default()).run(&g);
+        assert_eq!(report.similar_user_pairs, vec![SimilarPair::new(0, 1, 1)]);
+        assert!(report.same_user_groups.is_empty());
+    }
+
+    #[test]
+    fn empty_rows_excluded_from_duplicates_by_default() {
+        // Two userless roles and two permless roles: T2 findings, not T4
+        // groups — unless include_empty_duplicates is set.
+        let mut g = TripartiteGraph::with_counts(2, 4, 2);
+        for r in [0u32, 1] {
+            g.assign_user(rolediet_model::RoleId(r), rolediet_model::UserId(0))
+                .unwrap();
+            g.assign_user(rolediet_model::RoleId(r), rolediet_model::UserId(1))
+                .unwrap();
+        }
+        for r in [2u32, 3] {
+            g.grant_permission(rolediet_model::RoleId(r), rolediet_model::PermissionId(0))
+                .unwrap();
+        }
+        let report = Pipeline::new(DetectionConfig::default()).run(&g);
+        assert_eq!(report.userless_roles, vec![2, 3]);
+        assert_eq!(report.permless_roles, vec![0, 1]);
+        // Roles 0,1 share users {0,1}; roles 2,3 share permission {0} —
+        // those are real duplicate groups. The empty sides are not.
+        assert_eq!(report.same_user_groups, vec![vec![0, 1]]);
+        assert_eq!(report.same_permission_groups, vec![vec![2, 3]]);
+
+        let cfg = DetectionConfig {
+            include_empty_duplicates: true,
+            ..DetectionConfig::default()
+        };
+        let report = Pipeline::new(cfg).run(&g);
+        assert_eq!(report.same_user_groups, vec![vec![0, 1], vec![2, 3]]);
+        assert_eq!(report.same_permission_groups, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn empty_graph_produces_empty_report() {
+        let report = Pipeline::new(DetectionConfig::default()).run(&TripartiteGraph::new());
+        assert_eq!(report.total_findings(), 0);
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let graph = TripartiteGraph::figure1_example();
+        let report = Pipeline::new(DetectionConfig::default()).run(&graph);
+        // total() includes all stages; it must be at least matrix_build.
+        assert!(report.timings.total() >= report.timings.matrix_build);
+    }
+}

@@ -1,0 +1,377 @@
+//! Consolidation suggestions beyond exact duplicates.
+//!
+//! The paper stops at merging T4 groups and notes that "the approach for
+//! consolidating roles related to [the single-user/single-permission]
+//! inefficiency still needs to be developed". This module develops it,
+//! staying inside the paper's safety rule — combine existing roles
+//! *without granting extra permissions*:
+//!
+//! * [`subset_pairs`] — role-containment pairs (`users(a) ⊂ users(b)`,
+//!   likewise for permissions): the raw material for role-hierarchy
+//!   cleanups, found with the same streamed co-occurrence machinery as
+//!   T4/T5 (`a ⊆ b ⇔ gᵃᵇ = |Rᵃ|`).
+//! * [`redundant_roles`] — roles whose removal provably changes no
+//!   user's effective permissions, because every (user, permission) pair
+//!   they serve is also served by another role. A single-permission role
+//!   whose users all hold that permission elsewhere is the paper's
+//!   motivating case.
+//! * [`merge_delta`] — for a proposed *similar*-role (T5) merge, the
+//!   exact access change it would cause: which users would gain which
+//!   permissions. A delta of zero means the merge is as safe as a T4
+//!   merge; a non-zero delta is what the administrator must sign off on.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use rolediet_matrix::{CsrMatrix, RowMatrix};
+use rolediet_model::{PermissionId, RoleId, TripartiteGraph, UserId};
+
+use crate::taxonomy::Side;
+
+/// A strict-containment pair on one side: every user (or permission) of
+/// `sub` also belongs to `sup`, and `sup` has strictly more.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SubsetPair {
+    /// The contained role (smaller row).
+    pub sub: usize,
+    /// The containing role (larger row).
+    pub sup: usize,
+}
+
+/// Finds all strict containment pairs between non-empty rows.
+///
+/// Containment falls out of the co-occurrence stream: `a ⊆ b` iff
+/// `gᵃᵇ = |Rᵃ|`. Equal rows (T4 groups) are excluded — they are already
+/// reported as duplicates. Pairs are sorted by `(sub, sup)`.
+///
+/// # Examples
+///
+/// ```
+/// use rolediet_core::suggest::{subset_pairs, SubsetPair};
+/// use rolediet_matrix::CsrMatrix;
+///
+/// let m = CsrMatrix::from_rows_of_indices(3, 4, &[
+///     vec![0, 1, 2], vec![0, 1], vec![3],
+/// ]).unwrap();
+/// let t = m.transpose();
+/// assert_eq!(subset_pairs(&m, &t), vec![SubsetPair { sub: 1, sup: 0 }]);
+/// ```
+pub fn subset_pairs(matrix: &CsrMatrix, transpose: &CsrMatrix) -> Vec<SubsetPair> {
+    let mut out = Vec::new();
+    rolediet_matrix::ops::for_each_cooccurring_pair(matrix, transpose, |i, j, g| {
+        let (ni, nj) = (matrix.row_norm(i), matrix.row_norm(j));
+        if g == ni && g == nj {
+            return; // identical — a T4 finding, not a subset
+        }
+        if g == ni {
+            out.push(SubsetPair { sub: i, sup: j });
+        } else if g == nj {
+            out.push(SubsetPair { sub: j, sup: i });
+        }
+    });
+    out.sort_unstable();
+    out
+}
+
+/// A role whose deletion is provably access-preserving, with the
+/// witnessing coverage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RedundantRole {
+    /// The removable role.
+    pub role: RoleId,
+    /// Number of (user, permission) pairs the role serves — all of them
+    /// covered elsewhere.
+    pub covered_pairs: usize,
+}
+
+/// Returns the subset of `candidates` that are *redundant*: every
+/// (user, permission) pair they serve is also served by some other role,
+/// so deleting them changes nobody's access.
+///
+/// Cost is `O(|users(r)| · |perms(r)| · r̄)` per candidate (`r̄` = mean
+/// roles per user); restrict `candidates` to small roles — e.g. the T3
+/// single-link findings, the paper's open case — on large datasets.
+///
+/// The check is per-role in isolation: deleting several redundant roles
+/// at once can be unsafe if they covered each other. [`redundant_roles`]
+/// therefore returns a set that is safe to delete *greedily in order*,
+/// re-checking each role against the survivors of the previous
+/// deletions.
+pub fn redundant_roles(graph: &TripartiteGraph, candidates: &[RoleId]) -> Vec<RedundantRole> {
+    let mut deleted: BTreeSet<RoleId> = BTreeSet::new();
+    let mut out = Vec::new();
+    for &r in candidates {
+        if deleted.contains(&r) {
+            continue;
+        }
+        let users: Vec<UserId> = graph.users_of(r).collect();
+        let perms: Vec<PermissionId> = graph.permissions_of(r).collect();
+        let covered = users.iter().all(|&u| {
+            perms.iter().all(|&p| {
+                graph.roles_of_user(u).any(|other| {
+                    other != r && !deleted.contains(&other) && graph.has_permission(other, p)
+                })
+            })
+        });
+        if covered {
+            out.push(RedundantRole {
+                role: r,
+                covered_pairs: users.len() * perms.len(),
+            });
+            deleted.insert(r);
+        }
+    }
+    out
+}
+
+/// Convenience: the redundant roles among a report's T3 findings (the
+/// paper's "role consolidation opportunity" for single-link roles).
+pub fn redundant_single_link_roles(
+    graph: &TripartiteGraph,
+    report: &crate::report::Report,
+) -> Vec<RedundantRole> {
+    let mut candidates: Vec<RoleId> = report
+        .single_user_roles
+        .iter()
+        .chain(report.single_permission_roles.iter())
+        .map(|&r| RoleId::from_index(r))
+        .collect();
+    candidates.sort_unstable();
+    candidates.dedup();
+    redundant_roles(graph, &candidates)
+}
+
+/// The exact access change a two-role merge would cause.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MergeDelta {
+    /// Users who would gain permissions, with exactly what they gain.
+    pub user_gains: Vec<(UserId, Vec<PermissionId>)>,
+}
+
+impl MergeDelta {
+    /// `true` when the merge changes nobody's access (equivalent to a T4
+    /// merge).
+    pub fn is_safe(&self) -> bool {
+        self.user_gains.is_empty()
+    }
+
+    /// Total number of newly granted (user, permission) pairs.
+    pub fn granted_pairs(&self) -> usize {
+        self.user_gains.iter().map(|(_, ps)| ps.len()).sum()
+    }
+}
+
+/// Computes the access delta of merging roles `a` and `b` into one role
+/// carrying the union of their users and permissions (merges never
+/// *revoke* anything, so the delta is gains-only).
+///
+/// For a T4 pair the delta is empty on the shared side by construction;
+/// for a T5 pair ("all but one user/permission") it quantifies exactly
+/// the risk the administrator accepts — the paper requires that approval
+/// to be per-instance, and this is the evidence to attach to it.
+///
+/// # Panics
+///
+/// Panics if either role id is out of range.
+pub fn merge_delta(graph: &TripartiteGraph, a: RoleId, b: RoleId) -> MergeDelta {
+    let users: BTreeSet<UserId> = graph.users_of(a).chain(graph.users_of(b)).collect();
+    let merged_perms: BTreeSet<PermissionId> =
+        graph.permissions_of(a).chain(graph.permissions_of(b)).collect();
+    let mut user_gains = Vec::new();
+    for &u in &users {
+        let before = graph.effective_permissions(u);
+        let gains: Vec<PermissionId> = merged_perms
+            .iter()
+            .copied()
+            .filter(|p| !before.contains(p))
+            .collect();
+        if !gains.is_empty() {
+            user_gains.push((u, gains));
+        }
+    }
+    MergeDelta { user_gains }
+}
+
+/// Side-aware wrapper: evaluates [`merge_delta`] for every pair in a T5
+/// finding list and returns `(pair index, delta)` for the unsafe ones.
+pub fn unsafe_similar_merges(
+    graph: &TripartiteGraph,
+    pairs: &[crate::report::SimilarPair],
+    _side: Side,
+) -> Vec<(usize, MergeDelta)> {
+    pairs
+        .iter()
+        .enumerate()
+        .filter_map(|(idx, p)| {
+            let delta = merge_delta(
+                graph,
+                RoleId::from_index(p.a),
+                RoleId::from_index(p.b),
+            );
+            if delta.is_safe() {
+                None
+            } else {
+                Some((idx, delta))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DetectionConfig;
+    use crate::pipeline::Pipeline;
+
+    #[test]
+    fn subset_pairs_on_crafted_matrix() {
+        let m = CsrMatrix::from_rows_of_indices(
+            5,
+            6,
+            &[
+                vec![0, 1, 2, 3], // 0
+                vec![0, 1],       // 1 ⊂ 0
+                vec![1, 2],       // 2 ⊂ 0
+                vec![0, 1],       // 3 == 1 (duplicate, not subset)
+                vec![],           // 4 empty — ignored
+            ],
+        )
+        .unwrap();
+        let t = m.transpose();
+        let pairs = subset_pairs(&m, &t);
+        assert_eq!(
+            pairs,
+            vec![
+                SubsetPair { sub: 1, sup: 0 },
+                SubsetPair { sub: 2, sup: 0 },
+                SubsetPair { sub: 3, sup: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn subset_pairs_empty_when_no_overlap() {
+        let m = CsrMatrix::from_rows_of_indices(2, 4, &[vec![0], vec![1]]).unwrap();
+        let t = m.transpose();
+        assert!(subset_pairs(&m, &t).is_empty());
+    }
+
+    #[test]
+    fn redundant_single_permission_role() {
+        // Role 1 grants {p0} to user 0, but user 0 already has p0 via
+        // role 0 → role 1 is redundant.
+        let mut g = TripartiteGraph::with_counts(1, 2, 2);
+        g.assign_user(RoleId(0), UserId(0)).unwrap();
+        g.grant_permission(RoleId(0), PermissionId(0)).unwrap();
+        g.grant_permission(RoleId(0), PermissionId(1)).unwrap();
+        g.assign_user(RoleId(1), UserId(0)).unwrap();
+        g.grant_permission(RoleId(1), PermissionId(0)).unwrap();
+        let red = redundant_roles(&g, &[RoleId(0), RoleId(1)]);
+        // Role 0 is NOT redundant (p1 only there); role 1 is.
+        assert_eq!(red.len(), 1);
+        assert_eq!(red[0].role, RoleId(1));
+        assert_eq!(red[0].covered_pairs, 1);
+        // Deleting it is verified access-preserving.
+        let map = vec![Some(0), None];
+        let g2 = g.rebuild_with_role_map(&map, 1).unwrap();
+        assert!(crate::consolidate::verify_preserves_access(&g, &g2).is_empty());
+    }
+
+    #[test]
+    fn mutually_covering_roles_not_both_deleted() {
+        // Roles 0 and 1 are identical: each covers the other, but
+        // deleting both would strand the user. Greedy order deletes only
+        // the first.
+        let mut g = TripartiteGraph::with_counts(1, 2, 1);
+        for r in 0..2 {
+            g.assign_user(RoleId(r), UserId(0)).unwrap();
+            g.grant_permission(RoleId(r), PermissionId(0)).unwrap();
+        }
+        let red = redundant_roles(&g, &[RoleId(0), RoleId(1)]);
+        assert_eq!(red.len(), 1);
+        assert_eq!(red[0].role, RoleId(0));
+    }
+
+    #[test]
+    fn redundant_single_link_from_figure1_report() {
+        let g = TripartiteGraph::figure1_example();
+        let report = Pipeline::new(DetectionConfig::default()).run(&g);
+        // Figure 1's single-link roles (R01, R05, R03) are not redundant:
+        // R01 is U01's only source of P02/P03, R05 duplicates R04's perms
+        // but serves U04 who has no other role, R03 serves nobody but has
+        // no users (vacuously redundant: zero pairs to cover).
+        let red = redundant_single_link_roles(&g, &report);
+        assert_eq!(red.len(), 1);
+        assert_eq!(red[0].role, RoleId(2)); // R03: no users → coverable
+        assert_eq!(red[0].covered_pairs, 0);
+    }
+
+    #[test]
+    fn merge_delta_zero_for_same_user_pair() {
+        let g = TripartiteGraph::figure1_example();
+        // R02 and R04 share users — merging them grants nothing new.
+        let delta = merge_delta(&g, RoleId(1), RoleId(3));
+        assert!(delta.is_safe());
+        assert_eq!(delta.granted_pairs(), 0);
+    }
+
+    #[test]
+    fn merge_delta_quantifies_gains() {
+        let g = TripartiteGraph::figure1_example();
+        // R01 ({U01}/{P02,P03}) + R05 ({U04}/{P05,P06}): U01 gains
+        // P05,P06 and U04 gains P02,P03.
+        let delta = merge_delta(&g, RoleId(0), RoleId(4));
+        assert!(!delta.is_safe());
+        assert_eq!(delta.granted_pairs(), 4);
+        let gains: std::collections::HashMap<UserId, Vec<PermissionId>> =
+            delta.user_gains.iter().cloned().collect();
+        assert_eq!(
+            gains[&UserId(0)],
+            vec![PermissionId(4), PermissionId(5)]
+        );
+        assert_eq!(
+            gains[&UserId(3)],
+            vec![PermissionId(1), PermissionId(2)]
+        );
+    }
+
+    #[test]
+    fn unsafe_similar_merges_filters_safe_pairs() {
+        // Two roles with same users, one extra perm difference → merging
+        // grants the shared users the extra perm... unless they already
+        // have it. Build both cases.
+        let mut g = TripartiteGraph::with_counts(2, 3, 2);
+        // Roles 0 and 1: same users {0,1}; role 0 grants {p0}, role 1
+        // grants {p0,p1} → Hamming 1 on the perm side, but merging is
+        // safe: the users already have p1 via role 1 itself.
+        for r in [0u32, 1] {
+            g.assign_user(RoleId(r), UserId(0)).unwrap();
+            g.assign_user(RoleId(r), UserId(1)).unwrap();
+            g.grant_permission(RoleId(r), PermissionId(0)).unwrap();
+        }
+        g.grant_permission(RoleId(1), PermissionId(1)).unwrap();
+        // Role 2: user 0 only, perms {p0, p1}: merging 0 and 2 grants
+        // user 1 nothing new?  user 1 is in role 0; merged role would
+        // grant p1 to user 1 — which it already has via role 1. Safe too.
+        g.assign_user(RoleId(2), UserId(0)).unwrap();
+        g.grant_permission(RoleId(2), PermissionId(0)).unwrap();
+        g.grant_permission(RoleId(2), PermissionId(1)).unwrap();
+        let pairs = vec![
+            crate::report::SimilarPair::new(0, 1, 1),
+            crate::report::SimilarPair::new(0, 2, 2),
+        ];
+        let unsafe_ = unsafe_similar_merges(&g, &pairs, Side::Permission);
+        assert!(unsafe_.is_empty(), "{unsafe_:?}");
+        // Now remove role 1 from user 1 — user 1 loses the alternate path
+        // to p1, so both merges (each would hand user 1 a role granting
+        // p1) become real grants.
+        g.revoke_user(RoleId(1), UserId(1)).unwrap();
+        let unsafe_ = unsafe_similar_merges(&g, &pairs, Side::Permission);
+        assert_eq!(unsafe_.len(), 2);
+        for (_, delta) in &unsafe_ {
+            assert_eq!(delta.granted_pairs(), 1);
+            assert_eq!(delta.user_gains[0].0, UserId(1));
+        }
+    }
+}

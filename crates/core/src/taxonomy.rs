@@ -1,0 +1,178 @@
+//! The five-type taxonomy of RBAC data inefficiencies (Section III-A).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use rolediet_model::EntityKind;
+
+/// Which side of a role an inefficiency concerns.
+///
+/// Every role has two incidence sets: its users (a RUAM row) and its
+/// permissions (an RPAM row). Types T2–T5 come in a user-side and a
+/// permission-side variant; the paper's detectors are literally the same
+/// code fed RUAM or RPAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Side {
+    /// The role–user incidence (RUAM).
+    User,
+    /// The role–permission incidence (RPAM).
+    Permission,
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Side::User => "user",
+            Side::Permission => "permission",
+        })
+    }
+}
+
+/// One of the five inefficiency types of the paper's taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InefficiencyKind {
+    /// T1 — a node with no edges at all: a user assigned to no role, a
+    /// permission granted by no role, or a role with neither users nor
+    /// permissions.
+    StandaloneNode(EntityKind),
+    /// T2 — a role missing one side entirely: connected only to
+    /// permissions (`Side::User` variant: *no users*) or only to users
+    /// (`Side::Permission` variant: *no permissions*).
+    DisconnectedRole(Side),
+    /// T3 — a role connected to exactly one user / one permission.
+    SingleLinkRole(Side),
+    /// T4 — a group of roles sharing exactly the same users /
+    /// permissions.
+    DuplicateRoles(Side),
+    /// T5 — a pair of roles whose user / permission sets differ in at
+    /// most `t` elements (Hamming distance ≤ t, t set by the
+    /// administrator).
+    SimilarRoles(Side),
+}
+
+impl InefficiencyKind {
+    /// Short stable label, e.g. `"T4-user"`, for tables and logs.
+    pub fn label(&self) -> String {
+        match self {
+            InefficiencyKind::StandaloneNode(k) => format!("T1-{k}"),
+            InefficiencyKind::DisconnectedRole(s) => format!("T2-{s}"),
+            InefficiencyKind::SingleLinkRole(s) => format!("T3-{s}"),
+            InefficiencyKind::DuplicateRoles(s) => format!("T4-{s}"),
+            InefficiencyKind::SimilarRoles(s) => format!("T5-{s}"),
+        }
+    }
+
+    /// Human-readable description matching the paper's wording.
+    pub fn description(&self) -> String {
+        match self {
+            InefficiencyKind::StandaloneNode(k) => {
+                format!("standalone {k} node (no edges)")
+            }
+            InefficiencyKind::DisconnectedRole(Side::User) => {
+                "role not connected to any user".into()
+            }
+            InefficiencyKind::DisconnectedRole(Side::Permission) => {
+                "role not connected to any permission".into()
+            }
+            InefficiencyKind::SingleLinkRole(s) => {
+                format!("role connected to a single {s}")
+            }
+            InefficiencyKind::DuplicateRoles(s) => {
+                format!("roles sharing the same {s}s")
+            }
+            InefficiencyKind::SimilarRoles(s) => {
+                format!("roles sharing a similar set of {s}s")
+            }
+        }
+    }
+
+    /// All ten concrete kind instances, in taxonomy order.
+    pub fn all() -> Vec<InefficiencyKind> {
+        use InefficiencyKind::*;
+        vec![
+            StandaloneNode(EntityKind::User),
+            StandaloneNode(EntityKind::Role),
+            StandaloneNode(EntityKind::Permission),
+            DisconnectedRole(Side::User),
+            DisconnectedRole(Side::Permission),
+            SingleLinkRole(Side::User),
+            SingleLinkRole(Side::Permission),
+            DuplicateRoles(Side::User),
+            DuplicateRoles(Side::Permission),
+            SimilarRoles(Side::User),
+            SimilarRoles(Side::Permission),
+        ]
+    }
+
+    /// Whether detecting this kind is linear-time (T1–T3) or requires a
+    /// grouping strategy (T4–T5).
+    pub fn is_linear_time(&self) -> bool {
+        !matches!(
+            self,
+            InefficiencyKind::DuplicateRoles(_) | InefficiencyKind::SimilarRoles(_)
+        )
+    }
+}
+
+impl fmt::Display for InefficiencyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.label(), self.description())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(
+            InefficiencyKind::StandaloneNode(EntityKind::Permission).label(),
+            "T1-permission"
+        );
+        assert_eq!(
+            InefficiencyKind::DuplicateRoles(Side::User).label(),
+            "T4-user"
+        );
+        assert_eq!(
+            InefficiencyKind::SimilarRoles(Side::Permission).label(),
+            "T5-permission"
+        );
+    }
+
+    #[test]
+    fn descriptions_match_paper_wording() {
+        assert_eq!(
+            InefficiencyKind::DisconnectedRole(Side::User).description(),
+            "role not connected to any user"
+        );
+        assert_eq!(
+            InefficiencyKind::SingleLinkRole(Side::Permission).description(),
+            "role connected to a single permission"
+        );
+    }
+
+    #[test]
+    fn all_enumerates_eleven_instances() {
+        let all = InefficiencyKind::all();
+        assert_eq!(all.len(), 11);
+        let labels: std::collections::HashSet<String> =
+            all.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), 11, "labels are unique");
+    }
+
+    #[test]
+    fn linear_time_split() {
+        assert!(InefficiencyKind::StandaloneNode(EntityKind::User).is_linear_time());
+        assert!(InefficiencyKind::SingleLinkRole(Side::User).is_linear_time());
+        assert!(!InefficiencyKind::DuplicateRoles(Side::User).is_linear_time());
+        assert!(!InefficiencyKind::SimilarRoles(Side::Permission).is_linear_time());
+    }
+
+    #[test]
+    fn display_combines_label_and_description() {
+        let k = InefficiencyKind::DuplicateRoles(Side::Permission);
+        assert_eq!(k.to_string(), "T4-permission: roles sharing the same permissions");
+    }
+}

@@ -1,0 +1,209 @@
+//! Property tests for the detection core: the custom algorithm against
+//! brute force, suggestion-engine safety, and report coherence.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use rolediet_core::config::{DetectionConfig, SimilarityConfig};
+use rolediet_core::cooccur::{same_groups, same_groups_via_indicator, similar_pairs};
+use rolediet_core::pipeline::Pipeline;
+use rolediet_core::suggest::{merge_delta, redundant_roles, subset_pairs};
+use rolediet_matrix::{CsrMatrix, RowMatrix};
+use rolediet_model::{PermissionId, RoleId, TripartiteGraph, UserId};
+
+fn matrix_inputs() -> impl Strategy<Value = (usize, usize, Vec<Vec<usize>>)> {
+    (2usize..24, 2usize..16).prop_flat_map(|(rows, cols)| {
+        vec(vec(0..cols, 0..=5), rows).prop_map(move |data| (rows, cols, data))
+    })
+}
+
+fn graph_inputs() -> impl Strategy<Value = TripartiteGraph> {
+    (2usize..8, 2usize..10, 2usize..8).prop_flat_map(|(users, roles, perms)| {
+        let ue = vec((0..roles, 0..users), 0..roles * 3);
+        let pe = vec((0..roles, 0..perms), 0..roles * 3);
+        (ue, pe).prop_map(move |(ue, pe)| {
+            let mut g = TripartiteGraph::with_counts(users, roles, perms);
+            for (r, u) in ue {
+                g.assign_user(RoleId::from_index(r), UserId::from_index(u))
+                    .unwrap();
+            }
+            for (r, p) in pe {
+                g.grant_permission(RoleId::from_index(r), PermissionId::from_index(p))
+                    .unwrap();
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn signature_and_indicator_oracles_agree((rows, cols, data) in matrix_inputs()) {
+        let m = CsrMatrix::from_rows_of_indices(rows, cols, &data).unwrap();
+        prop_assert_eq!(
+            same_groups(&m),
+            same_groups_via_indicator(&m, &m.transpose())
+        );
+    }
+
+    #[test]
+    fn similar_pairs_distances_are_truthful(
+        (rows, cols, data) in matrix_inputs(),
+        threshold in 1usize..5,
+        include_disjoint in proptest::bool::ANY,
+    ) {
+        let m = CsrMatrix::from_rows_of_indices(rows, cols, &data).unwrap();
+        let cfg = SimilarityConfig {
+            threshold,
+            include_disjoint,
+            ..SimilarityConfig::default()
+        };
+        let pairs = similar_pairs(&m, &m.transpose(), &cfg);
+        // Reported distances are exact, within range, and the list is
+        // sorted and unique.
+        for p in &pairs {
+            prop_assert_eq!(m.row_hamming(p.a, p.b), p.distance);
+            prop_assert!(p.distance >= 1 && p.distance <= threshold);
+            prop_assert!(p.a < p.b);
+        }
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable_by_key(|p| (p.distance, p.a, p.b));
+        sorted.dedup();
+        prop_assert_eq!(&sorted, &pairs);
+        // With disjoint pairs included the result is complete.
+        if include_disjoint {
+            let mut expected = 0usize;
+            for i in 0..rows {
+                for j in (i + 1)..rows {
+                    let d = m.row_hamming(i, j);
+                    if d >= 1 && d <= threshold {
+                        expected += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(pairs.len(), expected);
+        }
+    }
+
+    #[test]
+    fn subset_pairs_match_brute_force((rows, cols, data) in matrix_inputs()) {
+        let m = CsrMatrix::from_rows_of_indices(rows, cols, &data).unwrap();
+        let got = subset_pairs(&m, &m.transpose());
+        let mut expected = Vec::new();
+        for i in 0..rows {
+            for j in 0..rows {
+                if i == j || m.row_norm(i) == 0 {
+                    continue;
+                }
+                let g = m.row_dot(i, j);
+                if g == m.row_norm(i) && m.row_norm(j) > m.row_norm(i) {
+                    expected.push(rolediet_core::suggest::SubsetPair { sub: i, sup: j });
+                }
+            }
+        }
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn redundant_role_deletion_is_always_safe(graph in graph_inputs()) {
+        let candidates: Vec<RoleId> =
+            (0..graph.n_roles()).map(RoleId::from_index).collect();
+        let redundant = redundant_roles(&graph, &candidates);
+        // Delete all reported-redundant roles at once (the greedy chain
+        // guarantees this is collectively safe).
+        let drop: std::collections::HashSet<usize> =
+            redundant.iter().map(|r| r.role.index()).collect();
+        let mut next = 0usize;
+        let map: Vec<Option<usize>> = (0..graph.n_roles())
+            .map(|r| {
+                if drop.contains(&r) {
+                    None
+                } else {
+                    let t = next;
+                    next += 1;
+                    Some(t)
+                }
+            })
+            .collect();
+        let g2 = graph.rebuild_with_role_map(&map, next).unwrap();
+        for u in 0..graph.n_users() {
+            let uid = UserId::from_index(u);
+            prop_assert_eq!(
+                graph.effective_permissions(uid),
+                g2.effective_permissions(uid),
+                "user {} lost access after redundant-role deletion", u
+            );
+        }
+    }
+
+    #[test]
+    fn merge_delta_predicts_apply_exactly(graph in graph_inputs(), a_raw in 0usize..10, b_raw in 0usize..10) {
+        let n = graph.n_roles();
+        let (a, b) = (a_raw % n, b_raw % n);
+        prop_assume!(a != b);
+        let delta = merge_delta(&graph, RoleId::from_index(a), RoleId::from_index(b));
+        // Apply the merge and compare real gains against the prediction.
+        let mut next = 0usize;
+        let map: Vec<Option<usize>> = (0..n)
+            .map(|r| {
+                if r == b {
+                    None
+                } else {
+                    let t = next;
+                    next += 1;
+                    Some(t)
+                }
+            })
+            .collect();
+        // b folds into a.
+        let mut map = map;
+        map[b] = map[a];
+        let merged = graph.rebuild_with_role_map(&map, next).unwrap();
+        let mut real_gains = Vec::new();
+        for u in 0..graph.n_users() {
+            let uid = UserId::from_index(u);
+            let before = graph.effective_permissions(uid);
+            let after = merged.effective_permissions(uid);
+            prop_assert!(after.is_superset(&before), "merges never revoke");
+            let gains: Vec<PermissionId> = after.difference(&before).copied().collect();
+            if !gains.is_empty() {
+                real_gains.push((uid, gains));
+            }
+        }
+        prop_assert_eq!(real_gains, delta.user_gains);
+    }
+
+    #[test]
+    fn report_counts_are_internally_consistent(graph in graph_inputs()) {
+        let report = Pipeline::new(DetectionConfig::default()).run(&graph);
+        // Standalone roles never double-reported as T2.
+        for r in &report.standalone_roles {
+            prop_assert!(!report.userless_roles.contains(r));
+            prop_assert!(!report.permless_roles.contains(r));
+        }
+        // Duplicate groups never contain empty rows under the default
+        // config and are disjoint within a side.
+        let ruam = graph.ruam_sparse();
+        let rpam = graph.rpam_sparse();
+        for (groups, m) in [
+            (&report.same_user_groups, &ruam),
+            (&report.same_permission_groups, &rpam),
+        ] {
+            let mut seen = std::collections::HashSet::new();
+            for g in groups.iter() {
+                prop_assert!(g.len() >= 2);
+                for &r in g {
+                    prop_assert!(m.row_norm(r) > 0);
+                    prop_assert!(seen.insert(r), "role {} in two groups", r);
+                }
+            }
+        }
+        // Similar pairs exclude identical rows.
+        for p in &report.similar_user_pairs {
+            prop_assert!(ruam.row_hamming(p.a, p.b) >= 1);
+        }
+    }
+}

@@ -1,0 +1,576 @@
+//! Fixed-length packed bit vectors.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::MatrixError;
+use crate::Result;
+
+/// Number of bits stored per storage word.
+pub(crate) const BITS: usize = u64::BITS as usize;
+
+/// Number of `u64` words needed to store `len` bits.
+#[inline]
+pub(crate) fn words_for(len: usize) -> usize {
+    len.div_ceil(BITS)
+}
+
+/// Mask selecting the valid bits of the final word of a `len`-bit vector.
+#[inline]
+pub(crate) fn tail_mask(len: usize) -> u64 {
+    let rem = len % BITS;
+    if rem == 0 {
+        u64::MAX
+    } else {
+        (1u64 << rem) - 1
+    }
+}
+
+/// A fixed-length bit vector packed into `u64` words.
+///
+/// `BitVec` is the unit of storage for one matrix row: bit `j` is set when
+/// the role is assigned to user/permission `j`. All bulk operations work a
+/// word at a time, so Hamming distance between two 10,000-bit rows costs
+/// ~157 `xor` + `popcount` pairs.
+///
+/// # Invariant
+///
+/// Bits at positions `>= len()` (the tail of the final word) are always
+/// zero. Every mutating method maintains this, which makes `Eq` and `Hash`
+/// safe to derive over the raw words.
+///
+/// # Examples
+///
+/// ```
+/// use rolediet_matrix::BitVec;
+///
+/// let a = BitVec::from_indices(8, &[0, 3, 7]).unwrap();
+/// let b = BitVec::from_indices(8, &[0, 3]).unwrap();
+/// assert_eq!(a.count_ones(), 3);
+/// assert_eq!(a.hamming(&b).unwrap(), 1);
+/// assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![0, 3, 7]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitVec {
+    len: usize,
+    blocks: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates an all-zero bit vector of `len` bits.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let v = rolediet_matrix::BitVec::new(100);
+    /// assert_eq!(v.len(), 100);
+    /// assert!(v.is_zero());
+    /// ```
+    pub fn new(len: usize) -> Self {
+        BitVec {
+            len,
+            blocks: vec![0; words_for(len)],
+        }
+    }
+
+    /// Creates a bit vector with the given positions set.
+    ///
+    /// Indices may be unsorted and may repeat; repeats are idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::IndexOutOfBounds`] if any index is `>= len`.
+    pub fn from_indices(len: usize, indices: &[usize]) -> Result<Self> {
+        let mut v = BitVec::new(len);
+        for &i in indices {
+            v.try_set(i, true)?;
+        }
+        Ok(v)
+    }
+
+    /// Creates a bit vector from a slice of booleans, one per position.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut v = BitVec::new(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Reconstructs a bit vector from raw words produced by [`as_words`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if `words` has the wrong
+    /// length for `len` bits, or if any bit beyond `len` is set (which would
+    /// break the tail invariant).
+    ///
+    /// [`as_words`]: BitVec::as_words
+    pub fn from_words(len: usize, words: Vec<u64>) -> Result<Self> {
+        if words.len() != words_for(len) {
+            return Err(MatrixError::DimensionMismatch {
+                expected: words_for(len),
+                actual: words.len(),
+                what: "word count",
+            });
+        }
+        if let Some(last) = words.last() {
+            if !len.is_multiple_of(BITS) && last & !tail_mask(len) != 0 {
+                return Err(MatrixError::DimensionMismatch {
+                    expected: len,
+                    actual: BITS * words.len(),
+                    what: "bit length (tail bits set)",
+                });
+            }
+        }
+        Ok(BitVec { len, blocks: words })
+    }
+
+    /// Number of bits in the vector.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the vector has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `true` if no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.blocks.iter().all(|&w| w == 0)
+    }
+
+    /// Returns the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.len, "bit index {index} out of bounds");
+        self.blocks[index / BITS] & (1u64 << (index % BITS)) != 0
+    }
+
+    /// Sets the bit at `index` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn set(&mut self, index: usize, value: bool) {
+        assert!(index < self.len, "bit index {index} out of bounds");
+        let (w, b) = (index / BITS, index % BITS);
+        if value {
+            self.blocks[w] |= 1u64 << b;
+        } else {
+            self.blocks[w] &= !(1u64 << b);
+        }
+    }
+
+    /// Fallible variant of [`set`](BitVec::set).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::IndexOutOfBounds`] if `index >= len()`.
+    pub fn try_set(&mut self, index: usize, value: bool) -> Result<()> {
+        if index >= self.len {
+            return Err(MatrixError::IndexOutOfBounds {
+                index,
+                bound: self.len,
+                axis: "bit",
+            });
+        }
+        self.set(index, value);
+        Ok(())
+    }
+
+    /// Number of set bits (the row *norm* `|Rⁱ|` in the paper).
+    pub fn count_ones(&self) -> usize {
+        self.blocks.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Hamming distance to `other`: the number of positions where the two
+    /// vectors differ. This is the similarity measure of inefficiency type
+    /// T5 ("roles sharing a similar set of users/permissions").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if lengths differ.
+    pub fn hamming(&self, other: &BitVec) -> Result<usize> {
+        self.check_len(other)?;
+        Ok(self
+            .blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum())
+    }
+
+    /// Number of positions set in both vectors (the co-occurrence count
+    /// `gⁱʲ` in the paper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if lengths differ.
+    pub fn intersection_count(&self, other: &BitVec) -> Result<usize> {
+        self.check_len(other)?;
+        Ok(self
+            .blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum())
+    }
+
+    /// Number of positions set in either vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if lengths differ.
+    pub fn union_count(&self, other: &BitVec) -> Result<usize> {
+        self.check_len(other)?;
+        Ok(self
+            .blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a | b).count_ones() as usize)
+            .sum())
+    }
+
+    /// Jaccard similarity `|A∩B| / |A∪B|`; defined as `1.0` when both are
+    /// empty (two empty roles are identical).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if lengths differ.
+    pub fn jaccard(&self, other: &BitVec) -> Result<f64> {
+        let union = self.union_count(other)?;
+        if union == 0 {
+            return Ok(1.0);
+        }
+        let inter = self.intersection_count(other)?;
+        Ok(inter as f64 / union as f64)
+    }
+
+    /// In-place bitwise OR with `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if lengths differ.
+    pub fn union_with(&mut self, other: &BitVec) -> Result<()> {
+        self.check_len(other)?;
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= *b;
+        }
+        Ok(())
+    }
+
+    /// In-place bitwise AND with `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if lengths differ.
+    pub fn intersect_with(&mut self, other: &BitVec) -> Result<()> {
+        self.check_len(other)?;
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= *b;
+        }
+        Ok(())
+    }
+
+    /// In-place set difference (`self &= !other`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if lengths differ.
+    pub fn difference_with(&mut self, other: &BitVec) -> Result<()> {
+        self.check_len(other)?;
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= !*b;
+        }
+        Ok(())
+    }
+
+    /// Returns `true` if every bit of `self` is also set in `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if lengths differ.
+    pub fn is_subset_of(&self, other: &BitVec) -> Result<bool> {
+        self.check_len(other)?;
+        Ok(self
+            .blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0))
+    }
+
+    /// Iterates over the indices of set bits in increasing order.
+    pub fn iter_ones(&self) -> Ones<'_> {
+        Ones {
+            blocks: &self.blocks,
+            word_index: 0,
+            current: self.blocks.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Collects the indices of set bits into a vector.
+    pub fn to_indices(&self) -> Vec<usize> {
+        self.iter_ones().collect()
+    }
+
+    /// Zero-copy view of the underlying words (tail bits are zero).
+    pub fn as_words(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// Sets all bits to zero, keeping the length.
+    pub fn clear(&mut self) {
+        self.blocks.iter_mut().for_each(|w| *w = 0);
+    }
+
+    #[inline]
+    fn check_len(&self, other: &BitVec) -> Result<()> {
+        if self.len != other.len {
+            return Err(MatrixError::DimensionMismatch {
+                expected: self.len,
+                actual: other.len,
+                what: "bit length",
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec(len={}, ones=[", self.len)?;
+        for (n, i) in self.iter_ones().enumerate() {
+            if n > 0 {
+                write!(f, ", ")?;
+            }
+            if n == 16 {
+                write!(f, "…")?;
+                break;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "])")
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let bits: Vec<bool> = iter.into_iter().collect();
+        BitVec::from_bools(&bits)
+    }
+}
+
+/// Iterator over the indices of set bits of a [`BitVec`], produced by
+/// [`BitVec::iter_ones`].
+#[derive(Debug, Clone)]
+pub struct Ones<'a> {
+    blocks: &'a [u64],
+    word_index: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1; // clear lowest set bit
+                return Some(self.word_index * BITS + bit);
+            }
+            self.word_index += 1;
+            if self.word_index >= self.blocks.len() {
+                return None;
+            }
+            self.current = self.blocks[self.word_index];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zero() {
+        let v = BitVec::new(130);
+        assert_eq!(v.len(), 130);
+        assert!(v.is_zero());
+        assert_eq!(v.count_ones(), 0);
+        assert_eq!(v.as_words().len(), 3);
+    }
+
+    #[test]
+    fn set_get_roundtrip_across_word_boundaries() {
+        let mut v = BitVec::new(200);
+        for i in [0, 1, 63, 64, 65, 127, 128, 199] {
+            assert!(!v.get(i));
+            v.set(i, true);
+            assert!(v.get(i));
+        }
+        assert_eq!(v.count_ones(), 8);
+        v.set(64, false);
+        assert!(!v.get(64));
+        assert_eq!(v.count_ones(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        BitVec::new(10).get(10);
+    }
+
+    #[test]
+    fn try_set_reports_bound() {
+        let mut v = BitVec::new(10);
+        let err = v.try_set(10, true).unwrap_err();
+        assert_eq!(
+            err,
+            MatrixError::IndexOutOfBounds {
+                index: 10,
+                bound: 10,
+                axis: "bit"
+            }
+        );
+    }
+
+    #[test]
+    fn from_indices_idempotent_on_repeats() {
+        let v = BitVec::from_indices(10, &[3, 3, 3, 7]).unwrap();
+        assert_eq!(v.count_ones(), 2);
+        assert_eq!(v.to_indices(), vec![3, 7]);
+    }
+
+    #[test]
+    fn from_indices_rejects_out_of_range() {
+        assert!(BitVec::from_indices(4, &[4]).is_err());
+    }
+
+    #[test]
+    fn hamming_examples() {
+        let a = BitVec::from_indices(100, &[1, 50, 99]).unwrap();
+        let b = BitVec::from_indices(100, &[1, 51, 99]).unwrap();
+        assert_eq!(a.hamming(&a).unwrap(), 0);
+        assert_eq!(a.hamming(&b).unwrap(), 2);
+        assert_eq!(a.hamming(&BitVec::new(100)).unwrap(), 3);
+    }
+
+    #[test]
+    fn hamming_rejects_length_mismatch() {
+        let a = BitVec::new(10);
+        let b = BitVec::new(11);
+        assert!(matches!(
+            a.hamming(&b),
+            Err(MatrixError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = BitVec::from_indices(70, &[0, 10, 65]).unwrap();
+        let b = BitVec::from_indices(70, &[10, 20, 65]).unwrap();
+        assert_eq!(a.intersection_count(&b).unwrap(), 2);
+        assert_eq!(a.union_count(&b).unwrap(), 4);
+        let mut u = a.clone();
+        u.union_with(&b).unwrap();
+        assert_eq!(u.to_indices(), vec![0, 10, 20, 65]);
+        let mut i = a.clone();
+        i.intersect_with(&b).unwrap();
+        assert_eq!(i.to_indices(), vec![10, 65]);
+        let mut d = a.clone();
+        d.difference_with(&b).unwrap();
+        assert_eq!(d.to_indices(), vec![0]);
+        assert!(i.is_subset_of(&a).unwrap());
+        assert!(!a.is_subset_of(&b).unwrap());
+    }
+
+    #[test]
+    fn jaccard_edge_cases() {
+        let empty = BitVec::new(10);
+        assert_eq!(empty.jaccard(&empty).unwrap(), 1.0);
+        let a = BitVec::from_indices(10, &[1, 2]).unwrap();
+        let b = BitVec::from_indices(10, &[2, 3]).unwrap();
+        assert!((a.jaccard(&b).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_ones_crosses_words() {
+        let idx = vec![0, 63, 64, 100, 127, 128];
+        let v = BitVec::from_indices(129, &idx).unwrap();
+        assert_eq!(v.to_indices(), idx);
+    }
+
+    #[test]
+    fn iter_ones_empty_and_zero_length() {
+        assert_eq!(BitVec::new(0).to_indices(), Vec::<usize>::new());
+        assert_eq!(BitVec::new(64).to_indices(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn eq_and_hash_consistent_for_same_content() {
+        use std::collections::HashSet;
+        let a = BitVec::from_indices(100, &[5, 50]).unwrap();
+        let mut b = BitVec::new(100);
+        b.set(50, true);
+        b.set(5, true);
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn from_words_validates_tail() {
+        // 65 bits → 2 words; second word may only use bit 0.
+        assert!(BitVec::from_words(65, vec![0, 1]).is_ok());
+        assert!(BitVec::from_words(65, vec![0, 2]).is_err());
+        assert!(BitVec::from_words(65, vec![0]).is_err());
+    }
+
+    #[test]
+    fn from_bools_and_collect() {
+        let v: BitVec = [true, false, true].into_iter().collect();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.to_indices(), vec![0, 2]);
+        assert_eq!(v, BitVec::from_bools(&[true, false, true]));
+    }
+
+    #[test]
+    fn clear_resets_all() {
+        let mut v = BitVec::from_indices(70, &[0, 69]).unwrap();
+        v.clear();
+        assert!(v.is_zero());
+        assert_eq!(v.len(), 70);
+    }
+
+    #[test]
+    fn debug_is_nonempty_and_truncates() {
+        let v = BitVec::from_indices(100, &(0..40).collect::<Vec<_>>()).unwrap();
+        let s = format!("{v:?}");
+        assert!(s.contains("len=100"));
+        assert!(s.contains('…'));
+        let empty = BitVec::new(0);
+        assert!(!format!("{empty:?}").is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let v = BitVec::from_indices(100, &[3, 64, 99]).unwrap();
+        let json = serde_json::to_string(&v).unwrap();
+        let back: BitVec = serde_json::from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+}

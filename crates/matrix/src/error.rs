@@ -1,0 +1,95 @@
+//! Error type for matrix construction and access.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by matrix constructors and accessors.
+///
+/// All fallible operations in this crate return [`MatrixError`]; indexing
+/// methods that take pre-validated indices panic instead and document it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MatrixError {
+    /// Two operands had incompatible dimensions.
+    DimensionMismatch {
+        /// Dimension expected by the receiver.
+        expected: usize,
+        /// Dimension actually supplied.
+        actual: usize,
+        /// What was being measured (e.g. `"row length"`).
+        what: &'static str,
+    },
+    /// An index was outside the matrix bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound it must stay under.
+        bound: usize,
+        /// Which axis the index addressed (e.g. `"row"`).
+        axis: &'static str,
+    },
+    /// A sparse constructor received column indices that were not strictly
+    /// increasing within a row.
+    UnsortedIndices {
+        /// Row in which the violation occurred.
+        row: usize,
+    },
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::DimensionMismatch {
+                expected,
+                actual,
+                what,
+            } => write!(
+                f,
+                "dimension mismatch: expected {what} {expected}, got {actual}"
+            ),
+            MatrixError::IndexOutOfBounds { index, bound, axis } => {
+                write!(f, "{axis} index {index} out of bounds (must be < {bound})")
+            }
+            MatrixError::UnsortedIndices { row } => {
+                write!(f, "column indices in row {row} are not strictly increasing")
+            }
+        }
+    }
+}
+
+impl Error for MatrixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MatrixError::DimensionMismatch {
+            expected: 4,
+            actual: 7,
+            what: "row length",
+        };
+        assert_eq!(
+            e.to_string(),
+            "dimension mismatch: expected row length 4, got 7"
+        );
+        let e = MatrixError::IndexOutOfBounds {
+            index: 9,
+            bound: 3,
+            axis: "row",
+        };
+        assert_eq!(e.to_string(), "row index 9 out of bounds (must be < 3)");
+        let e = MatrixError::UnsortedIndices { row: 2 };
+        assert_eq!(
+            e.to_string(),
+            "column indices in row 2 are not strictly increasing"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MatrixError>();
+    }
+}

@@ -1,0 +1,59 @@
+//! Binary matrix substrate for RBAC assignment data.
+//!
+//! The IAM Role Diet paper represents RBAC data as two binary assignment
+//! matrices: the *Role-User Assignment Matrix* (RUAM) and the
+//! *Role-Permission Assignment Matrix* (RPAM). Every detection algorithm in
+//! the paper is a computation over rows of these matrices: row sums (degree
+//! checks), row equality (duplicate roles) and row Hamming distance (similar
+//! roles). This crate provides that substrate:
+//!
+//! * [`BitVec`] — a fixed-length bit vector packed into `u64` words, with
+//!   `popcount`-based Hamming distance, set operations and index iteration.
+//! * [`BitMatrix`] — a dense matrix of bits stored row-major in one
+//!   contiguous buffer; rows are exposed as zero-copy [`RowRef`] views.
+//! * [`CsrMatrix`] — a compressed sparse row binary matrix for real-org
+//!   scale data (density around 1e-4), with a transpose that doubles as the
+//!   inverted index used by the co-occurrence algorithm.
+//! * [`RowMatrix`] — the trait detectors are generic over, so every
+//!   algorithm runs unchanged on dense or sparse input.
+//! * [`signature`] — collision-checked row hashing for the exact-duplicate
+//!   fast path.
+//! * [`ops`] — sparse co-occurrence products (`A · Aᵀ` restricted to pairs
+//!   that share at least one column) and column sums.
+//!
+//! # Examples
+//!
+//! ```
+//! use rolediet_matrix::{BitMatrix, RowMatrix};
+//!
+//! // Three roles over four users; roles 0 and 2 are identical.
+//! let m = BitMatrix::from_rows_of_indices(3, 4, &[
+//!     vec![0, 2],
+//!     vec![1],
+//!     vec![0, 2],
+//! ]).unwrap();
+//! assert_eq!(m.row_norm(0), 2);
+//! assert_eq!(m.row_hamming(0, 2), 0);
+//! assert_eq!(m.row_hamming(0, 1), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitvec;
+pub mod dense;
+pub mod error;
+pub mod ops;
+pub mod signature;
+pub mod sparse;
+mod traits;
+
+pub use bitvec::BitVec;
+pub use dense::{BitMatrix, RowRef};
+pub use error::MatrixError;
+pub use signature::{hash_words, RowSignature, SignatureIndex};
+pub use sparse::CsrMatrix;
+pub use traits::RowMatrix;
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, MatrixError>;

@@ -1,0 +1,460 @@
+//! Compressed sparse row binary matrices.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bitvec::BitVec;
+use crate::dense::BitMatrix;
+use crate::error::MatrixError;
+use crate::signature::{hash_indices, RowSignature};
+use crate::traits::RowMatrix;
+use crate::Result;
+
+/// A binary matrix in compressed sparse row (CSR) form.
+///
+/// Stores only the column indices of set bits: `indices[indptr[i]..indptr[i+1]]`
+/// are the (strictly increasing) set columns of row `i`. The paper notes
+/// that sparse storage is the practical representation at real-org scale —
+/// the case-study RUAM is ~50,000 × 90,000 with density around 10⁻⁴, i.e.
+/// half a gigabyte dense but only a few megabytes sparse.
+///
+/// Column indices are `u32`; RBAC datasets with more than 4 × 10⁹ users or
+/// permissions are out of scope.
+///
+/// # Examples
+///
+/// ```
+/// use rolediet_matrix::{CsrMatrix, RowMatrix};
+///
+/// let m = CsrMatrix::from_rows_of_indices(2, 5, &[vec![1, 3], vec![3]]).unwrap();
+/// assert_eq!(m.row_dot(0, 1), 1);
+/// assert_eq!(m.row_hamming(0, 1), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+}
+
+impl CsrMatrix {
+    /// Creates an empty (all-zero) `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CsrMatrix {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: Vec::new(),
+        }
+    }
+
+    /// Builds a CSR matrix from per-row column-index lists.
+    ///
+    /// Rows are sorted and deduplicated internally, so input order does not
+    /// matter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if `row_indices.len() !=
+    /// rows` or [`MatrixError::IndexOutOfBounds`] if a column is `>= cols`.
+    pub fn from_rows_of_indices(rows: usize, cols: usize, row_indices: &[Vec<usize>]) -> Result<Self> {
+        if row_indices.len() != rows {
+            return Err(MatrixError::DimensionMismatch {
+                expected: rows,
+                actual: row_indices.len(),
+                what: "row count",
+            });
+        }
+        let mut indptr = Vec::with_capacity(rows + 1);
+        indptr.push(0usize);
+        let mut indices: Vec<u32> = Vec::new();
+        let mut scratch: Vec<usize> = Vec::new();
+        for cols_of_row in row_indices {
+            scratch.clear();
+            scratch.extend_from_slice(cols_of_row);
+            scratch.sort_unstable();
+            scratch.dedup();
+            for &c in &scratch {
+                if c >= cols {
+                    return Err(MatrixError::IndexOutOfBounds {
+                        index: c,
+                        bound: cols,
+                        axis: "column",
+                    });
+                }
+                indices.push(c as u32);
+            }
+            indptr.push(indices.len());
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+        })
+    }
+
+    /// Builds a CSR matrix from raw CSR arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `indptr` is malformed (wrong length, not
+    /// monotone, or not ending at `indices.len()`), if any column is out of
+    /// range, or if a row's indices are not strictly increasing.
+    pub fn from_raw(rows: usize, cols: usize, indptr: Vec<usize>, indices: Vec<u32>) -> Result<Self> {
+        if indptr.len() != rows + 1 {
+            return Err(MatrixError::DimensionMismatch {
+                expected: rows + 1,
+                actual: indptr.len(),
+                what: "indptr length",
+            });
+        }
+        if indptr[0] != 0 || *indptr.last().expect("len >= 1") != indices.len() {
+            return Err(MatrixError::DimensionMismatch {
+                expected: indices.len(),
+                actual: *indptr.last().expect("len >= 1"),
+                what: "indptr terminal value",
+            });
+        }
+        for r in 0..rows {
+            if indptr[r] > indptr[r + 1] {
+                return Err(MatrixError::UnsortedIndices { row: r });
+            }
+            let row = &indices[indptr[r]..indptr[r + 1]];
+            for pair in row.windows(2) {
+                if pair[0] >= pair[1] {
+                    return Err(MatrixError::UnsortedIndices { row: r });
+                }
+            }
+            if let Some(&last) = row.last() {
+                if last as usize >= cols {
+                    return Err(MatrixError::IndexOutOfBounds {
+                        index: last as usize,
+                        bound: cols,
+                        axis: "column",
+                    });
+                }
+            }
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+        })
+    }
+
+    /// Converts a dense matrix to CSR.
+    pub fn from_dense(dense: &BitMatrix) -> Self {
+        let mut indptr = Vec::with_capacity(dense.n_rows() + 1);
+        indptr.push(0);
+        let mut indices = Vec::new();
+        for i in 0..dense.n_rows() {
+            for j in dense.row(i).iter_ones() {
+                indices.push(j as u32);
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            rows: dense.n_rows(),
+            cols: dense.n_cols(),
+            indptr,
+            indices,
+        }
+    }
+
+    /// Converts to a dense [`BitMatrix`].
+    ///
+    /// Beware of scale: a 50,000 × 90,000 result allocates ~560 MB.
+    pub fn to_dense(&self) -> BitMatrix {
+        let mut m = BitMatrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for &j in self.row(i) {
+                m.set(i, j as usize, true);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The sorted column indices of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_rows()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        assert!(i < self.rows, "row index {i} out of bounds");
+        &self.indices[self.indptr[i]..self.indptr[i + 1]]
+    }
+
+    /// Returns the bit at (`row`, `col`) via binary search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        assert!(col < self.cols, "column index {col} out of bounds");
+        self.row(row).binary_search(&(col as u32)).is_ok()
+    }
+
+    /// Transposes the matrix. For RUAM the transpose is the user→roles
+    /// *inverted index* that drives the co-occurrence algorithm.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.cols];
+        for &j in &self.indices {
+            counts[j as usize] += 1;
+        }
+        let mut indptr = Vec::with_capacity(self.cols + 1);
+        indptr.push(0usize);
+        for c in &counts {
+            indptr.push(indptr.last().expect("nonempty") + c);
+        }
+        let mut cursor = indptr[..self.cols].to_vec();
+        let mut indices = vec![0u32; self.indices.len()];
+        for i in 0..self.rows {
+            for &j in self.row(i) {
+                let j = j as usize;
+                indices[cursor[j]] = i as u32;
+                cursor[j] += 1;
+            }
+        }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+        }
+    }
+
+    /// Memory footprint of the payload in bytes.
+    pub fn payload_bytes(&self) -> usize {
+        self.indices.len() * std::mem::size_of::<u32>()
+            + self.indptr.len() * std::mem::size_of::<usize>()
+    }
+
+    /// Intersection size of two sorted index slices (merge join).
+    pub(crate) fn sorted_dot(a: &[u32], b: &[u32]) -> usize {
+        let (mut ia, mut ib, mut n) = (0usize, 0usize, 0usize);
+        while ia < a.len() && ib < b.len() {
+            match a[ia].cmp(&b[ib]) {
+                std::cmp::Ordering::Less => ia += 1,
+                std::cmp::Ordering::Greater => ib += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    ia += 1;
+                    ib += 1;
+                }
+            }
+        }
+        n
+    }
+}
+
+impl fmt::Debug for CsrMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CsrMatrix({}x{}, nnz={})",
+            self.rows,
+            self.cols,
+            self.indices.len()
+        )
+    }
+}
+
+impl RowMatrix for CsrMatrix {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn row_norm(&self, i: usize) -> usize {
+        assert!(i < self.rows, "row index {i} out of bounds");
+        self.indptr[i + 1] - self.indptr[i]
+    }
+
+    fn row_hamming(&self, i: usize, j: usize) -> usize {
+        let dot = Self::sorted_dot(self.row(i), self.row(j));
+        self.row_norm(i) + self.row_norm(j) - 2 * dot
+    }
+
+    fn row_dot(&self, i: usize, j: usize) -> usize {
+        Self::sorted_dot(self.row(i), self.row(j))
+    }
+
+    fn rows_equal(&self, i: usize, j: usize) -> bool {
+        self.row(i) == self.row(j)
+    }
+
+    fn row_indices(&self, i: usize) -> Vec<usize> {
+        self.row(i).iter().map(|&c| c as usize).collect()
+    }
+
+    fn row_bitvec(&self, i: usize) -> BitVec {
+        let mut v = BitVec::new(self.cols);
+        for &c in self.row(i) {
+            v.set(c as usize, true);
+        }
+        v
+    }
+
+    fn row_signature(&self, i: usize) -> RowSignature {
+        hash_indices(self.cols, self.row(i))
+    }
+
+    fn col_sums(&self) -> Vec<usize> {
+        let mut sums = vec![0usize; self.cols];
+        for &j in &self.indices {
+            sums[j as usize] += 1;
+        }
+        sums
+    }
+
+    fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_rows_of_indices(
+            4,
+            6,
+            &[vec![0, 2, 4], vec![5], vec![4, 2, 0], vec![]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let m = CsrMatrix::from_rows_of_indices(1, 5, &[vec![3, 1, 3, 0]]).unwrap();
+        assert_eq!(m.row(0), &[0, 1, 3]);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn construction_validates_bounds_and_shape() {
+        assert!(CsrMatrix::from_rows_of_indices(2, 3, &[vec![0]]).is_err());
+        assert!(CsrMatrix::from_rows_of_indices(1, 3, &[vec![3]]).is_err());
+    }
+
+    #[test]
+    fn from_raw_validation() {
+        assert!(CsrMatrix::from_raw(2, 4, vec![0, 1, 2], vec![1, 3]).is_ok());
+        // wrong indptr length
+        assert!(CsrMatrix::from_raw(2, 4, vec![0, 2], vec![1, 3]).is_err());
+        // non-monotone indptr
+        assert!(CsrMatrix::from_raw(2, 4, vec![0, 2, 1], vec![1, 3]).is_err());
+        // terminal mismatch
+        assert!(CsrMatrix::from_raw(2, 4, vec![0, 1, 1], vec![1, 3]).is_err());
+        // unsorted row
+        assert!(CsrMatrix::from_raw(1, 4, vec![0, 2], vec![3, 1]).is_err());
+        // duplicate within row
+        assert!(CsrMatrix::from_raw(1, 4, vec![0, 2], vec![1, 1]).is_err());
+        // column out of range
+        assert!(CsrMatrix::from_raw(1, 4, vec![0, 1], vec![4]).is_err());
+    }
+
+    #[test]
+    fn get_and_row_access() {
+        let m = sample();
+        assert!(m.get(0, 2));
+        assert!(!m.get(0, 1));
+        assert!(!m.get(3, 0));
+        assert_eq!(m.row(2), &[0, 2, 4]);
+    }
+
+    #[test]
+    fn norms_hamming_dot() {
+        let m = sample();
+        assert_eq!(m.row_norm(0), 3);
+        assert_eq!(m.row_norm(3), 0);
+        assert_eq!(m.row_hamming(0, 2), 0);
+        assert_eq!(m.row_hamming(0, 1), 4);
+        assert_eq!(m.row_dot(0, 2), 3);
+        assert_eq!(m.row_dot(0, 1), 0);
+        assert!(m.rows_equal(0, 2));
+        assert!(!m.rows_equal(0, 3));
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let m = sample();
+        let d = m.to_dense();
+        assert_eq!(CsrMatrix::from_dense(&d), m);
+        // Trait-level equivalence
+        for i in 0..4 {
+            assert_eq!(m.row_norm(i), d.row_norm(i));
+            for j in 0..4 {
+                assert_eq!(m.row_hamming(i, j), d.row_hamming(i, j));
+                assert_eq!(m.row_dot(i, j), d.row_dot(i, j));
+            }
+        }
+        assert_eq!(m.col_sums(), d.col_sums());
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.n_rows(), 6);
+        assert_eq!(t.n_cols(), 4);
+        assert_eq!(t.to_dense(), m.to_dense().transpose());
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn transpose_row_is_inverted_index() {
+        let m = sample();
+        let t = m.transpose();
+        // Column 4 of m is set in rows 0 and 2.
+        assert_eq!(t.row(4), &[0, 2]);
+        // Column 1 of m is empty.
+        assert!(t.row(1).is_empty());
+    }
+
+    #[test]
+    fn zeros_and_payload() {
+        let m = CsrMatrix::zeros(3, 100);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.row_norm(2), 0);
+        assert!(m.payload_bytes() >= 4 * std::mem::size_of::<usize>());
+    }
+
+    #[test]
+    fn sorted_dot_cases() {
+        assert_eq!(CsrMatrix::sorted_dot(&[], &[]), 0);
+        assert_eq!(CsrMatrix::sorted_dot(&[1, 2, 3], &[]), 0);
+        assert_eq!(CsrMatrix::sorted_dot(&[1, 2, 3], &[2, 3, 4]), 2);
+        assert_eq!(CsrMatrix::sorted_dot(&[1, 5], &[2, 6]), 0);
+    }
+
+    #[test]
+    fn debug_and_serde() {
+        let m = sample();
+        assert_eq!(format!("{m:?}"), "CsrMatrix(4x6, nnz=7)");
+        let json = serde_json::to_string(&m).unwrap();
+        let back: CsrMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

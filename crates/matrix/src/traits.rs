@@ -1,0 +1,128 @@
+//! The [`RowMatrix`] abstraction shared by dense and sparse matrices.
+
+use crate::bitvec::BitVec;
+use crate::signature::RowSignature;
+
+/// A read-only binary matrix viewed as a collection of rows.
+///
+/// Every detector in `rolediet-core` is generic over `RowMatrix`, so the
+/// same algorithm runs on a dense [`BitMatrix`](crate::BitMatrix) (fast for
+/// the paper's synthetic benchmarks, up to ~10k × 10k) or a sparse
+/// [`CsrMatrix`](crate::CsrMatrix) (required at real-org scale, where the
+/// dense RUAM would need 50,000 × 90,000 bits ≈ 560 MB but holds only a few
+/// hundred thousand ones).
+///
+/// Row indices correspond to roles; column indices to users (RUAM) or
+/// permissions (RPAM).
+pub trait RowMatrix {
+    /// Number of rows (roles).
+    fn rows(&self) -> usize;
+
+    /// Number of columns (users or permissions).
+    fn cols(&self) -> usize;
+
+    /// Number of set bits in row `i` — the norm `|Rⁱ|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows()`.
+    fn row_norm(&self, i: usize) -> usize;
+
+    /// Hamming distance between rows `i` and `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    fn row_hamming(&self, i: usize, j: usize) -> usize;
+
+    /// Co-occurrence count `gⁱʲ`: number of columns set in both rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    fn row_dot(&self, i: usize, j: usize) -> usize;
+
+    /// Returns `true` if rows `i` and `j` are identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    fn rows_equal(&self, i: usize, j: usize) -> bool {
+        self.row_hamming(i, j) == 0
+    }
+
+    /// Column indices set in row `i`, in increasing order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows()`.
+    fn row_indices(&self, i: usize) -> Vec<usize>;
+
+    /// Copies row `i` into an owned [`BitVec`] of `cols()` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows()`.
+    fn row_bitvec(&self, i: usize) -> BitVec;
+
+    /// A collision-resistant content signature of row `i`; equal rows have
+    /// equal signatures. See [`RowSignature`] for the collision discussion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows()`.
+    fn row_signature(&self, i: usize) -> RowSignature;
+
+    /// Sum of every column: `col_sums()[j]` counts the roles containing
+    /// column `j`. Used by the linear-time detectors (standalone nodes).
+    fn col_sums(&self) -> Vec<usize>;
+
+    /// Sum of every row; `row_sums()[i] == row_norm(i)`.
+    fn row_sums(&self) -> Vec<usize> {
+        (0..self.rows()).map(|i| self.row_norm(i)).collect()
+    }
+
+    /// Total number of set bits (assignments) in the matrix.
+    fn nnz(&self) -> usize {
+        self.row_sums().iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::BitMatrix;
+    use crate::sparse::CsrMatrix;
+
+    fn sample_rows() -> Vec<Vec<usize>> {
+        vec![vec![0, 2, 4], vec![1], vec![0, 2, 4], vec![]]
+    }
+
+    fn assert_matrix_behaviour<M: RowMatrix>(m: &M) {
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.cols(), 5);
+        assert_eq!(m.row_norm(0), 3);
+        assert_eq!(m.row_norm(3), 0);
+        assert_eq!(m.row_hamming(0, 2), 0);
+        assert!(m.rows_equal(0, 2));
+        assert!(!m.rows_equal(0, 1));
+        assert_eq!(m.row_dot(0, 2), 3);
+        assert_eq!(m.row_dot(0, 1), 0);
+        assert_eq!(m.row_indices(0), vec![0, 2, 4]);
+        assert_eq!(m.row_bitvec(1).to_indices(), vec![1]);
+        assert_eq!(m.col_sums(), vec![2, 1, 2, 0, 2]);
+        assert_eq!(m.row_sums(), vec![3, 1, 3, 0]);
+        assert_eq!(m.nnz(), 7);
+        assert_eq!(m.row_signature(0), m.row_signature(2));
+        assert_ne!(m.row_signature(0), m.row_signature(1));
+    }
+
+    #[test]
+    fn dense_and_sparse_agree_with_trait_contract() {
+        let rows = sample_rows();
+        let dense = BitMatrix::from_rows_of_indices(4, 5, &rows).unwrap();
+        let sparse = CsrMatrix::from_rows_of_indices(4, 5, &rows).unwrap();
+        assert_matrix_behaviour(&dense);
+        assert_matrix_behaviour(&sparse);
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests for the matrix substrate.
+//!
+//! These pin the algebraic identities the detection algorithms rely on:
+//! Hamming metric axioms, the `|Rⁱ| + |Rʲ| − 2gⁱʲ = Hamming(i,j)` identity
+//! at the heart of the custom algorithm, dense/sparse equivalence, and
+//! signature soundness.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use rolediet_matrix::ops::{for_each_cooccurring_pair, gram_matrix};
+use rolediet_matrix::{BitMatrix, BitVec, CsrMatrix, RowMatrix, SignatureIndex};
+
+/// Strategy: a row as a set of column indices below `cols`.
+fn row_strategy(cols: usize) -> impl Strategy<Value = Vec<usize>> {
+    vec(0..cols, 0..=cols.min(24))
+}
+
+/// Strategy: (rows, cols, row index lists).
+fn matrix_strategy() -> impl Strategy<Value = (usize, usize, Vec<Vec<usize>>)> {
+    (1usize..12, 1usize..150).prop_flat_map(|(rows, cols)| {
+        vec(row_strategy(cols), rows).prop_map(move |data| (rows, cols, data))
+    })
+}
+
+proptest! {
+    #[test]
+    fn bitvec_roundtrip_through_indices((_, cols, data) in matrix_strategy()) {
+        for row in &data {
+            let v = BitVec::from_indices(cols, row).unwrap();
+            let mut sorted = row.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(v.to_indices(), sorted);
+            prop_assert_eq!(v.count_ones(), v.to_indices().len());
+        }
+    }
+
+    #[test]
+    fn hamming_metric_axioms(
+        a in row_strategy(100),
+        b in row_strategy(100),
+        c in row_strategy(100),
+    ) {
+        let va = BitVec::from_indices(100, &a).unwrap();
+        let vb = BitVec::from_indices(100, &b).unwrap();
+        let vc = BitVec::from_indices(100, &c).unwrap();
+        let dab = va.hamming(&vb).unwrap();
+        let dba = vb.hamming(&va).unwrap();
+        let dac = va.hamming(&vc).unwrap();
+        let dcb = vc.hamming(&vb).unwrap();
+        // symmetry
+        prop_assert_eq!(dab, dba);
+        // identity of indiscernibles
+        prop_assert_eq!(va.hamming(&va).unwrap(), 0);
+        prop_assert_eq!(dab == 0, va == vb);
+        // triangle inequality
+        prop_assert!(dab <= dac + dcb);
+    }
+
+    #[test]
+    fn norm_dot_hamming_identity(
+        a in row_strategy(100),
+        b in row_strategy(100),
+    ) {
+        // The identity the custom algorithm is built on (Section III-C):
+        // Hamming(i,j) = |Ri| + |Rj| - 2 g_ij.
+        let va = BitVec::from_indices(100, &a).unwrap();
+        let vb = BitVec::from_indices(100, &b).unwrap();
+        let g = va.intersection_count(&vb).unwrap();
+        prop_assert_eq!(
+            va.hamming(&vb).unwrap(),
+            va.count_ones() + vb.count_ones() - 2 * g
+        );
+        // Same-users indicator: |Ri| = g = |Rj|  <=>  rows equal.
+        let same = va.count_ones() == g && vb.count_ones() == g;
+        prop_assert_eq!(same, va == vb);
+    }
+
+    #[test]
+    fn union_intersection_inclusion_exclusion(
+        a in row_strategy(80),
+        b in row_strategy(80),
+    ) {
+        let va = BitVec::from_indices(80, &a).unwrap();
+        let vb = BitVec::from_indices(80, &b).unwrap();
+        let union = va.union_count(&vb).unwrap();
+        let inter = va.intersection_count(&vb).unwrap();
+        prop_assert_eq!(union + inter, va.count_ones() + vb.count_ones());
+    }
+
+    #[test]
+    fn dense_sparse_equivalence((rows, cols, data) in matrix_strategy()) {
+        let d = BitMatrix::from_rows_of_indices(rows, cols, &data).unwrap();
+        let s = CsrMatrix::from_rows_of_indices(rows, cols, &data).unwrap();
+        prop_assert_eq!(CsrMatrix::from_dense(&d), s.clone());
+        prop_assert_eq!(s.to_dense(), d.clone());
+        prop_assert_eq!(d.col_sums(), s.col_sums());
+        prop_assert_eq!(d.nnz(), s.nnz());
+        for i in 0..rows {
+            prop_assert_eq!(d.row_norm(i), s.row_norm(i));
+            prop_assert_eq!(d.row_signature(i), s.row_signature(i));
+            prop_assert_eq!(d.row_indices(i), s.row_indices(i));
+            for j in 0..rows {
+                prop_assert_eq!(d.row_hamming(i, j), s.row_hamming(i, j));
+                prop_assert_eq!(d.row_dot(i, j), s.row_dot(i, j));
+                prop_assert_eq!(d.rows_equal(i, j), s.rows_equal(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_involution_and_sums((rows, cols, data) in matrix_strategy()) {
+        let s = CsrMatrix::from_rows_of_indices(rows, cols, &data).unwrap();
+        let t = s.transpose();
+        prop_assert_eq!(t.transpose(), s.clone());
+        prop_assert_eq!(t.row_sums(), s.col_sums());
+        prop_assert_eq!(t.col_sums(), s.row_sums());
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // i/j are matrix coordinates
+    fn streamed_pairs_match_gram((rows, cols, data) in matrix_strategy()) {
+        let s = CsrMatrix::from_rows_of_indices(rows, cols, &data).unwrap();
+        let t = s.transpose();
+        let gram = gram_matrix(&s);
+        let mut seen = std::collections::HashMap::new();
+        for_each_cooccurring_pair(&s, &t, |i, j, g| {
+            assert!(i < j);
+            seen.insert((i, j), g);
+        });
+        for i in 0..rows {
+            prop_assert_eq!(gram[i][i], s.row_norm(i));
+            for j in (i + 1)..rows {
+                prop_assert_eq!(seen.get(&(i, j)).copied().unwrap_or(0), gram[i][j]);
+            }
+        }
+    }
+
+    #[test]
+    fn signature_groups_are_exactly_equal_rows((rows, cols, data) in matrix_strategy()) {
+        let s = CsrMatrix::from_rows_of_indices(rows, cols, &data).unwrap();
+        let groups = SignatureIndex::build(&s).groups_verified(&s);
+        // Every reported group member pair is bit-equal.
+        for g in &groups {
+            prop_assert!(g.len() >= 2);
+            for w in g.windows(2) {
+                prop_assert!(s.rows_equal(w[0], w[1]));
+            }
+        }
+        // Every equal pair is covered by some group.
+        let mut group_of = vec![usize::MAX; rows];
+        for (gi, g) in groups.iter().enumerate() {
+            for &r in g {
+                group_of[r] = gi;
+            }
+        }
+        for i in 0..rows {
+            for j in (i + 1)..rows {
+                if s.rows_equal(i, j) {
+                    prop_assert_eq!(group_of[i], group_of[j]);
+                    prop_assert_ne!(group_of[i], usize::MAX);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subset_difference_consistency(
+        a in row_strategy(60),
+        b in row_strategy(60),
+    ) {
+        let va = BitVec::from_indices(60, &a).unwrap();
+        let vb = BitVec::from_indices(60, &b).unwrap();
+        let mut diff = va.clone();
+        diff.difference_with(&vb).unwrap();
+        prop_assert!(diff.is_subset_of(&va).unwrap());
+        prop_assert_eq!(diff.intersection_count(&vb).unwrap(), 0);
+        prop_assert_eq!(
+            diff.count_ones(),
+            va.count_ones() - va.intersection_count(&vb).unwrap()
+        );
+    }
+}

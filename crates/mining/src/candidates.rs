@@ -1,0 +1,201 @@
+//! Candidate role generation (RoleMiner's `GenerateRoles` idea).
+//!
+//! Candidates are permission sets that could become roles:
+//!
+//! 1. every *distinct* user permission-set (the "initial roles" — these
+//!    alone already guarantee an exact cover exists);
+//! 2. pairwise intersections of initial roles (the sets of permissions
+//!    shared by user groups — where the compression comes from), applied
+//!    repeatedly up to a closure bound.
+//!
+//! The candidate pool is deduplicated, empty sets are dropped, and the
+//! pool is capped (intersection closure can explode combinatorially; the
+//! cap keeps mining polynomial, trading optimality like every practical
+//! role miner does).
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use rolediet_matrix::{BitVec, CsrMatrix, RowMatrix};
+
+/// Candidate generation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CandidateConfig {
+    /// Maximum number of candidate permission-sets kept.
+    pub max_candidates: usize,
+    /// Number of intersection-closure rounds over the initial roles
+    /// (1 = pairwise intersections of initial roles only).
+    pub closure_rounds: usize,
+}
+
+impl Default for CandidateConfig {
+    fn default() -> Self {
+        CandidateConfig {
+            max_candidates: 10_000,
+            closure_rounds: 1,
+        }
+    }
+}
+
+/// Generates candidate permission sets from a UPAM (users × permissions).
+///
+/// The result always contains every distinct non-empty user row (so an
+/// exact cover is always constructible), ordered largest-first, then by
+/// bit pattern for determinism.
+///
+/// # Examples
+///
+/// ```
+/// use rolediet_matrix::CsrMatrix;
+/// use rolediet_mining::{generate_candidates, CandidateConfig};
+///
+/// // Two users share {0,1}; a third has {0,1,2}.
+/// let upam = CsrMatrix::from_rows_of_indices(3, 3, &[
+///     vec![0, 1], vec![0, 1], vec![0, 1, 2],
+/// ]).unwrap();
+/// let cands = generate_candidates(&upam, &CandidateConfig::default());
+/// // {0,1,2}, {0,1} — the intersection adds nothing new here.
+/// assert_eq!(cands.len(), 2);
+/// ```
+pub fn generate_candidates(upam: &CsrMatrix, config: &CandidateConfig) -> Vec<BitVec> {
+    let cols = upam.cols();
+    let mut seen: HashSet<BitVec> = HashSet::new();
+    let mut initial: Vec<BitVec> = Vec::new();
+    for u in 0..upam.rows() {
+        if upam.row_norm(u) == 0 {
+            continue;
+        }
+        let row = upam.row_bitvec(u);
+        if seen.insert(row.clone()) {
+            initial.push(row);
+        }
+    }
+    let mut pool = initial.clone();
+    let mut frontier = initial.clone();
+    for _ in 0..config.closure_rounds {
+        if pool.len() >= config.max_candidates {
+            break;
+        }
+        let mut next = Vec::new();
+        'outer: for (i, a) in frontier.iter().enumerate() {
+            for b in initial.iter().skip(i + 1) {
+                let mut inter = a.clone();
+                inter
+                    .intersect_with(b)
+                    .expect("candidates share the UPAM width");
+                if inter.is_zero() {
+                    continue;
+                }
+                if seen.insert(inter.clone()) {
+                    next.push(inter);
+                    if seen.len() >= config.max_candidates {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        pool.extend(next.iter().cloned());
+        frontier = next;
+    }
+    pool.truncate(config.max_candidates);
+    // Deterministic order: larger sets first (better greedy seeds), ties
+    // by bit pattern.
+    pool.sort_by(|a, b| {
+        b.count_ones()
+            .cmp(&a.count_ones())
+            .then_with(|| a.as_words().cmp(b.as_words()))
+    });
+    debug_assert!(pool.iter().all(|c| c.len() == cols));
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upam(rows: &[Vec<usize>], cols: usize) -> CsrMatrix {
+        CsrMatrix::from_rows_of_indices(rows.len(), cols, rows).unwrap()
+    }
+
+    #[test]
+    fn initial_roles_are_distinct_user_rows() {
+        let m = upam(&[vec![0, 1], vec![0, 1], vec![2], vec![]], 3);
+        let cands = generate_candidates(&m, &CandidateConfig::default());
+        // {0,1} and {2}; empty row dropped; duplicates merged; the
+        // intersection {0,1}∩{2} is empty and dropped.
+        assert_eq!(cands.len(), 2);
+        assert_eq!(cands[0].to_indices(), vec![0, 1]);
+        assert_eq!(cands[1].to_indices(), vec![2]);
+    }
+
+    #[test]
+    fn intersections_surface_shared_subsets() {
+        // Users: {0,1,2}, {0,1,3} — intersection {0,1} is the shared
+        // "real role" no single user exposes.
+        let m = upam(&[vec![0, 1, 2], vec![0, 1, 3]], 4);
+        let cands = generate_candidates(&m, &CandidateConfig::default());
+        assert!(cands.iter().any(|c| c.to_indices() == vec![0, 1]));
+        assert_eq!(cands.len(), 3);
+    }
+
+    #[test]
+    fn closure_rounds_deepen_the_pool() {
+        // Three users whose pairwise intersections differ from the triple
+        // intersection: rounds=1 finds pairwise; rounds=2 also finds the
+        // intersection of an intersection with the third row.
+        let m = upam(&[vec![0, 1, 2], vec![0, 1, 3], vec![0, 2, 3]], 4);
+        let one = generate_candidates(
+            &m,
+            &CandidateConfig {
+                closure_rounds: 1,
+                ..CandidateConfig::default()
+            },
+        );
+        let two = generate_candidates(
+            &m,
+            &CandidateConfig {
+                closure_rounds: 2,
+                ..CandidateConfig::default()
+            },
+        );
+        assert!(two.len() >= one.len());
+        assert!(two.iter().any(|c| c.to_indices() == vec![0]));
+    }
+
+    #[test]
+    fn cap_is_respected() {
+        let rows: Vec<Vec<usize>> = (0..12)
+            .map(|i| (0..12).filter(|j| (i + j) % 3 != 0).collect())
+            .collect();
+        let m = upam(&rows, 12);
+        let cands = generate_candidates(
+            &m,
+            &CandidateConfig {
+                max_candidates: 5,
+                closure_rounds: 3,
+            },
+        );
+        assert!(cands.len() <= 5);
+    }
+
+    #[test]
+    fn deterministic_and_sorted_largest_first() {
+        let m = upam(&[vec![0], vec![1, 2], vec![1, 2, 3]], 4);
+        let a = generate_candidates(&m, &CandidateConfig::default());
+        let b = generate_candidates(&m, &CandidateConfig::default());
+        assert_eq!(a, b);
+        for w in a.windows(2) {
+            assert!(w[0].count_ones() >= w[1].count_ones());
+        }
+    }
+
+    #[test]
+    fn empty_upam_yields_no_candidates() {
+        let m = upam(&[vec![], vec![]], 3);
+        assert!(generate_candidates(&m, &CandidateConfig::default()).is_empty());
+    }
+}

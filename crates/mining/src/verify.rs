@@ -1,0 +1,192 @@
+//! Exact-cover verification for mined role sets.
+
+use std::error::Error;
+use std::fmt;
+
+use rolediet_matrix::{BitVec, CsrMatrix, RowMatrix};
+
+use crate::greedy::MinedRole;
+
+/// Why a mined role set fails to reproduce the UPAM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoverError {
+    /// A role grants a user a permission the UPAM does not contain.
+    OverGrant {
+        /// Offending user index.
+        user: usize,
+        /// Number of extra permissions granted.
+        extra: usize,
+    },
+    /// A user ends up with fewer permissions than the UPAM row.
+    UnderGrant {
+        /// Offending user index.
+        user: usize,
+        /// Number of missing permissions.
+        missing: usize,
+    },
+    /// A role references an out-of-range user or permission.
+    OutOfRange {
+        /// Index of the offending mined role.
+        role: usize,
+    },
+}
+
+impl fmt::Display for CoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoverError::OverGrant { user, extra } => {
+                write!(f, "user {user} would gain {extra} extra permission(s)")
+            }
+            CoverError::UnderGrant { user, missing } => {
+                write!(f, "user {user} would lose {missing} permission(s)")
+            }
+            CoverError::OutOfRange { role } => {
+                write!(f, "mined role {role} references an out-of-range index")
+            }
+        }
+    }
+}
+
+impl Error for CoverError {}
+
+/// Checks that assigning `roles` reproduces `upam` exactly: every user's
+/// union of assigned role permissions equals their UPAM row.
+///
+/// # Errors
+///
+/// Returns the first [`CoverError`] found (lowest user index; over-grants
+/// reported before under-grants for the same user).
+#[allow(clippy::needless_range_loop)] // u indexes two parallel structures
+pub fn verify_exact_cover(upam: &CsrMatrix, roles: &[MinedRole]) -> Result<(), CoverError> {
+    let (n_users, n_perms) = (upam.rows(), upam.cols());
+    let mut granted: Vec<BitVec> = (0..n_users).map(|_| BitVec::new(n_perms)).collect();
+    for (ri, role) in roles.iter().enumerate() {
+        if role.users.iter().any(|&u| u >= n_users)
+            || role.permissions.iter().any(|&p| p >= n_perms)
+        {
+            return Err(CoverError::OutOfRange { role: ri });
+        }
+        let perms =
+            BitVec::from_indices(n_perms, &role.permissions).expect("range checked above");
+        for &u in &role.users {
+            granted[u].union_with(&perms).expect("widths equal");
+        }
+    }
+    for u in 0..n_users {
+        let want = upam.row_bitvec(u);
+        let have = &granted[u];
+        let mut extra = have.clone();
+        extra.difference_with(&want).expect("widths equal");
+        if !extra.is_zero() {
+            return Err(CoverError::OverGrant {
+                user: u,
+                extra: extra.count_ones(),
+            });
+        }
+        let mut missing = want;
+        missing.difference_with(have).expect("widths equal");
+        if !missing.is_zero() {
+            return Err(CoverError::UnderGrant {
+                user: u,
+                missing: missing.count_ones(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upam(rows: &[Vec<usize>], cols: usize) -> CsrMatrix {
+        CsrMatrix::from_rows_of_indices(rows.len(), cols, rows).unwrap()
+    }
+
+    #[test]
+    fn exact_cover_passes() {
+        let m = upam(&[vec![0, 1], vec![1]], 2);
+        let roles = vec![
+            MinedRole {
+                permissions: vec![0],
+                users: vec![0],
+            },
+            MinedRole {
+                permissions: vec![1],
+                users: vec![0, 1],
+            },
+        ];
+        verify_exact_cover(&m, &roles).unwrap();
+    }
+
+    #[test]
+    fn over_grant_detected() {
+        let m = upam(&[vec![0]], 2);
+        let roles = vec![MinedRole {
+            permissions: vec![0, 1],
+            users: vec![0],
+        }];
+        assert_eq!(
+            verify_exact_cover(&m, &roles),
+            Err(CoverError::OverGrant { user: 0, extra: 1 })
+        );
+    }
+
+    #[test]
+    fn under_grant_detected() {
+        let m = upam(&[vec![0, 1]], 2);
+        let roles = vec![MinedRole {
+            permissions: vec![0],
+            users: vec![0],
+        }];
+        assert_eq!(
+            verify_exact_cover(&m, &roles),
+            Err(CoverError::UnderGrant {
+                user: 0,
+                missing: 1
+            })
+        );
+    }
+
+    #[test]
+    fn out_of_range_detected() {
+        let m = upam(&[vec![0]], 2);
+        let bad_user = vec![MinedRole {
+            permissions: vec![0],
+            users: vec![5],
+        }];
+        assert_eq!(
+            verify_exact_cover(&m, &bad_user),
+            Err(CoverError::OutOfRange { role: 0 })
+        );
+        let bad_perm = vec![MinedRole {
+            permissions: vec![9],
+            users: vec![0],
+        }];
+        assert_eq!(
+            verify_exact_cover(&m, &bad_perm),
+            Err(CoverError::OutOfRange { role: 0 })
+        );
+    }
+
+    #[test]
+    fn empty_roles_cover_empty_upam_only() {
+        let empty = upam(&[vec![], vec![]], 2);
+        verify_exact_cover(&empty, &[]).unwrap();
+        let nonempty = upam(&[vec![0]], 2);
+        assert!(verify_exact_cover(&nonempty, &[]).is_err());
+    }
+
+    #[test]
+    fn error_messages() {
+        assert_eq!(
+            CoverError::OverGrant { user: 3, extra: 2 }.to_string(),
+            "user 3 would gain 2 extra permission(s)"
+        );
+        assert_eq!(
+            CoverError::OutOfRange { role: 1 }.to_string(),
+            "mined role 1 references an out-of-range index"
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! Diffing two snapshots of an RBAC dataset.
+//!
+//! The detection pipeline is designed to run periodically (Section IV of
+//! the paper); between runs an operator wants to know what moved —
+//! which roles appeared, which assignments were granted or revoked, and
+//! whether anyone's *effective* access changed. Entities are matched by
+//! name (ids are snapshot-local).
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::RbacDataset;
+use crate::id::{PermissionId, RoleId, UserId};
+
+/// A named user–role or role–permission edge.
+pub type NamedEdge = (String, String);
+
+/// The difference between two dataset snapshots, in names.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetDiff {
+    /// Role names present only in the new snapshot.
+    pub roles_added: Vec<String>,
+    /// Role names present only in the old snapshot.
+    pub roles_removed: Vec<String>,
+    /// User names present only in the new snapshot.
+    pub users_added: Vec<String>,
+    /// User names present only in the old snapshot.
+    pub users_removed: Vec<String>,
+    /// Permission names present only in the new snapshot.
+    pub permissions_added: Vec<String>,
+    /// Permission names present only in the old snapshot.
+    pub permissions_removed: Vec<String>,
+    /// `(role, user)` assignments present only in the new snapshot.
+    pub assignments_added: Vec<NamedEdge>,
+    /// `(role, user)` assignments present only in the old snapshot.
+    pub assignments_removed: Vec<NamedEdge>,
+    /// `(role, permission)` grants present only in the new snapshot.
+    pub grants_added: Vec<NamedEdge>,
+    /// `(role, permission)` grants present only in the old snapshot.
+    pub grants_removed: Vec<NamedEdge>,
+    /// Users (by name, present in both snapshots) whose effective
+    /// permission set changed.
+    pub users_with_access_changes: Vec<String>,
+}
+
+impl DatasetDiff {
+    /// `true` when the two snapshots are identical up to ids.
+    pub fn is_empty(&self) -> bool {
+        self.roles_added.is_empty()
+            && self.roles_removed.is_empty()
+            && self.users_added.is_empty()
+            && self.users_removed.is_empty()
+            && self.permissions_added.is_empty()
+            && self.permissions_removed.is_empty()
+            && self.assignments_added.is_empty()
+            && self.assignments_removed.is_empty()
+            && self.grants_added.is_empty()
+            && self.grants_removed.is_empty()
+    }
+
+    /// Total number of changed items (edges + nodes).
+    pub fn change_count(&self) -> usize {
+        self.roles_added.len()
+            + self.roles_removed.len()
+            + self.users_added.len()
+            + self.users_removed.len()
+            + self.permissions_added.len()
+            + self.permissions_removed.len()
+            + self.assignments_added.len()
+            + self.assignments_removed.len()
+            + self.grants_added.len()
+            + self.grants_removed.len()
+    }
+}
+
+fn names<I: Iterator<Item = String>>(it: I) -> BTreeSet<String> {
+    it.collect()
+}
+
+fn user_edges(ds: &RbacDataset) -> BTreeSet<NamedEdge> {
+    let g = ds.graph();
+    (0..g.n_roles())
+        .map(RoleId::from_index)
+        .flat_map(|r| {
+            g.users_of(r)
+                .map(move |u| (r, u))
+                .collect::<Vec<(RoleId, UserId)>>()
+        })
+        .map(|(r, u)| (ds.role_name(r).to_owned(), ds.user_name(u).to_owned()))
+        .collect()
+}
+
+fn perm_edges(ds: &RbacDataset) -> BTreeSet<NamedEdge> {
+    let g = ds.graph();
+    (0..g.n_roles())
+        .map(RoleId::from_index)
+        .flat_map(|r| {
+            g.permissions_of(r)
+                .map(move |p| (r, p))
+                .collect::<Vec<(RoleId, PermissionId)>>()
+        })
+        .map(|(r, p)| (ds.role_name(r).to_owned(), ds.permission_name(p).to_owned()))
+        .collect()
+}
+
+/// Computes the diff from `old` to `new`.
+///
+/// # Examples
+///
+/// ```
+/// use rolediet_model::diff::diff;
+/// use rolediet_model::RbacDataset;
+///
+/// let old = RbacDataset::figure1_example();
+/// let mut new = old.clone();
+/// new.assign_user_by_name("R03", "U04");
+/// let d = diff(&old, &new);
+/// assert_eq!(d.assignments_added, vec![("R03".into(), "U04".into())]);
+/// assert_eq!(d.users_with_access_changes, vec!["U04"]);
+/// ```
+pub fn diff(old: &RbacDataset, new: &RbacDataset) -> DatasetDiff {
+    let og = old.graph();
+    let ng = new.graph();
+    let old_roles = names((0..og.n_roles()).map(|r| old.role_name(RoleId::from_index(r)).to_owned()));
+    let new_roles = names((0..ng.n_roles()).map(|r| new.role_name(RoleId::from_index(r)).to_owned()));
+    let old_users = names((0..og.n_users()).map(|u| old.user_name(UserId::from_index(u)).to_owned()));
+    let new_users = names((0..ng.n_users()).map(|u| new.user_name(UserId::from_index(u)).to_owned()));
+    let old_perms = names(
+        (0..og.n_permissions())
+            .map(|p| old.permission_name(PermissionId::from_index(p)).to_owned()),
+    );
+    let new_perms = names(
+        (0..ng.n_permissions())
+            .map(|p| new.permission_name(PermissionId::from_index(p)).to_owned()),
+    );
+    let old_ue = user_edges(old);
+    let new_ue = user_edges(new);
+    let old_pe = perm_edges(old);
+    let new_pe = perm_edges(new);
+
+    let users_with_access_changes = old_users
+        .intersection(&new_users)
+        .filter(|name| {
+            let ou = old.find_user(name).expect("in old");
+            let nu = new.find_user(name).expect("in new");
+            let old_eff: BTreeSet<String> = og
+                .effective_permissions(ou)
+                .into_iter()
+                .map(|p| old.permission_name(p).to_owned())
+                .collect();
+            let new_eff: BTreeSet<String> = ng
+                .effective_permissions(nu)
+                .into_iter()
+                .map(|p| new.permission_name(p).to_owned())
+                .collect();
+            old_eff != new_eff
+        })
+        .cloned()
+        .collect();
+
+    DatasetDiff {
+        roles_added: new_roles.difference(&old_roles).cloned().collect(),
+        roles_removed: old_roles.difference(&new_roles).cloned().collect(),
+        users_added: new_users.difference(&old_users).cloned().collect(),
+        users_removed: old_users.difference(&new_users).cloned().collect(),
+        permissions_added: new_perms.difference(&old_perms).cloned().collect(),
+        permissions_removed: old_perms.difference(&new_perms).cloned().collect(),
+        assignments_added: new_ue.difference(&old_ue).cloned().collect(),
+        assignments_removed: old_ue.difference(&new_ue).cloned().collect(),
+        grants_added: new_pe.difference(&old_pe).cloned().collect(),
+        grants_removed: old_pe.difference(&new_pe).cloned().collect(),
+        users_with_access_changes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_snapshots_diff_empty() {
+        let ds = RbacDataset::figure1_example();
+        let d = diff(&ds, &ds.clone());
+        assert!(d.is_empty());
+        assert_eq!(d.change_count(), 0);
+        assert!(d.users_with_access_changes.is_empty());
+    }
+
+    #[test]
+    fn id_permutation_is_invisible() {
+        // Build the same logical dataset with a different interning order.
+        let mut a = RbacDataset::new();
+        a.assign_user_by_name("r1", "u1");
+        a.assign_user_by_name("r2", "u2");
+        a.grant_permission_by_name("r1", "p1");
+        let mut b = RbacDataset::new();
+        b.grant_permission_by_name("r1", "p1");
+        b.assign_user_by_name("r2", "u2");
+        b.assign_user_by_name("r1", "u1");
+        let d = diff(&a, &b);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn edge_changes_are_reported_with_access_impact() {
+        let old = RbacDataset::figure1_example();
+        let mut new = old.clone();
+        new.assign_user_by_name("R01", "U04");
+        let d = diff(&old, &new);
+        assert_eq!(
+            d.assignments_added,
+            vec![("R01".to_owned(), "U04".to_owned())]
+        );
+        assert!(d.assignments_removed.is_empty());
+        // U04 gains P02, P03 through R01; nobody else is affected.
+        assert_eq!(d.users_with_access_changes, vec!["U04"]);
+    }
+
+    #[test]
+    fn grant_changes_detected() {
+        let old = RbacDataset::figure1_example();
+        let mut new = old.clone();
+        new.grant_permission_by_name("R02", "P01");
+        let d = diff(&old, &new);
+        assert_eq!(d.grants_added, vec![("R02".to_owned(), "P01".to_owned())]);
+        // R02's users U02, U03 gain P01.
+        assert_eq!(d.users_with_access_changes, vec!["U02", "U03"]);
+    }
+
+    #[test]
+    fn node_additions_and_removals() {
+        let old = RbacDataset::figure1_example();
+        let mut new = old.clone();
+        new.role("R99");
+        new.user("U99");
+        new.permission("P99");
+        let d = diff(&old, &new);
+        assert_eq!(d.roles_added, vec!["R99"]);
+        assert_eq!(d.users_added, vec!["U99"]);
+        assert_eq!(d.permissions_added, vec!["P99"]);
+        assert_eq!(d.change_count(), 3);
+        // Reverse direction: removals.
+        let d = diff(&new, &old);
+        assert_eq!(d.roles_removed, vec!["R99"]);
+        assert_eq!(d.users_removed, vec!["U99"]);
+    }
+
+    #[test]
+    fn consolidation_shows_as_role_removal_without_access_change() {
+        use crate::TripartiteGraph;
+        let _ = TripartiteGraph::figure1_example();
+        let old = RbacDataset::figure1_example();
+        // Merge R02+R04 (same users) as the consolidation planner would.
+        let map = vec![Some(0), Some(1), Some(2), Some(1), Some(3)];
+        let new = old.rebuild_with_role_map(&map, 4).unwrap();
+        let d = diff(&old, &new);
+        assert_eq!(d.roles_removed, vec!["R04"]);
+        assert!(d.roles_added.is_empty());
+        assert!(
+            d.users_with_access_changes.is_empty(),
+            "consolidation must not change access: {d:?}"
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Error type for the model crate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::id::EntityKind;
+
+/// Errors produced by dataset construction and I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A referenced entity id does not exist in the graph.
+    UnknownId {
+        /// Node class of the missing id.
+        kind: EntityKind,
+        /// Raw id value.
+        id: u32,
+        /// Exclusive upper bound of valid ids.
+        bound: u32,
+    },
+    /// A referenced entity name was never interned.
+    UnknownName {
+        /// Node class of the missing name.
+        kind: EntityKind,
+        /// The name that was looked up.
+        name: String,
+    },
+    /// A parse error in an imported file.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A JSON (de)serialization failure.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownId { kind, id, bound } => {
+                write!(f, "unknown {kind} id {id} (only {bound} {kind}s exist)")
+            }
+            ModelError::UnknownName { kind, name } => {
+                write!(f, "unknown {kind} name {name:?}")
+            }
+            ModelError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            ModelError::Io(e) => write!(f, "i/o error: {e}"),
+            ModelError::Json(e) => write!(f, "json error: {e}"),
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Io(e) => Some(e),
+            ModelError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ModelError {
+    fn from(e: std::io::Error) -> Self {
+        ModelError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ModelError {
+    fn from(e: serde_json::Error) -> Self {
+        ModelError::Json(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ModelError::UnknownId {
+            kind: EntityKind::Role,
+            id: 9,
+            bound: 3,
+        };
+        assert_eq!(e.to_string(), "unknown role id 9 (only 3 roles exist)");
+        let e = ModelError::UnknownName {
+            kind: EntityKind::User,
+            name: "bob".into(),
+        };
+        assert_eq!(e.to_string(), "unknown user name \"bob\"");
+        let e = ModelError::Parse {
+            line: 7,
+            message: "expected 2 fields".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at line 7: expected 2 fields");
+    }
+
+    #[test]
+    fn source_chains() {
+        let io = ModelError::from(std::io::Error::other("boom"));
+        assert!(io.source().is_some());
+        assert!(io.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

@@ -1,0 +1,658 @@
+//! The tripartite user–role–permission graph.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use rolediet_matrix::{BitMatrix, CsrMatrix};
+
+use crate::error::ModelError;
+use crate::id::{EntityKind, PermissionId, RoleId, UserId};
+use crate::Result;
+
+/// The tripartite RBAC graph of Figure 1 of the paper.
+///
+/// Nodes are dense ids per class; edges exist only user↔role and
+/// role↔permission. Both edge directions are indexed, so degree queries
+/// (`users_of`, `roles_of_user`, …) are O(1) to start and iteration is in
+/// ascending id order (deterministic output everywhere).
+///
+/// The graph is the *source of truth*; the detectors consume its two matrix
+/// projections:
+///
+/// * [`ruam_dense`](Self::ruam_dense) / [`ruam_sparse`](Self::ruam_sparse)
+///   — Role-User Assignment Matrix, roles × users;
+/// * [`rpam_dense`](Self::rpam_dense) / [`rpam_sparse`](Self::rpam_sparse)
+///   — Role-Permission Assignment Matrix, roles × permissions.
+///
+/// # Examples
+///
+/// ```
+/// use rolediet_model::TripartiteGraph;
+///
+/// let mut g = TripartiteGraph::new();
+/// let u = g.add_user();
+/// let r = g.add_role();
+/// let p = g.add_permission();
+/// g.assign_user(r, u)?;
+/// g.grant_permission(r, p)?;
+/// assert!(g.effective_permissions(u).contains(&p));
+/// # Ok::<(), rolediet_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TripartiteGraph {
+    role_users: Vec<BTreeSet<u32>>,
+    role_perms: Vec<BTreeSet<u32>>,
+    user_roles: Vec<BTreeSet<u32>>,
+    perm_roles: Vec<BTreeSet<u32>>,
+}
+
+impl TripartiteGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a graph with `users`, `roles` and `permissions` unconnected
+    /// nodes pre-allocated (ids `0..n` per class).
+    pub fn with_counts(users: usize, roles: usize, permissions: usize) -> Self {
+        TripartiteGraph {
+            role_users: vec![BTreeSet::new(); roles],
+            role_perms: vec![BTreeSet::new(); roles],
+            user_roles: vec![BTreeSet::new(); users],
+            perm_roles: vec![BTreeSet::new(); permissions],
+        }
+    }
+
+    /// Adds a user node, returning its id.
+    pub fn add_user(&mut self) -> UserId {
+        self.user_roles.push(BTreeSet::new());
+        UserId::from_index(self.user_roles.len() - 1)
+    }
+
+    /// Adds a role node, returning its id.
+    pub fn add_role(&mut self) -> RoleId {
+        self.role_users.push(BTreeSet::new());
+        self.role_perms.push(BTreeSet::new());
+        RoleId::from_index(self.role_users.len() - 1)
+    }
+
+    /// Adds a permission node, returning its id.
+    pub fn add_permission(&mut self) -> PermissionId {
+        self.perm_roles.push(BTreeSet::new());
+        PermissionId::from_index(self.perm_roles.len() - 1)
+    }
+
+    /// Number of user nodes.
+    pub fn n_users(&self) -> usize {
+        self.user_roles.len()
+    }
+
+    /// Number of role nodes.
+    pub fn n_roles(&self) -> usize {
+        self.role_users.len()
+    }
+
+    /// Number of permission nodes.
+    pub fn n_permissions(&self) -> usize {
+        self.perm_roles.len()
+    }
+
+    /// Number of user–role edges.
+    pub fn n_user_assignments(&self) -> usize {
+        self.role_users.iter().map(BTreeSet::len).sum()
+    }
+
+    /// Number of role–permission edges.
+    pub fn n_permission_grants(&self) -> usize {
+        self.role_perms.iter().map(BTreeSet::len).sum()
+    }
+
+    fn check_role(&self, r: RoleId) -> Result<()> {
+        if r.index() >= self.n_roles() {
+            return Err(ModelError::UnknownId {
+                kind: EntityKind::Role,
+                id: r.0,
+                bound: self.n_roles() as u32,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_user(&self, u: UserId) -> Result<()> {
+        if u.index() >= self.n_users() {
+            return Err(ModelError::UnknownId {
+                kind: EntityKind::User,
+                id: u.0,
+                bound: self.n_users() as u32,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_permission(&self, p: PermissionId) -> Result<()> {
+        if p.index() >= self.n_permissions() {
+            return Err(ModelError::UnknownId {
+                kind: EntityKind::Permission,
+                id: p.0,
+                bound: self.n_permissions() as u32,
+            });
+        }
+        Ok(())
+    }
+
+    /// Adds a user–role edge. Returns `true` if the edge was new.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownId`] if either node does not exist.
+    pub fn assign_user(&mut self, role: RoleId, user: UserId) -> Result<bool> {
+        self.check_role(role)?;
+        self.check_user(user)?;
+        let added = self.role_users[role.index()].insert(user.0);
+        self.user_roles[user.index()].insert(role.0);
+        Ok(added)
+    }
+
+    /// Adds a role–permission edge. Returns `true` if the edge was new.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownId`] if either node does not exist.
+    pub fn grant_permission(&mut self, role: RoleId, permission: PermissionId) -> Result<bool> {
+        self.check_role(role)?;
+        self.check_permission(permission)?;
+        let added = self.role_perms[role.index()].insert(permission.0);
+        self.perm_roles[permission.index()].insert(role.0);
+        Ok(added)
+    }
+
+    /// Removes a user–role edge. Returns `true` if the edge existed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownId`] if either node does not exist.
+    pub fn revoke_user(&mut self, role: RoleId, user: UserId) -> Result<bool> {
+        self.check_role(role)?;
+        self.check_user(user)?;
+        let removed = self.role_users[role.index()].remove(&user.0);
+        self.user_roles[user.index()].remove(&role.0);
+        Ok(removed)
+    }
+
+    /// Removes a role–permission edge. Returns `true` if the edge existed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownId`] if either node does not exist.
+    pub fn revoke_permission(&mut self, role: RoleId, permission: PermissionId) -> Result<bool> {
+        self.check_role(role)?;
+        self.check_permission(permission)?;
+        let removed = self.role_perms[role.index()].remove(&permission.0);
+        self.perm_roles[permission.index()].remove(&role.0);
+        Ok(removed)
+    }
+
+    /// Returns `true` if `user` is assigned `role`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn has_user(&self, role: RoleId, user: UserId) -> bool {
+        self.role_users[role.index()].contains(&user.0)
+    }
+
+    /// Returns `true` if `role` grants `permission`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn has_permission(&self, role: RoleId, permission: PermissionId) -> bool {
+        self.role_perms[role.index()].contains(&permission.0)
+    }
+
+    /// Users assigned to `role`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `role` is out of range.
+    pub fn users_of(&self, role: RoleId) -> impl Iterator<Item = UserId> + '_ {
+        self.role_users[role.index()].iter().map(|&u| UserId(u))
+    }
+
+    /// Permissions granted by `role`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `role` is out of range.
+    pub fn permissions_of(&self, role: RoleId) -> impl Iterator<Item = PermissionId> + '_ {
+        self.role_perms[role.index()].iter().map(|&p| PermissionId(p))
+    }
+
+    /// Roles assigned to `user`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn roles_of_user(&self, user: UserId) -> impl Iterator<Item = RoleId> + '_ {
+        self.user_roles[user.index()].iter().map(|&r| RoleId(r))
+    }
+
+    /// Roles granting `permission`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `permission` is out of range.
+    pub fn roles_of_permission(&self, permission: PermissionId) -> impl Iterator<Item = RoleId> + '_ {
+        self.perm_roles[permission.index()].iter().map(|&r| RoleId(r))
+    }
+
+    /// Number of users of `role` (its RUAM row norm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `role` is out of range.
+    pub fn user_degree(&self, role: RoleId) -> usize {
+        self.role_users[role.index()].len()
+    }
+
+    /// Number of permissions of `role` (its RPAM row norm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `role` is out of range.
+    pub fn permission_degree(&self, role: RoleId) -> usize {
+        self.role_perms[role.index()].len()
+    }
+
+    /// The set of permissions `user` can exercise through any role —
+    /// the semantics consolidation must preserve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn effective_permissions(&self, user: UserId) -> BTreeSet<PermissionId> {
+        let mut out = BTreeSet::new();
+        for &r in &self.user_roles[user.index()] {
+            for &p in &self.role_perms[r as usize] {
+                out.insert(PermissionId(p));
+            }
+        }
+        out
+    }
+
+    /// Projects the graph onto the Role-User Assignment Matrix (dense).
+    pub fn ruam_dense(&self) -> BitMatrix {
+        let rows: Vec<Vec<usize>> = self
+            .role_users
+            .iter()
+            .map(|s| s.iter().map(|&u| u as usize).collect())
+            .collect();
+        BitMatrix::from_rows_of_indices(self.n_roles(), self.n_users(), &rows)
+            .expect("graph edges are always in range")
+    }
+
+    /// Projects the graph onto the Role-User Assignment Matrix (sparse).
+    pub fn ruam_sparse(&self) -> CsrMatrix {
+        let rows: Vec<Vec<usize>> = self
+            .role_users
+            .iter()
+            .map(|s| s.iter().map(|&u| u as usize).collect())
+            .collect();
+        CsrMatrix::from_rows_of_indices(self.n_roles(), self.n_users(), &rows)
+            .expect("graph edges are always in range")
+    }
+
+    /// Projects the graph onto the Role-Permission Assignment Matrix (dense).
+    pub fn rpam_dense(&self) -> BitMatrix {
+        let rows: Vec<Vec<usize>> = self
+            .role_perms
+            .iter()
+            .map(|s| s.iter().map(|&p| p as usize).collect())
+            .collect();
+        BitMatrix::from_rows_of_indices(self.n_roles(), self.n_permissions(), &rows)
+            .expect("graph edges are always in range")
+    }
+
+    /// Projects the graph onto the Role-Permission Assignment Matrix (sparse).
+    pub fn rpam_sparse(&self) -> CsrMatrix {
+        let rows: Vec<Vec<usize>> = self
+            .role_perms
+            .iter()
+            .map(|s| s.iter().map(|&p| p as usize).collect())
+            .collect();
+        CsrMatrix::from_rows_of_indices(self.n_roles(), self.n_permissions(), &rows)
+            .expect("graph edges are always in range")
+    }
+
+    /// Projects the graph onto the *effective* User-Permission Assignment
+    /// Matrix (users × permissions, sparse): cell `(u, p)` is set when
+    /// user `u` can exercise permission `p` through at least one role.
+    ///
+    /// This is the matrix RBAC ultimately *means*; consolidation must
+    /// keep it bit-identical, and the dual detectors (users with
+    /// identical effective access) run on it.
+    pub fn upam_sparse(&self) -> CsrMatrix {
+        let rows: Vec<Vec<usize>> = (0..self.n_users())
+            .map(|u| {
+                self.effective_permissions(UserId::from_index(u))
+                    .into_iter()
+                    .map(|p| p.index())
+                    .collect()
+            })
+            .collect();
+        CsrMatrix::from_rows_of_indices(self.n_users(), self.n_permissions(), &rows)
+            .expect("graph edges are always in range")
+    }
+
+    /// Rebuilds the graph with roles remapped through `role_map`.
+    ///
+    /// `role_map[i] = Some(k)` moves old role `i` (with all its edges) onto
+    /// new role `k`; several old roles mapping to the same `k` are *merged*
+    /// (edge union). `None` drops the role and its edges. Users and
+    /// permissions keep their ids. This is the primitive the consolidation
+    /// planner uses to apply a merge plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownId`] if `role_map.len()` differs from
+    /// [`n_roles`](Self::n_roles) or any target index is `>= n_new_roles`.
+    pub fn rebuild_with_role_map(
+        &self,
+        role_map: &[Option<usize>],
+        n_new_roles: usize,
+    ) -> Result<TripartiteGraph> {
+        if role_map.len() != self.n_roles() {
+            return Err(ModelError::UnknownId {
+                kind: EntityKind::Role,
+                id: role_map.len() as u32,
+                bound: self.n_roles() as u32,
+            });
+        }
+        let mut g = TripartiteGraph::with_counts(self.n_users(), n_new_roles, self.n_permissions());
+        for (old, target) in role_map.iter().enumerate() {
+            let Some(new) = *target else { continue };
+            if new >= n_new_roles {
+                return Err(ModelError::UnknownId {
+                    kind: EntityKind::Role,
+                    id: new as u32,
+                    bound: n_new_roles as u32,
+                });
+            }
+            for &u in &self.role_users[old] {
+                g.role_users[new].insert(u);
+                g.user_roles[u as usize].insert(new as u32);
+            }
+            for &p in &self.role_perms[old] {
+                g.role_perms[new].insert(p);
+                g.perm_roles[p as usize].insert(new as u32);
+            }
+        }
+        Ok(g)
+    }
+
+    /// Verifies internal consistency: forward and reverse indices describe
+    /// the same edge sets and all ids are in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownId`] naming the first inconsistent id.
+    pub fn validate(&self) -> Result<()> {
+        for (r, users) in self.role_users.iter().enumerate() {
+            for &u in users {
+                let ok = self
+                    .user_roles
+                    .get(u as usize)
+                    .is_some_and(|s| s.contains(&(r as u32)));
+                if !ok {
+                    return Err(ModelError::UnknownId {
+                        kind: EntityKind::User,
+                        id: u,
+                        bound: self.n_users() as u32,
+                    });
+                }
+            }
+        }
+        for (u, roles) in self.user_roles.iter().enumerate() {
+            for &r in roles {
+                let ok = self
+                    .role_users
+                    .get(r as usize)
+                    .is_some_and(|s| s.contains(&(u as u32)));
+                if !ok {
+                    return Err(ModelError::UnknownId {
+                        kind: EntityKind::Role,
+                        id: r,
+                        bound: self.n_roles() as u32,
+                    });
+                }
+            }
+        }
+        for (r, perms) in self.role_perms.iter().enumerate() {
+            for &p in perms {
+                let ok = self
+                    .perm_roles
+                    .get(p as usize)
+                    .is_some_and(|s| s.contains(&(r as u32)));
+                if !ok {
+                    return Err(ModelError::UnknownId {
+                        kind: EntityKind::Permission,
+                        id: p,
+                        bound: self.n_permissions() as u32,
+                    });
+                }
+            }
+        }
+        for (p, roles) in self.perm_roles.iter().enumerate() {
+            for &r in roles {
+                let ok = self
+                    .role_perms
+                    .get(r as usize)
+                    .is_some_and(|s| s.contains(&(p as u32)));
+                if !ok {
+                    return Err(ModelError::UnknownId {
+                        kind: EntityKind::Role,
+                        id: r,
+                        bound: self.n_roles() as u32,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the worked example of Figure 1 of the paper: users U01–U04,
+    /// roles R01–R05, permissions P01–P06 (0-indexed here), with
+    ///
+    /// * R01 = {U01}, R02 = {U02, U03}, R03 = {}, R04 = {U02, U03},
+    ///   R05 = {U04} on the user side;
+    /// * R01 = {P02, P03}, R02 = {}, R03 = {P04}, R04 = {P05, P06},
+    ///   R05 = {P05, P06} on the permission side;
+    /// * P01 is standalone.
+    ///
+    /// Used throughout tests and examples to pin expected findings.
+    pub fn figure1_example() -> TripartiteGraph {
+        let mut g = TripartiteGraph::with_counts(4, 5, 6);
+        let ru: [&[u32]; 5] = [&[0], &[1, 2], &[], &[1, 2], &[3]];
+        let rp: [&[u32]; 5] = [&[1, 2], &[], &[3], &[4, 5], &[4, 5]];
+        for (r, users) in ru.iter().enumerate() {
+            for &u in *users {
+                g.assign_user(RoleId(r as u32), UserId(u)).expect("in range");
+            }
+        }
+        for (r, perms) in rp.iter().enumerate() {
+            for &p in *perms {
+                g.grant_permission(RoleId(r as u32), PermissionId(p))
+                    .expect("in range");
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rolediet_matrix::RowMatrix;
+
+    #[test]
+    fn add_nodes_and_edges() {
+        let mut g = TripartiteGraph::new();
+        let u0 = g.add_user();
+        let u1 = g.add_user();
+        let r = g.add_role();
+        let p = g.add_permission();
+        assert_eq!((g.n_users(), g.n_roles(), g.n_permissions()), (2, 1, 1));
+        assert!(g.assign_user(r, u0).unwrap());
+        assert!(!g.assign_user(r, u0).unwrap(), "duplicate edge not new");
+        assert!(g.assign_user(r, u1).unwrap());
+        assert!(g.grant_permission(r, p).unwrap());
+        assert_eq!(g.n_user_assignments(), 2);
+        assert_eq!(g.n_permission_grants(), 1);
+        assert!(g.has_user(r, u0));
+        assert!(g.has_permission(r, p));
+        assert_eq!(g.user_degree(r), 2);
+        assert_eq!(g.permission_degree(r), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn unknown_ids_are_rejected() {
+        let mut g = TripartiteGraph::with_counts(1, 1, 1);
+        assert!(g.assign_user(RoleId(1), UserId(0)).is_err());
+        assert!(g.assign_user(RoleId(0), UserId(9)).is_err());
+        assert!(g.grant_permission(RoleId(0), PermissionId(1)).is_err());
+        assert!(g.revoke_user(RoleId(3), UserId(0)).is_err());
+        assert!(g.revoke_permission(RoleId(0), PermissionId(7)).is_err());
+    }
+
+    #[test]
+    fn revoke_updates_both_directions() {
+        let mut g = TripartiteGraph::with_counts(1, 1, 1);
+        g.assign_user(RoleId(0), UserId(0)).unwrap();
+        assert!(g.revoke_user(RoleId(0), UserId(0)).unwrap());
+        assert!(!g.revoke_user(RoleId(0), UserId(0)).unwrap());
+        assert_eq!(g.roles_of_user(UserId(0)).count(), 0);
+        g.grant_permission(RoleId(0), PermissionId(0)).unwrap();
+        assert!(g.revoke_permission(RoleId(0), PermissionId(0)).unwrap());
+        assert_eq!(g.roles_of_permission(PermissionId(0)).count(), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn figure1_shape() {
+        let g = TripartiteGraph::figure1_example();
+        assert_eq!((g.n_users(), g.n_roles(), g.n_permissions()), (4, 5, 6));
+        // R03 has no users; R02 has no permissions; P01 (index 0) standalone.
+        assert_eq!(g.user_degree(RoleId(2)), 0);
+        assert_eq!(g.permission_degree(RoleId(1)), 0);
+        assert_eq!(g.roles_of_permission(PermissionId(0)).count(), 0);
+        // R02 and R04 share users; R04 and R05 share permissions.
+        let ru: Vec<_> = g.users_of(RoleId(1)).collect();
+        assert_eq!(ru, g.users_of(RoleId(3)).collect::<Vec<_>>());
+        let rp: Vec<_> = g.permissions_of(RoleId(3)).collect();
+        assert_eq!(rp, g.permissions_of(RoleId(4)).collect::<Vec<_>>());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn matrix_projections_agree() {
+        let g = TripartiteGraph::figure1_example();
+        let rd = g.ruam_dense();
+        let rs = g.ruam_sparse();
+        assert_eq!(rolediet_matrix::CsrMatrix::from_dense(&rd), rs);
+        assert_eq!(rd.rows(), 5);
+        assert_eq!(rd.cols(), 4);
+        let pd = g.rpam_dense();
+        let ps = g.rpam_sparse();
+        assert_eq!(rolediet_matrix::CsrMatrix::from_dense(&pd), ps);
+        assert_eq!(pd.cols(), 6);
+        // Column sums of RPAM: P01 standalone → first column sum 0.
+        assert_eq!(pd.col_sums()[0], 0);
+    }
+
+    #[test]
+    fn upam_matches_effective_permissions() {
+        let g = TripartiteGraph::figure1_example();
+        let upam = g.upam_sparse();
+        assert_eq!(upam.rows(), 4);
+        assert_eq!(upam.cols(), 6);
+        for u in 0..4 {
+            let expected: Vec<usize> = g
+                .effective_permissions(UserId::from_index(u))
+                .into_iter()
+                .map(|p| p.index())
+                .collect();
+            assert_eq!(upam.row_indices(u), expected, "user {u}");
+        }
+        // U02 and U03 (indices 1, 2) have identical effective access
+        // (both via R02+R04) — identical UPAM rows.
+        assert!(upam.rows_equal(1, 2));
+        assert!(!upam.rows_equal(0, 1));
+    }
+
+    #[test]
+    fn effective_permissions_union_over_roles() {
+        let g = TripartiteGraph::figure1_example();
+        // U02 (index 1) has roles R02 (no perms) and R04 ({P05, P06}).
+        let perms = g.effective_permissions(UserId(1));
+        assert_eq!(
+            perms.into_iter().collect::<Vec<_>>(),
+            vec![PermissionId(4), PermissionId(5)]
+        );
+        // U01 (index 0) has only R01 → {P02, P03}.
+        let perms = g.effective_permissions(UserId(0));
+        assert_eq!(
+            perms.into_iter().collect::<Vec<_>>(),
+            vec![PermissionId(1), PermissionId(2)]
+        );
+    }
+
+    #[test]
+    fn rebuild_with_role_map_merges_edges() {
+        let g = TripartiteGraph::figure1_example();
+        // Merge R04 and R05 (indices 3, 4) into new role 3; keep 0..3 as-is.
+        let map = vec![Some(0), Some(1), Some(2), Some(3), Some(3)];
+        let g2 = g.rebuild_with_role_map(&map, 4).unwrap();
+        assert_eq!(g2.n_roles(), 4);
+        g2.validate().unwrap();
+        // New role 3 has users of both (U02, U03 from R04 and U04 from R05)
+        let users: Vec<_> = g2.users_of(RoleId(3)).collect();
+        assert_eq!(users, vec![UserId(1), UserId(2), UserId(3)]);
+        // and the shared permission set {P05, P06}.
+        let perms: Vec<_> = g2.permissions_of(RoleId(3)).collect();
+        assert_eq!(perms, vec![PermissionId(4), PermissionId(5)]);
+        // Users and permissions keep their ids.
+        assert_eq!(g2.n_users(), 4);
+        assert_eq!(g2.n_permissions(), 6);
+    }
+
+    #[test]
+    fn rebuild_with_role_map_drops_roles() {
+        let g = TripartiteGraph::figure1_example();
+        let map = vec![None, Some(0), None, Some(1), None];
+        let g2 = g.rebuild_with_role_map(&map, 2).unwrap();
+        assert_eq!(g2.n_roles(), 2);
+        assert_eq!(
+            g2.users_of(RoleId(0)).collect::<Vec<_>>(),
+            vec![UserId(1), UserId(2)]
+        );
+        g2.validate().unwrap();
+    }
+
+    #[test]
+    fn rebuild_with_role_map_validates() {
+        let g = TripartiteGraph::figure1_example();
+        assert!(g.rebuild_with_role_map(&[Some(0)], 1).is_err());
+        let bad = vec![Some(5), None, None, None, None];
+        assert!(g.rebuild_with_role_map(&bad, 2).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = TripartiteGraph::figure1_example();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: TripartiteGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+}

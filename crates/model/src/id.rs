@@ -1,0 +1,147 @@
+//! Typed, dense node identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The three node classes of the tripartite RBAC graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EntityKind {
+    /// A human or machine account.
+    User,
+    /// A role: the indirection between users and permissions.
+    Role,
+    /// A permission (entitlement) on some resource.
+    Permission,
+}
+
+impl fmt::Display for EntityKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EntityKind::User => "user",
+            EntityKind::Role => "role",
+            EntityKind::Permission => "permission",
+        })
+    }
+}
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal, $kind:expr) => {
+        $(#[$doc])*
+        ///
+        /// Ids are dense (`0..n`), assigned in insertion order, and double
+        /// as row/column indices of the assignment matrices — `RoleId(i)`
+        /// is row `i` of RUAM and RPAM.
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
+            Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The matrix index this id maps to.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Creates an id from a matrix index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                $name(u32::try_from(index).expect("id overflows u32"))
+            }
+
+            /// The node class of this id type.
+            pub const KIND: EntityKind = $kind;
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(v: $name) -> u32 {
+                v.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a user node.
+    UserId,
+    "U",
+    EntityKind::User
+);
+define_id!(
+    /// Identifier of a role node.
+    RoleId,
+    "R",
+    EntityKind::Role
+);
+define_id!(
+    /// Identifier of a permission node.
+    PermissionId,
+    "P",
+    EntityKind::Permission
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_paper_prefixes() {
+        assert_eq!(UserId(1).to_string(), "U1");
+        assert_eq!(RoleId(4).to_string(), "R4");
+        assert_eq!(PermissionId(0).to_string(), "P0");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let r = RoleId::from_index(7);
+        assert_eq!(r.index(), 7);
+        assert_eq!(u32::from(r), 7);
+        assert_eq!(RoleId::from(7u32), r);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(UserId(1) < UserId(2));
+        assert_eq!(UserId::default(), UserId(0));
+    }
+
+    #[test]
+    fn kinds() {
+        assert_eq!(UserId::KIND, EntityKind::User);
+        assert_eq!(RoleId::KIND, EntityKind::Role);
+        assert_eq!(PermissionId::KIND, EntityKind::Permission);
+        assert_eq!(EntityKind::Role.to_string(), "role");
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        assert_eq!(serde_json::to_string(&RoleId(3)).unwrap(), "3");
+        let r: RoleId = serde_json::from_str("3").unwrap();
+        assert_eq!(r, RoleId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn from_index_overflow_panics() {
+        UserId::from_index(usize::MAX);
+    }
+}

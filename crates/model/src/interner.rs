@@ -1,0 +1,149 @@
+//! Bidirectional name ↔ dense-id mapping.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Interns strings into dense `u32` ids, preserving insertion order.
+///
+/// The detectors work on dense matrix indices; real RBAC exports use
+/// external names (`"jdoe"`, `"SAP_FI_CLERK"`, `"s3:GetObject"`). One
+/// interner per entity kind translates between the two worlds.
+///
+/// # Examples
+///
+/// ```
+/// use rolediet_model::Interner;
+///
+/// let mut names = Interner::new();
+/// let a = names.intern("alice");
+/// let b = names.intern("bob");
+/// assert_eq!(names.intern("alice"), a); // idempotent
+/// assert_eq!(names.resolve(b), Some("bob"));
+/// assert_eq!(names.lookup("alice"), Some(a));
+/// assert_eq!(names.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(from = "Vec<String>", into = "Vec<String>")]
+pub struct Interner {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id; existing names return their
+    /// original id.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("interner overflows u32");
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up the id of `name` without interning.
+    pub fn lookup(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// Resolves an id back to its name.
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as u32, n.as_str()))
+    }
+}
+
+impl From<Vec<String>> for Interner {
+    fn from(names: Vec<String>) -> Self {
+        let mut it = Interner::new();
+        for n in names {
+            it.intern(&n);
+        }
+        it
+    }
+}
+
+impl From<Interner> for Vec<String> {
+    fn from(it: Interner) -> Vec<String> {
+        it.names
+    }
+}
+
+impl FromIterator<String> for Interner {
+    fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut it = Interner::new();
+        for n in iter {
+            it.intern(&n);
+        }
+        it
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_dense_and_ordered() {
+        let mut i = Interner::new();
+        assert_eq!(i.intern("a"), 0);
+        assert_eq!(i.intern("b"), 1);
+        assert_eq!(i.intern("a"), 0);
+        assert_eq!(i.len(), 2);
+        assert!(!i.is_empty());
+        let pairs: Vec<_> = i.iter().collect();
+        assert_eq!(pairs, vec![(0, "a"), (1, "b")]);
+    }
+
+    #[test]
+    fn lookup_and_resolve() {
+        let mut i = Interner::new();
+        i.intern("x");
+        assert_eq!(i.lookup("x"), Some(0));
+        assert_eq!(i.lookup("y"), None);
+        assert_eq!(i.resolve(0), Some("x"));
+        assert_eq!(i.resolve(1), None);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_ids() {
+        let mut i = Interner::new();
+        i.intern("alpha");
+        i.intern("beta");
+        let json = serde_json::to_string(&i).unwrap();
+        assert_eq!(json, "[\"alpha\",\"beta\"]");
+        let back: Interner = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, i);
+        assert_eq!(back.lookup("beta"), Some(1));
+    }
+
+    #[test]
+    fn collect_from_iterator_dedups() {
+        let i: Interner = ["a", "b", "a"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(i.len(), 2);
+    }
+}

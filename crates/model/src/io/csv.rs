@@ -1,0 +1,233 @@
+//! CSV import/export of assignment edge lists.
+//!
+//! The dialect is deliberately minimal — the least common denominator of
+//! IAM exports:
+//!
+//! * one record per line, exactly two fields separated by a comma;
+//! * surrounding whitespace is trimmed from each field;
+//! * blank lines and lines starting with `#` are skipped;
+//! * an optional header (`role,user` or `role,permission`) is skipped;
+//! * no quoting — field values must not contain commas or newlines.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::dataset::RbacDataset;
+use crate::error::ModelError;
+use crate::id::{PermissionId, RoleId, UserId};
+use crate::Result;
+
+/// Which edge class a CSV file carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// `role,user` records.
+    UserAssignments,
+    /// `role,permission` records.
+    PermissionGrants,
+}
+
+impl EdgeKind {
+    fn header(self) -> &'static str {
+        match self {
+            EdgeKind::UserAssignments => "role,user",
+            EdgeKind::PermissionGrants => "role,permission",
+        }
+    }
+}
+
+/// Reads edge records from `reader` into `dataset`, interning names on the
+/// fly. Returns the number of *new* edges added.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Parse`] (with a 1-based line number) for records
+/// that do not have exactly two non-empty fields, or [`ModelError::Io`] on
+/// read failure.
+///
+/// # Examples
+///
+/// ```
+/// use rolediet_model::io::csv::{read_edges, EdgeKind};
+/// use rolediet_model::RbacDataset;
+///
+/// let data = "role,user\nadmin,alice\nadmin,bob\n";
+/// let mut ds = RbacDataset::new();
+/// let added = read_edges(data.as_bytes(), &mut ds, EdgeKind::UserAssignments)?;
+/// assert_eq!(added, 2);
+/// # Ok::<(), rolediet_model::ModelError>(())
+/// ```
+pub fn read_edges<R: Read>(reader: R, dataset: &mut RbacDataset, kind: EdgeKind) -> Result<usize> {
+    let buf = BufReader::new(reader);
+    let mut added = 0usize;
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if lineno == 0 && line.eq_ignore_ascii_case(kind.header()) {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let (a, b, rest) = (fields.next(), fields.next(), fields.next());
+        let (Some(role), Some(other)) = (a, b) else {
+            return Err(ModelError::Parse {
+                line: lineno + 1,
+                message: format!("expected 2 comma-separated fields, got {line:?}"),
+            });
+        };
+        if rest.is_some() {
+            return Err(ModelError::Parse {
+                line: lineno + 1,
+                message: format!("expected 2 comma-separated fields, got more in {line:?}"),
+            });
+        }
+        let (role, other) = (role.trim(), other.trim());
+        if role.is_empty() || other.is_empty() {
+            return Err(ModelError::Parse {
+                line: lineno + 1,
+                message: "empty field".into(),
+            });
+        }
+        let new = match kind {
+            EdgeKind::UserAssignments => dataset.assign_user_by_name(role, other),
+            EdgeKind::PermissionGrants => dataset.grant_permission_by_name(role, other),
+        };
+        if new {
+            added += 1;
+        }
+    }
+    Ok(added)
+}
+
+/// Writes the dataset's edges of the given kind as CSV (with header), in
+/// ascending id order.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Io`] on write failure.
+pub fn write_edges<W: Write>(mut writer: W, dataset: &RbacDataset, kind: EdgeKind) -> Result<()> {
+    writeln!(writer, "{}", kind.header())?;
+    let graph = dataset.graph();
+    for r in 0..graph.n_roles() {
+        let role = RoleId::from_index(r);
+        match kind {
+            EdgeKind::UserAssignments => {
+                for u in graph.users_of(role) {
+                    writeln!(
+                        writer,
+                        "{},{}",
+                        dataset.role_name(role),
+                        dataset.user_name(UserId(u.0))
+                    )?;
+                }
+            }
+            EdgeKind::PermissionGrants => {
+                for p in graph.permissions_of(role) {
+                    writeln!(
+                        writer,
+                        "{},{}",
+                        dataset.role_name(role),
+                        dataset.permission_name(PermissionId(p.0))
+                    )?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_skips_header_comments_blanks() {
+        let data = "role,user\n\n# a comment\nadmin , alice\nadmin,bob\n";
+        let mut ds = RbacDataset::new();
+        let added = read_edges(data.as_bytes(), &mut ds, EdgeKind::UserAssignments).unwrap();
+        assert_eq!(added, 2);
+        assert_eq!(ds.graph().n_user_assignments(), 2);
+        assert!(ds.find_user("alice").is_some(), "fields are trimmed");
+    }
+
+    #[test]
+    fn read_counts_only_new_edges() {
+        let data = "admin,alice\nadmin,alice\n";
+        let mut ds = RbacDataset::new();
+        let added = read_edges(data.as_bytes(), &mut ds, EdgeKind::UserAssignments).unwrap();
+        assert_eq!(added, 1);
+    }
+
+    #[test]
+    fn read_rejects_malformed_lines() {
+        let mut ds = RbacDataset::new();
+        let err = read_edges("justonefield\n".as_bytes(), &mut ds, EdgeKind::UserAssignments)
+            .unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        let err = read_edges("a,b,c\n".as_bytes(), &mut ds, EdgeKind::UserAssignments).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        let err =
+            read_edges("ok,fine\n,empty\n".as_bytes(), &mut ds, EdgeKind::UserAssignments)
+                .unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn header_only_skipped_on_first_line() {
+        // A role literally named "role" with user "user" on line 2 is data.
+        let data = "role,user\nrole,user\n";
+        let mut ds = RbacDataset::new();
+        let added = read_edges(data.as_bytes(), &mut ds, EdgeKind::UserAssignments).unwrap();
+        assert_eq!(added, 1);
+        assert!(ds.find_role("role").is_some());
+    }
+
+    #[test]
+    fn crlf_and_unicode_inputs() {
+        // Windows line endings must not leak \r into names.
+        let data = "role,user\r\nadmin,alice\r\nadmin,bób\r\n";
+        let mut ds = RbacDataset::new();
+        let added = read_edges(data.as_bytes(), &mut ds, EdgeKind::UserAssignments).unwrap();
+        assert_eq!(added, 2);
+        assert!(ds.find_user("alice").is_some(), "no trailing CR");
+        assert!(ds.find_user("bób").is_some(), "unicode names survive");
+        assert!(ds.find_user("alice\r").is_none());
+    }
+
+    #[test]
+    fn roundtrip_both_kinds() {
+        let ds = RbacDataset::figure1_example();
+        for kind in [EdgeKind::UserAssignments, EdgeKind::PermissionGrants] {
+            let mut out = Vec::new();
+            write_edges(&mut out, &ds, kind).unwrap();
+            let mut back = RbacDataset::new();
+            read_edges(out.as_slice(), &mut back, kind).unwrap();
+            match kind {
+                EdgeKind::UserAssignments => {
+                    assert_eq!(
+                        back.graph().n_user_assignments(),
+                        ds.graph().n_user_assignments()
+                    );
+                }
+                EdgeKind::PermissionGrants => {
+                    assert_eq!(
+                        back.graph().n_permission_grants(),
+                        ds.graph().n_permission_grants()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn write_emits_header_and_sorted_edges() {
+        let mut ds = RbacDataset::new();
+        ds.assign_user_by_name("r1", "u2");
+        ds.assign_user_by_name("r1", "u1");
+        let mut out = Vec::new();
+        write_edges(&mut out, &ds, EdgeKind::UserAssignments).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        // u2 interned before u1 → id order puts u2 first.
+        assert_eq!(text, "role,user\nr1,u2\nr1,u1\n");
+    }
+}

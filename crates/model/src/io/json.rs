@@ -1,0 +1,74 @@
+//! Lossless JSON (de)serialization of datasets.
+
+use std::io::{Read, Write};
+
+use crate::dataset::RbacDataset;
+use crate::Result;
+
+/// Serializes a dataset to pretty-printed JSON.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Json`](crate::ModelError::Json) on serialization
+/// failure (practically unreachable for this type).
+pub fn to_json_string(dataset: &RbacDataset) -> Result<String> {
+    Ok(serde_json::to_string_pretty(dataset)?)
+}
+
+/// Deserializes a dataset from JSON text.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Json`](crate::ModelError::Json) for malformed
+/// input.
+pub fn from_json_str(text: &str) -> Result<RbacDataset> {
+    Ok(serde_json::from_str(text)?)
+}
+
+/// Writes a dataset as JSON to `writer`.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Json`](crate::ModelError::Json) on failure.
+pub fn write_json<W: Write>(writer: W, dataset: &RbacDataset) -> Result<()> {
+    Ok(serde_json::to_writer_pretty(writer, dataset)?)
+}
+
+/// Reads a dataset from JSON in `reader`.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Json`](crate::ModelError::Json) for malformed
+/// input or [`ModelError::Io`](crate::ModelError::Io) wrapped by serde on
+/// read failure.
+pub fn read_json<R: Read>(reader: R) -> Result<RbacDataset> {
+    Ok(serde_json::from_reader(reader)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_roundtrip() {
+        let ds = RbacDataset::figure1_example();
+        let json = to_json_string(&ds).unwrap();
+        let back = from_json_str(&json).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let ds = RbacDataset::figure1_example();
+        let mut buf = Vec::new();
+        write_json(&mut buf, &ds).unwrap();
+        let back = read_json(buf.as_slice()).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn malformed_input_is_an_error() {
+        assert!(from_json_str("{not json").is_err());
+        assert!(from_json_str("{}").is_err(), "missing fields rejected");
+    }
+}

@@ -1,0 +1,13 @@
+//! Import and export of RBAC datasets.
+//!
+//! Two formats are supported:
+//!
+//! * **CSV** ([`csv`]) — the shape most IAM systems export: one file of
+//!   `role,user` assignment rows and one of `role,permission` grant rows.
+//! * **JSON** ([`json`]) — a lossless dump of a full [`RbacDataset`]
+//!   (graph, names, metadata), used for round-tripping between tools.
+//!
+//! [`RbacDataset`]: crate::RbacDataset
+
+pub mod csv;
+pub mod json;

@@ -1,0 +1,56 @@
+//! RBAC data model: the tripartite user–role–permission graph.
+//!
+//! The paper models RBAC data as a *tripartite graph*: users, roles and
+//! permissions are nodes; edges exist only between users and roles (the
+//! user is assigned the role) and between roles and permissions (the role
+//! grants the permission). This crate provides:
+//!
+//! * [`UserId`], [`RoleId`], [`PermissionId`] — dense `u32` newtype ids.
+//! * [`TripartiteGraph`] — the edge structure with forward and reverse
+//!   indices, degree queries and projection to the assignment matrices
+//!   ([RUAM/RPAM](TripartiteGraph::ruam_sparse)) that every detector
+//!   consumes.
+//! * [`Interner`] — bidirectional name ↔ id mapping.
+//! * [`RbacDataset`] — graph + interners + entity metadata, the unit that
+//!   I/O and the CLI operate on.
+//! * [`io`] — CSV and JSON import/export.
+//! * [`stats`] — dataset shape statistics (counts, density, degree
+//!   distributions) like the ones quoted in Section IV-B of the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use rolediet_model::RbacDataset;
+//!
+//! let mut ds = RbacDataset::new();
+//! let alice = ds.user("alice");
+//! let admin = ds.role("admin");
+//! let read = ds.permission("fs:read");
+//! ds.assign_user(admin, alice);
+//! ds.grant_permission(admin, read);
+//! assert_eq!(ds.graph().users_of(admin).count(), 1);
+//! let ruam = ds.graph().ruam_sparse();
+//! assert_eq!(rolediet_matrix::RowMatrix::nnz(&ruam), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod diff;
+pub mod error;
+pub mod graph;
+pub mod id;
+pub mod interner;
+pub mod io;
+pub mod stats;
+
+pub use dataset::RbacDataset;
+pub use error::ModelError;
+pub use graph::TripartiteGraph;
+pub use id::{EntityKind, PermissionId, RoleId, UserId};
+pub use interner::Interner;
+pub use stats::DatasetStats;
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, ModelError>;

@@ -1,0 +1,217 @@
+//! Dataset shape statistics.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::TripartiteGraph;
+
+/// Summary of a degree distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegreeSummary {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (lower median for even counts).
+    pub median: usize,
+    /// Number of zero-degree nodes.
+    pub zeros: usize,
+}
+
+impl DegreeSummary {
+    /// Summarizes a degree vector. Returns an all-zero summary for empty
+    /// input.
+    pub fn from_degrees(mut degrees: Vec<usize>) -> Self {
+        if degrees.is_empty() {
+            return DegreeSummary {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                median: 0,
+                zeros: 0,
+            };
+        }
+        degrees.sort_unstable();
+        let n = degrees.len();
+        let sum: usize = degrees.iter().sum();
+        DegreeSummary {
+            min: degrees[0],
+            max: degrees[n - 1],
+            mean: sum as f64 / n as f64,
+            median: degrees[(n - 1) / 2],
+            zeros: degrees.iter().take_while(|&&d| d == 0).count(),
+        }
+    }
+}
+
+/// Shape statistics of an RBAC dataset — the numbers Section IV-B of the
+/// paper quotes for the real organization (node counts, assignment counts,
+/// matrix density, degree distributions).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of user nodes.
+    pub users: usize,
+    /// Number of role nodes.
+    pub roles: usize,
+    /// Number of permission nodes.
+    pub permissions: usize,
+    /// Number of user–role edges.
+    pub user_assignments: usize,
+    /// Number of role–permission edges.
+    pub permission_grants: usize,
+    /// Fraction of RUAM cells that are 1.
+    pub ruam_density: f64,
+    /// Fraction of RPAM cells that are 1.
+    pub rpam_density: f64,
+    /// Users-per-role distribution.
+    pub role_user_degrees: DegreeSummary,
+    /// Permissions-per-role distribution.
+    pub role_permission_degrees: DegreeSummary,
+    /// Roles-per-user distribution.
+    pub user_role_degrees: DegreeSummary,
+    /// Roles-per-permission distribution.
+    pub permission_role_degrees: DegreeSummary,
+}
+
+impl DatasetStats {
+    /// Computes statistics for a graph in one pass per distribution.
+    pub fn compute(graph: &TripartiteGraph) -> Self {
+        let users = graph.n_users();
+        let roles = graph.n_roles();
+        let permissions = graph.n_permissions();
+        let user_assignments = graph.n_user_assignments();
+        let permission_grants = graph.n_permission_grants();
+        let density = |nnz: usize, r: usize, c: usize| {
+            if r == 0 || c == 0 {
+                0.0
+            } else {
+                nnz as f64 / (r as f64 * c as f64)
+            }
+        };
+        let role_user: Vec<usize> = (0..roles)
+            .map(|r| graph.user_degree(crate::RoleId::from_index(r)))
+            .collect();
+        let role_perm: Vec<usize> = (0..roles)
+            .map(|r| graph.permission_degree(crate::RoleId::from_index(r)))
+            .collect();
+        let user_role: Vec<usize> = (0..users)
+            .map(|u| graph.roles_of_user(crate::UserId::from_index(u)).count())
+            .collect();
+        let perm_role: Vec<usize> = (0..permissions)
+            .map(|p| {
+                graph
+                    .roles_of_permission(crate::PermissionId::from_index(p))
+                    .count()
+            })
+            .collect();
+        DatasetStats {
+            users,
+            roles,
+            permissions,
+            user_assignments,
+            permission_grants,
+            ruam_density: density(user_assignments, roles, users),
+            rpam_density: density(permission_grants, roles, permissions),
+            role_user_degrees: DegreeSummary::from_degrees(role_user),
+            role_permission_degrees: DegreeSummary::from_degrees(role_perm),
+            user_role_degrees: DegreeSummary::from_degrees(user_role),
+            permission_role_degrees: DegreeSummary::from_degrees(perm_role),
+        }
+    }
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "users={} roles={} permissions={}",
+            self.users, self.roles, self.permissions
+        )?;
+        writeln!(
+            f,
+            "user-role edges={} role-permission edges={}",
+            self.user_assignments, self.permission_grants
+        )?;
+        writeln!(
+            f,
+            "RUAM density={:.6} RPAM density={:.6}",
+            self.ruam_density, self.rpam_density
+        )?;
+        writeln!(
+            f,
+            "users/role: min={} median={} mean={:.2} max={} zeros={}",
+            self.role_user_degrees.min,
+            self.role_user_degrees.median,
+            self.role_user_degrees.mean,
+            self.role_user_degrees.max,
+            self.role_user_degrees.zeros
+        )?;
+        write!(
+            f,
+            "perms/role: min={} median={} mean={:.2} max={} zeros={}",
+            self.role_permission_degrees.min,
+            self.role_permission_degrees.median,
+            self.role_permission_degrees.mean,
+            self.role_permission_degrees.max,
+            self.role_permission_degrees.zeros
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_summary_basic() {
+        let s = DegreeSummary::from_degrees(vec![3, 0, 1, 0, 2]);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 3);
+        assert_eq!(s.median, 1);
+        assert_eq!(s.zeros, 2);
+        assert!((s.mean - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_summary_empty() {
+        let s = DegreeSummary::from_degrees(vec![]);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn figure1_stats() {
+        let g = TripartiteGraph::figure1_example();
+        let s = DatasetStats::compute(&g);
+        assert_eq!(s.users, 4);
+        assert_eq!(s.roles, 5);
+        assert_eq!(s.permissions, 6);
+        assert_eq!(s.user_assignments, 6);
+        assert_eq!(s.permission_grants, 7);
+        assert!((s.ruam_density - 6.0 / 20.0).abs() < 1e-12);
+        assert!((s.rpam_density - 7.0 / 30.0).abs() < 1e-12);
+        // R03 has zero users; R02 zero permissions.
+        assert_eq!(s.role_user_degrees.zeros, 1);
+        assert_eq!(s.role_permission_degrees.zeros, 1);
+        // P01 standalone.
+        assert_eq!(s.permission_role_degrees.zeros, 1);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let s = DatasetStats::compute(&TripartiteGraph::new());
+        assert_eq!(s.users, 0);
+        assert_eq!(s.ruam_density, 0.0);
+    }
+
+    #[test]
+    fn display_mentions_key_fields() {
+        let s = DatasetStats::compute(&TripartiteGraph::figure1_example());
+        let text = s.to_string();
+        assert!(text.contains("users=4"));
+        assert!(text.contains("RUAM density"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Named organization profiles.
+
+use crate::org_gen::{GeneratedOrg, InefficiencyPlan, OrgConfig};
+
+/// The published shape of the paper's real dataset (Section IV-B):
+/// ~90,000 users, ~350,000 permissions, ~50,000 roles, and the reported
+/// inefficiency counts. `scale` shrinks every count proportionally
+/// (`1.0` = full size, `0.01` = CI-sized); counts below the structural
+/// minimum are clamped.
+///
+/// The paper reports (at scale 1.0):
+///
+/// | inefficiency | count |
+/// |---|---|
+/// | standalone users | 500 |
+/// | standalone permissions | ~180,000 |
+/// | roles without users | 12,000 |
+/// | roles without permissions | 1,000 |
+/// | single-user roles | 4,000 |
+/// | single-permission roles | 21,000 |
+/// | roles sharing the same users | 8,000 (→ 4,000 pairs) |
+/// | roles sharing the same permissions | 2,000 (→ 1,000 pairs) |
+/// | roles sharing all but one user | 6,000 (→ 3,000 pairs) |
+/// | roles sharing all but one permission | 4,000 (→ 2,000 pairs) |
+///
+/// The structural role budget works out as: 300·`scale` departments ×
+/// (1 catch-all + 40 healthy), plus the planted degree-type roles —
+/// ~50,300·`scale` roles in total, matching the paper's ~50,000.
+///
+/// # Panics
+///
+/// Panics if `scale` is not in `(0, 1]`.
+pub fn ing_like(scale: f64, seed: u64) -> OrgConfig {
+    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+    let s = |n: usize| ((n as f64 * scale).round() as usize).max(1);
+    let departments = s(300);
+    OrgConfig {
+        departments,
+        // 300 × 298 ≈ 89,400 base users + 500 standalone ≈ 90k.
+        users_per_department: 298,
+        healthy_roles_per_department: 40,
+        // 300 × 567 ≈ 170k attached + 180k standalone ≈ 350k.
+        permissions_per_department: 567,
+        role_user_degree: (2, 30),
+        role_perm_degree: (2, 14),
+        plan: InefficiencyPlan {
+            standalone_users: s(500),
+            standalone_permissions: s(180_000),
+            standalone_roles: 0,
+            userless_roles: s(12_000),
+            permless_roles: s(1_000),
+            single_user_roles: s(4_000),
+            single_permission_roles: s(21_000),
+            same_user_role_pairs: s(4_000),
+            same_permission_role_pairs: s(1_000),
+            similar_user_role_pairs: s(3_000),
+            similar_permission_role_pairs: s(2_000),
+        },
+        seed,
+    }
+}
+
+/// Generates the [`ing_like`] organization directly.
+///
+/// # Panics
+///
+/// Panics if `scale` is not in `(0, 1]` or if scaling makes a transform
+/// pool too small (not the case for any `scale ≥ 0.01`).
+pub fn generate_ing_like(scale: f64, seed: u64) -> GeneratedOrg {
+    crate::org_gen::generate_org(ing_like(scale, seed))
+}
+
+/// A laptop-sized smoke-test profile: a few thousand nodes with every
+/// inefficiency type present. Generates in milliseconds; used by examples
+/// and integration tests.
+pub fn small_org(seed: u64) -> OrgConfig {
+    OrgConfig {
+        departments: 6,
+        users_per_department: 120,
+        healthy_roles_per_department: 30,
+        permissions_per_department: 150,
+        role_user_degree: (2, 20),
+        role_perm_degree: (2, 10),
+        plan: InefficiencyPlan {
+            standalone_users: 10,
+            standalone_permissions: 40,
+            standalone_roles: 3,
+            userless_roles: 15,
+            permless_roles: 5,
+            single_user_roles: 12,
+            single_permission_roles: 25,
+            same_user_role_pairs: 10,
+            same_permission_role_pairs: 6,
+            similar_user_role_pairs: 8,
+            similar_permission_role_pairs: 5,
+        },
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rolediet_model::{PermissionId, UserId};
+
+    #[test]
+    fn ing_like_scaled_down_matches_published_shape() {
+        let cfg = ing_like(0.02, 42);
+        let org = crate::org_gen::generate_org(cfg);
+        let g = &org.graph;
+        // ~1,790 base users + 10 standalone.
+        assert!(g.n_users() > 1_500 && g.n_users() < 2_200, "{}", g.n_users());
+        // ~3,400 attached + 3,600 standalone permissions.
+        assert!(
+            g.n_permissions() > 6_000 && g.n_permissions() < 8_000,
+            "{}",
+            g.n_permissions()
+        );
+        // ~1,000 roles at this scale.
+        assert!(g.n_roles() > 800 && g.n_roles() < 1_400, "{}", g.n_roles());
+        g.validate().unwrap();
+        // Roughly half the permissions are standalone, as in the paper.
+        let standalone = (0..g.n_permissions())
+            .filter(|&p| g.roles_of_permission(PermissionId::from_index(p)).next().is_none())
+            .count();
+        let frac = standalone as f64 / g.n_permissions() as f64;
+        assert!(frac > 0.4 && frac < 0.6, "standalone fraction {frac}");
+    }
+
+    #[test]
+    fn ing_like_truth_counts_scale() {
+        let org = generate_ing_like(0.01, 1);
+        assert_eq!(org.truth.standalone_users.len(), 5);
+        assert_eq!(org.truth.userless_roles.len(), 120);
+        assert_eq!(org.truth.permless_roles.len(), 10);
+        assert_eq!(org.truth.single_user_roles.len(), 40);
+        assert_eq!(org.truth.single_permission_roles.len(), 210);
+        assert_eq!(org.truth.same_user_pairs.len(), 40);
+        assert_eq!(org.truth.same_permission_pairs.len(), 10);
+        assert_eq!(org.truth.similar_user_pairs.len(), 30);
+        assert_eq!(org.truth.similar_permission_pairs.len(), 20);
+    }
+
+    #[test]
+    fn small_org_generates_quickly_and_validates() {
+        let org = crate::org_gen::generate_org(small_org(3));
+        org.graph.validate().unwrap();
+        assert_eq!(org.truth.standalone_users.len(), 10);
+        // Users: 6 × 120 + 10.
+        assert_eq!(org.graph.n_users(), 730);
+        // Spot-check a standalone user really is standalone.
+        let u: UserId = org.truth.standalone_users[0];
+        assert!(org.graph.roles_of_user(u).next().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in (0, 1]")]
+    fn scale_validated() {
+        ing_like(0.0, 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Role consolidation: from duplicate-role findings to a verified,
+//! access-preserving merge — the "role diet" itself.
+//!
+//! ```text
+//! cargo run --release --example consolidation_plan
+//! ```
+
+use rolediet::core::consolidate::verify_preserves_access;
+use rolediet::core::{DetectionConfig, MergePlan, Pipeline};
+use rolediet::model::{RbacDataset, RoleId};
+use rolediet::synth::profiles::small_org;
+
+fn main() {
+    // A 6-department organization with planted duplicate roles.
+    let org = rolediet::synth::generate_org(small_org(11));
+    let ds = RbacDataset::from_graph(org.graph.clone());
+    println!(
+        "before: {} roles, {} users, {} permissions",
+        ds.graph().n_roles(),
+        ds.graph().n_users(),
+        ds.graph().n_permissions()
+    );
+
+    // Detect (similarity skipped: consolidation only uses T4 groups).
+    let cfg = DetectionConfig {
+        skip_similarity: true,
+        ..DetectionConfig::default()
+    };
+    let report = Pipeline::new(cfg).run(ds.graph());
+    println!(
+        "found {} same-user groups, {} same-permission groups, {} standalone roles",
+        report.same_user_groups.len(),
+        report.same_permission_groups.len(),
+        report.standalone_roles.len()
+    );
+
+    // Plan. In a real deployment an administrator reviews `plan.merges`
+    // here and deletes any merge touching a legitimate corner case — the
+    // paper insists these are proposals, not automatic fixes.
+    let mut plan = MergePlan::from_report(&report, ds.graph().n_roles(), true);
+    println!("\nproposed merges (administrator review):");
+    for m in &plan.merges {
+        let absorbed: Vec<String> = m
+            .absorbed
+            .iter()
+            .map(|r| ds.role_name(*r).to_owned())
+            .collect();
+        println!(
+            "  keep {:<6} absorb [{}] ({:?})",
+            ds.role_name(m.keep),
+            absorbed.join(", "),
+            m.basis
+        );
+    }
+    // Simulate the administrator rejecting the first proposal.
+    if !plan.merges.is_empty() {
+        let rejected = plan.merges.remove(0);
+        println!("\nadministrator rejected the merge keeping {}", ds.role_name(rejected.keep));
+    }
+
+    // Apply and verify.
+    let outcome = plan.apply(ds.graph());
+    let violations = verify_preserves_access(ds.graph(), &outcome.graph);
+    assert!(violations.is_empty(), "merge must preserve access");
+    println!(
+        "\nafter: {} roles ({} removed); every user's effective permissions verified unchanged",
+        outcome.graph.n_roles(),
+        outcome.roles_removed
+    );
+
+    // Names carry over through the dataset-level rebuild.
+    let merged_ds = ds
+        .rebuild_with_role_map(&outcome.role_map, outcome.graph.n_roles())
+        .expect("plan validated");
+    let survivors = (0..3.min(merged_ds.graph().n_roles()))
+        .map(|r| merged_ds.role_name(RoleId::from_index(r)).to_owned())
+        .collect::<Vec<_>>();
+    println!("first surviving roles: {}", survivors.join(", "));
+}

@@ -1,0 +1,81 @@
+//! Regenerate or refine? Role mining vs. the role diet.
+//!
+//! The paper's related work (D'Antoni et al.) argues that *refining*
+//! existing policies beats *regenerating* them from scratch. This example
+//! measures both on the same organization:
+//!
+//! * **diet** — keep the existing roles, merge exact duplicates and drop
+//!   provably redundant ones (access preserved by construction and
+//!   verified);
+//! * **mining** — discard the roles and greedily mine a minimal role set
+//!   that exactly covers the effective user→permission relation.
+//!
+//! Mining usually wins on raw role count (it is free to invent any
+//! grouping) but loses everything the existing roles encode — names,
+//! owners, business meaning — which is why the paper's framework only
+//! proposes combinations of existing roles.
+//!
+//! ```text
+//! cargo run --release --example mining_vs_diet
+//! ```
+
+use std::time::Instant;
+
+use rolediet::core::periodic::simulate_periodic_cleanup;
+use rolediet::core::suggest::redundant_single_link_roles;
+use rolediet::core::{DetectionConfig, Pipeline};
+use rolediet::mining::{mine_greedy_cover, verify_exact_cover, MiningConfig};
+use rolediet::synth::profiles::small_org;
+
+fn main() {
+    let org = rolediet::synth::generate_org(small_org(17));
+    let graph = &org.graph;
+    println!(
+        "organization: {} users, {} roles, {} permissions, {} effective cells\n",
+        graph.n_users(),
+        graph.n_roles(),
+        graph.n_permissions(),
+        rolediet_matrix_nnz(graph)
+    );
+
+    // --- the role diet: refine what exists ----------------------------
+    let t0 = Instant::now();
+    let (trace, cleaned) = simulate_periodic_cleanup(graph, DetectionConfig::default(), 10);
+    let report = Pipeline::new(DetectionConfig::default()).run(&cleaned);
+    let redundant = redundant_single_link_roles(&cleaned, &report);
+    let diet_time = t0.elapsed();
+    let diet_roles = cleaned.n_roles() - redundant.len();
+    println!(
+        "diet   : {} -> {} roles ({} duplicate merges + {} redundant single-link) in {:.2?}",
+        graph.n_roles(),
+        diet_roles,
+        trace.total_removed(),
+        redundant.len(),
+        diet_time
+    );
+
+    // --- role mining: regenerate from the UPAM -------------------------
+    let t0 = Instant::now();
+    let upam = graph.upam_sparse();
+    let mined = mine_greedy_cover(&upam, &MiningConfig::default());
+    let mining_time = t0.elapsed();
+    verify_exact_cover(&upam, &mined.roles).expect("mined cover must be exact");
+    println!(
+        "mining : {} -> {} roles ({} candidates considered) in {:.2?}",
+        graph.n_roles(),
+        mined.n_roles(),
+        mined.candidates_considered,
+        mining_time
+    );
+
+    println!(
+        "\nboth models grant byte-identical access; the mined one has no\n\
+         names, owners or departments — every role would need re-review.\n\
+         The diet keeps all of that and still removed {} roles.",
+        graph.n_roles() - diet_roles
+    );
+}
+
+fn rolediet_matrix_nnz(graph: &rolediet::model::TripartiteGraph) -> usize {
+    rolediet::matrix::RowMatrix::nnz(&graph.upam_sparse())
+}

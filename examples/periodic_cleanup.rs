@@ -1,0 +1,51 @@
+//! Periodic cleanup: the paper's operational model. The detector runs on
+//! a schedule; each run consolidates what it found; approximate methods
+//! that miss pairs in one run catch them in the next, converging to the
+//! exact optimum.
+//!
+//! ```text
+//! cargo run --release --example periodic_cleanup
+//! ```
+
+use rolediet::core::periodic::simulate_periodic_cleanup;
+use rolediet::core::{DetectionConfig, Pipeline, Strategy};
+use rolediet::synth::profiles::generate_ing_like;
+
+fn main() {
+    let org = generate_ing_like(0.03, 13);
+    println!(
+        "organization: {} users, {} roles, {} permissions\n",
+        org.graph.n_users(),
+        org.graph.n_roles(),
+        org.graph.n_permissions()
+    );
+
+    for strategy in [
+        Strategy::Custom,
+        Strategy::hnsw_default(),
+        Strategy::minhash_default(),
+    ] {
+        let (trace, final_graph) = simulate_periodic_cleanup(
+            &org.graph,
+            DetectionConfig::with_strategy(strategy),
+            25,
+        );
+        println!("strategy {}:", strategy.name());
+        for r in &trace.rounds {
+            println!(
+                "  run {}: found {} duplicate groups, removed {} roles ({} remain)",
+                r.round, r.groups_found, r.roles_removed, r.roles_remaining
+            );
+        }
+        // What an exact audit of the converged graph still finds:
+        let residual = Pipeline::new(DetectionConfig::default()).run(&final_graph);
+        println!(
+            "  converged after {} run(s); residual duplicate groups: {}\n",
+            trace.n_rounds(),
+            residual.same_user_groups.len() + residual.same_permission_groups.len()
+        );
+        assert!(trace.converged);
+    }
+    println!("all strategies converge to a duplicate-free role set —");
+    println!("the approximate ones just may need more runs, as the paper argues.");
+}

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Patch EXPERIMENTS.md with measured series from results_*.txt.
+
+Regenerate inputs with the `repro` harness, then run this from the repo
+root:
+
+    cargo run --release -p rolediet-bench --bin repro -- fig3 > results_fig3.txt
+    python3 scripts/fill_experiments.py
+"""
+import re
+import pathlib
+
+root = pathlib.Path(__file__).resolve().parent.parent
+exp = (root / "EXPERIMENTS.md").read_text()
+
+
+def parse_series(path):
+    series = {}
+    txt = (root / path).read_text()
+    for m in re.finditer(
+        r"^(\S+)\s+x=(\d+)\s+mean=\s*([0-9.]+)s std=\s*([0-9.]+)s", txt, re.M
+    ):
+        series.setdefault(m.group(1), {})[int(m.group(2))] = (
+            float(m.group(3)),
+            float(m.group(4)),
+        )
+    return series
+
+
+def fig3_table():
+    s = parse_series("results_fig3.txt")
+    xs = sorted(next(iter(s.values())).keys())
+    rows = ["| roles | exact-dbscan (s) | approx-hnsw (s) | custom (s) |",
+            "|---|---|---|---|"]
+    for x in xs:
+        def cell(name, prec=3):
+            if name not in s or x not in s[name]:
+                return "halted"
+            m, d = s[name][x]
+            return f"{m:.{prec}f} ± {d:.{prec}f}" if m >= 0.01 else f"{m:.4f}"
+        rows.append(
+            f"| {x:,} | {cell('exact-dbscan')} | {cell('approx-hnsw')} | {cell('custom')} |"
+        )
+    return "\n".join(rows)
+
+
+if (root / "results_fig3.txt").exists():
+    exp = exp.replace("<!-- FIG3_TABLE -->", fig3_table())
+
+for marker, path in [("<!-- REALORG_RESULTS -->", "results_realorg.txt"),
+                     ("<!-- RECALL_RESULTS -->", "results_recall.txt")]:
+    f = root / path
+    if f.exists():
+        exp = exp.replace(marker, "```\n" + f.read_text().strip() + "\n```")
+
+(root / "EXPERIMENTS.md").write_text(exp)
+print("EXPERIMENTS.md updated")

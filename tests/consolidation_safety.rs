@@ -1,0 +1,108 @@
+//! Consolidation safety, property-style: for arbitrary RBAC graphs, the
+//! plan built from a detection report must apply cleanly and never change
+//! any user's effective permissions — the invariant the paper's "role
+//! diet" rests on.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use rolediet::core::consolidate::verify_preserves_access;
+use rolediet::core::{DetectionConfig, MergePlan, Pipeline};
+use rolediet::model::{PermissionId, RoleId, TripartiteGraph, UserId};
+
+/// Arbitrary small tripartite graphs, biased toward duplicate rows.
+fn graph_inputs() -> impl Strategy<Value = TripartiteGraph> {
+    (2usize..10, 2usize..12, 2usize..10)
+        .prop_flat_map(|(users, roles, perms)| {
+            let user_edges = vec((0..roles, 0..users), 0..roles * 3);
+            let perm_edges = vec((0..roles, 0..perms), 0..roles * 3);
+            // Duplicate some roles' edge sets to provoke T4 findings.
+            let dups = vec((0..roles, 0..roles), 0..3);
+            (user_edges, perm_edges, dups).prop_map(move |(ue, pe, dups)| {
+                let mut g = TripartiteGraph::with_counts(users, roles, perms);
+                for (r, u) in ue {
+                    g.assign_user(RoleId::from_index(r), UserId::from_index(u))
+                        .unwrap();
+                }
+                for (r, p) in pe {
+                    g.grant_permission(RoleId::from_index(r), PermissionId::from_index(p))
+                        .unwrap();
+                }
+                for (src, dst) in dups {
+                    if src != dst {
+                        let users: Vec<UserId> =
+                            g.users_of(RoleId::from_index(src)).collect();
+                        let old: Vec<UserId> = g.users_of(RoleId::from_index(dst)).collect();
+                        for u in old {
+                            g.revoke_user(RoleId::from_index(dst), u).unwrap();
+                        }
+                        for u in users {
+                            g.assign_user(RoleId::from_index(dst), u).unwrap();
+                        }
+                    }
+                }
+                g
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn plans_apply_cleanly_and_preserve_access(graph in graph_inputs()) {
+        let report = Pipeline::new(DetectionConfig::default()).run(&graph);
+        let plan = MergePlan::from_report(&report, graph.n_roles(), true);
+        let outcome = plan.apply(&graph);
+        outcome.graph.validate().unwrap();
+        // Role count drops by exactly the plan's promise.
+        prop_assert_eq!(
+            graph.n_roles() - outcome.graph.n_roles(),
+            plan.roles_removed()
+        );
+        // The core invariant.
+        let violations = verify_preserves_access(&graph, &outcome.graph);
+        prop_assert!(violations.is_empty(), "access changed for {violations:?}");
+        // The role map is total and consistent with the new graph size.
+        prop_assert_eq!(outcome.role_map.len(), graph.n_roles());
+        for target in outcome.role_map.iter().flatten() {
+            prop_assert!(*target < outcome.graph.n_roles());
+        }
+    }
+
+    #[test]
+    fn consolidation_converges(graph in graph_inputs()) {
+        // Repeatedly detect + consolidate: role count is non-increasing
+        // and reaches a fixed point within n_roles iterations.
+        let mut current = graph.clone();
+        let mut last = current.n_roles() + 1;
+        let mut rounds = 0usize;
+        while current.n_roles() < last {
+            last = current.n_roles();
+            let report = Pipeline::new(DetectionConfig::default()).run(&current);
+            let plan = MergePlan::from_report(&report, current.n_roles(), true);
+            if plan.roles_removed() == 0 {
+                break;
+            }
+            let outcome = plan.apply(&current);
+            prop_assert!(verify_preserves_access(&current, &outcome.graph).is_empty());
+            current = outcome.graph;
+            rounds += 1;
+            prop_assert!(rounds <= graph.n_roles(), "no convergence");
+        }
+        // At the fixed point there are no non-empty duplicate groups and
+        // no standalone roles left.
+        let report = Pipeline::new(DetectionConfig::default()).run(&current);
+        prop_assert!(report.same_user_groups.is_empty());
+        prop_assert!(report.same_permission_groups.is_empty());
+        prop_assert!(report.standalone_roles.is_empty());
+        // And the original access is still intact end-to-end.
+        for u in 0..graph.n_users() {
+            let uid = UserId::from_index(u);
+            prop_assert_eq!(
+                graph.effective_permissions(uid),
+                current.effective_permissions(uid)
+            );
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Generator → detector round trips: everything the generators plant, the
+//! pipeline must recover (exactly for degree types and exact strategies;
+//! at-least for group types, where coincidental extra duplicates are
+//! legitimate findings too).
+
+use rolediet::core::{DetectionConfig, Pipeline, SimilarityConfig};
+use rolediet::model::{PermissionId, RoleId, UserId};
+use rolediet::synth::profiles::{generate_ing_like, small_org};
+use rolediet::synth::{generate_matrix, generate_org, MatrixGenConfig};
+
+#[test]
+fn planted_matrix_clusters_recovered_exactly() {
+    for seed in [1u64, 2, 3] {
+        let gen = generate_matrix(MatrixGenConfig::paper(600, 300, seed));
+        let groups = rolediet::core::cooccur::same_groups(&gen.sparse());
+        assert_eq!(groups, gen.truth.exact_duplicate_groups, "seed {seed}");
+        // Every planted group is inside one detected group.
+        for planted in &gen.truth.planted_groups {
+            assert!(
+                groups
+                    .iter()
+                    .any(|g| planted.iter().all(|m| g.contains(m))),
+                "seed {seed}: planted group {planted:?} lost"
+            );
+        }
+    }
+}
+
+#[test]
+fn planted_similar_pairs_recovered() {
+    let gen = generate_matrix(MatrixGenConfig {
+        perturbed_per_cluster: 1,
+        ..MatrixGenConfig::paper(600, 300, 4)
+    });
+    let m = gen.sparse();
+    let tr = m.transpose();
+    let cfg = SimilarityConfig {
+        threshold: 1,
+        include_disjoint: true,
+        ..SimilarityConfig::default()
+    };
+    let pairs: std::collections::HashSet<(usize, usize)> = rolediet::core::cooccur::similar_pairs(
+        &m, &tr, &cfg,
+    )
+    .into_iter()
+    .map(|p| (p.a, p.b))
+    .collect();
+    assert!(!gen.truth.planted_similar_pairs.is_empty());
+    for &(a, b) in &gen.truth.planted_similar_pairs {
+        assert!(pairs.contains(&(a, b)), "planted similar pair ({a},{b}) missed");
+    }
+}
+
+#[test]
+fn org_pipeline_recovers_planted_truth() {
+    let org = generate_org(small_org(5));
+    let report = Pipeline::new(DetectionConfig::default()).run(&org.graph);
+
+    // Degree types: exact equality, id for id.
+    let ids = |v: &[usize]| v.to_vec();
+    assert_eq!(
+        ids(&report.standalone_users),
+        org.truth
+            .standalone_users
+            .iter()
+            .map(|u: &UserId| u.index())
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(
+        ids(&report.standalone_permissions),
+        org.truth
+            .standalone_permissions
+            .iter()
+            .map(|p: &PermissionId| p.index())
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(
+        ids(&report.standalone_roles),
+        org.truth
+            .standalone_roles
+            .iter()
+            .map(|r: &RoleId| r.index())
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(
+        ids(&report.userless_roles),
+        org.truth
+            .userless_roles
+            .iter()
+            .map(|r: &RoleId| r.index())
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(
+        ids(&report.permless_roles),
+        org.truth
+            .permless_roles
+            .iter()
+            .map(|r: &RoleId| r.index())
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(
+        ids(&report.single_user_roles),
+        org.truth
+            .single_user_roles
+            .iter()
+            .map(|r: &RoleId| r.index())
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(
+        ids(&report.single_permission_roles),
+        org.truth
+            .single_permission_roles
+            .iter()
+            .map(|r: &RoleId| r.index())
+            .collect::<Vec<_>>()
+    );
+
+    // Group types: every planted pair must land in one detected group.
+    let covered = |groups: &[Vec<usize>], a: usize, b: usize| {
+        groups.iter().any(|g| g.contains(&a) && g.contains(&b))
+    };
+    for &(a, b) in &org.truth.same_user_pairs {
+        assert!(
+            covered(&report.same_user_groups, a.index(), b.index()),
+            "same-user pair ({a}, {b}) missed"
+        );
+    }
+    for &(a, b) in &org.truth.same_permission_pairs {
+        assert!(
+            covered(&report.same_permission_groups, a.index(), b.index()),
+            "same-permission pair ({a}, {b}) missed"
+        );
+    }
+    // Similar types: planted Hamming-1 pairs must be reported.
+    let has_pair = |pairs: &[rolediet::core::SimilarPair], a: usize, b: usize| {
+        pairs.iter().any(|p| p.a == a.min(b) && p.b == a.max(b))
+    };
+    for &(a, b) in &org.truth.similar_user_pairs {
+        assert!(
+            has_pair(&report.similar_user_pairs, a.index(), b.index()),
+            "similar-user pair ({a}, {b}) missed"
+        );
+    }
+    for &(a, b) in &org.truth.similar_permission_pairs {
+        assert!(
+            has_pair(&report.similar_permission_pairs, a.index(), b.index()),
+            "similar-permission pair ({a}, {b}) missed"
+        );
+    }
+}
+
+#[test]
+fn ing_profile_detected_counts_match_published_shape() {
+    // 2% scale of the Section IV-B organization.
+    let org = generate_ing_like(0.02, 9);
+    let report = Pipeline::new(DetectionConfig::default()).run(&org.graph);
+    // Degree-type counts are exact by construction.
+    assert_eq!(report.standalone_users.len(), org.truth.standalone_users.len());
+    assert_eq!(
+        report.standalone_permissions.len(),
+        org.truth.standalone_permissions.len()
+    );
+    assert_eq!(report.userless_roles.len(), org.truth.userless_roles.len());
+    assert_eq!(report.permless_roles.len(), org.truth.permless_roles.len());
+    assert_eq!(report.single_user_roles.len(), org.truth.single_user_roles.len());
+    assert_eq!(
+        report.single_permission_roles.len(),
+        org.truth.single_permission_roles.len()
+    );
+    // Published proportions: ~half of permissions standalone; ~10% of
+    // roles removable via T4 consolidation.
+    let frac = report.standalone_permissions.len() as f64 / org.graph.n_permissions() as f64;
+    assert!(frac > 0.4 && frac < 0.6, "standalone permission fraction {frac}");
+    let removable = report.reducible_roles(rolediet::core::Side::User)
+        + report.reducible_roles(rolediet::core::Side::Permission);
+    let frac = removable as f64 / org.graph.n_roles() as f64;
+    assert!(
+        frac > 0.03 && frac < 0.2,
+        "removable-role fraction {frac} out of the paper's ballpark"
+    );
+}
