@@ -1,14 +1,26 @@
-//! Ablation `abl-parallel`: the custom T5 detector across thread counts.
+//! Ablation `abl-parallel`: parallel pipeline stages across thread counts.
 //!
-//! The co-occurrence walk is embarrassingly parallel over roles; this
-//! bench measures the scaling of `similar_pairs_parallel` at 1, 2, 4 and
-//! 8 workers on a paper-shaped matrix.
+//! Three stages run on the shared substrate (`rolediet_matrix::parallel`)
+//! and are benched at 1, 2, 4 and 8 workers on a paper-shaped matrix:
+//!
+//! * the custom T5 detector (`similar_pairs_parallel`) — embarrassingly
+//!   parallel over the owning role of each co-occurring pair;
+//! * the CSR transpose feeding T5 (`CsrMatrix::transpose_with`);
+//! * the signature-index build behind the custom T4 detector
+//!   (`SignatureIndex::build_with`).
+//!
+//! A final full-pipeline pass records the per-stage thread counts that
+//! `Report::timings` now carries, so a bench run documents which stages
+//! actually ran parallel.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use rolediet_bench::sweep_matrix;
 use rolediet_core::cooccur::similar_pairs_parallel;
-use rolediet_core::SimilarityConfig;
+use rolediet_core::{DetectionConfig, Parallelism, Pipeline, SimilarityConfig};
+use rolediet_matrix::SignatureIndex;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 fn parallel_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_parallel");
@@ -16,7 +28,7 @@ fn parallel_scaling(c: &mut Criterion) {
     let matrix = sweep_matrix(3_000, 1_000, 0);
     let transpose = matrix.transpose();
     let cfg = SimilarityConfig::default();
-    for threads in [1usize, 2, 4, 8] {
+    for threads in THREAD_COUNTS {
         group.bench_with_input(
             BenchmarkId::new("similar_pairs", threads),
             &threads,
@@ -24,8 +36,46 @@ fn parallel_scaling(c: &mut Criterion) {
                 b.iter(|| similar_pairs_parallel(&matrix, &transpose, &cfg, threads));
             },
         );
+        group.bench_with_input(
+            BenchmarkId::new("transpose", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| matrix.transpose_with(threads));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("signature_build", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| SignatureIndex::build_with(&matrix, threads));
+            },
+        );
     }
     group.finish();
+
+    // Per-stage thread counts from a full pipeline run, as recorded in
+    // `Report::timings.threads` — printed so the bench log documents the
+    // parallelism each stage actually used.
+    let (ruam, rpam) = (sweep_matrix(800, 400, 0), sweep_matrix(800, 300, 1));
+    for threads in THREAD_COUNTS {
+        let cfg = DetectionConfig {
+            parallelism: Parallelism::Threads(threads),
+            ..DetectionConfig::default()
+        };
+        let report = Pipeline::new(cfg).run_on_matrices(&ruam, &rpam);
+        let t = report.timings.threads;
+        println!(
+            "pipeline threads={threads}: degrees={} same(u)={} same(p)={} \
+             transpose={} similar(u)={} similar(p)={} | total {:.2?}",
+            t.degree_detectors,
+            t.same_users,
+            t.same_permissions,
+            t.transpose,
+            t.similar_users,
+            t.similar_permissions,
+            report.timings.total(),
+        );
+    }
 }
 
 criterion_group!(benches, parallel_scaling);

@@ -23,13 +23,9 @@ fn fig2(c: &mut Criterion) {
     for users in [500usize, 1_000, 2_000, 4_000] {
         let matrix = sweep_matrix(roles, users, 0);
         for strategy in paper_strategies() {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.name(), users),
-                &matrix,
-                |b, m| {
-                    b.iter(|| find_same_groups(m, &strategy, Parallelism::Sequential));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.name(), users), &matrix, |b, m| {
+                b.iter(|| find_same_groups(m, &strategy, Parallelism::Sequential));
+            });
         }
     }
     group.finish();

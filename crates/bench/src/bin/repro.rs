@@ -17,10 +17,10 @@
 use std::time::{Duration, Instant};
 
 use rolediet_bench::{
-    format_series, mean_std, paper_strategies, sweep_matrix, time_same_groups,
-    time_similar_pairs, SweepPoint,
+    format_series, mean_std, paper_strategies, sweep_matrix, time_same_groups_with,
+    time_similar_pairs_with, SweepPoint,
 };
-use rolediet_core::{DetectionConfig, MergePlan, Pipeline, Side, Strategy};
+use rolediet_core::{DetectionConfig, MergePlan, Parallelism, Pipeline, Side, Strategy};
 use rolediet_model::DatasetStats;
 
 fn main() {
@@ -61,7 +61,8 @@ fn print_help() {
          \x20 cooccur-example  print the Section III-C co-occurrence matrix\n\
          \n\
          common flags: --runs N --min N --max N --step N --roles N --users N\n\
-         \x20             --budget-secs N --similar --scale F --seed N --baselines"
+         \x20             --budget-secs N --similar --scale F --seed N --baselines\n\
+         \x20             --threads N (worker threads for the parallel stages; default 1)"
     );
 }
 
@@ -78,6 +79,18 @@ struct Opts {
     scale: f64,
     seed: u64,
     baselines: bool,
+    threads: usize,
+}
+
+impl Opts {
+    /// The parallelism setting the flags ask for.
+    fn parallelism(&self) -> Parallelism {
+        if self.threads <= 1 {
+            Parallelism::Sequential
+        } else {
+            Parallelism::Threads(self.threads)
+        }
+    }
 }
 
 impl Opts {
@@ -94,6 +107,7 @@ impl Opts {
             scale: 1.0,
             seed: 7,
             baselines: false,
+            threads: 1,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -116,6 +130,7 @@ impl Opts {
                 "--scale" => o.scale = val("--scale").parse().expect("--scale"),
                 "--seed" => o.seed = val("--seed").parse().expect("--seed"),
                 "--baselines" => o.baselines = true,
+                "--threads" => o.threads = val("--threads").parse().expect("--threads"),
                 other => panic!("unknown flag {other:?}"),
             }
         }
@@ -162,17 +177,13 @@ fn sweep(axis: SweepAxis, opts: &Opts) {
             for run in 0..opts.runs {
                 // T5 sweeps plant one perturbed (Hamming-1) member per
                 // cluster so there are true similar pairs to find.
-                let m = rolediet_bench::sweep_matrix_with(
-                    roles,
-                    users,
-                    run,
-                    usize::from(opts.similar),
-                );
+                let m =
+                    rolediet_bench::sweep_matrix_with(roles, users, run, usize::from(opts.similar));
                 let (d, n) = if opts.similar {
                     let t = m.transpose();
-                    time_similar_pairs(&m, &t, &strategy, 1)
+                    time_similar_pairs_with(&m, &t, &strategy, 1, opts.parallelism())
                 } else {
-                    time_same_groups(&m, &strategy)
+                    time_same_groups_with(&m, &strategy, opts.parallelism())
                 };
                 samples.push(d);
                 found = n;
@@ -213,8 +224,10 @@ fn sweep(axis: SweepAxis, opts: &Opts) {
 /// two baseline strategies on the same RUAM (with the budget cap).
 fn realorg(opts: &Opts) {
     println!(
-        "# ing-like organization, scale={}, seed={}",
-        opts.scale, opts.seed
+        "# ing-like organization, scale={}, seed={}, threads={}",
+        opts.scale,
+        opts.seed,
+        opts.parallelism().threads()
     );
     let t0 = Instant::now();
     let org = rolediet_synth::profiles::generate_ing_like(opts.scale, opts.seed);
@@ -222,12 +235,19 @@ fn realorg(opts: &Opts) {
     let stats = DatasetStats::compute(&org.graph);
     println!(
         "# users={} roles={} permissions={} user-edges={} perm-edges={}",
-        stats.users, stats.roles, stats.permissions, stats.user_assignments,
+        stats.users,
+        stats.roles,
+        stats.permissions,
+        stats.user_assignments,
         stats.permission_grants
     );
 
+    let cfg = DetectionConfig {
+        parallelism: opts.parallelism(),
+        ..DetectionConfig::default()
+    };
     let t0 = Instant::now();
-    let report = Pipeline::new(DetectionConfig::default()).run(&org.graph);
+    let report = Pipeline::new(cfg).run(&org.graph);
     let detect_time = t0.elapsed();
     println!("\n{}", report.summary_table());
     println!("custom pipeline total: {detect_time:.2?}");
@@ -240,19 +260,45 @@ fn realorg(opts: &Opts) {
         report.timings.similar_users,
         report.timings.similar_permissions,
     );
+    let t = report.timings.threads;
+    println!(
+        "  stage threads: degrees={} same(u)={} same(p)={} transpose={} similar(u)={} similar(p)={}",
+        t.degree_detectors,
+        t.same_users,
+        t.same_permissions,
+        t.transpose,
+        t.similar_users,
+        t.similar_permissions,
+    );
 
     // Planted-vs-detected cross-check (the advantage of a synthetic org).
     println!("\n# planted vs detected");
     let rows = [
-        ("standalone users", org.truth.standalone_users.len(), report.standalone_users.len()),
+        (
+            "standalone users",
+            org.truth.standalone_users.len(),
+            report.standalone_users.len(),
+        ),
         (
             "standalone permissions",
             org.truth.standalone_permissions.len(),
             report.standalone_permissions.len(),
         ),
-        ("userless roles", org.truth.userless_roles.len(), report.userless_roles.len()),
-        ("permless roles", org.truth.permless_roles.len(), report.permless_roles.len()),
-        ("single-user roles", org.truth.single_user_roles.len(), report.single_user_roles.len()),
+        (
+            "userless roles",
+            org.truth.userless_roles.len(),
+            report.userless_roles.len(),
+        ),
+        (
+            "permless roles",
+            org.truth.permless_roles.len(),
+            report.permless_roles.len(),
+        ),
+        (
+            "single-user roles",
+            org.truth.single_user_roles.len(),
+            report.single_user_roles.len(),
+        ),
         (
             "single-permission roles",
             org.truth.single_permission_roles.len(),
@@ -285,7 +331,8 @@ fn realorg(opts: &Opts) {
 
     let plan = MergePlan::from_report(&report, org.graph.n_roles(), true);
     let outcome = plan.apply(&org.graph);
-    let violations = rolediet_core::consolidate::verify_preserves_access(&org.graph, &outcome.graph);
+    let violations =
+        rolediet_core::consolidate::verify_preserves_access(&org.graph, &outcome.graph);
     println!(
         "\nconsolidation: {} of {} roles removable ({:.1}%), access-preservation violations={}",
         outcome.roles_removed,
@@ -299,11 +346,15 @@ fn realorg(opts: &Opts) {
         let ruam = org.graph.ruam_sparse();
         for strategy in [Strategy::ExactDbscan, Strategy::hnsw_default()] {
             let start = Instant::now();
-            let (d, groups) = time_same_groups(&ruam, &strategy);
+            let (d, groups) = time_same_groups_with(&ruam, &strategy, opts.parallelism());
             if start.elapsed() > opts.budget {
                 println!("{:<14} HALTED after {:.2?}", strategy.name(), d);
             } else {
-                println!("{:<14} same-users: {:.2?} ({groups} groups)", strategy.name(), d);
+                println!(
+                    "{:<14} same-users: {:.2?} ({groups} groups)",
+                    strategy.name(),
+                    d
+                );
             }
         }
     }
@@ -330,7 +381,10 @@ fn recall(opts: &Opts) {
             ef_search: ef,
             ..Default::default()
         };
-        let strategy = Strategy::ApproxHnsw { params, probe_k: 16 };
+        let strategy = Strategy::ApproxHnsw {
+            params,
+            probe_k: 16,
+        };
         let start = Instant::now();
         let groups = find_same_groups(&m, &strategy, Parallelism::Sequential);
         let elapsed = start.elapsed();
@@ -356,7 +410,10 @@ fn recall(opts: &Opts) {
 fn periodic(opts: &Opts) {
     use rolediet_core::periodic::simulate_periodic_cleanup;
     let scale = if opts.scale >= 1.0 { 0.05 } else { opts.scale };
-    println!("# ing-like organization at scale {scale}, seed {}", opts.seed);
+    println!(
+        "# ing-like organization at scale {scale}, seed {}",
+        opts.seed
+    );
     let org = rolediet_synth::profiles::generate_ing_like(scale, opts.seed);
     for strategy in [
         Strategy::Custom,
@@ -364,11 +421,8 @@ fn periodic(opts: &Opts) {
         Strategy::minhash_default(),
     ] {
         let t0 = Instant::now();
-        let (trace, final_graph) = simulate_periodic_cleanup(
-            &org.graph,
-            DetectionConfig::with_strategy(strategy),
-            25,
-        );
+        let (trace, final_graph) =
+            simulate_periodic_cleanup(&org.graph, DetectionConfig::with_strategy(strategy), 25);
         println!(
             "\n{}: converged={} rounds={} removed={} final_roles={} ({:.2?})",
             strategy.name(),
@@ -398,7 +452,10 @@ fn mining(opts: &Opts) {
     use rolediet_core::periodic::simulate_periodic_cleanup;
     use rolediet_mining::{mine_greedy_cover, verify_exact_cover, MiningConfig};
     let scale = if opts.scale >= 1.0 { 0.02 } else { opts.scale };
-    println!("# ing-like organization at scale {scale}, seed {}", opts.seed);
+    println!(
+        "# ing-like organization at scale {scale}, seed {}",
+        opts.seed
+    );
     let org = rolediet_synth::profiles::generate_ing_like(scale, opts.seed);
     let graph = &org.graph;
     println!(

@@ -43,7 +43,10 @@ impl Default for ChartOptions {
 /// Returns a note string instead of a chart when there is nothing
 /// plottable (no series, or log scale with no positive values).
 pub fn render(series: &[Series], opts: &ChartOptions) -> String {
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     let usable: Vec<(f64, f64)> = if opts.log_y {
         all.iter().copied().filter(|&(_, y)| y > 0.0).collect()
     } else {
@@ -161,7 +164,12 @@ mod tests {
         let rows: Vec<&str> = text.lines().collect();
         assert!(rows[0].contains('#'), "top row has the max point");
         assert!(
-            rows.iter().rev().find(|r| r.contains('*')).unwrap().trim_end().ends_with('*')
+            rows.iter()
+                .rev()
+                .find(|r| r.contains('*'))
+                .unwrap()
+                .trim_end()
+                .ends_with('*')
                 || text.contains('*'),
         );
     }

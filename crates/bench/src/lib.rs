@@ -3,7 +3,7 @@
 //! The `repro` binary and the Criterion benches both time the three
 //! strategies of Section III-C on identical generated inputs; this
 //! library holds the shared pieces: method wrappers, timing helpers and
-//! series formatting. See DESIGN.md §6 for the experiment index and
+//! series formatting. See DESIGN.md §7 for the experiment index and
 //! EXPERIMENTS.md for recorded results.
 
 #![forbid(unsafe_code)]
@@ -29,9 +29,18 @@ pub fn paper_strategies() -> Vec<Strategy> {
 /// Times one "find roles sharing the same users" run (the Figure 2/3
 /// task) of `strategy` over `matrix`. Returns (elapsed, groups found).
 pub fn time_same_groups(matrix: &CsrMatrix, strategy: &Strategy) -> (Duration, usize) {
+    time_same_groups_with(matrix, strategy, Parallelism::Sequential)
+}
+
+/// [`time_same_groups`] under an explicit [`Parallelism`] setting, for
+/// the speedup-curve benches and the `--threads` repro flag.
+pub fn time_same_groups_with(
+    matrix: &CsrMatrix,
+    strategy: &Strategy,
+    parallelism: Parallelism,
+) -> (Duration, usize) {
     let start = Instant::now();
-    let groups =
-        rolediet_core::strategy::find_same_groups(matrix, strategy, Parallelism::Sequential);
+    let groups = rolediet_core::strategy::find_same_groups(matrix, strategy, parallelism);
     (start.elapsed(), groups.len())
 }
 
@@ -42,18 +51,30 @@ pub fn time_similar_pairs(
     strategy: &Strategy,
     threshold: usize,
 ) -> (Duration, usize) {
+    time_similar_pairs_with(
+        matrix,
+        transpose,
+        strategy,
+        threshold,
+        Parallelism::Sequential,
+    )
+}
+
+/// [`time_similar_pairs`] under an explicit [`Parallelism`] setting.
+pub fn time_similar_pairs_with(
+    matrix: &CsrMatrix,
+    transpose: &CsrMatrix,
+    strategy: &Strategy,
+    threshold: usize,
+    parallelism: Parallelism,
+) -> (Duration, usize) {
     let cfg = SimilarityConfig {
         threshold,
         ..SimilarityConfig::default()
     };
     let start = Instant::now();
-    let pairs = rolediet_core::strategy::find_similar_pairs(
-        matrix,
-        transpose,
-        strategy,
-        &cfg,
-        Parallelism::Sequential,
-    );
+    let pairs =
+        rolediet_core::strategy::find_similar_pairs(matrix, transpose, strategy, &cfg, parallelism);
     (start.elapsed(), pairs.len())
 }
 
@@ -146,6 +167,20 @@ mod tests {
             }
             let (d, _) = time_similar_pairs(&m, &t, &s, 1);
             assert!(d > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn parallel_timing_wrappers_match_sequential_counts() {
+        let m = sweep_matrix(100, 60, 0);
+        let t = m.transpose();
+        let s = Strategy::Custom;
+        let (_, seq_groups) = time_same_groups(&m, &s);
+        let (_, seq_pairs) = time_similar_pairs(&m, &t, &s, 1);
+        for threads in [2, 4] {
+            let p = Parallelism::Threads(threads);
+            assert_eq!(time_same_groups_with(&m, &s, p).1, seq_groups);
+            assert_eq!(time_similar_pairs_with(&m, &t, &s, 1, p).1, seq_pairs);
         }
     }
 

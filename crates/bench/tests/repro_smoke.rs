@@ -12,7 +12,15 @@ fn help_lists_all_experiments() {
     let out = repro().arg("help").output().unwrap();
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
-    for cmd in ["fig2", "fig3", "realorg", "recall", "periodic", "mining", "cooccur-example"] {
+    for cmd in [
+        "fig2",
+        "fig3",
+        "realorg",
+        "recall",
+        "periodic",
+        "mining",
+        "cooccur-example",
+    ] {
         assert!(text.contains(cmd), "help missing {cmd}");
     }
 }
@@ -35,10 +43,16 @@ fn cooccur_example_prints_the_paper_matrix() {
 #[test]
 fn fig2_miniature_sweep_emits_all_series_and_chart() {
     let out = repro()
-        .args(["fig2", "--min", "120", "--max", "240", "--step", "120", "--runs", "1", "--roles", "80"])
+        .args([
+            "fig2", "--min", "120", "--max", "240", "--step", "120", "--runs", "1", "--roles", "80",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     for series in ["exact-dbscan", "approx-hnsw", "custom"] {
         assert!(text.contains(series), "{text}");
@@ -52,11 +66,43 @@ fn realorg_miniature_prints_planted_vs_detected() {
         .args(["realorg", "--scale", "0.01", "--seed", "1"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("planted vs detected"), "{text}");
     assert!(text.contains("consolidation:"), "{text}");
     assert!(text.contains("violations=0"), "{text}");
+}
+
+#[test]
+fn realorg_miniature_with_two_threads_matches_markers() {
+    let out = repro()
+        .args([
+            "realorg",
+            "--scale",
+            "0.01",
+            "--seed",
+            "1",
+            "--threads",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("threads=2"), "{text}");
+    assert!(text.contains("planted vs detected"), "{text}");
+    assert!(text.contains("consolidation:"), "{text}");
+    assert!(text.contains("violations=0"), "{text}");
+    // The per-stage thread counts recorded in the report are printed.
+    assert!(text.contains("stage threads: degrees=2"), "{text}");
 }
 
 #[test]
@@ -65,7 +111,11 @@ fn recall_miniature_reports_rates() {
         .args(["recall", "--roles", "150", "--users", "80"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("recall="), "{text}");
     assert!(text.contains("minhash-lsh"), "{text}");
@@ -77,7 +127,11 @@ fn mining_miniature_compares_both_approaches() {
         .args(["mining", "--scale", "0.01", "--seed", "2"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("diet   :"), "{text}");
     assert!(text.contains("mining :"), "{text}");

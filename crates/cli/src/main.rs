@@ -214,11 +214,7 @@ fn consolidate(args: &[String]) -> CliResult {
         ds.graph().n_roles()
     );
     for m in plan.merges.iter().take(10) {
-        let absorbed: Vec<&str> = m
-            .absorbed
-            .iter()
-            .map(|r| ds.role_name(*r))
-            .collect();
+        let absorbed: Vec<&str> = m.absorbed.iter().map(|r| ds.role_name(*r)).collect();
         println!(
             "  keep {} <- absorb {} ({:?})",
             ds.role_name(m.keep),
@@ -236,10 +232,7 @@ fn consolidate(args: &[String]) -> CliResult {
             )
             .into());
         }
-        let merged = ds.rebuild_with_role_map(
-            &outcome.role_map,
-            outcome.graph.n_roles(),
-        )?;
+        let merged = ds.rebuild_with_role_map(&outcome.role_map, outcome.graph.n_roles())?;
         write_dataset(&merged, prefix)?;
         println!(
             "applied: {} roles removed, verified access-preserving; written to {prefix}-*.csv",
@@ -359,7 +352,10 @@ fn diff_cmd(args: &[String]) -> CliResult {
 
 fn generate(args: &[String]) -> CliResult {
     let prefix = flag_value(args, "--out").ok_or("--out <prefix> is required")?;
-    let seed: u64 = flag_value(args, "--seed").map(str::parse).transpose()?.unwrap_or(7);
+    let seed: u64 = flag_value(args, "--seed")
+        .map(str::parse)
+        .transpose()?
+        .unwrap_or(7);
     let profile = flag_value(args, "--profile").unwrap_or("small");
     let org = match profile {
         "small" => rolediet_synth::generate_org(rolediet_synth::profiles::small_org(seed)),
@@ -438,7 +434,10 @@ fn access(args: &[String]) -> CliResult {
             .collect();
         println!("  identical access: {}", names.join(", "));
     }
-    println!("containment pairs (access ⊂ access): {}", a.containment_pairs.len());
+    println!(
+        "containment pairs (access ⊂ access): {}",
+        a.containment_pairs.len()
+    );
     Ok(())
 }
 

@@ -42,7 +42,13 @@ fn missing_input_files_fail_with_message() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("--users"));
 
     let out = bin()
-        .args(["detect", "--users", "/nonexistent.csv", "--perms", "/nonexistent.csv"])
+        .args([
+            "detect",
+            "--users",
+            "/nonexistent.csv",
+            "--perms",
+            "/nonexistent.csv",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());
@@ -114,10 +120,22 @@ fn generate_stats_detect_consolidate_roundtrip() {
 
     // generate
     let out = bin()
-        .args(["generate", "--profile", "small", "--seed", "3", "--out", prefix])
+        .args([
+            "generate",
+            "--profile",
+            "small",
+            "--seed",
+            "3",
+            "--out",
+            prefix,
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let users = format!("{prefix}-users.csv");
     let perms = format!("{prefix}-perms.csv");
     assert!(std::path::Path::new(&users).exists());
@@ -150,21 +168,32 @@ fn generate_stats_detect_consolidate_roundtrip() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("T4 roles sharing the same users"), "{text}");
     let report: serde_json::Value =
         serde_json::from_str(&std::fs::read_to_string(&json).unwrap()).unwrap();
     assert!(report.get("same_user_groups").is_some());
     let md_text = std::fs::read_to_string(&md).unwrap();
-    assert!(md_text.starts_with("# RBAC inefficiency report"), "{md_text}");
+    assert!(
+        md_text.starts_with("# RBAC inefficiency report"),
+        "{md_text}"
+    );
 
     // suggest
     let out = bin()
         .args(["suggest", "--users", &users, "--perms", &perms])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("role-containment pairs"), "{text}");
     assert!(text.contains("redundant single-link roles"), "{text}");
@@ -183,7 +212,11 @@ fn generate_stats_detect_consolidate_roundtrip() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("verified access-preserving"), "{text}");
     assert!(merged.with_file_name("merged-users.csv").exists());
@@ -226,11 +259,14 @@ fn generate_stats_detect_consolidate_roundtrip() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(
-        text.contains("users with effective-access changes: 0")
-            || text.contains("no changes"),
+        text.contains("users with effective-access changes: 0") || text.contains("no changes"),
         "{text}"
     );
 
@@ -255,7 +291,11 @@ fn access_subcommand_reports_classes() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("identical access: u1, u2"), "{text}");
     assert!(text.contains("1 identical-access classes"), "{text}");
@@ -285,7 +325,11 @@ fn trend_subcommand_accumulates_runs() {
             ])
             .output()
             .unwrap();
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
     }
     let out = bin()
         .args([
@@ -333,7 +377,11 @@ fn detect_on_figure1_csvs() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     // R02=R04 same users, R04=R05 same permissions.
     assert!(text.contains("R02, R04"), "{text}");

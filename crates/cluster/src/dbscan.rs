@@ -140,7 +140,8 @@ impl Dbscan {
     }
 
     /// Like [`fit`](Self::fit), but all `n` region queries — the O(n²)
-    /// part — are precomputed on `threads` worker threads before the
+    /// part — are precomputed on `threads` worker threads (via the shared
+    /// [`parallel`](rolediet_matrix::parallel) substrate) before the
     /// (cheap, sequential) cluster expansion runs over the cached
     /// neighbour lists.
     ///
@@ -148,31 +149,20 @@ impl Dbscan {
     /// the cost of `O(Σ|N(p)|)` extra memory. This is the parallel
     /// ablation of DESIGN.md (`abl-parallel`); scikit-learn's `n_jobs`
     /// parallelizes the same stage.
-    pub fn fit_with_threads<P: PointSet + Sync>(&self, points: &P, threads: usize) -> ClusterLabels {
-        let threads = threads.max(1);
+    pub fn fit_with_threads<P: PointSet + Sync>(
+        &self,
+        points: &P,
+        threads: usize,
+    ) -> ClusterLabels {
         let n = points.len();
-        if threads == 1 || n == 0 {
+        if threads.max(1) == 1 || n == 0 {
             return self.fit(points);
         }
-        let chunk = n.div_ceil(threads);
-        let mut neighborhoods: Vec<Vec<usize>> = Vec::with_capacity(n);
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|w| {
-                    let lo = w * chunk;
-                    let hi = ((w + 1) * chunk).min(n);
-                    scope.spawn(move |_| {
-                        (lo..hi)
-                            .map(|p| range_query(points, p, self.params.eps))
-                            .collect::<Vec<Vec<usize>>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                neighborhoods.extend(h.join().expect("region-query worker panicked"));
-            }
-        })
-        .expect("crossbeam scope failed");
+        let mut neighborhoods = rolediet_matrix::parallel::par_map_rows(n, threads, |range| {
+            range
+                .map(|p| range_query(points, p, self.params.eps))
+                .collect()
+        });
         // Each point's neighbourhood is consumed at most once during
         // expansion, so it can be moved out rather than cloned.
         self.expand(n, |p| std::mem::take(&mut neighborhoods[p]))
@@ -337,12 +327,9 @@ mod tests {
     #[test]
     fn similar_threshold_on_binary_rows() {
         // Rows 0 and 1 differ in exactly one position; row 2 in three.
-        let ruam = BitMatrix::from_rows_of_indices(
-            3,
-            6,
-            &[vec![0, 1, 2], vec![0, 1, 2, 3], vec![4, 5]],
-        )
-        .unwrap();
+        let ruam =
+            BitMatrix::from_rows_of_indices(3, 6, &[vec![0, 1, 2], vec![0, 1, 2, 3], vec![4, 5]])
+                .unwrap();
         let points = BinaryRows::new(&ruam, BinaryMetric::Hamming);
         let labels = Dbscan::new(DbscanParams::similar(1)).fit(&points);
         assert_eq!(labels.clusters(), vec![vec![0, 1]]);
@@ -354,8 +341,7 @@ mod tests {
         // at Hamming 2. With min_pts=2 every point is core → one chained
         // cluster. This is exactly why "similar" groups need admin review:
         // group diameter can exceed the threshold.
-        let ruam =
-            BitMatrix::from_rows_of_indices(3, 4, &[vec![], vec![0], vec![0, 1]]).unwrap();
+        let ruam = BitMatrix::from_rows_of_indices(3, 4, &[vec![], vec![0], vec![0, 1]]).unwrap();
         let points = BinaryRows::new(&ruam, BinaryMetric::Hamming);
         let labels = Dbscan::new(DbscanParams::similar(1)).fit(&points);
         assert_eq!(labels.clusters(), vec![vec![0, 1, 2]]);
@@ -373,7 +359,10 @@ mod tests {
         for params in [
             DbscanParams::exact_duplicates(),
             DbscanParams::similar(2),
-            DbscanParams { eps: 4.0, min_pts: 3 },
+            DbscanParams {
+                eps: 4.0,
+                min_pts: 3,
+            },
         ] {
             let dbscan = Dbscan::new(params);
             let seq = dbscan.fit(&points);

@@ -37,7 +37,9 @@ impl PartialOrd for Dist {
 
 impl Ord for Dist {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("distances are never NaN")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("distances are never NaN")
     }
 }
 
@@ -209,9 +211,7 @@ impl Hnsw {
             if kept.len() >= m {
                 break;
             }
-            let dominated = kept
-                .iter()
-                .any(|&(k, _)| points.distance(cand, k) < d_base);
+            let dominated = kept.iter().any(|&(k, _)| points.distance(cand, k) < d_base);
             if dominated {
                 rejected.push(cand);
             } else {
@@ -334,7 +334,12 @@ impl Hnsw {
     ///
     /// Returns up to `k` `(index, distance)` pairs sorted by distance. The
     /// beam width is `max(ef, k)`.
-    pub fn search_with<F: Fn(usize) -> f64>(&self, dist: F, k: usize, ef: usize) -> Vec<(usize, f64)> {
+    pub fn search_with<F: Fn(usize) -> f64>(
+        &self,
+        dist: F,
+        k: usize,
+        ef: usize,
+    ) -> Vec<(usize, f64)> {
         self.search_internal(dist, k, ef, None)
     }
 
@@ -383,6 +388,26 @@ impl Hnsw {
     ) -> Vec<(usize, f64)> {
         assert!(query < points.len(), "query index out of range");
         self.search_internal(|i| points.distance(query, i), k, ef, Some(query))
+    }
+
+    /// [`knn_by_index`](Self::knn_by_index) for every indexed point, with
+    /// the queries split over `threads` workers via
+    /// [`parallel`](rolediet_matrix::parallel).
+    ///
+    /// Insertion is inherently sequential (each insert mutates the graph
+    /// the next one searches), but the probe phase is read-only, so
+    /// result `q` is exactly what `knn_by_index(points, q, k, ef)`
+    /// returns — for every thread count.
+    pub fn knn_batch<P: PointSet + Sync>(
+        &self,
+        points: &P,
+        k: usize,
+        ef: usize,
+        threads: usize,
+    ) -> Vec<Vec<(usize, f64)>> {
+        rolediet_matrix::parallel::par_map_rows(self.len(), threads, |range| {
+            range.map(|q| self.knn_by_index(points, q, k, ef)).collect()
+        })
     }
 }
 
@@ -501,6 +526,21 @@ mod tests {
             assert_eq!(
                 a.knn_by_index(&pts, q, 4, 32),
                 b.knn_by_index(&pts, q, 4, 32)
+            );
+        }
+    }
+
+    #[test]
+    fn batch_probe_matches_per_query_probe() {
+        let pts = grid_points(120);
+        let idx = Hnsw::build(&pts, HnswParams::default());
+        let expected: Vec<Vec<(usize, f64)>> =
+            (0..120).map(|q| idx.knn_by_index(&pts, q, 4, 32)).collect();
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(
+                idx.knn_batch(&pts, 4, 32, threads),
+                expected,
+                "threads={threads}"
             );
         }
     }

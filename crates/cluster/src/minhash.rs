@@ -70,7 +70,10 @@ impl MinHashLsh {
     ///
     /// Panics if `bands` does not divide `num_perm` or either is zero.
     pub fn build(sets: &[Vec<u32>], params: MinHashLshParams) -> Self {
-        assert!(params.num_perm > 0 && params.bands > 0, "parameters must be positive");
+        assert!(
+            params.num_perm > 0 && params.bands > 0,
+            "parameters must be positive"
+        );
         assert_eq!(
             params.num_perm % params.bands,
             0,

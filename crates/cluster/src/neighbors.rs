@@ -29,7 +29,11 @@ pub fn knn<P: PointSet>(points: &P, i: usize, k: usize) -> Vec<(usize, f64)> {
         .filter(|&j| j != i)
         .map(|j| (j, points.distance(i, j)))
         .collect();
-    all.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN distances").then(a.0.cmp(&b.0)));
+    all.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .expect("no NaN distances")
+            .then(a.0.cmp(&b.0))
+    });
     all.truncate(k);
     all
 }

@@ -250,10 +250,7 @@ mod tests {
         let a = VpTree::build(&pts, 5);
         let b = VpTree::build(&pts, 5);
         for q in 0..40 {
-            assert_eq!(
-                a.range_query(&pts, q, 2.0),
-                b.range_query(&pts, q, 2.0)
-            );
+            assert_eq!(a.range_query(&pts, q, 2.0), b.range_query(&pts, q, 2.0));
         }
     }
 }

@@ -7,8 +7,7 @@ use rolediet_cluster::minhash::MinHashLshParams;
 
 /// Which role-grouping strategy handles the expensive types T4/T5
 /// (Section III-C of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum Strategy {
     /// The paper's co-occurrence algorithm: exact and deterministic —
     /// "consistently identifies all clusters without fail" — and the
@@ -67,7 +66,6 @@ impl Strategy {
     }
 }
 
-
 /// Configuration of the T5 (similar roles) detector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimilarityConfig {
@@ -101,8 +99,7 @@ impl Default for SimilarityConfig {
 }
 
 /// Thread configuration for the parallelizable stages.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum Parallelism {
     /// Single-threaded (default; matches the paper's setup).
     #[default]
@@ -120,7 +117,6 @@ impl Parallelism {
         }
     }
 }
-
 
 /// Full configuration of a detection run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]

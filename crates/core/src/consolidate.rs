@@ -105,8 +105,7 @@ impl MergePlan {
         ];
         for (groups, basis) in sides {
             for group in groups.iter() {
-                let free: Vec<usize> =
-                    group.iter().copied().filter(|&r| !claimed[r]).collect();
+                let free: Vec<usize> = group.iter().copied().filter(|&r| !claimed[r]).collect();
                 if free.len() < 2 {
                     continue;
                 }
@@ -128,8 +127,7 @@ impl MergePlan {
 
     /// Number of roles this plan would remove.
     pub fn roles_removed(&self) -> usize {
-        self.merges.iter().map(|m| m.absorbed.len()).sum::<usize>()
-            + self.drop_standalone.len()
+        self.merges.iter().map(|m| m.absorbed.len()).sum::<usize>() + self.drop_standalone.len()
     }
 
     /// Applies the plan, producing a new graph and the old→new role map.
@@ -340,8 +338,8 @@ mod tests {
         let g = TripartiteGraph::figure1_example();
         let plan = MergePlan {
             merges: vec![Merge {
-                keep: RoleId(0),  // R01: {U01} / {P02, P03}
-                absorbed: vec![RoleId(4)], // R05: {U04} / {P05, P06}
+                keep: RoleId(0),              // R01: {U01} / {P02, P03}
+                absorbed: vec![RoleId(4)],    // R05: {U04} / {P05, P06}
                 basis: MergeBasis::SameUsers, // (claimed, but false)
             }],
             drop_standalone: vec![],

@@ -33,7 +33,8 @@
 //!   rows adds them (see
 //!   [`SimilarityConfig::include_disjoint`](crate::SimilarityConfig)).
 
-use rolediet_matrix::ops::for_each_cooccurring_pair;
+use rolediet_matrix::ops::{for_each_cooccurring_pair, for_each_cooccurring_pair_in};
+use rolediet_matrix::parallel::par_map_rows;
 use rolediet_matrix::{CsrMatrix, RowMatrix, SignatureIndex};
 
 use crate::config::SimilarityConfig;
@@ -58,6 +59,13 @@ use crate::report::SimilarPair;
 /// ```
 pub fn same_groups<M: RowMatrix>(matrix: &M) -> Vec<Vec<usize>> {
     SignatureIndex::build(matrix).groups_verified(matrix)
+}
+
+/// [`same_groups`] with the signature hashing split over `threads`
+/// workers ([`SignatureIndex::build_with`]). Output is identical to
+/// [`same_groups`] for every thread count.
+pub fn same_groups_with<M: RowMatrix + Sync>(matrix: &M, threads: usize) -> Vec<Vec<usize>> {
+    SignatureIndex::build_with(matrix, threads).groups_verified(matrix)
 }
 
 /// T4 — the same groups, computed by literally evaluating the paper's
@@ -121,79 +129,37 @@ pub fn similar_pairs(
     transpose: &CsrMatrix,
     cfg: &SimilarityConfig,
 ) -> Vec<SimilarPair> {
-    let t = cfg.threshold;
-    let mut pairs: Vec<SimilarPair> = Vec::new();
-    for_each_cooccurring_pair(matrix, transpose, |i, j, g| {
-        let d = matrix.row_norm(i) + matrix.row_norm(j) - 2 * g;
-        if d >= 1 && d <= t {
-            pairs.push(SimilarPair::new(i, j, d));
-        }
-    });
-    if cfg.include_disjoint {
-        pairs.extend(disjoint_supplement(matrix, t));
-    }
-    finalize_pairs(pairs, cfg.max_pairs)
+    similar_pairs_parallel(matrix, transpose, cfg, 1)
 }
 
 /// T5 — the same computation with the outer loop split over `threads`
-/// worker threads (each thread owns a private accumulator; results are
-/// merged and sorted at the end). Produces exactly the same pairs as
-/// [`similar_pairs`].
+/// worker threads via the shared
+/// [`parallel`](rolediet_matrix::parallel) substrate. Each worker streams
+/// one row range through [`for_each_cooccurring_pair_in`] — the *same*
+/// inner loop as the sequential path, with the same shape assertions and
+/// the same sorted visit order — so the merged result is bit-identical to
+/// [`similar_pairs`] for every thread count.
 pub fn similar_pairs_parallel(
     matrix: &CsrMatrix,
     transpose: &CsrMatrix,
     cfg: &SimilarityConfig,
     threads: usize,
 ) -> Vec<SimilarPair> {
-    let threads = threads.max(1);
-    if threads == 1 {
-        return similar_pairs(matrix, transpose, cfg);
-    }
-    let n = matrix.n_rows();
+    // Validate on the caller thread so a mismatched transpose panics
+    // here, identically to the sequential path, rather than inside a
+    // worker.
+    rolediet_matrix::ops::assert_transpose_shape(matrix, transpose);
     let t = cfg.threshold;
-    let chunk = n.div_ceil(threads);
-    let mut per_thread: Vec<Vec<SimilarPair>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|w| {
-                let lo = w * chunk;
-                let hi = ((w + 1) * chunk).min(n);
-                scope.spawn(move |_| {
-                    let mut acc: Vec<usize> = vec![0; n];
-                    let mut touched: Vec<usize> = Vec::new();
-                    let mut out: Vec<SimilarPair> = Vec::new();
-                    for i in lo..hi {
-                        for &col in matrix.row(i) {
-                            for &j in transpose.row(col as usize) {
-                                let j = j as usize;
-                                if j <= i {
-                                    continue;
-                                }
-                                if acc[j] == 0 {
-                                    touched.push(j);
-                                }
-                                acc[j] += 1;
-                            }
-                        }
-                        for &j in &touched {
-                            let d = matrix.row_norm(i) + matrix.row_norm(j) - 2 * acc[j];
-                            if d >= 1 && d <= t {
-                                out.push(SimilarPair::new(i, j, d));
-                            }
-                            acc[j] = 0;
-                        }
-                        touched.clear();
-                    }
-                    out
-                })
-            })
-            .collect();
-        for h in handles {
-            per_thread.push(h.join().expect("similarity worker panicked"));
-        }
-    })
-    .expect("crossbeam scope failed");
-    let mut pairs: Vec<SimilarPair> = per_thread.into_iter().flatten().collect();
+    let mut pairs = par_map_rows(matrix.n_rows(), threads, |range| {
+        let mut out: Vec<SimilarPair> = Vec::new();
+        for_each_cooccurring_pair_in(matrix, transpose, range, |i, j, g| {
+            let d = matrix.row_norm(i) + matrix.row_norm(j) - 2 * g;
+            if d >= 1 && d <= t {
+                out.push(SimilarPair::new(i, j, d));
+            }
+        });
+        out
+    });
     if cfg.include_disjoint {
         pairs.extend(disjoint_supplement(matrix, t));
     }
@@ -236,12 +202,8 @@ mod tests {
 
     /// The Figure 1 RUAM (5 roles × 4 users).
     fn paper_ruam() -> CsrMatrix {
-        CsrMatrix::from_rows_of_indices(
-            5,
-            4,
-            &[vec![0], vec![1, 2], vec![], vec![1, 2], vec![3]],
-        )
-        .unwrap()
+        CsrMatrix::from_rows_of_indices(5, 4, &[vec![0], vec![1, 2], vec![], vec![1, 2], vec![3]])
+            .unwrap()
     }
 
     /// The Figure 1 RPAM (5 roles × 6 permissions).
@@ -279,8 +241,7 @@ mod tests {
 
     #[test]
     fn indicator_groups_empty_rows() {
-        let m = CsrMatrix::from_rows_of_indices(4, 3, &[vec![], vec![0], vec![], vec![]])
-            .unwrap();
+        let m = CsrMatrix::from_rows_of_indices(4, 3, &[vec![], vec![0], vec![], vec![]]).unwrap();
         let groups = same_groups_via_indicator(&m, &m.transpose());
         assert_eq!(groups, vec![vec![0, 2, 3]]);
         assert_eq!(same_groups(&m), groups, "both oracles agree");
@@ -347,8 +308,7 @@ mod tests {
     fn disjoint_supplement_finds_gap_pairs() {
         // Rows: {} and {3}: distance 1 but g=0 — invisible to the
         // co-occurrence stream.
-        let m =
-            CsrMatrix::from_rows_of_indices(3, 5, &[vec![], vec![3], vec![0, 1, 2]]).unwrap();
+        let m = CsrMatrix::from_rows_of_indices(3, 5, &[vec![], vec![3], vec![0, 1, 2]]).unwrap();
         let t = m.transpose();
         let without = similar_pairs(&m, &t, &SimilarityConfig::default());
         assert!(without.is_empty(), "paper semantics: g ≥ 1 only");
@@ -410,6 +370,38 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "transpose shape mismatch")]
+    fn sequential_path_rejects_wrong_transpose() {
+        let m = paper_ruam();
+        let not_t = CsrMatrix::zeros(5, 4);
+        similar_pairs(&m, &not_t, &SimilarityConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "transpose shape mismatch")]
+    fn parallel_path_rejects_wrong_transpose_identically() {
+        // Regression: the old hand-rolled parallel loop skipped the shape
+        // assertions entirely. Both paths must panic with the same message.
+        let m = paper_ruam();
+        let not_t = CsrMatrix::zeros(5, 4);
+        similar_pairs_parallel(&m, &not_t, &SimilarityConfig::default(), 4);
+    }
+
+    #[test]
+    fn parallel_same_groups_match_sequential() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(44);
+        let rows: Vec<Vec<usize>> = (0..120)
+            .map(|_| (0..10).filter(|_| rng.gen_bool(0.2)).collect())
+            .collect();
+        let m = CsrMatrix::from_rows_of_indices(120, 10, &rows).unwrap();
+        let seq = same_groups(&m);
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(same_groups_with(&m, threads), seq, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn similar_pairs_match_brute_force() {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
@@ -423,11 +415,10 @@ mod tests {
             include_disjoint: true,
             ..SimilarityConfig::default()
         };
-        let fast: std::collections::BTreeSet<(usize, usize, usize)> =
-            similar_pairs(&m, &tr, &cfg)
-                .into_iter()
-                .map(|p| (p.a, p.b, p.distance))
-                .collect();
+        let fast: std::collections::BTreeSet<(usize, usize, usize)> = similar_pairs(&m, &tr, &cfg)
+            .into_iter()
+            .map(|p| (p.a, p.b, p.distance))
+            .collect();
         let mut brute = std::collections::BTreeSet::new();
         for i in 0..60 {
             for j in (i + 1)..60 {

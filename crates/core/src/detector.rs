@@ -51,19 +51,37 @@ pub struct DegreeFindings {
 /// assert_eq!(f.permless_roles, vec![1]);         // R02
 /// assert_eq!(f.single_user_roles, vec![0, 4]);   // R01, R05
 /// ```
-pub fn detect_degrees<R: RowMatrix, P: RowMatrix>(ruam: &R, rpam: &P) -> DegreeFindings {
+pub fn detect_degrees<R: RowMatrix + Sync, P: RowMatrix + Sync>(
+    ruam: &R,
+    rpam: &P,
+) -> DegreeFindings {
+    detect_degrees_with(ruam, rpam, 1)
+}
+
+/// [`detect_degrees`] with the row/column-sum passes split over `threads`
+/// workers (via [`rolediet_matrix::parallel`]). Findings are identical to
+/// the sequential run for every thread count.
+///
+/// # Panics
+///
+/// Panics if the matrices disagree on the number of roles (rows).
+pub fn detect_degrees_with<R: RowMatrix + Sync, P: RowMatrix + Sync>(
+    ruam: &R,
+    rpam: &P,
+    threads: usize,
+) -> DegreeFindings {
     assert_eq!(
         ruam.rows(),
         rpam.rows(),
         "RUAM and RPAM must describe the same roles"
     );
     let mut f = DegreeFindings {
-        standalone_users: zero_positions(&ruam.col_sums()),
-        standalone_permissions: zero_positions(&rpam.col_sums()),
+        standalone_users: zero_positions(&ruam.col_sums_with(threads)),
+        standalone_permissions: zero_positions(&rpam.col_sums_with(threads)),
         ..DegreeFindings::default()
     };
-    let user_sums = ruam.row_sums();
-    let perm_sums = rpam.row_sums();
+    let user_sums = ruam.row_sums_with(threads);
+    let perm_sums = rpam.row_sums_with(threads);
     for (r, (&us, &ps)) in user_sums.iter().zip(&perm_sums).enumerate() {
         match (us, ps) {
             (0, 0) => f.standalone_roles.push(r),
@@ -144,6 +162,19 @@ mod tests {
         let f = detect_degrees(&ruam, &rpam);
         assert_eq!(f.single_user_roles, vec![0]);
         assert_eq!(f.permless_roles, vec![0]);
+    }
+
+    #[test]
+    fn parallel_degrees_match_sequential() {
+        let g = TripartiteGraph::figure1_example();
+        let seq = detect_degrees(&g.ruam_sparse(), &g.rpam_sparse());
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(
+                detect_degrees_with(&g.ruam_sparse(), &g.rpam_sparse(), threads),
+                seq,
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

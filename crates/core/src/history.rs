@@ -81,7 +81,11 @@ impl Trend {
     pub fn record(&mut self, label: &str, report: &Report, graph: &TripartiteGraph) {
         self.points.push(TrendPoint {
             label: label.to_owned(),
-            counts: report.findings_by_kind().into_iter().map(|(_, c)| c).collect(),
+            counts: report
+                .findings_by_kind()
+                .into_iter()
+                .map(|(_, c)| c)
+                .collect(),
             users: graph.n_users(),
             roles: graph.n_roles(),
             permissions: graph.n_permissions(),
@@ -158,11 +162,8 @@ mod tests {
         let mut trend = Trend::new();
         trend.record("before", &snapshot(&graph), &graph);
         // Consolidate the same-user duplicates and re-detect.
-        let plan = crate::consolidate::MergePlan::from_report(
-            &snapshot(&graph),
-            graph.n_roles(),
-            true,
-        );
+        let plan =
+            crate::consolidate::MergePlan::from_report(&snapshot(&graph), graph.n_roles(), true);
         let cleaned = plan.apply(&graph).graph;
         trend.record("after", &snapshot(&cleaned), &cleaned);
         let delta = trend.latest_delta().unwrap();

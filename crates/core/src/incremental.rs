@@ -196,7 +196,13 @@ mod tests {
         )
         .unwrap();
         let idx = IncrementalDuplicates::from_matrix(&m);
-        assert_eq!(idx.groups(), same_groups(&m).into_iter().filter(|g| m.row_norm(g[0]) > 0).collect::<Vec<_>>());
+        assert_eq!(
+            idx.groups(),
+            same_groups(&m)
+                .into_iter()
+                .filter(|g| m.row_norm(g[0]) > 0)
+                .collect::<Vec<_>>()
+        );
         assert_eq!(idx.groups(), vec![vec![0, 2], vec![1, 4]]);
     }
 

@@ -91,8 +91,7 @@ pub fn simulate_periodic_cleanup(
             ..config
         };
         let report = Pipeline::new(round_config).run(&current);
-        let groups_found =
-            report.same_user_groups.len() + report.same_permission_groups.len();
+        let groups_found = report.same_user_groups.len() + report.same_permission_groups.len();
         let plan = MergePlan::from_report(&report, current.n_roles(), true);
         if plan.roles_removed() == 0 {
             converged = true;
@@ -126,7 +125,10 @@ pub fn simulate_periodic_cleanup(
 fn reseed(strategy: crate::config::Strategy, round: u64) -> crate::config::Strategy {
     use crate::config::Strategy;
     match strategy {
-        Strategy::ApproxHnsw { mut params, probe_k } => {
+        Strategy::ApproxHnsw {
+            mut params,
+            probe_k,
+        } => {
             params.seed = params.seed.wrapping_add(round.wrapping_mul(0x9E37_79B9));
             Strategy::ApproxHnsw { params, probe_k }
         }
@@ -142,8 +144,8 @@ fn reseed(strategy: crate::config::Strategy, round: u64) -> crate::config::Strat
 mod tests {
     use super::*;
     use crate::config::Strategy;
-    use rolediet_synth::profiles::small_org;
     use rolediet_synth::generate_org;
+    use rolediet_synth::profiles::small_org;
 
     fn org_graph() -> TripartiteGraph {
         generate_org(small_org(21)).graph
@@ -190,8 +192,7 @@ mod tests {
         // exact method.
         let residual = Pipeline::new(DetectionConfig::default()).run(&approx_final);
         assert!(
-            residual.same_user_groups.is_empty()
-                && residual.same_permission_groups.is_empty(),
+            residual.same_user_groups.is_empty() && residual.same_permission_groups.is_empty(),
             "approximate periodic cleanup left duplicates behind"
         );
         assert_eq!(exact_final.n_roles(), approx_final.n_roles());
@@ -216,8 +217,7 @@ mod tests {
             g.grant_permission(rolediet_model::RoleId(r), rolediet_model::PermissionId(r))
                 .unwrap();
         }
-        let (trace, final_graph) =
-            simulate_periodic_cleanup(&g, DetectionConfig::default(), 5);
+        let (trace, final_graph) = simulate_periodic_cleanup(&g, DetectionConfig::default(), 5);
         assert!(trace.converged);
         assert_eq!(trace.n_rounds(), 0);
         assert_eq!(final_graph, g);

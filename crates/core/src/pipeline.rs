@@ -11,7 +11,7 @@ use rolediet_matrix::CsrMatrix;
 use rolediet_model::TripartiteGraph;
 
 use crate::config::DetectionConfig;
-use crate::detector::detect_degrees;
+use crate::detector::detect_degrees_with;
 use crate::report::Report;
 use crate::strategy::{find_same_groups, find_same_groups_with_empty, find_similar_pairs};
 
@@ -64,14 +64,16 @@ impl Pipeline {
     /// Panics if the matrices disagree on the number of roles.
     pub fn run_on_matrices(&self, ruam: &CsrMatrix, rpam: &CsrMatrix) -> Report {
         let cfg = &self.config;
+        let threads = cfg.parallelism.threads();
         let mut report = Report {
             config: *cfg,
             ..Report::default()
         };
 
         let t0 = Instant::now();
-        let degrees = detect_degrees(ruam, rpam);
+        let degrees = detect_degrees_with(ruam, rpam, threads);
         report.timings.degree_detectors = t0.elapsed();
+        report.timings.threads.degree_detectors = threads;
         report.standalone_users = degrees.standalone_users;
         report.standalone_permissions = degrees.standalone_permissions;
         report.standalone_roles = degrees.standalone_roles;
@@ -90,14 +92,17 @@ impl Pipeline {
         let t0 = Instant::now();
         report.same_user_groups = same(ruam);
         report.timings.same_users = t0.elapsed();
+        report.timings.threads.same_users = threads;
 
         let t0 = Instant::now();
         report.same_permission_groups = same(rpam);
         report.timings.same_permissions = t0.elapsed();
+        report.timings.threads.same_permissions = threads;
 
         if !cfg.skip_similarity {
+            report.timings.threads.transpose = threads;
             let t0 = Instant::now();
-            let ruam_t = ruam.transpose();
+            let ruam_t = ruam.transpose_with(threads);
             report.similar_user_pairs = find_similar_pairs(
                 ruam,
                 &ruam_t,
@@ -106,9 +111,10 @@ impl Pipeline {
                 cfg.parallelism,
             );
             report.timings.similar_users = t0.elapsed();
+            report.timings.threads.similar_users = threads;
 
             let t0 = Instant::now();
-            let rpam_t = rpam.transpose();
+            let rpam_t = rpam.transpose_with(threads);
             report.similar_permission_pairs = find_similar_pairs(
                 rpam,
                 &rpam_t,
@@ -117,6 +123,7 @@ impl Pipeline {
                 cfg.parallelism,
             );
             report.timings.similar_permissions = t0.elapsed();
+            report.timings.threads.similar_permissions = threads;
         }
         report
     }
@@ -162,8 +169,7 @@ mod tests {
             Strategy::hnsw_default(),
             Strategy::minhash_default(),
         ] {
-            let report =
-                Pipeline::new(DetectionConfig::with_strategy(strategy)).run(&graph);
+            let report = Pipeline::new(DetectionConfig::with_strategy(strategy)).run(&graph);
             assert_eq!(report.same_user_groups, baseline.same_user_groups);
             assert_eq!(
                 report.same_permission_groups,
@@ -248,5 +254,59 @@ mod tests {
         let report = Pipeline::new(DetectionConfig::default()).run(&graph);
         // total() includes all stages; it must be at least matrix_build.
         assert!(report.timings.total() >= report.timings.matrix_build);
+    }
+
+    #[test]
+    fn per_stage_thread_counts_are_recorded() {
+        use crate::config::Parallelism;
+        let graph = TripartiteGraph::figure1_example();
+        let cfg = DetectionConfig {
+            parallelism: Parallelism::Threads(4),
+            ..DetectionConfig::default()
+        };
+        let report = Pipeline::new(cfg).run(&graph);
+        let threads = report.timings.threads;
+        assert_eq!(threads.degree_detectors, 4);
+        assert_eq!(threads.same_users, 4);
+        assert_eq!(threads.same_permissions, 4);
+        assert_eq!(threads.transpose, 4);
+        assert_eq!(threads.similar_users, 4);
+        assert_eq!(threads.similar_permissions, 4);
+
+        // Stages that do not run report 0 threads.
+        let cfg = DetectionConfig {
+            skip_similarity: true,
+            parallelism: Parallelism::Threads(2),
+            ..DetectionConfig::default()
+        };
+        let report = Pipeline::new(cfg).run(&graph);
+        assert_eq!(report.timings.threads.similar_users, 0);
+        assert_eq!(report.timings.threads.transpose, 0);
+        assert_eq!(report.timings.threads.degree_detectors, 2);
+    }
+
+    #[test]
+    fn reports_are_identical_across_thread_counts() {
+        use crate::config::{Parallelism, SimilarityConfig};
+        let graph = TripartiteGraph::figure1_example();
+        let base_cfg = DetectionConfig {
+            similarity: SimilarityConfig {
+                include_disjoint: true,
+                ..SimilarityConfig::default()
+            },
+            ..DetectionConfig::default()
+        };
+        let baseline = Pipeline::new(base_cfg).run(&graph);
+        for threads in [2, 4, 8] {
+            let cfg = DetectionConfig {
+                parallelism: Parallelism::Threads(threads),
+                ..base_cfg
+            };
+            let mut report = Pipeline::new(cfg).run(&graph);
+            // Timings and config legitimately differ between runs.
+            report.timings = baseline.timings;
+            report.config = baseline.config;
+            assert_eq!(report, baseline, "threads={threads}");
+        }
     }
 }

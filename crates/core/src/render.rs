@@ -45,22 +45,38 @@ pub fn render_markdown(report: &Report, dataset: &RbacDataset, opts: &RenderOpti
     writeln!(out, "# {}\n", opts.title).expect("write to string");
     writeln!(out, "```\n{}```\n", report.summary_table()).expect("write to string");
 
-    section_list(&mut out, opts, "T1 — standalone users", &report.standalone_users, |&u| {
-        dataset.user_name(UserId::from_index(u)).to_owned()
-    });
+    section_list(
+        &mut out,
+        opts,
+        "T1 — standalone users",
+        &report.standalone_users,
+        |&u| dataset.user_name(UserId::from_index(u)).to_owned(),
+    );
     section_list(
         &mut out,
         opts,
         "T1 — standalone permissions",
         &report.standalone_permissions,
-        |&p| dataset.permission_name(PermissionId::from_index(p)).to_owned(),
+        |&p| {
+            dataset
+                .permission_name(PermissionId::from_index(p))
+                .to_owned()
+        },
     );
-    section_list(&mut out, opts, "T1 — standalone roles", &report.standalone_roles, |&r| {
-        role(r).to_owned()
-    });
-    section_list(&mut out, opts, "T2 — roles without users", &report.userless_roles, |&r| {
-        role(r).to_owned()
-    });
+    section_list(
+        &mut out,
+        opts,
+        "T1 — standalone roles",
+        &report.standalone_roles,
+        |&r| role(r).to_owned(),
+    );
+    section_list(
+        &mut out,
+        opts,
+        "T2 — roles without users",
+        &report.userless_roles,
+        |&r| role(r).to_owned(),
+    );
     section_list(
         &mut out,
         opts,
@@ -68,9 +84,13 @@ pub fn render_markdown(report: &Report, dataset: &RbacDataset, opts: &RenderOpti
         &report.permless_roles,
         |&r| role(r).to_owned(),
     );
-    section_list(&mut out, opts, "T3 — single-user roles", &report.single_user_roles, |&r| {
-        role(r).to_owned()
-    });
+    section_list(
+        &mut out,
+        opts,
+        "T3 — single-user roles",
+        &report.single_user_roles,
+        |&r| role(r).to_owned(),
+    );
     section_list(
         &mut out,
         opts,
@@ -83,24 +103,14 @@ pub fn render_markdown(report: &Report, dataset: &RbacDataset, opts: &RenderOpti
         opts,
         "T4 — roles sharing the same users",
         &report.same_user_groups,
-        |g| {
-            g.iter()
-                .map(|&r| role(r))
-                .collect::<Vec<_>>()
-                .join(" = ")
-        },
+        |g| g.iter().map(|&r| role(r)).collect::<Vec<_>>().join(" = "),
     );
     section_list(
         &mut out,
         opts,
         "T4 — roles sharing the same permissions",
         &report.same_permission_groups,
-        |g| {
-            g.iter()
-                .map(|&r| role(r))
-                .collect::<Vec<_>>()
-                .join(" = ")
-        },
+        |g| g.iter().map(|&r| role(r)).collect::<Vec<_>>().join(" = "),
     );
     section_list(
         &mut out,
@@ -117,8 +127,7 @@ pub fn render_markdown(report: &Report, dataset: &RbacDataset, opts: &RenderOpti
         |p| format!("{} ~ {} (distance {})", role(p.a), role(p.b), p.distance),
     );
 
-    let removable =
-        report.reducible_roles(Side::User) + report.reducible_roles(Side::Permission);
+    let removable = report.reducible_roles(Side::User) + report.reducible_roles(Side::Permission);
     writeln!(
         out,
         "## Consolidation estimate\n\nConsolidating the T4 groups alone would remove up to \
@@ -179,7 +188,10 @@ mod tests {
     #[test]
     fn empty_sections_are_omitted() {
         let md = figure1_markdown(&RenderOptions::default());
-        assert!(!md.contains("T1 — standalone users ("), "no standalone users in Figure 1");
+        assert!(
+            !md.contains("T1 — standalone users ("),
+            "no standalone users in Figure 1"
+        );
         assert!(!md.contains("T1 — standalone roles ("));
     }
 

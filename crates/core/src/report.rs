@@ -31,12 +31,38 @@ impl SimilarPair {
         if a < b {
             SimilarPair { a, b, distance }
         } else {
-            SimilarPair { a: b, b: a, distance }
+            SimilarPair {
+                a: b,
+                b: a,
+                distance,
+            }
         }
     }
 }
 
-/// Wall-clock time spent in each pipeline stage.
+/// Worker-thread count each parallel stage actually ran with.
+///
+/// `1` means the stage ran sequentially (inline on the caller thread —
+/// the substrate spawns no workers for a single chunk); `0` means the
+/// stage did not run at all (e.g. T5 under `skip_similarity`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageThreads {
+    /// Row/column-sum passes of the T1–T3 detectors.
+    pub degree_detectors: usize,
+    /// T4 signature build / clustering, user side.
+    pub same_users: usize,
+    /// T4 signature build / clustering, permission side.
+    pub same_permissions: usize,
+    /// Inverted-index transposes feeding T5 (both sides).
+    pub transpose: usize,
+    /// T5 pair streaming, user side.
+    pub similar_users: usize,
+    /// T5 pair streaming, permission side.
+    pub similar_permissions: usize,
+}
+
+/// Wall-clock time spent in each pipeline stage, plus the thread counts
+/// the parallel stages used ([`StageThreads`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StageTimings {
     /// Building RUAM/RPAM from the graph.
@@ -51,6 +77,8 @@ pub struct StageTimings {
     pub similar_users: Duration,
     /// T5 on the permission side.
     pub similar_permissions: Duration,
+    /// Worker-thread count per parallel stage.
+    pub threads: StageThreads,
 }
 
 impl StageTimings {
@@ -159,25 +187,40 @@ impl Report {
         use rolediet_model::EntityKind;
         use InefficiencyKind::*;
         vec![
-            (StandaloneNode(EntityKind::User), self.standalone_users.len()),
-            (StandaloneNode(EntityKind::Role), self.standalone_roles.len()),
+            (
+                StandaloneNode(EntityKind::User),
+                self.standalone_users.len(),
+            ),
+            (
+                StandaloneNode(EntityKind::Role),
+                self.standalone_roles.len(),
+            ),
             (
                 StandaloneNode(EntityKind::Permission),
                 self.standalone_permissions.len(),
             ),
             (DisconnectedRole(Side::User), self.userless_roles.len()),
-            (DisconnectedRole(Side::Permission), self.permless_roles.len()),
+            (
+                DisconnectedRole(Side::Permission),
+                self.permless_roles.len(),
+            ),
             (SingleLinkRole(Side::User), self.single_user_roles.len()),
             (
                 SingleLinkRole(Side::Permission),
                 self.single_permission_roles.len(),
             ),
-            (DuplicateRoles(Side::User), self.roles_in_same_groups(Side::User)),
+            (
+                DuplicateRoles(Side::User),
+                self.roles_in_same_groups(Side::User),
+            ),
             (
                 DuplicateRoles(Side::Permission),
                 self.roles_in_same_groups(Side::Permission),
             ),
-            (SimilarRoles(Side::User), self.roles_in_similar_pairs(Side::User)),
+            (
+                SimilarRoles(Side::User),
+                self.roles_in_similar_pairs(Side::User),
+            ),
             (
                 SimilarRoles(Side::Permission),
                 self.roles_in_similar_pairs(Side::Permission),
@@ -320,8 +363,28 @@ mod tests {
             same_permissions: Duration::from_millis(4),
             similar_users: Duration::from_millis(5),
             similar_permissions: Duration::from_millis(6),
+            threads: StageThreads::default(),
         };
         assert_eq!(t.total(), Duration::from_millis(21));
+    }
+
+    #[test]
+    fn stage_threads_roundtrip_with_timings() {
+        let t = StageTimings {
+            threads: StageThreads {
+                degree_detectors: 4,
+                same_users: 4,
+                same_permissions: 4,
+                transpose: 4,
+                similar_users: 8,
+                similar_permissions: 8,
+            },
+            ..StageTimings::default()
+        };
+        let json = serde_json::to_string(&t).unwrap();
+        let back: StageTimings = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(back.threads.similar_users, 8);
     }
 
     #[test]

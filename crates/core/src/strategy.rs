@@ -16,7 +16,7 @@
 
 use rolediet_cluster::dbscan::{Dbscan, DbscanParams};
 use rolediet_cluster::hnsw::{Hnsw, HnswParams};
-use rolediet_cluster::metric::{BinaryMetric, BinaryRows, PointSet};
+use rolediet_cluster::metric::{BinaryMetric, BinaryRows};
 use rolediet_cluster::minhash::{MinHashLsh, MinHashLshParams};
 use rolediet_cluster::UnionFind;
 use rolediet_matrix::{CsrMatrix, RowMatrix};
@@ -46,17 +46,19 @@ pub fn find_same_groups(
 pub fn find_same_groups_with_empty(
     matrix: &CsrMatrix,
     strategy: &Strategy,
-    _parallelism: Parallelism,
+    parallelism: Parallelism,
 ) -> Vec<Vec<usize>> {
+    let threads = parallelism.threads();
     match strategy {
-        Strategy::Custom => cooccur::same_groups(matrix),
+        Strategy::Custom => cooccur::same_groups_with(matrix, threads),
         Strategy::ExactDbscan => {
             let points = BinaryRows::new(matrix, BinaryMetric::Hamming);
-            let labels = Dbscan::new(DbscanParams::exact_duplicates()).fit(&points);
+            let labels =
+                Dbscan::new(DbscanParams::exact_duplicates()).fit_with_threads(&points, threads);
             normalize_groups(labels.clusters())
         }
         Strategy::ApproxHnsw { params, probe_k } => {
-            let pairs = hnsw_pairs(matrix, *params, *probe_k, 0);
+            let pairs = hnsw_pairs(matrix, *params, *probe_k, 0, threads);
             groups_from_pairs(matrix.n_rows(), pairs.into_iter().map(|p| (p.a, p.b)))
         }
         Strategy::MinHashLsh { params } => {
@@ -82,9 +84,15 @@ pub fn find_similar_pairs(
         Strategy::Custom => {
             cooccur::similar_pairs_parallel(matrix, transpose, cfg, parallelism.threads())
         }
-        Strategy::ExactDbscan => dbscan_similar_pairs(matrix, cfg),
+        Strategy::ExactDbscan => dbscan_similar_pairs(matrix, cfg, parallelism.threads()),
         Strategy::ApproxHnsw { params, probe_k } => {
-            let mut pairs = hnsw_pairs(matrix, *params, *probe_k, cfg.threshold);
+            let mut pairs = hnsw_pairs(
+                matrix,
+                *params,
+                *probe_k,
+                cfg.threshold,
+                parallelism.threads(),
+            );
             pairs.retain(|p| p.distance >= 1);
             finalize(pairs, cfg.max_pairs)
         }
@@ -103,9 +111,14 @@ pub fn find_similar_pairs(
 /// a `d ≤ t` pair are core points of the same cluster), but density
 /// chaining can pull farther points into the cluster, so the
 /// within-cluster pair enumeration re-checks every distance.
-fn dbscan_similar_pairs(matrix: &CsrMatrix, cfg: &SimilarityConfig) -> Vec<SimilarPair> {
+fn dbscan_similar_pairs(
+    matrix: &CsrMatrix,
+    cfg: &SimilarityConfig,
+    threads: usize,
+) -> Vec<SimilarPair> {
     let points = BinaryRows::new(matrix, BinaryMetric::Hamming);
-    let labels = Dbscan::new(DbscanParams::similar(cfg.threshold)).fit(&points);
+    let labels =
+        Dbscan::new(DbscanParams::similar(cfg.threshold)).fit_with_threads(&points, threads);
     let mut pairs = Vec::new();
     for cluster in labels.clusters() {
         for (x, &i) in cluster.iter().enumerate() {
@@ -121,18 +134,25 @@ fn dbscan_similar_pairs(matrix: &CsrMatrix, cfg: &SimilarityConfig) -> Vec<Simil
 }
 
 /// HNSW probe: query every role for its `probe_k` nearest neighbours and
-/// keep verified pairs with distance ≤ `threshold`.
+/// keep verified pairs with distance ≤ `threshold`. The index build is
+/// sequential (insertion order is part of the deterministic result); the
+/// read-only probe fans out over `threads` workers.
 fn hnsw_pairs(
     matrix: &CsrMatrix,
     params: HnswParams,
     probe_k: usize,
     threshold: usize,
+    threads: usize,
 ) -> Vec<SimilarPair> {
     let points = BinaryRows::new(matrix, BinaryMetric::Hamming);
     let index = Hnsw::build(&points, params);
     let mut pairs = Vec::new();
-    for q in 0..points.len() {
-        for (j, d) in index.knn_by_index(&points, q, probe_k, params.ef_search) {
+    for (q, hits) in index
+        .knn_batch(&points, probe_k, params.ef_search, threads)
+        .into_iter()
+        .enumerate()
+    {
+        for (j, d) in hits {
             if j != q && d <= threshold as f64 {
                 pairs.push(SimilarPair::new(q, j, d as usize));
             }
@@ -165,10 +185,7 @@ fn minhash_pairs(
 }
 
 /// Builds groups from 0-distance pairs with union-find.
-fn groups_from_pairs(
-    n: usize,
-    pairs: impl Iterator<Item = (usize, usize)>,
-) -> Vec<Vec<usize>> {
+fn groups_from_pairs(n: usize, pairs: impl Iterator<Item = (usize, usize)>) -> Vec<Vec<usize>> {
     let mut uf = UnionFind::new(n);
     for (a, b) in pairs {
         uf.union(a, b);
@@ -213,7 +230,8 @@ mod tests {
         for strategy in [Strategy::Custom, Strategy::ExactDbscan] {
             let groups = find_same_groups_with_empty(&m, &strategy, Parallelism::Sequential);
             assert_eq!(
-                groups, gen.truth.exact_duplicate_groups,
+                groups,
+                gen.truth.exact_duplicate_groups,
                 "strategy {}",
                 strategy.name()
             );
@@ -292,8 +310,13 @@ mod tests {
         };
         let custom_dj =
             find_similar_pairs(&m, &tr, &Strategy::Custom, &cfg_dj, Parallelism::Sequential);
-        let dbscan =
-            find_similar_pairs(&m, &tr, &Strategy::ExactDbscan, &cfg_dj, Parallelism::Sequential);
+        let dbscan = find_similar_pairs(
+            &m,
+            &tr,
+            &Strategy::ExactDbscan,
+            &cfg_dj,
+            Parallelism::Sequential,
+        );
         assert_eq!(custom_dj, dbscan);
     }
 
@@ -353,5 +376,35 @@ mod tests {
         let seq = find_similar_pairs(&m, &tr, &Strategy::Custom, &cfg, Parallelism::Sequential);
         let par = find_similar_pairs(&m, &tr, &Strategy::Custom, &cfg, Parallelism::Threads(4));
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parallelism_does_not_change_any_strategy_results() {
+        let gen = generate_matrix(MatrixGenConfig::paper(120, 60, 28));
+        let m = gen.sparse();
+        let tr = m.transpose();
+        let cfg = SimilarityConfig {
+            threshold: 2,
+            ..SimilarityConfig::default()
+        };
+        for strategy in strategies() {
+            let seq_groups = find_same_groups_with_empty(&m, &strategy, Parallelism::Sequential);
+            let seq_pairs = find_similar_pairs(&m, &tr, &strategy, &cfg, Parallelism::Sequential);
+            for threads in [2, 4, 8] {
+                let p = Parallelism::Threads(threads);
+                assert_eq!(
+                    find_same_groups_with_empty(&m, &strategy, p),
+                    seq_groups,
+                    "groups differ: strategy {}, threads {threads}",
+                    strategy.name()
+                );
+                assert_eq!(
+                    find_similar_pairs(&m, &tr, &strategy, &cfg, p),
+                    seq_pairs,
+                    "pairs differ: strategy {}, threads {threads}",
+                    strategy.name()
+                );
+            }
+        }
     }
 }

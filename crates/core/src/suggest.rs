@@ -176,8 +176,10 @@ impl MergeDelta {
 /// Panics if either role id is out of range.
 pub fn merge_delta(graph: &TripartiteGraph, a: RoleId, b: RoleId) -> MergeDelta {
     let users: BTreeSet<UserId> = graph.users_of(a).chain(graph.users_of(b)).collect();
-    let merged_perms: BTreeSet<PermissionId> =
-        graph.permissions_of(a).chain(graph.permissions_of(b)).collect();
+    let merged_perms: BTreeSet<PermissionId> = graph
+        .permissions_of(a)
+        .chain(graph.permissions_of(b))
+        .collect();
     let mut user_gains = Vec::new();
     for &u in &users {
         let before = graph.effective_permissions(u);
@@ -204,11 +206,7 @@ pub fn unsafe_similar_merges(
         .iter()
         .enumerate()
         .filter_map(|(idx, p)| {
-            let delta = merge_delta(
-                graph,
-                RoleId::from_index(p.a),
-                RoleId::from_index(p.b),
-            );
+            let delta = merge_delta(graph, RoleId::from_index(p.a), RoleId::from_index(p.b));
             if delta.is_safe() {
                 None
             } else {
@@ -326,14 +324,8 @@ mod tests {
         assert_eq!(delta.granted_pairs(), 4);
         let gains: std::collections::HashMap<UserId, Vec<PermissionId>> =
             delta.user_gains.iter().cloned().collect();
-        assert_eq!(
-            gains[&UserId(0)],
-            vec![PermissionId(4), PermissionId(5)]
-        );
-        assert_eq!(
-            gains[&UserId(3)],
-            vec![PermissionId(1), PermissionId(2)]
-        );
+        assert_eq!(gains[&UserId(0)], vec![PermissionId(4), PermissionId(5)]);
+        assert_eq!(gains[&UserId(3)], vec![PermissionId(1), PermissionId(2)]);
     }
 
     #[test]

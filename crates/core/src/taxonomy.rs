@@ -157,8 +157,7 @@ mod tests {
     fn all_enumerates_eleven_instances() {
         let all = InefficiencyKind::all();
         assert_eq!(all.len(), 11);
-        let labels: std::collections::HashSet<String> =
-            all.iter().map(|k| k.label()).collect();
+        let labels: std::collections::HashSet<String> = all.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), 11, "labels are unique");
     }
 
@@ -173,6 +172,9 @@ mod tests {
     #[test]
     fn display_combines_label_and_description() {
         let k = InefficiencyKind::DuplicateRoles(Side::Permission);
-        assert_eq!(k.to_string(), "T4-permission: roles sharing the same permissions");
+        assert_eq!(
+            k.to_string(),
+            "T4-permission: roles sharing the same permissions"
+        );
     }
 }

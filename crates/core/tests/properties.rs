@@ -4,8 +4,9 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use rolediet_core::config::{DetectionConfig, SimilarityConfig};
+use rolediet_core::config::{DetectionConfig, Parallelism, SimilarityConfig};
 use rolediet_core::cooccur::{same_groups, same_groups_via_indicator, similar_pairs};
+use rolediet_core::detector::{detect_degrees, detect_degrees_with};
 use rolediet_core::pipeline::Pipeline;
 use rolediet_core::suggest::{merge_delta, redundant_roles, subset_pairs};
 use rolediet_matrix::{CsrMatrix, RowMatrix};
@@ -14,6 +15,28 @@ use rolediet_model::{PermissionId, RoleId, TripartiteGraph, UserId};
 fn matrix_inputs() -> impl Strategy<Value = (usize, usize, Vec<Vec<usize>>)> {
     (2usize..24, 2usize..16).prop_flat_map(|(rows, cols)| {
         vec(vec(0..cols, 0..=5), rows).prop_map(move |data| (rows, cols, data))
+    })
+}
+
+/// A random (RUAM, RPAM) pair over the same roles, with one empty row
+/// and one duplicate of row 0 appended to each side so the parallel
+/// determinism tests always cover empty and duplicate rows.
+fn matrix_pair_inputs() -> impl Strategy<Value = (CsrMatrix, CsrMatrix)> {
+    (2usize..16, 2usize..12, 2usize..12).prop_flat_map(|(rows, ucols, pcols)| {
+        (
+            vec(vec(0..ucols, 0..=5), rows),
+            vec(vec(0..pcols, 0..=5), rows),
+        )
+            .prop_map(move |(mut ud, mut pd)| {
+                for data in [&mut ud, &mut pd] {
+                    data.push(Vec::new());
+                    data.push(data[0].clone());
+                }
+                (
+                    CsrMatrix::from_rows_of_indices(rows + 2, ucols, &ud).unwrap(),
+                    CsrMatrix::from_rows_of_indices(rows + 2, pcols, &pd).unwrap(),
+                )
+            })
     })
 }
 
@@ -174,6 +197,49 @@ proptest! {
             }
         }
         prop_assert_eq!(real_gains, delta.user_gains);
+    }
+
+    #[test]
+    fn pipeline_reports_identical_across_thread_counts(
+        (ruam, rpam) in matrix_pair_inputs(),
+        include_disjoint in proptest::bool::ANY,
+    ) {
+        let base_cfg = DetectionConfig {
+            similarity: SimilarityConfig {
+                include_disjoint,
+                ..SimilarityConfig::default()
+            },
+            ..DetectionConfig::default()
+        };
+        let baseline = Pipeline::new(base_cfg).run_on_matrices(&ruam, &rpam);
+        for threads in [2usize, 4, 8] {
+            let cfg = DetectionConfig {
+                parallelism: Parallelism::Threads(threads),
+                ..base_cfg
+            };
+            let mut report = Pipeline::new(cfg).run_on_matrices(&ruam, &rpam);
+            // Timings and config legitimately differ between runs; every
+            // other field must match the sequential baseline exactly.
+            report.timings = baseline.timings;
+            report.config = baseline.config;
+            prop_assert_eq!(&report, &baseline, "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn parallel_degree_detection_matches_sequential((ruam, rpam) in matrix_pair_inputs()) {
+        let seq = detect_degrees(&ruam, &rpam);
+        for threads in [2usize, 4, 8] {
+            prop_assert_eq!(
+                detect_degrees_with(&ruam, &rpam, threads),
+                seq.clone(),
+                "threads={}", threads
+            );
+            prop_assert_eq!(ruam.row_sums_with(threads), ruam.row_sums());
+            prop_assert_eq!(ruam.col_sums_with(threads), ruam.col_sums());
+            prop_assert_eq!(rpam.row_sums_with(threads), rpam.row_sums());
+            prop_assert_eq!(rpam.col_sums_with(threads), rpam.col_sums());
+        }
     }
 
     #[test]

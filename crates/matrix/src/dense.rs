@@ -61,7 +61,11 @@ impl BitMatrix {
     /// Returns [`MatrixError::DimensionMismatch`] if `row_indices.len() !=
     /// rows`, or [`MatrixError::IndexOutOfBounds`] if any column index is
     /// `>= cols`.
-    pub fn from_rows_of_indices(rows: usize, cols: usize, row_indices: &[Vec<usize>]) -> Result<Self> {
+    pub fn from_rows_of_indices(
+        rows: usize,
+        cols: usize,
+        row_indices: &[Vec<usize>],
+    ) -> Result<Self> {
         if row_indices.len() != rows {
             return Err(MatrixError::DimensionMismatch {
                 expected: rows,
@@ -365,17 +369,14 @@ impl<'a> RowRef<'a> {
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + 'a {
         let words = self.words;
         words.iter().enumerate().flat_map(|(wi, &w)| {
-            std::iter::successors(
-                if w == 0 { None } else { Some(w) },
-                |&cur| {
-                    let next = cur & (cur - 1);
-                    if next == 0 {
-                        None
-                    } else {
-                        Some(next)
-                    }
-                },
-            )
+            std::iter::successors(if w == 0 { None } else { Some(w) }, |&cur| {
+                let next = cur & (cur - 1);
+                if next == 0 {
+                    None
+                } else {
+                    Some(next)
+                }
+            })
             .map(move |cur| wi * BITS + cur.trailing_zeros() as usize)
         })
     }
@@ -383,7 +384,9 @@ impl<'a> RowRef<'a> {
     /// Copies the row into an owned [`BitVec`].
     pub fn to_bitvec(&self) -> BitVec {
         debug_assert!(
-            self.words.last().is_none_or(|&w| w & !tail_mask(self.cols) == 0),
+            self.words
+                .last()
+                .is_none_or(|&w| w & !tail_mask(self.cols) == 0),
             "tail invariant violated"
         );
         BitVec::from_words(self.cols, self.words.to_vec())

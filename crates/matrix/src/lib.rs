@@ -20,6 +20,8 @@
 //!   fast path.
 //! * [`ops`] — sparse co-occurrence products (`A · Aᵀ` restricted to pairs
 //!   that share at least one column) and column sums.
+//! * [`parallel`] — the deterministic chunked map-reduce substrate every
+//!   parallel stage in the workspace is built on.
 //!
 //! # Examples
 //!
@@ -44,6 +46,7 @@ pub mod bitvec;
 pub mod dense;
 pub mod error;
 pub mod ops;
+pub mod parallel;
 pub mod signature;
 pub mod sparse;
 mod traits;

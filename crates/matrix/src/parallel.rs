@@ -1,0 +1,173 @@
+//! Deterministic parallel-execution substrate.
+//!
+//! Every parallel stage in the workspace — T5 pair streaming, transpose,
+//! column sums, signature hashing, DBSCAN neighbourhood precomputation —
+//! funnels through this module: one place that splits a row index space
+//! into contiguous chunks, runs one scoped worker per chunk, and joins
+//! results back **in range order**. Because the merge order is the range
+//! order (never completion order) and every chunk computes the same
+//! function a sequential loop would, results are bit-identical for every
+//! thread count, which the pipeline's determinism tests pin.
+//!
+//! Worker panics are re-raised on the caller thread with their original
+//! payload ([`std::panic::resume_unwind`]), so a failed assertion inside
+//! a worker produces the same panic message a sequential run would.
+
+use std::ops::Range;
+
+/// Splits `0..n` into at most `threads` contiguous, non-empty ranges
+/// covering the whole index space in order.
+///
+/// The first chunks take `ceil(n / threads)` items, so at most one chunk
+/// is short and none is empty. `threads` is clamped to at least 1;
+/// `n == 0` yields no ranges.
+///
+/// # Examples
+///
+/// ```
+/// use rolediet_matrix::parallel::split_ranges;
+///
+/// assert_eq!(split_ranges(10, 4), vec![0..3, 3..6, 6..9, 9..10]);
+/// assert_eq!(split_ranges(2, 8), vec![0..1, 1..2]);
+/// assert_eq!(split_ranges(0, 4), Vec::<std::ops::Range<usize>>::new());
+/// ```
+pub fn split_ranges(n: usize, threads: usize) -> Vec<Range<usize>> {
+    let threads = threads.max(1);
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out = Vec::with_capacity(threads.min(n));
+    let mut start = 0;
+    while start < n {
+        let end = (start + chunk).min(n);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// Runs `work` over each chunk of `0..n` and returns the per-chunk
+/// results **in range order**, one entry per range of
+/// [`split_ranges`]`(n, threads)`.
+///
+/// With one effective chunk (or `threads <= 1`) the work runs inline on
+/// the caller thread — the sequential and parallel paths execute the
+/// same code. A worker panic is re-raised here with its original
+/// payload.
+pub fn par_map_ranges<T, F>(n: usize, threads: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let ranges = split_ranges(n, threads);
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(work).collect();
+    }
+    std::thread::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| scope.spawn(move || work(range)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| match handle.join() {
+                Ok(value) => value,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    })
+}
+
+/// Chunked row-range map-reduce: runs `work` over each chunk of `0..n`
+/// and concatenates the per-chunk vectors in range order.
+///
+/// This is the common shape of the parallel stages — each worker emits
+/// the items its row range produces, and concatenation in range order
+/// reproduces exactly the sequence a sequential `0..n` loop would emit.
+///
+/// # Examples
+///
+/// ```
+/// use rolediet_matrix::parallel::par_map_rows;
+///
+/// let doubled = par_map_rows(6, 3, |range| range.map(|i| i * 2).collect());
+/// assert_eq!(doubled, vec![0, 2, 4, 6, 8, 10]);
+/// ```
+pub fn par_map_rows<T, F>(n: usize, threads: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> Vec<T> + Sync,
+{
+    let mut chunks = par_map_ranges(n, threads, work);
+    if chunks.len() == 1 {
+        return chunks.pop().unwrap();
+    }
+    let mut merged = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+    for chunk in chunks {
+        merged.extend(chunk);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_everything_in_order() {
+        for n in 0..50 {
+            for threads in 1..10 {
+                let ranges = split_ranges(n, threads);
+                assert!(ranges.len() <= threads.max(1));
+                let flat: Vec<usize> = ranges.iter().cloned().flatten().collect();
+                assert_eq!(flat, (0..n).collect::<Vec<_>>(), "n={n} threads={threads}");
+                assert!(ranges.iter().all(|r| !r.is_empty()));
+            }
+        }
+    }
+
+    #[test]
+    fn split_clamps_zero_threads() {
+        assert_eq!(split_ranges(3, 0), vec![0..3]);
+    }
+
+    #[test]
+    fn par_map_rows_matches_sequential_for_every_thread_count() {
+        let sequential: Vec<usize> = (0..103).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 4, 7, 8, 16, 200] {
+            let parallel = par_map_rows(103, threads, |range| range.map(|i| i * i).collect());
+            assert_eq!(parallel, sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_ranges_returns_results_in_range_order() {
+        let results = par_map_ranges(8, 4, |range| {
+            // Make earlier chunks slower so completion order is reversed.
+            std::thread::sleep(std::time::Duration::from_millis(
+                20u64.saturating_sub(range.start as u64 * 5),
+            ));
+            range.start
+        });
+        assert_eq!(results, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn empty_input_runs_no_work() {
+        let results: Vec<usize> = par_map_rows(0, 4, |_| panic!("no chunks expected"));
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "original worker panic message")]
+    fn worker_panic_is_propagated_verbatim() {
+        par_map_ranges(8, 4, |range| {
+            if range.start == 2 {
+                panic!("original worker panic message");
+            }
+            range.start
+        });
+    }
+}

@@ -107,6 +107,23 @@ impl SignatureIndex {
         idx
     }
 
+    /// Like [`build`](Self::build), with the row hashing — the expensive
+    /// part — split over `threads` workers via
+    /// [`parallel`](crate::parallel). Signatures are inserted sequentially
+    /// in row order afterwards, so bucket member order (and therefore
+    /// every derived group list) is identical to `build` for every thread
+    /// count.
+    pub fn build_with<M: crate::RowMatrix + Sync>(matrix: &M, threads: usize) -> Self {
+        let signatures = crate::parallel::par_map_rows(matrix.rows(), threads, |range| {
+            range.map(|i| matrix.row_signature(i)).collect()
+        });
+        let mut idx = SignatureIndex::new();
+        for (i, sig) in signatures.into_iter().enumerate() {
+            idx.insert(sig, i);
+        }
+        idx
+    }
+
     /// Inserts one `(signature, row)` pair.
     pub fn insert(&mut self, sig: RowSignature, row: usize) {
         self.buckets.entry(sig).or_default().push(row);
@@ -211,8 +228,8 @@ mod tests {
     #[test]
     fn collision_is_split_by_verification() {
         // Force a collision by inserting two different rows under one sig.
-        let m = BitMatrix::from_rows_of_indices(4, 4, &[vec![0], vec![1], vec![0], vec![1]])
-            .unwrap();
+        let m =
+            BitMatrix::from_rows_of_indices(4, 4, &[vec![0], vec![1], vec![0], vec![1]]).unwrap();
         let mut idx = SignatureIndex::new();
         let fake = RowSignature(42);
         for i in 0..4 {
@@ -221,6 +238,31 @@ mod tests {
         assert_eq!(idx.candidate_groups(), vec![vec![0, 1, 2, 3]]);
         let groups = idx.groups_verified(&m);
         assert_eq!(groups, vec![vec![0, 2], vec![1, 3]]);
+    }
+
+    #[test]
+    fn parallel_build_groups_identically() {
+        let m = BitMatrix::from_rows_of_indices(
+            7,
+            4,
+            &[
+                vec![0],
+                vec![1],
+                vec![0],
+                vec![2, 3],
+                vec![1],
+                vec![0],
+                vec![],
+            ],
+        )
+        .unwrap();
+        let seq = SignatureIndex::build(&m);
+        for threads in [1, 2, 3, 8] {
+            let par = SignatureIndex::build_with(&m, threads);
+            assert_eq!(par.distinct(), seq.distinct(), "threads={threads}");
+            assert_eq!(par.candidate_groups(), seq.candidate_groups());
+            assert_eq!(par.groups_verified(&m), seq.groups_verified(&m));
+        }
     }
 
     #[test]

@@ -59,7 +59,11 @@ impl CsrMatrix {
     ///
     /// Returns [`MatrixError::DimensionMismatch`] if `row_indices.len() !=
     /// rows` or [`MatrixError::IndexOutOfBounds`] if a column is `>= cols`.
-    pub fn from_rows_of_indices(rows: usize, cols: usize, row_indices: &[Vec<usize>]) -> Result<Self> {
+    pub fn from_rows_of_indices(
+        rows: usize,
+        cols: usize,
+        row_indices: &[Vec<usize>],
+    ) -> Result<Self> {
         if row_indices.len() != rows {
             return Err(MatrixError::DimensionMismatch {
                 expected: rows,
@@ -103,7 +107,12 @@ impl CsrMatrix {
     /// Returns an error if `indptr` is malformed (wrong length, not
     /// monotone, or not ending at `indices.len()`), if any column is out of
     /// range, or if a row's indices are not strictly increasing.
-    pub fn from_raw(rows: usize, cols: usize, indptr: Vec<usize>, indices: Vec<u32>) -> Result<Self> {
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+    ) -> Result<Self> {
         if indptr.len() != rows + 1 {
             return Err(MatrixError::DimensionMismatch {
                 expected: rows + 1,
@@ -240,6 +249,68 @@ impl CsrMatrix {
         }
     }
 
+    /// Transposes on `threads` worker threads via
+    /// [`parallel`](crate::parallel). Output is byte-identical to
+    /// [`transpose`](Self::transpose) for every thread count.
+    ///
+    /// Three phases: (1) each worker counting-sorts its row range into a
+    /// local column-grouped copy — the same scatter the sequential
+    /// transpose runs, restricted to a chunk of rows; (2) the global
+    /// `indptr` is prefix-summed from the per-worker counts; (3) workers
+    /// stitch disjoint column ranges of the output, copying each column's
+    /// segments in worker order — ascending rows, exactly the sequential
+    /// order.
+    pub fn transpose_with(&self, threads: usize) -> CsrMatrix {
+        if threads.max(1) == 1 || self.indices.is_empty() {
+            return self.transpose();
+        }
+        let locals: Vec<(Vec<usize>, Vec<u32>)> =
+            crate::parallel::par_map_ranges(self.rows, threads, |range| {
+                let mut counts = vec![0usize; self.cols];
+                for i in range.clone() {
+                    for &j in self.row(i) {
+                        counts[j as usize] += 1;
+                    }
+                }
+                let mut local_indptr = Vec::with_capacity(self.cols + 1);
+                local_indptr.push(0usize);
+                for &c in &counts {
+                    local_indptr.push(local_indptr.last().expect("nonempty") + c);
+                }
+                let mut cursor = local_indptr[..self.cols].to_vec();
+                let mut local = vec![0u32; *local_indptr.last().expect("nonempty")];
+                for i in range {
+                    for &j in self.row(i) {
+                        let j = j as usize;
+                        local[cursor[j]] = i as u32;
+                        cursor[j] += 1;
+                    }
+                }
+                (local_indptr, local)
+            });
+        let mut indptr = Vec::with_capacity(self.cols + 1);
+        indptr.push(0usize);
+        for c in 0..self.cols {
+            let col_total: usize = locals.iter().map(|(p, _)| p[c + 1] - p[c]).sum();
+            indptr.push(indptr.last().expect("nonempty") + col_total);
+        }
+        let indices = crate::parallel::par_map_rows(self.cols, threads, |col_range| {
+            let mut out = Vec::with_capacity(indptr[col_range.end] - indptr[col_range.start]);
+            for c in col_range {
+                for (local_indptr, local) in &locals {
+                    out.extend_from_slice(&local[local_indptr[c]..local_indptr[c + 1]]);
+                }
+            }
+            out
+        });
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+        }
+    }
+
     /// Memory footprint of the payload in bytes.
     pub fn payload_bytes(&self) -> usize {
         self.indices.len() * std::mem::size_of::<u32>()
@@ -327,6 +398,28 @@ impl RowMatrix for CsrMatrix {
         sums
     }
 
+    fn col_sums_with(&self, threads: usize) -> Vec<usize> {
+        if threads.max(1) == 1 {
+            return self.col_sums();
+        }
+        // Specialized over the default: workers scan the contiguous index
+        // slice of their row range instead of allocating per-row vectors.
+        let partials = crate::parallel::par_map_ranges(self.rows, threads, |range| {
+            let mut sums = vec![0usize; self.cols];
+            for &j in &self.indices[self.indptr[range.start]..self.indptr[range.end]] {
+                sums[j as usize] += 1;
+            }
+            sums
+        });
+        let mut sums = vec![0usize; self.cols];
+        for partial in partials {
+            for (s, p) in sums.iter_mut().zip(partial) {
+                *s += p;
+            }
+        }
+        sums
+    }
+
     fn nnz(&self) -> usize {
         self.indices.len()
     }
@@ -337,12 +430,8 @@ mod tests {
     use super::*;
 
     fn sample() -> CsrMatrix {
-        CsrMatrix::from_rows_of_indices(
-            4,
-            6,
-            &[vec![0, 2, 4], vec![5], vec![4, 2, 0], vec![]],
-        )
-        .unwrap()
+        CsrMatrix::from_rows_of_indices(4, 6, &[vec![0, 2, 4], vec![5], vec![4, 2, 0], vec![]])
+            .unwrap()
     }
 
     #[test]
@@ -431,6 +520,47 @@ mod tests {
         assert_eq!(t.row(4), &[0, 2]);
         // Column 1 of m is empty.
         assert!(t.row(1).is_empty());
+    }
+
+    #[test]
+    fn parallel_transpose_is_byte_identical() {
+        let samples = [
+            sample(),
+            CsrMatrix::zeros(7, 5),
+            CsrMatrix::zeros(0, 0),
+            CsrMatrix::from_rows_of_indices(
+                6,
+                4,
+                &[
+                    vec![3],
+                    vec![0, 1, 2, 3],
+                    vec![],
+                    vec![2],
+                    vec![0, 3],
+                    vec![1],
+                ],
+            )
+            .unwrap(),
+        ];
+        for m in &samples {
+            let seq = m.transpose();
+            for threads in [1, 2, 3, 4, 8, 50] {
+                let par = m.transpose_with(threads);
+                assert_eq!(par.indptr, seq.indptr, "{m:?} threads={threads}");
+                assert_eq!(par.indices, seq.indices, "{m:?} threads={threads}");
+                assert_eq!(par.rows, seq.rows);
+                assert_eq!(par.cols, seq.cols);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_col_sums_match_sequential() {
+        let m = sample();
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(m.col_sums_with(threads), m.col_sums());
+        }
+        assert_eq!(CsrMatrix::zeros(0, 3).col_sums_with(4), vec![0, 0, 0]);
     }
 
     #[test]

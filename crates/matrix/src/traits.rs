@@ -77,9 +77,49 @@ pub trait RowMatrix {
     /// column `j`. Used by the linear-time detectors (standalone nodes).
     fn col_sums(&self) -> Vec<usize>;
 
+    /// [`col_sums`](Self::col_sums) with the row scan split over
+    /// `threads` workers via [`parallel`](crate::parallel): each worker
+    /// accumulates partial sums over its row range and the partials are
+    /// added in range order. Identical output for every thread count.
+    fn col_sums_with(&self, threads: usize) -> Vec<usize>
+    where
+        Self: Sync,
+    {
+        if threads.max(1) == 1 {
+            return self.col_sums();
+        }
+        let partials = crate::parallel::par_map_ranges(self.rows(), threads, |range| {
+            let mut sums = vec![0usize; self.cols()];
+            for i in range {
+                for j in self.row_indices(i) {
+                    sums[j] += 1;
+                }
+            }
+            sums
+        });
+        let mut sums = vec![0usize; self.cols()];
+        for partial in partials {
+            for (s, p) in sums.iter_mut().zip(partial) {
+                *s += p;
+            }
+        }
+        sums
+    }
+
     /// Sum of every row; `row_sums()[i] == row_norm(i)`.
     fn row_sums(&self) -> Vec<usize> {
         (0..self.rows()).map(|i| self.row_norm(i)).collect()
+    }
+
+    /// [`row_sums`](Self::row_sums) with the rows split over `threads`
+    /// workers. Identical output for every thread count.
+    fn row_sums_with(&self, threads: usize) -> Vec<usize>
+    where
+        Self: Sync,
+    {
+        crate::parallel::par_map_rows(self.rows(), threads, |range| {
+            range.map(|i| self.row_norm(i)).collect()
+        })
     }
 
     /// Total number of set bits (assignments) in the matrix.
@@ -98,7 +138,7 @@ mod tests {
         vec![vec![0, 2, 4], vec![1], vec![0, 2, 4], vec![]]
     }
 
-    fn assert_matrix_behaviour<M: RowMatrix>(m: &M) {
+    fn assert_matrix_behaviour<M: RowMatrix + Sync>(m: &M) {
         assert_eq!(m.rows(), 4);
         assert_eq!(m.cols(), 5);
         assert_eq!(m.row_norm(0), 3);
@@ -112,6 +152,10 @@ mod tests {
         assert_eq!(m.row_bitvec(1).to_indices(), vec![1]);
         assert_eq!(m.col_sums(), vec![2, 1, 2, 0, 2]);
         assert_eq!(m.row_sums(), vec![3, 1, 3, 0]);
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(m.col_sums_with(threads), m.col_sums());
+            assert_eq!(m.row_sums_with(threads), m.row_sums());
+        }
         assert_eq!(m.nnz(), 7);
         assert_eq!(m.row_signature(0), m.row_signature(2));
         assert_ne!(m.row_signature(0), m.row_signature(1));

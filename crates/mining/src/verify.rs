@@ -67,8 +67,7 @@ pub fn verify_exact_cover(upam: &CsrMatrix, roles: &[MinedRole]) -> Result<(), C
         {
             return Err(CoverError::OutOfRange { role: ri });
         }
-        let perms =
-            BitVec::from_indices(n_perms, &role.permissions).expect("range checked above");
+        let perms = BitVec::from_indices(n_perms, &role.permissions).expect("range checked above");
         for &u in &role.users {
             granted[u].union_with(&perms).expect("widths equal");
         }

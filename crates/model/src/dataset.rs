@@ -59,7 +59,9 @@ impl RbacDataset {
     pub fn from_graph(graph: TripartiteGraph) -> Self {
         let users = (0..graph.n_users()).map(|i| format!("U{i}")).collect();
         let roles = (0..graph.n_roles()).map(|i| format!("R{i}")).collect();
-        let permissions = (0..graph.n_permissions()).map(|i| format!("P{i}")).collect();
+        let permissions = (0..graph.n_permissions())
+            .map(|i| format!("P{i}"))
+            .collect();
         let role_meta = vec![RoleMeta::default(); graph.n_roles()];
         RbacDataset {
             graph,

@@ -122,10 +122,14 @@ fn perm_edges(ds: &RbacDataset) -> BTreeSet<NamedEdge> {
 pub fn diff(old: &RbacDataset, new: &RbacDataset) -> DatasetDiff {
     let og = old.graph();
     let ng = new.graph();
-    let old_roles = names((0..og.n_roles()).map(|r| old.role_name(RoleId::from_index(r)).to_owned()));
-    let new_roles = names((0..ng.n_roles()).map(|r| new.role_name(RoleId::from_index(r)).to_owned()));
-    let old_users = names((0..og.n_users()).map(|u| old.user_name(UserId::from_index(u)).to_owned()));
-    let new_users = names((0..ng.n_users()).map(|u| new.user_name(UserId::from_index(u)).to_owned()));
+    let old_roles =
+        names((0..og.n_roles()).map(|r| old.role_name(RoleId::from_index(r)).to_owned()));
+    let new_roles =
+        names((0..ng.n_roles()).map(|r| new.role_name(RoleId::from_index(r)).to_owned()));
+    let old_users =
+        names((0..og.n_users()).map(|u| old.user_name(UserId::from_index(u)).to_owned()));
+    let new_users =
+        names((0..ng.n_users()).map(|u| new.user_name(UserId::from_index(u)).to_owned()));
     let old_perms = names(
         (0..og.n_permissions())
             .map(|p| old.permission_name(PermissionId::from_index(p)).to_owned()),

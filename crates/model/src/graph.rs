@@ -226,7 +226,9 @@ impl TripartiteGraph {
     ///
     /// Panics if `role` is out of range.
     pub fn permissions_of(&self, role: RoleId) -> impl Iterator<Item = PermissionId> + '_ {
-        self.role_perms[role.index()].iter().map(|&p| PermissionId(p))
+        self.role_perms[role.index()]
+            .iter()
+            .map(|&p| PermissionId(p))
     }
 
     /// Roles assigned to `user`, ascending.
@@ -243,8 +245,13 @@ impl TripartiteGraph {
     /// # Panics
     ///
     /// Panics if `permission` is out of range.
-    pub fn roles_of_permission(&self, permission: PermissionId) -> impl Iterator<Item = RoleId> + '_ {
-        self.perm_roles[permission.index()].iter().map(|&r| RoleId(r))
+    pub fn roles_of_permission(
+        &self,
+        permission: PermissionId,
+    ) -> impl Iterator<Item = RoleId> + '_ {
+        self.perm_roles[permission.index()]
+            .iter()
+            .map(|&r| RoleId(r))
     }
 
     /// Number of users of `role` (its RUAM row norm).
@@ -477,7 +484,8 @@ impl TripartiteGraph {
         let rp: [&[u32]; 5] = [&[1, 2], &[], &[3], &[4, 5], &[4, 5]];
         for (r, users) in ru.iter().enumerate() {
             for &u in *users {
-                g.assign_user(RoleId(r as u32), UserId(u)).expect("in range");
+                g.assign_user(RoleId(r as u32), UserId(u))
+                    .expect("in range");
             }
         }
         for (r, perms) in rp.iter().enumerate() {

@@ -161,14 +161,21 @@ mod tests {
     #[test]
     fn read_rejects_malformed_lines() {
         let mut ds = RbacDataset::new();
-        let err = read_edges("justonefield\n".as_bytes(), &mut ds, EdgeKind::UserAssignments)
-            .unwrap_err();
+        let err = read_edges(
+            "justonefield\n".as_bytes(),
+            &mut ds,
+            EdgeKind::UserAssignments,
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("line 1"));
         let err = read_edges("a,b,c\n".as_bytes(), &mut ds, EdgeKind::UserAssignments).unwrap_err();
         assert!(err.to_string().contains("line 1"));
-        let err =
-            read_edges("ok,fine\n,empty\n".as_bytes(), &mut ds, EdgeKind::UserAssignments)
-                .unwrap_err();
+        let err = read_edges(
+            "ok,fine\n,empty\n".as_bytes(),
+            &mut ds,
+            EdgeKind::UserAssignments,
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("line 2"));
     }
 

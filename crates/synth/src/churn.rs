@@ -334,10 +334,11 @@ impl ChurnSimulator {
             let perms: Vec<PermissionId> = self.graph.permissions_of(r).collect();
             if !perms.is_empty() && self.rng.gen_bool(0.5) {
                 let victim = perms[self.rng.gen_range(0..perms.len())];
-                self.graph.revoke_permission(r, victim).expect("edge exists");
+                self.graph
+                    .revoke_permission(r, victim)
+                    .expect("edge exists");
             } else {
-                let p =
-                    PermissionId::from_index(self.rng.gen_range(0..self.graph.n_permissions()));
+                let p = PermissionId::from_index(self.rng.gen_range(0..self.graph.n_permissions()));
                 self.graph.grant_permission(r, p).expect("in range");
             }
         }
@@ -454,7 +455,9 @@ mod tests {
                 .count();
             let standalone_perms = (0..g.n_permissions())
                 .filter(|&p| {
-                    g.roles_of_permission(PermissionId::from_index(p)).next().is_none()
+                    g.roles_of_permission(PermissionId::from_index(p))
+                        .next()
+                        .is_none()
                 })
                 .count();
             let userless = (0..g.n_roles())

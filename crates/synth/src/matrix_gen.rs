@@ -128,7 +128,10 @@ pub fn generate_matrix(config: MatrixGenConfig) -> GeneratedMatrix {
         (0.0..=1.0).contains(&config.density),
         "density must be in [0, 1]"
     );
-    assert!(config.max_cluster_size >= 2, "max_cluster_size must be >= 2");
+    assert!(
+        config.max_cluster_size >= 2,
+        "max_cluster_size must be >= 2"
+    );
     assert!(
         config.perturbed_per_cluster < config.max_cluster_size,
         "perturbed_per_cluster must leave at least one identical copy"
@@ -154,9 +157,7 @@ pub fn generate_matrix(config: MatrixGenConfig) -> GeneratedMatrix {
     let mut planted_similar_pre: Vec<(usize, usize)> = Vec::new();
     let mut remaining = clustered_target.min(n);
     while remaining >= 2 {
-        let size = rng
-            .gen_range(2..=config.max_cluster_size)
-            .min(remaining);
+        let size = rng.gen_range(2..=config.max_cluster_size).min(remaining);
         if size < 2 {
             break;
         }

@@ -166,8 +166,14 @@ fn sample_distinct(rng: &mut StdRng, lo: usize, len: usize, k: usize) -> Vec<usi
 /// which knob to raise).
 pub fn generate_org(config: OrgConfig) -> GeneratedOrg {
     let plan = config.plan;
-    assert!(config.role_user_degree.0 >= 2, "role_user_degree.0 must be >= 2");
-    assert!(config.role_perm_degree.0 >= 2, "role_perm_degree.0 must be >= 2");
+    assert!(
+        config.role_user_degree.0 >= 2,
+        "role_user_degree.0 must be >= 2"
+    );
+    assert!(
+        config.role_perm_degree.0 >= 2,
+        "role_perm_degree.0 must be >= 2"
+    );
     assert!(
         config.role_user_degree.1 + 1 < config.users_per_department,
         "users_per_department must exceed role_user_degree.1 + 1"
@@ -211,7 +217,9 @@ pub fn generate_org(config: OrgConfig) -> GeneratedOrg {
         catch_all.push(r);
         let (ulo, ulen) = user_range(d);
         for u in sample_distinct(&mut rng, ulo, ulen, 2) {
-            graph.assign_user(r, UserId::from_index(u)).expect("in range");
+            graph
+                .assign_user(r, UserId::from_index(u))
+                .expect("in range");
         }
         let (plo, plen) = perm_range(d);
         for p in sample_distinct(&mut rng, plo, plen, 2) {
@@ -225,21 +233,45 @@ pub fn generate_org(config: OrgConfig) -> GeneratedOrg {
         let d = i % n_depts;
         let r = graph.add_role();
         healthy.push(r);
-        attach_users(&mut graph, &mut rng, r, user_range(d), config.role_user_degree);
-        attach_perms(&mut graph, &mut rng, r, perm_range(d), config.role_perm_degree);
+        attach_users(
+            &mut graph,
+            &mut rng,
+            r,
+            user_range(d),
+            config.role_user_degree,
+        );
+        attach_perms(
+            &mut graph,
+            &mut rng,
+            r,
+            perm_range(d),
+            config.role_perm_degree,
+        );
     }
 
     // --- planted degree-type roles --------------------------------------
     for i in 0..plan.userless_roles {
         let d = dept_of_role(i);
         let r = graph.add_role();
-        attach_perms(&mut graph, &mut rng, r, perm_range(d), config.role_perm_degree);
+        attach_perms(
+            &mut graph,
+            &mut rng,
+            r,
+            perm_range(d),
+            config.role_perm_degree,
+        );
         truth.userless_roles.push(r);
     }
     for i in 0..plan.permless_roles {
         let d = dept_of_role(i);
         let r = graph.add_role();
-        attach_users(&mut graph, &mut rng, r, user_range(d), config.role_user_degree);
+        attach_users(
+            &mut graph,
+            &mut rng,
+            r,
+            user_range(d),
+            config.role_user_degree,
+        );
         truth.permless_roles.push(r);
     }
     for i in 0..plan.single_user_roles {
@@ -247,14 +279,28 @@ pub fn generate_org(config: OrgConfig) -> GeneratedOrg {
         let r = graph.add_role();
         let (ulo, ulen) = user_range(d);
         let u = sample_distinct(&mut rng, ulo, ulen, 1)[0];
-        graph.assign_user(r, UserId::from_index(u)).expect("in range");
-        attach_perms(&mut graph, &mut rng, r, perm_range(d), config.role_perm_degree);
+        graph
+            .assign_user(r, UserId::from_index(u))
+            .expect("in range");
+        attach_perms(
+            &mut graph,
+            &mut rng,
+            r,
+            perm_range(d),
+            config.role_perm_degree,
+        );
         truth.single_user_roles.push(r);
     }
     for i in 0..plan.single_permission_roles {
         let d = dept_of_role(i);
         let r = graph.add_role();
-        attach_users(&mut graph, &mut rng, r, user_range(d), config.role_user_degree);
+        attach_users(
+            &mut graph,
+            &mut rng,
+            r,
+            user_range(d),
+            config.role_user_degree,
+        );
         let (plo, plen) = perm_range(d);
         let p = sample_distinct(&mut rng, plo, plen, 1)[0];
         graph
@@ -347,7 +393,9 @@ pub fn generate_org(config: OrgConfig) -> GeneratedOrg {
         truth.standalone_users.push(UserId::from_index(u));
     }
     for p in base_perms..base_perms + plan.standalone_permissions {
-        truth.standalone_permissions.push(PermissionId::from_index(p));
+        truth
+            .standalone_permissions
+            .push(PermissionId::from_index(p));
     }
 
     GeneratedOrg {
@@ -381,7 +429,9 @@ fn attach_users(
 ) {
     let k = rng.gen_range(dmin..=dmax);
     for u in sample_distinct(rng, lo, len, k) {
-        graph.assign_user(role, UserId::from_index(u)).expect("in range");
+        graph
+            .assign_user(role, UserId::from_index(u))
+            .expect("in range");
     }
 }
 
@@ -426,7 +476,12 @@ fn copy_perms(graph: &mut TripartiteGraph, a: RoleId, b: RoleId) {
 
 /// Flips exactly one user edge of `role`: removes one user if the set has
 /// more than 2 members, otherwise adds a user not currently assigned.
-fn perturb_user_side(graph: &mut TripartiteGraph, rng: &mut StdRng, role: RoleId, base_users: usize) {
+fn perturb_user_side(
+    graph: &mut TripartiteGraph,
+    rng: &mut StdRng,
+    role: RoleId,
+    base_users: usize,
+) {
     let members: Vec<UserId> = graph.users_of(role).collect();
     if members.len() > 2 {
         let victim = members[rng.gen_range(0..members.len())];
@@ -622,8 +677,7 @@ mod tests {
         );
         assert_eq!(
             org.graph.n_permissions(),
-            cfg.departments * cfg.permissions_per_department
-                + cfg.plan.standalone_permissions
+            cfg.departments * cfg.permissions_per_department + cfg.plan.standalone_permissions
         );
         let expected_roles = cfg.departments // catch-alls
             + cfg.departments * cfg.healthy_roles_per_department

@@ -109,7 +109,11 @@ mod tests {
         let org = crate::org_gen::generate_org(cfg);
         let g = &org.graph;
         // ~1,790 base users + 10 standalone.
-        assert!(g.n_users() > 1_500 && g.n_users() < 2_200, "{}", g.n_users());
+        assert!(
+            g.n_users() > 1_500 && g.n_users() < 2_200,
+            "{}",
+            g.n_users()
+        );
         // ~3,400 attached + 3,600 standalone permissions.
         assert!(
             g.n_permissions() > 6_000 && g.n_permissions() < 8_000,
@@ -121,7 +125,11 @@ mod tests {
         g.validate().unwrap();
         // Roughly half the permissions are standalone, as in the paper.
         let standalone = (0..g.n_permissions())
-            .filter(|&p| g.roles_of_permission(PermissionId::from_index(p)).next().is_none())
+            .filter(|&p| {
+                g.roles_of_permission(PermissionId::from_index(p))
+                    .next()
+                    .is_none()
+            })
             .count();
         let frac = standalone as f64 / g.n_permissions() as f64;
         assert!(frac > 0.4 && frac < 0.6, "standalone fraction {frac}");

@@ -55,7 +55,10 @@ fn main() {
     // Simulate the administrator rejecting the first proposal.
     if !plan.merges.is_empty() {
         let rejected = plan.merges.remove(0);
-        println!("\nadministrator rejected the merge keeping {}", ds.role_name(rejected.keep));
+        println!(
+            "\nadministrator rejected the merge keeping {}",
+            ds.role_name(rejected.keep)
+        );
     }
 
     // Apply and verify.

@@ -29,10 +29,7 @@ fn main() {
 
     let t0 = Instant::now();
     let report = Pipeline::new(DetectionConfig::default()).run(&org.graph);
-    println!(
-        "full detection (custom strategy) in {:.2?}\n",
-        t0.elapsed()
-    );
+    println!("full detection (custom strategy) in {:.2?}\n", t0.elapsed());
     print!("{}", report.summary_table());
 
     // The synthetic substitution lets us do what the paper could not:
@@ -101,5 +98,8 @@ fn check(name: &str, planted: usize, detected: usize) {
 
 fn covered(name: &str, planted: usize, detected: usize) {
     println!("  {name:<34} planted={planted:<8} detected={detected}");
-    assert!(detected >= planted, "{name}: detector missed planted findings");
+    assert!(
+        detected >= planted,
+        "{name}: detector missed planted findings"
+    );
 }

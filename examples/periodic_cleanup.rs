@@ -25,11 +25,8 @@ fn main() {
         Strategy::hnsw_default(),
         Strategy::minhash_default(),
     ] {
-        let (trace, final_graph) = simulate_periodic_cleanup(
-            &org.graph,
-            DetectionConfig::with_strategy(strategy),
-            25,
-        );
+        let (trace, final_graph) =
+            simulate_periodic_cleanup(&org.graph, DetectionConfig::with_strategy(strategy), 25);
         println!("strategy {}:", strategy.name());
         for r in &trace.rounds {
             println!(

@@ -26,7 +26,10 @@ fn main() {
         println!("role {} has no users", ds.role_name(RoleId::from_index(r)));
     }
     for &r in &report.permless_roles {
-        println!("role {} has no permissions", ds.role_name(RoleId::from_index(r)));
+        println!(
+            "role {} has no permissions",
+            ds.role_name(RoleId::from_index(r))
+        );
     }
     for group in &report.same_user_groups {
         let names: Vec<&str> = group

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full local verification: the tier-1 gate plus formatting and lints.
+# Works fully offline — every dependency is a vendored path crate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q
+
+echo "==> cargo test --workspace --release -q"
+cargo test --workspace --release -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: all checks passed"

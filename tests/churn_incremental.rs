@@ -36,7 +36,11 @@ fn departed_users_and_decommissioned_assets_are_detected() {
         report.standalone_permissions.iter().copied().collect();
     for &p in sim.decommissioned_permissions() {
         let granted = sim.graph().roles_of_permission(p).next().is_some();
-        assert_eq!(!granted, standalone.contains(&p.index()), "perm {p} misclassified");
+        assert_eq!(
+            !granted,
+            standalone.contains(&p.index()),
+            "perm {p} misclassified"
+        );
     }
 }
 
@@ -62,7 +66,11 @@ fn incremental_index_tracks_a_churning_ruam() {
     for burst in 0..20 {
         sim.run(50);
         let current = sim.graph().ruam_sparse();
-        assert_eq!(current.rows(), previous.rows(), "role count fixed by weights");
+        assert_eq!(
+            current.rows(),
+            previous.rows(),
+            "role count fixed by weights"
+        );
         // Column count can grow (register_permission doesn't touch RUAM;
         // hires add users = RUAM columns). Rebuild on width change,
         // patch otherwise.
@@ -110,8 +118,7 @@ fn clone_heavy_churn_produces_detectable_duplicates() {
     .run(sim.graph());
     assert!(
         !sim.clone_events().is_empty()
-            && (!report.same_user_groups.is_empty()
-                || !report.same_permission_groups.is_empty()),
+            && (!report.same_user_groups.is_empty() || !report.same_permission_groups.is_empty()),
         "clone-heavy churn must surface T4 findings"
     );
 }

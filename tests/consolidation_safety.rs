@@ -12,38 +12,36 @@ use rolediet::model::{PermissionId, RoleId, TripartiteGraph, UserId};
 
 /// Arbitrary small tripartite graphs, biased toward duplicate rows.
 fn graph_inputs() -> impl Strategy<Value = TripartiteGraph> {
-    (2usize..10, 2usize..12, 2usize..10)
-        .prop_flat_map(|(users, roles, perms)| {
-            let user_edges = vec((0..roles, 0..users), 0..roles * 3);
-            let perm_edges = vec((0..roles, 0..perms), 0..roles * 3);
-            // Duplicate some roles' edge sets to provoke T4 findings.
-            let dups = vec((0..roles, 0..roles), 0..3);
-            (user_edges, perm_edges, dups).prop_map(move |(ue, pe, dups)| {
-                let mut g = TripartiteGraph::with_counts(users, roles, perms);
-                for (r, u) in ue {
-                    g.assign_user(RoleId::from_index(r), UserId::from_index(u))
-                        .unwrap();
-                }
-                for (r, p) in pe {
-                    g.grant_permission(RoleId::from_index(r), PermissionId::from_index(p))
-                        .unwrap();
-                }
-                for (src, dst) in dups {
-                    if src != dst {
-                        let users: Vec<UserId> =
-                            g.users_of(RoleId::from_index(src)).collect();
-                        let old: Vec<UserId> = g.users_of(RoleId::from_index(dst)).collect();
-                        for u in old {
-                            g.revoke_user(RoleId::from_index(dst), u).unwrap();
-                        }
-                        for u in users {
-                            g.assign_user(RoleId::from_index(dst), u).unwrap();
-                        }
+    (2usize..10, 2usize..12, 2usize..10).prop_flat_map(|(users, roles, perms)| {
+        let user_edges = vec((0..roles, 0..users), 0..roles * 3);
+        let perm_edges = vec((0..roles, 0..perms), 0..roles * 3);
+        // Duplicate some roles' edge sets to provoke T4 findings.
+        let dups = vec((0..roles, 0..roles), 0..3);
+        (user_edges, perm_edges, dups).prop_map(move |(ue, pe, dups)| {
+            let mut g = TripartiteGraph::with_counts(users, roles, perms);
+            for (r, u) in ue {
+                g.assign_user(RoleId::from_index(r), UserId::from_index(u))
+                    .unwrap();
+            }
+            for (r, p) in pe {
+                g.grant_permission(RoleId::from_index(r), PermissionId::from_index(p))
+                    .unwrap();
+            }
+            for (src, dst) in dups {
+                if src != dst {
+                    let users: Vec<UserId> = g.users_of(RoleId::from_index(src)).collect();
+                    let old: Vec<UserId> = g.users_of(RoleId::from_index(dst)).collect();
+                    for u in old {
+                        g.revoke_user(RoleId::from_index(dst), u).unwrap();
+                    }
+                    for u in users {
+                        g.assign_user(RoleId::from_index(dst), u).unwrap();
                     }
                 }
-                g
-            })
+            }
+            g
         })
+    })
 }
 
 proptest! {

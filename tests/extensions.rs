@@ -55,8 +55,7 @@ fn audit_consolidate_diff_workflow() {
     let final_report = Pipeline::new(DetectionConfig::default()).run(&cleaned);
     let redundant = redundant_single_link_roles(&cleaned, &final_report);
     // Deleting every suggested role (greedy order) must preserve access.
-    let drop: std::collections::HashSet<usize> =
-        redundant.iter().map(|r| r.role.index()).collect();
+    let drop: std::collections::HashSet<usize> = redundant.iter().map(|r| r.role.index()).collect();
     let mut next = 0usize;
     let map: Vec<Option<usize>> = (0..cleaned.n_roles())
         .map(|r| {
@@ -97,8 +96,7 @@ fn full_diet_is_substantial_on_the_ing_profile() {
         "expected a paper-scale (~10%) reduction, got {dup_fraction}"
     );
     // The redundancy pass finds additional opportunities on top.
-    let drop: std::collections::HashSet<usize> =
-        redundant.iter().map(|r| r.role.index()).collect();
+    let drop: std::collections::HashSet<usize> = redundant.iter().map(|r| r.role.index()).collect();
     let mut next = 0usize;
     let map: Vec<Option<usize>> = (0..cleaned.n_roles())
         .map(|r| {

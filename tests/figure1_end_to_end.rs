@@ -54,7 +54,12 @@ fn every_strategy_reports_the_same_figure1_groups() {
         Strategy::minhash_default(),
     ] {
         let report = Pipeline::new(DetectionConfig::with_strategy(strategy)).run(&graph);
-        assert_eq!(report.same_user_groups, vec![vec![1, 3]], "{}", strategy.name());
+        assert_eq!(
+            report.same_user_groups,
+            vec![vec![1, 3]],
+            "{}",
+            strategy.name()
+        );
         assert_eq!(
             report.same_permission_groups,
             vec![vec![3, 4]],
@@ -91,8 +96,18 @@ fn figure1_roundtrips_through_csv_and_json() {
     let mut perms_csv = Vec::new();
     csv::write_edges(&mut perms_csv, &ds, csv::EdgeKind::PermissionGrants).unwrap();
     let mut back = RbacDataset::new();
-    csv::read_edges(users_csv.as_slice(), &mut back, csv::EdgeKind::UserAssignments).unwrap();
-    csv::read_edges(perms_csv.as_slice(), &mut back, csv::EdgeKind::PermissionGrants).unwrap();
+    csv::read_edges(
+        users_csv.as_slice(),
+        &mut back,
+        csv::EdgeKind::UserAssignments,
+    )
+    .unwrap();
+    csv::read_edges(
+        perms_csv.as_slice(),
+        &mut back,
+        csv::EdgeKind::PermissionGrants,
+    )
+    .unwrap();
     assert_eq!(
         back.graph().n_user_assignments(),
         ds.graph().n_user_assignments()

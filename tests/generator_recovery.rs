@@ -17,9 +17,7 @@ fn planted_matrix_clusters_recovered_exactly() {
         // Every planted group is inside one detected group.
         for planted in &gen.truth.planted_groups {
             assert!(
-                groups
-                    .iter()
-                    .any(|g| planted.iter().all(|m| g.contains(m))),
+                groups.iter().any(|g| planted.iter().all(|m| g.contains(m))),
                 "seed {seed}: planted group {planted:?} lost"
             );
         }
@@ -39,15 +37,17 @@ fn planted_similar_pairs_recovered() {
         include_disjoint: true,
         ..SimilarityConfig::default()
     };
-    let pairs: std::collections::HashSet<(usize, usize)> = rolediet::core::cooccur::similar_pairs(
-        &m, &tr, &cfg,
-    )
-    .into_iter()
-    .map(|p| (p.a, p.b))
-    .collect();
+    let pairs: std::collections::HashSet<(usize, usize)> =
+        rolediet::core::cooccur::similar_pairs(&m, &tr, &cfg)
+            .into_iter()
+            .map(|p| (p.a, p.b))
+            .collect();
     assert!(!gen.truth.planted_similar_pairs.is_empty());
     for &(a, b) in &gen.truth.planted_similar_pairs {
-        assert!(pairs.contains(&(a, b)), "planted similar pair ({a},{b}) missed");
+        assert!(
+            pairs.contains(&(a, b)),
+            "planted similar pair ({a},{b}) missed"
+        );
     }
 }
 
@@ -155,14 +155,20 @@ fn ing_profile_detected_counts_match_published_shape() {
     let org = generate_ing_like(0.02, 9);
     let report = Pipeline::new(DetectionConfig::default()).run(&org.graph);
     // Degree-type counts are exact by construction.
-    assert_eq!(report.standalone_users.len(), org.truth.standalone_users.len());
+    assert_eq!(
+        report.standalone_users.len(),
+        org.truth.standalone_users.len()
+    );
     assert_eq!(
         report.standalone_permissions.len(),
         org.truth.standalone_permissions.len()
     );
     assert_eq!(report.userless_roles.len(), org.truth.userless_roles.len());
     assert_eq!(report.permless_roles.len(), org.truth.permless_roles.len());
-    assert_eq!(report.single_user_roles.len(), org.truth.single_user_roles.len());
+    assert_eq!(
+        report.single_user_roles.len(),
+        org.truth.single_user_roles.len()
+    );
     assert_eq!(
         report.single_permission_roles.len(),
         org.truth.single_permission_roles.len()
@@ -170,7 +176,10 @@ fn ing_profile_detected_counts_match_published_shape() {
     // Published proportions: ~half of permissions standalone; ~10% of
     // roles removable via T4 consolidation.
     let frac = report.standalone_permissions.len() as f64 / org.graph.n_permissions() as f64;
-    assert!(frac > 0.4 && frac < 0.6, "standalone permission fraction {frac}");
+    assert!(
+        frac > 0.4 && frac < 0.6,
+        "standalone permission fraction {frac}"
+    );
     let removable = report.reducible_roles(rolediet::core::Side::User)
         + report.reducible_roles(rolediet::core::Side::Permission);
     let frac = removable as f64 / org.graph.n_roles() as f64;

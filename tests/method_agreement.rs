@@ -121,16 +121,11 @@ fn hnsw_recall_is_high_on_planted_clusters() {
     // Deterministic (seeded) statistical check rather than a proptest:
     // HNSW recall on paper-shaped data should be near 1 with default
     // parameters.
-    let gen = rolediet::synth::generate_matrix(rolediet::synth::MatrixGenConfig::paper(
-        800, 400, 31,
-    ));
+    let gen =
+        rolediet::synth::generate_matrix(rolediet::synth::MatrixGenConfig::paper(800, 400, 31));
     let m = gen.sparse();
     let truth_pairs = groups_to_pairs(&gen.truth.exact_duplicate_groups);
-    let groups = find_same_groups_with_empty(
-        &m,
-        &Method::hnsw_default(),
-        Parallelism::Sequential,
-    );
+    let groups = find_same_groups_with_empty(&m, &Method::hnsw_default(), Parallelism::Sequential);
     let stats = pair_stats(&truth_pairs, &groups_to_pairs(&groups));
     assert_eq!(stats.precision, 1.0, "approximate methods never fabricate");
     assert!(
@@ -142,9 +137,8 @@ fn hnsw_recall_is_high_on_planted_clusters() {
 
 #[test]
 fn custom_strategy_is_deterministic_across_runs() {
-    let gen = rolediet::synth::generate_matrix(rolediet::synth::MatrixGenConfig::paper(
-        500, 300, 17,
-    ));
+    let gen =
+        rolediet::synth::generate_matrix(rolediet::synth::MatrixGenConfig::paper(500, 300, 17));
     let m = gen.sparse();
     let tr = m.transpose();
     let cfg = SimilarityConfig {

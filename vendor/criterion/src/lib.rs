@@ -1,0 +1,223 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Supports the subset of the criterion API the workspace benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId::new`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Behaviour:
+//! - invoked with `--bench` (a real `cargo bench` run): each benchmark is
+//!   warmed up once, then timed over `sample_size` iterations, and a
+//!   mean ± spread line is printed;
+//! - invoked without `--bench` (`cargo test` compiles and runs bench
+//!   binaries too, since they declare `harness = false`): each closure
+//!   runs exactly once as a smoke test, keeping test runs fast.
+#![allow(clippy::all, clippy::pedantic)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies one parameterized benchmark within a group.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id rendered as `name/parameter`.
+    pub fn new<P: fmt::Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// The timing loop handed to each benchmark closure.
+pub struct Bencher {
+    /// Iterations per timed sample (1 in test mode).
+    iters: u64,
+    /// Measured total duration of the last [`Bencher::iter`] call.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark (bench mode
+    /// only; test mode always runs one iteration).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), &mut |b| f(b, input));
+        self
+    }
+
+    fn run(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, id);
+        if !self.criterion.bench_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("{label}: ok (test mode, 1 iteration)");
+            return;
+        }
+        // Warm-up pass, then `sample_size` timed samples of one
+        // iteration each — enough to report a stable mean and spread.
+        let mut warm = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut warm);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64());
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
+        println!(
+            "{label}: mean {:.3} ms ± {:.3} ms over {} samples",
+            mean * 1e3,
+            var.sqrt() * 1e3,
+            samples.len()
+        );
+    }
+
+    /// Ends the group (upstream flushes reports here; nothing to do).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench targets with `--bench`; `cargo test` runs
+        // the same binaries without it.
+        Criterion {
+            bench_mode: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// Declares a benchmark group function list, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_each_closure_in_test_mode() {
+        let mut c = Criterion { bench_mode: false };
+        let mut calls = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10);
+            g.bench_function("a", |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn bench_mode_times_samples() {
+        let mut c = Criterion { bench_mode: true };
+        let mut calls = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_with_input(BenchmarkId::new("b", 7), &7usize, |b, &x| {
+                b.iter(|| calls += x)
+            });
+        }
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4 * 7);
+    }
+
+    #[test]
+    fn benchmark_id_renders_name_slash_param() {
+        assert_eq!(BenchmarkId::new("pairs", 8).to_string(), "pairs/8");
+    }
+}

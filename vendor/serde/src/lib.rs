@@ -1,0 +1,565 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! a minimal serialization framework with the same spelling as serde:
+//! `Serialize`/`Deserialize` traits, `#[derive(Serialize, Deserialize)]`
+//! (via the companion `serde_derive` stub), and the container attributes
+//! this workspace uses (`#[serde(transparent)]`, `#[serde(from/into)]`).
+//!
+//! Instead of serde's visitor architecture, values convert to and from a
+//! self-describing [`Content`] tree; `serde_json` renders that tree. The
+//! semantics mirror the upstream behaviours the repo's tests rely on:
+//! missing struct fields are deserialization errors, externally tagged
+//! enums, `Duration` as `{secs, nanos}`, map keys stringified in JSON.
+#![allow(clippy::all, clippy::pedantic)]
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+use std::time::Duration;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the stand-in for serde's data
+/// model). `serde_json::Value` is an alias of this type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A negative integer (or any value written as `i64`).
+    I64(i64),
+    /// A non-negative integer fitting `u64`.
+    U64(u64),
+    /// An integer needing more than 64 bits.
+    U128(u128),
+    /// A negative integer needing more than 64 bits.
+    I128(i128),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered map with string keys (JSON object).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The entries of a map, if this is one.
+    pub fn as_map_slice(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The items of a sequence, if this is one.
+    pub fn as_seq_slice(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in a map value (`None` for non-maps and missing
+    /// keys) — the `serde_json::Value::get` the CLI tests use.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        self.as_map_slice()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// A (de)serialization failure.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error carrying `msg`.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(content.clone())
+    }
+}
+
+/// Types convertible into a [`Content`] tree.
+pub trait Serialize {
+    /// Serializes `self` into the content data model.
+    fn to_content(&self) -> Content;
+}
+
+/// Types reconstructible from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes a value, erroring on shape or range mismatches.
+    fn from_content(content: &Content) -> Result<Self, Error>;
+}
+
+/// Fetches a struct field from a serialized map, erroring when absent
+/// (upstream serde rejects missing fields without `#[serde(default)]`,
+/// and the model I/O tests pin that behaviour).
+pub fn get_field<'a>(map: &'a [(String, Content)], name: &str) -> Result<&'a Content, Error> {
+    map.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("missing field `{name}`")))
+}
+
+/// Renders a serialized value as a JSON object key.
+///
+/// JSON keys are strings, so integer and boolean keys are stringified —
+/// matching `serde_json`'s map-key handling.
+pub fn content_to_key(content: &Content) -> Result<String, Error> {
+    match content {
+        Content::Str(s) => Ok(s.clone()),
+        Content::Bool(b) => Ok(b.to_string()),
+        Content::I64(v) => Ok(v.to_string()),
+        Content::U64(v) => Ok(v.to_string()),
+        Content::U128(v) => Ok(v.to_string()),
+        Content::I128(v) => Ok(v.to_string()),
+        _ => Err(Error::custom("map key must be a string or integer")),
+    }
+}
+
+/// Reconstructs a typed map key from its JSON string form: tries the key
+/// as a string first, then as an integer (the inverse of
+/// [`content_to_key`]).
+pub fn key_to_value<K: Deserialize>(key: &str) -> Result<K, Error> {
+    if let Ok(k) = K::from_content(&Content::Str(key.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(u) = key.parse::<u64>() {
+        if let Ok(k) = K::from_content(&Content::U64(u)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(u) = key.parse::<u128>() {
+        if let Ok(k) = K::from_content(&Content::U128(u)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(i) = key.parse::<i64>() {
+        if let Ok(k) = K::from_content(&Content::I64(i)) {
+            return Ok(k);
+        }
+    }
+    if key == "true" || key == "false" {
+        if let Ok(k) = K::from_content(&Content::Bool(key == "true")) {
+            return Ok(k);
+        }
+    }
+    Err(Error::custom(format!("cannot deserialize map key `{key}`")))
+}
+
+macro_rules! impl_small_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                #[allow(unused_comparisons)]
+                if *self >= 0 {
+                    Content::U64(*self as u64)
+                } else {
+                    Content::I64(*self as i64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let err = || Error::custom(concat!("expected ", stringify!($t)));
+                match *content {
+                    Content::U64(v) => <$t>::try_from(v).map_err(|_| err()),
+                    Content::I64(v) => <$t>::try_from(v).map_err(|_| err()),
+                    Content::U128(v) => <$t>::try_from(v).map_err(|_| err()),
+                    Content::I128(v) => <$t>::try_from(v).map_err(|_| err()),
+                    _ => Err(err()),
+                }
+            }
+        }
+    )*};
+}
+
+impl_small_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn to_content(&self) -> Content {
+        match u64::try_from(*self) {
+            Ok(v) => Content::U64(v),
+            Err(_) => Content::U128(*self),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match *content {
+            Content::U64(v) => Ok(u128::from(v)),
+            Content::U128(v) => Ok(v),
+            Content::I64(v) => u128::try_from(v).map_err(|_| Error::custom("expected u128")),
+            Content::I128(v) => u128::try_from(v).map_err(|_| Error::custom("expected u128")),
+            _ => Err(Error::custom("expected u128")),
+        }
+    }
+}
+
+impl Serialize for i128 {
+    fn to_content(&self) -> Content {
+        match i64::try_from(*self) {
+            Ok(v) if v >= 0 => Content::U64(v as u64),
+            Ok(v) => Content::I64(v),
+            Err(_) => Content::I128(*self),
+        }
+    }
+}
+
+impl Deserialize for i128 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match *content {
+            Content::U64(v) => Ok(i128::from(v)),
+            Content::I64(v) => Ok(i128::from(v)),
+            Content::U128(v) => i128::try_from(v).map_err(|_| Error::custom("expected i128")),
+            Content::I128(v) => Ok(v),
+            _ => Err(Error::custom("expected i128")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match *content {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            _ => Err(Error::custom("expected f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match *content {
+            Content::Bool(b) => Ok(b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let s = String::from_content(content)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single character")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_seq_slice()
+            .ok_or_else(|| Error::custom("expected sequence"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+/// Maps serialize with keys sorted by their JSON form so equal maps
+/// always produce identical bytes (`HashMap` iteration order is not
+/// deterministic).
+fn map_to_content<'a, K, V, I>(entries: I) -> Content
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    let mut m: Vec<(String, Content)> = entries
+        .map(|(k, v)| {
+            let key = content_to_key(&k.to_content())
+                .expect("unsupported map key type for JSON serialization");
+            (key, v.to_content())
+        })
+        .collect();
+    m.sort_by(|a, b| a.0.cmp(&b.0));
+    Content::Map(m)
+}
+
+impl<K: Serialize + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_content(&self) -> Content {
+        map_to_content(self.iter())
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_map_slice()
+            .ok_or_else(|| Error::custom("expected map"))?
+            .iter()
+            .map(|(k, v)| Ok((key_to_value::<K>(k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        map_to_content(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_map_slice()
+            .ok_or_else(|| Error::custom("expected map"))?
+            .iter()
+            .map(|(k, v)| Ok((key_to_value::<K>(k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        content
+            .as_seq_slice()
+            .ok_or_else(|| Error::custom("expected sequence"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl Serialize for Duration {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("secs".to_string(), Content::U64(self.as_secs())),
+            (
+                "nanos".to_string(),
+                Content::U64(u64::from(self.subsec_nanos())),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let m = content
+            .as_map_slice()
+            .ok_or_else(|| Error::custom("expected duration map"))?;
+        let secs = u64::from_content(get_field(m, "secs")?)?;
+        let nanos = u32::from_content(get_field(m, "nanos")?)?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let s = content
+                    .as_seq_slice()
+                    .ok_or_else(|| Error::custom("expected tuple sequence"))?;
+                let expected = [$($n),+].len();
+                if s.len() != expected {
+                    return Err(Error::custom("tuple length mismatch"));
+                }
+                Ok(($($t::from_content(&s[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_struct_field_is_an_error() {
+        let m: &[(String, Content)] = &[];
+        assert!(get_field(m, "a")
+            .unwrap_err()
+            .to_string()
+            .contains("missing field"));
+    }
+
+    #[test]
+    fn int_range_checks() {
+        assert!(u8::from_content(&Content::U64(300)).is_err());
+        assert_eq!(u8::from_content(&Content::U64(7)).unwrap(), 7);
+        assert!(usize::from_content(&Content::I64(-1)).is_err());
+        assert_eq!(i64::from_content(&Content::U64(9)).unwrap(), 9);
+    }
+
+    #[test]
+    fn u128_roundtrips_wide_values() {
+        let v = u128::MAX - 3;
+        assert_eq!(u128::from_content(&v.to_content()).unwrap(), v);
+    }
+
+    #[test]
+    fn hashmap_with_integer_keys_roundtrips() {
+        let mut m: HashMap<u64, String> = HashMap::new();
+        m.insert(12, "a".into());
+        m.insert(7, "b".into());
+        let c = m.to_content();
+        // Keys stringified and sorted.
+        let entries = c.as_map_slice().unwrap();
+        assert_eq!(entries[0].0, "12");
+        assert_eq!(entries[1].0, "7");
+        assert_eq!(HashMap::<u64, String>::from_content(&c).unwrap(), m);
+    }
+
+    #[test]
+    fn duration_shape_matches_serde() {
+        let d = Duration::new(3, 450);
+        let c = d.to_content();
+        assert_eq!(c.get("secs"), Some(&Content::U64(3)));
+        assert_eq!(c.get("nanos"), Some(&Content::U64(450)));
+        assert_eq!(Duration::from_content(&c).unwrap(), d);
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        assert_eq!(Option::<u32>::from_content(&Content::Null).unwrap(), None);
+        assert_eq!(Some(5u32).to_content(), Content::U64(5));
+    }
+}

@@ -1,0 +1,481 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde` stub's [`Content`] data model, parsing the item's
+//! token stream by hand (the real implementation's `syn`/`quote` stack is
+//! unavailable offline). Supported shapes cover everything this workspace
+//! derives: named/tuple/newtype/unit structs; enums with unit, newtype,
+//! tuple and struct variants (externally tagged, as upstream); and the
+//! container attributes `#[serde(transparent)]` (a no-op here — newtype
+//! structs are always transparent) and `#[serde(from = "T", into = "T")]`.
+#![allow(clippy::all, clippy::pedantic)]
+#![forbid(unsafe_code)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Container-level `#[serde(...)]` attributes.
+#[derive(Default)]
+struct SerdeAttrs {
+    from: Option<String>,
+    into: Option<String>,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Kind {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+    attrs: SerdeAttrs,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn ident_of(tt: &TokenTree) -> Option<String> {
+    match tt {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut attrs = SerdeAttrs::default();
+
+    // Outer attributes (doc comments arrive as `#[doc = "..."]`).
+    while i < tokens.len() && is_punct(&tokens[i], '#') {
+        if let TokenTree::Group(g) = &tokens[i + 1] {
+            collect_serde_attr(&g.stream(), &mut attrs);
+        }
+        i += 2;
+    }
+
+    // Visibility.
+    if ident_of(&tokens[i]).as_deref() == Some("pub") {
+        i += 1;
+        if let TokenTree::Group(g) = &tokens[i] {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+
+    let keyword = ident_of(&tokens[i]).expect("expected `struct` or `enum`");
+    i += 1;
+    let name = ident_of(&tokens[i]).expect("expected item name");
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("the vendored serde_derive does not support generic types");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(&g.stream()))
+            }
+            _ => Kind::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(&g.stream()))
+            }
+            _ => panic!("enum without a body"),
+        },
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    };
+
+    Input { name, kind, attrs }
+}
+
+/// Records `from`/`into` type names from a `#[serde(...)]` attribute;
+/// every other attribute (docs, `transparent`, `repr`, ...) is ignored.
+fn collect_serde_attr(attr_body: &TokenStream, attrs: &mut SerdeAttrs) {
+    let tokens: Vec<TokenTree> = attr_body.clone().into_iter().collect();
+    if tokens.first().and_then(ident_of).as_deref() != Some("serde") {
+        return;
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return;
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < args.len() {
+        let key = ident_of(&args[i]);
+        if i + 2 < args.len() && is_punct(&args[i + 1], '=') {
+            if let TokenTree::Literal(lit) = &args[i + 2] {
+                let value = lit.to_string().trim_matches('"').to_string();
+                match key.as_deref() {
+                    Some("from") => attrs.from = Some(value),
+                    Some("into") => attrs.into = Some(value),
+                    _ => {}
+                }
+                i += 3;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Extracts field names from a named-fields body, skipping attributes and
+/// consuming each type angle-bracket-aware (so `HashMap<K, V>` commas do
+/// not split fields).
+fn parse_named_fields(body: &TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while i < tokens.len() && is_punct(&tokens[i], '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        if ident_of(&tokens[i]).as_deref() == Some("pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+        let name = ident_of(&tokens[i]).expect("expected field name");
+        i += 1;
+        assert!(
+            is_punct(&tokens[i], ':'),
+            "expected `:` after field `{name}`"
+        );
+        i += 1;
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if is_punct(&tokens[i], '<') {
+                depth += 1;
+            } else if is_punct(&tokens[i], '>') {
+                depth -= 1;
+            } else if is_punct(&tokens[i], ',') && depth == 0 {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(body: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut segment_has_tokens = false;
+    for tt in &tokens {
+        if is_punct(tt, '<') {
+            depth += 1;
+        } else if is_punct(tt, '>') {
+            depth -= 1;
+        } else if is_punct(tt, ',') && depth == 0 {
+            if segment_has_tokens {
+                fields += 1;
+            }
+            segment_has_tokens = false;
+            continue;
+        }
+        segment_has_tokens = true;
+    }
+    if segment_has_tokens {
+        fields += 1;
+    }
+    fields
+}
+
+fn parse_variants(body: &TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while i < tokens.len() && is_punct(&tokens[i], '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_of(&tokens[i]).expect("expected variant name");
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(&g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant and the trailing comma.
+        while i < tokens.len() && !is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(trait_name: &str, type_name: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, clippy::pedantic, unused_variables)]\n\
+         impl serde::{trait_name} for {type_name} {{\n"
+    )
+}
+
+fn generate_serialize(item: &Input) -> String {
+    let name = &item.name;
+    let mut out = impl_header("Serialize", name);
+    out.push_str("fn to_content(&self) -> serde::Content {\n");
+
+    if let Some(into_ty) = &item.attrs.into {
+        out.push_str(&format!(
+            "let __converted: {into_ty} = <{name} as ::std::clone::Clone>::clone(self).into();\n\
+             serde::Serialize::to_content(&__converted)\n"
+        ));
+    } else {
+        match &item.kind {
+            Kind::UnitStruct => out.push_str("serde::Content::Null\n"),
+            Kind::TupleStruct(1) => {
+                out.push_str("serde::Serialize::to_content(&self.0)\n");
+            }
+            Kind::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Serialize::to_content(&self.{i})"))
+                    .collect();
+                out.push_str(&format!(
+                    "serde::Content::Seq(vec![{}])\n",
+                    items.join(", ")
+                ));
+            }
+            Kind::NamedStruct(fields) => {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!("(String::from(\"{f}\"), serde::Serialize::to_content(&self.{f}))")
+                    })
+                    .collect();
+                out.push_str(&format!(
+                    "serde::Content::Map(vec![{}])\n",
+                    entries.join(", ")
+                ));
+            }
+            Kind::Enum(variants) => {
+                out.push_str("match self {\n");
+                for v in variants {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => out.push_str(&format!(
+                            "{name}::{vname} => serde::Content::Str(String::from(\"{vname}\")),\n"
+                        )),
+                        VariantShape::Tuple(1) => out.push_str(&format!(
+                            "{name}::{vname}(__f0) => serde::Content::Map(vec![(String::from(\"{vname}\"), serde::Serialize::to_content(__f0))]),\n"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_content({b})"))
+                                .collect();
+                            out.push_str(&format!(
+                                "{name}::{vname}({}) => serde::Content::Map(vec![(String::from(\"{vname}\"), serde::Content::Seq(vec![{}]))]),\n",
+                                binds.join(", "),
+                                items.join(", ")
+                            ));
+                        }
+                        VariantShape::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(String::from(\"{f}\"), serde::Serialize::to_content({f}))"
+                                    )
+                                })
+                                .collect();
+                            out.push_str(&format!(
+                                "{name}::{vname} {{ {} }} => serde::Content::Map(vec![(String::from(\"{vname}\"), serde::Content::Map(vec![{}]))]),\n",
+                                fields.join(", "),
+                                entries.join(", ")
+                            ));
+                        }
+                    }
+                }
+                out.push_str("}\n");
+            }
+        }
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+fn named_struct_body(type_path: &str, fields: &[String], map_expr: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: serde::Deserialize::from_content(serde::get_field({map_expr}, \"{f}\")?)?"
+            )
+        })
+        .collect();
+    format!("{type_path} {{ {} }}", inits.join(", "))
+}
+
+fn generate_deserialize(item: &Input) -> String {
+    let name = &item.name;
+    let mut out = impl_header("Deserialize", name);
+    out.push_str(
+        "fn from_content(__content: &serde::Content) -> ::std::result::Result<Self, serde::Error> {\n",
+    );
+
+    if let Some(from_ty) = &item.attrs.from {
+        out.push_str(&format!(
+            "let __value: {from_ty} = serde::Deserialize::from_content(__content)?;\n\
+             Ok(<{name} as ::std::convert::From<{from_ty}>>::from(__value))\n"
+        ));
+    } else {
+        match &item.kind {
+            Kind::UnitStruct => out.push_str(&format!("Ok({name})\n")),
+            Kind::TupleStruct(1) => out.push_str(&format!(
+                "Ok({name}(serde::Deserialize::from_content(__content)?))\n"
+            )),
+            Kind::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Deserialize::from_content(&__seq[{i}])?"))
+                    .collect();
+                out.push_str(&format!(
+                    "let __seq = __content.as_seq_slice().ok_or_else(|| serde::Error::custom(\"expected sequence for tuple struct {name}\"))?;\n\
+                     if __seq.len() != {n} {{\n\
+                         return Err(serde::Error::custom(\"wrong tuple length for {name}\"));\n\
+                     }}\n\
+                     Ok({name}({}))\n",
+                    items.join(", ")
+                ));
+            }
+            Kind::NamedStruct(fields) => {
+                out.push_str(&format!(
+                    "let __map = __content.as_map_slice().ok_or_else(|| serde::Error::custom(\"expected map for struct {name}\"))?;\n\
+                     Ok({})\n",
+                    named_struct_body(name, fields, "__map")
+                ));
+            }
+            Kind::Enum(variants) => {
+                out.push_str("match __content {\n");
+                // Unit variants are externally tagged as a bare string.
+                out.push_str("serde::Content::Str(__s) => match __s.as_str() {\n");
+                for v in variants {
+                    if matches!(v.shape, VariantShape::Unit) {
+                        let vname = &v.name;
+                        out.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                    }
+                }
+                out.push_str(&format!(
+                    "__other => Err(serde::Error::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n}},\n"
+                ));
+                // Data variants are a single-entry map.
+                out.push_str(
+                    "serde::Content::Map(__m) if __m.len() == 1 => {\n\
+                     let (__tag, __payload) = &__m[0];\n\
+                     match __tag.as_str() {\n",
+                );
+                for v in variants {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => {}
+                        VariantShape::Tuple(1) => out.push_str(&format!(
+                            "\"{vname}\" => Ok({name}::{vname}(serde::Deserialize::from_content(__payload)?)),\n"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("serde::Deserialize::from_content(&__seq[{i}])?")
+                                })
+                                .collect();
+                            out.push_str(&format!(
+                                "\"{vname}\" => {{\n\
+                                 let __seq = __payload.as_seq_slice().ok_or_else(|| serde::Error::custom(\"expected sequence for variant {vname}\"))?;\n\
+                                 if __seq.len() != {n} {{\n\
+                                     return Err(serde::Error::custom(\"wrong tuple length for variant {vname}\"));\n\
+                                 }}\n\
+                                 Ok({name}::{vname}({}))\n\
+                                 }},\n",
+                                items.join(", ")
+                            ));
+                        }
+                        VariantShape::Named(fields) => {
+                            out.push_str(&format!(
+                                "\"{vname}\" => {{\n\
+                                 let __map = __payload.as_map_slice().ok_or_else(|| serde::Error::custom(\"expected map for variant {vname}\"))?;\n\
+                                 Ok({})\n\
+                                 }},\n",
+                                named_struct_body(&format!("{name}::{vname}"), fields, "__map")
+                            ));
+                        }
+                    }
+                }
+                out.push_str(&format!(
+                    "__other => Err(serde::Error::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }}\n\
+                     }},\n\
+                     _ => Err(serde::Error::custom(\"invalid representation of enum {name}\")),\n\
+                     }}\n"
+                ));
+            }
+        }
+    }
+    out.push_str("}\n}\n");
+    out
+}
