@@ -7,7 +7,13 @@
 //!   parallel over the owning role of each co-occurring pair;
 //! * the CSR transpose feeding T5 (`CsrMatrix::transpose_with`);
 //! * the signature-index build behind the custom T4 detector
-//!   (`SignatureIndex::build_with`).
+//!   (`SignatureIndex::build_with`);
+//! * the two-pass CSR build (`CsrMatrix::from_row_iter_two_pass`), with
+//!   the PR 1 `from_rows_of_indices` collection as baseline;
+//! * the norm-bucketed disjoint supplement, with the PR 1 quadratic
+//!   low-norm scan (`disjoint_supplement_naive`) as baseline;
+//! * MinHash sketching + LSH banding (`MinHashLsh::build_with` /
+//!   `candidate_pairs_with`).
 //!
 //! A final full-pipeline pass records the per-stage thread counts that
 //! `Report::timings` now carries, so a bench run documents which stages
@@ -16,11 +22,31 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use rolediet_bench::sweep_matrix;
-use rolediet_core::cooccur::similar_pairs_parallel;
+use rolediet_cluster::minhash::{MinHashLsh, MinHashLshParams};
+use rolediet_core::cooccur::{
+    disjoint_supplement, disjoint_supplement_naive, similar_pairs_parallel,
+};
 use rolediet_core::{DetectionConfig, Parallelism, Pipeline, SimilarityConfig};
-use rolediet_matrix::SignatureIndex;
+use rolediet_matrix::{CsrMatrix, SignatureIndex};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// A matrix shaped like the supplement's real workload: mostly empty and
+/// single-entry rows (the paper's organization had 12,000 userless and
+/// 4,000 single-user roles) plus a block of normal-norm rows.
+fn supplement_matrix(empty: usize, single: usize, normal: usize, cols: usize) -> CsrMatrix {
+    let rows: Vec<Vec<usize>> = (0..empty)
+        .map(|_| Vec::new())
+        .chain((0..single).map(|i| vec![i % cols]))
+        .chain((0..normal).map(|i| (0..50).map(|k| (i + k * 7) % cols).collect()))
+        .collect();
+    let mut sorted = rows;
+    for r in &mut sorted {
+        r.sort_unstable();
+        r.dedup();
+    }
+    CsrMatrix::from_rows_of_indices(sorted.len(), cols, &sorted).unwrap()
+}
 
 fn parallel_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_parallel");
@@ -50,6 +76,63 @@ fn parallel_scaling(c: &mut Criterion) {
                 b.iter(|| SignatureIndex::build_with(&matrix, threads));
             },
         );
+        group.bench_with_input(
+            BenchmarkId::new("matrix_build", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    CsrMatrix::from_row_iter_two_pass(
+                        matrix.n_rows(),
+                        matrix.n_cols(),
+                        threads,
+                        |i| matrix.row(i).iter().copied(),
+                    )
+                });
+            },
+        );
+    }
+    // PR 1 baseline for the two-pass build: collect per-row `Vec`s, then
+    // `from_rows_of_indices` (which sorts and re-copies every row).
+    group.bench_function("matrix_build_pr1_baseline", |b| {
+        b.iter(|| {
+            let rows: Vec<Vec<usize>> = (0..matrix.n_rows())
+                .map(|i| matrix.row(i).iter().map(|&c| c as usize).collect())
+                .collect();
+            CsrMatrix::from_rows_of_indices(matrix.n_rows(), matrix.n_cols(), &rows).unwrap()
+        });
+    });
+
+    // Disjoint supplement: bucketed kernel vs. the PR 1 quadratic scan,
+    // on a workload dominated by empty and single-entry rows.
+    let supp = supplement_matrix(1_000, 500, 500, 1_000);
+    for threads in THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("disjoint_supplement", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| disjoint_supplement(&supp, 1, threads));
+            },
+        );
+    }
+    group.bench_function("disjoint_supplement_pr1_baseline", |b| {
+        b.iter(|| disjoint_supplement_naive(&supp, 1));
+    });
+
+    // MinHash sketching + banding across thread counts.
+    let sets: Vec<Vec<u32>> = (0..matrix.n_rows())
+        .map(|i| matrix.row(i).to_vec())
+        .collect();
+    let params = MinHashLshParams::default();
+    for threads in THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("minhash", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    MinHashLsh::build_with(&sets, params, threads).candidate_pairs_with(threads)
+                });
+            },
+        );
     }
     group.finish();
 
@@ -66,13 +149,16 @@ fn parallel_scaling(c: &mut Criterion) {
         let t = report.timings.threads;
         println!(
             "pipeline threads={threads}: degrees={} same(u)={} same(p)={} \
-             transpose={} similar(u)={} similar(p)={} | total {:.2?}",
+             transpose={} similar(u)={} similar(p)={} disjoint={} minhash={} \
+             | total {:.2?}",
             t.degree_detectors,
             t.same_users,
             t.same_permissions,
             t.transpose,
             t.similar_users,
             t.similar_permissions,
+            t.disjoint_supplement,
+            t.minhash,
             report.timings.total(),
         );
     }

@@ -1,0 +1,250 @@
+//! Machine-readable benchmark of the PR 2 parallel kernels.
+//!
+//! Times the three newly parallelized stages — two-pass CSR matrix
+//! build, norm-bucketed disjoint supplement, MinHash sketching + LSH
+//! banding — across worker counts, next to their PR 1 sequential
+//! baselines, and runs small Figure 2/3 sweeps of the custom T5
+//! detector. Results are written as a JSON array of
+//! `{stage, size, threads, ns, found}` records (`scripts/bench.sh`
+//! invokes this and commits the output as `BENCH_pr2.json`).
+//!
+//! ```text
+//! bench_json [--scale 1.0] [--seed 7] [--iters 3] [--out BENCH_pr2.json]
+//! ```
+//!
+//! The matrix-build and supplement stages run at the real-org scale of
+//! `results_realorg.txt` (the ing-like organization at `--scale 1.0`);
+//! every result is cross-checked against its baseline before timing is
+//! trusted.
+
+use std::time::Instant;
+
+use rolediet_bench::sweep_matrix;
+use rolediet_cluster::minhash::{MinHashLsh, MinHashLshParams};
+use rolediet_core::cooccur::{disjoint_supplement, disjoint_supplement_naive};
+use rolediet_core::{Parallelism, SimilarityConfig, Strategy};
+use rolediet_matrix::{CsrMatrix, RowMatrix};
+use rolediet_model::RoleId;
+use serde::Serialize;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One timed measurement.
+#[derive(Serialize)]
+struct Record {
+    /// Kernel or sweep identifier (`*_pr1` suffixes are baselines).
+    stage: String,
+    /// Input shape, `rows x cols`.
+    size: String,
+    /// Worker threads (baselines are sequential: 1).
+    threads: usize,
+    /// Best-of-`--iters` wall clock, nanoseconds.
+    ns: u128,
+    /// Result cardinality (sanity: identical across thread counts).
+    found: usize,
+}
+
+struct Opts {
+    scale: f64,
+    seed: u64,
+    iters: usize,
+    out: String,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Opts {
+        let mut o = Opts {
+            scale: 1.0,
+            seed: 7,
+            iters: 3,
+            out: "BENCH_pr2.json".to_owned(),
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut val = |name: &str| -> String {
+                it.next()
+                    .unwrap_or_else(|| panic!("flag {name} needs a value"))
+                    .clone()
+            };
+            match a.as_str() {
+                "--scale" => o.scale = val("--scale").parse().expect("--scale"),
+                "--seed" => o.seed = val("--seed").parse().expect("--seed"),
+                "--iters" => o.iters = val("--iters").parse().expect("--iters"),
+                "--out" => o.out = val("--out"),
+                other => panic!("unknown flag {other:?}"),
+            }
+        }
+        o.iters = o.iters.max(1);
+        o
+    }
+}
+
+/// Best-of-`iters` wall clock of `f`, returning (ns, last result).
+fn time_best<T>(iters: usize, mut f: impl FnMut() -> T) -> (u128, T) {
+    let mut best = u128::MAX;
+    let mut result = None;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_nanos());
+        result = Some(r);
+    }
+    (best, result.unwrap())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = Opts::parse(&args);
+    let mut records: Vec<Record> = Vec::new();
+
+    println!(
+        "# generating ing-like organization (scale={}, seed={})",
+        opts.scale, opts.seed
+    );
+    let t0 = Instant::now();
+    let org = rolediet_synth::profiles::generate_ing_like(opts.scale, opts.seed);
+    let graph = org.graph;
+    println!(
+        "# generated in {:.2?}: roles={} users={} permissions={}",
+        t0.elapsed(),
+        graph.n_roles(),
+        graph.n_users(),
+        graph.n_permissions()
+    );
+    let size = format!("{}x{}", graph.n_roles(), graph.n_users());
+
+    // --- Stage 1: two-pass CSR matrix build vs. the PR 1 collection. ---
+    let reference = graph.ruam_sparse();
+    for threads in THREAD_COUNTS {
+        let (ns, m) = time_best(opts.iters, || graph.ruam_sparse_with(threads));
+        assert_eq!(m, reference, "two-pass build diverged at {threads} threads");
+        println!("matrix_build_two_pass threads={threads}: {ns} ns");
+        records.push(Record {
+            stage: "matrix_build_two_pass".into(),
+            size: size.clone(),
+            threads,
+            ns,
+            found: m.nnz(),
+        });
+    }
+    let (ns, m) = time_best(opts.iters, || {
+        // The PR 1 `ruam_sparse`: collect every role's user set into a
+        // `Vec`, then `from_rows_of_indices` (sorts and re-copies rows).
+        let rows: Vec<Vec<usize>> = (0..graph.n_roles())
+            .map(|r| {
+                graph
+                    .users_of(RoleId::from_index(r))
+                    .map(|u| u.index())
+                    .collect()
+            })
+            .collect();
+        CsrMatrix::from_rows_of_indices(graph.n_roles(), graph.n_users(), &rows).unwrap()
+    });
+    assert_eq!(m, reference, "PR 1 baseline build diverged");
+    println!("matrix_build_pr1 (sequential): {ns} ns");
+    records.push(Record {
+        stage: "matrix_build_pr1".into(),
+        size: size.clone(),
+        threads: 1,
+        ns,
+        found: m.nnz(),
+    });
+
+    // --- Stage 2: norm-bucketed disjoint supplement vs. PR 1 scan. ---
+    // t = 1, the default threshold: the supplement pairs the org's
+    // thousands of userless roles with its single-user roles.
+    let ruam = reference;
+    let (naive_ns, mut naive) = time_best(opts.iters, || disjoint_supplement_naive(&ruam, 1));
+    naive.sort_unstable();
+    for threads in THREAD_COUNTS {
+        let (ns, mut pairs) = time_best(opts.iters, || disjoint_supplement(&ruam, 1, threads));
+        pairs.sort_unstable();
+        assert_eq!(
+            pairs, naive,
+            "bucketed supplement diverged at {threads} threads"
+        );
+        println!("disjoint_supplement_bucketed threads={threads}: {ns} ns");
+        records.push(Record {
+            stage: "disjoint_supplement_bucketed".into(),
+            size: size.clone(),
+            threads,
+            ns,
+            found: pairs.len(),
+        });
+    }
+    println!("disjoint_supplement_pr1 (sequential): {naive_ns} ns");
+    records.push(Record {
+        stage: "disjoint_supplement_pr1".into(),
+        size: size.clone(),
+        threads: 1,
+        ns: naive_ns,
+        found: naive.len(),
+    });
+    drop(naive);
+    drop(ruam);
+
+    // --- Stage 3: MinHash sketching + banding across thread counts. ---
+    // A paper-shaped matrix (planted duplicate clusters, no empty-row
+    // blocks — banding on thousands of identical empty rows would just
+    // measure quadratic pair emission).
+    let mh = sweep_matrix(20_000, 5_000, 0);
+    let mh_size = format!("{}x{}", mh.n_rows(), mh.n_cols());
+    let sets: Vec<Vec<u32>> = (0..mh.n_rows()).map(|i| mh.row(i).to_vec()).collect();
+    let params = MinHashLshParams::default();
+    let mut sequential_pairs: Option<Vec<(usize, usize)>> = None;
+    for threads in THREAD_COUNTS {
+        let (ns, pairs) = time_best(opts.iters, || {
+            MinHashLsh::build_with(&sets, params, threads).candidate_pairs_with(threads)
+        });
+        let reference = sequential_pairs.get_or_insert_with(|| pairs.clone());
+        assert_eq!(&pairs, reference, "MinHash diverged at {threads} threads");
+        println!("minhash threads={threads}: {ns} ns");
+        records.push(Record {
+            stage: "minhash".into(),
+            size: mh_size.clone(),
+            threads,
+            ns,
+            found: pairs.len(),
+        });
+    }
+
+    // --- Figure 2/3 mini-sweeps of the custom T5 detector. ---
+    for (stage, points) in [
+        (
+            "fig2_custom",
+            [(3_000, 1_000), (3_000, 4_000), (3_000, 7_000)],
+        ),
+        (
+            "fig3_custom",
+            [(1_000, 1_000), (4_000, 1_000), (7_000, 1_000)],
+        ),
+    ] {
+        for (roles, users) in points {
+            let m = rolediet_bench::sweep_matrix_with(roles, users, 0, 1);
+            let tr = m.transpose();
+            let cfg = SimilarityConfig::default();
+            let (ns, pairs) = time_best(opts.iters, || {
+                rolediet_core::strategy::find_similar_pairs(
+                    &m,
+                    &tr,
+                    &Strategy::Custom,
+                    &cfg,
+                    Parallelism::Sequential,
+                )
+            });
+            let found = pairs.len();
+            println!("{stage} roles={roles} users={users}: {ns} ns ({found} pairs)");
+            records.push(Record {
+                stage: stage.into(),
+                size: format!("{roles}x{users}"),
+                threads: 1,
+                ns,
+                found,
+            });
+        }
+    }
+
+    let json = serde_json::to_string_pretty(&records).expect("serialize records");
+    std::fs::write(&opts.out, json + "\n").expect("write output file");
+    println!("# wrote {} records to {}", records.len(), opts.out);
+}

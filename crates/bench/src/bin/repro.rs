@@ -262,13 +262,17 @@ fn realorg(opts: &Opts) {
     );
     let t = report.timings.threads;
     println!(
-        "  stage threads: degrees={} same(u)={} same(p)={} transpose={} similar(u)={} similar(p)={}",
+        "  stage threads: matrix={} degrees={} same(u)={} same(p)={} transpose={} \
+         similar(u)={} similar(p)={} disjoint={} minhash={}",
+        t.matrix_build,
         t.degree_detectors,
         t.same_users,
         t.same_permissions,
         t.transpose,
         t.similar_users,
         t.similar_permissions,
+        t.disjoint_supplement,
+        t.minhash,
     );
 
     // Planted-vs-detected cross-check (the advantage of a synthetic org).

@@ -102,7 +102,7 @@ fn realorg_miniature_with_two_threads_matches_markers() {
     assert!(text.contains("consolidation:"), "{text}");
     assert!(text.contains("violations=0"), "{text}");
     // The per-stage thread counts recorded in the report are printed.
-    assert!(text.contains("stage threads: degrees=2"), "{text}");
+    assert!(text.contains("stage threads: matrix=2 degrees=2"), "{text}");
 }
 
 #[test]

@@ -12,6 +12,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rolediet_matrix::parallel::par_map_rows;
 use serde::{Deserialize, Serialize};
 
 /// Mersenne prime 2⁶¹ − 1: modulus of the universal hash family.
@@ -70,6 +71,24 @@ impl MinHashLsh {
     ///
     /// Panics if `bands` does not divide `num_perm` or either is zero.
     pub fn build(sets: &[Vec<u32>], params: MinHashLshParams) -> Self {
+        Self::build_with(sets, params, 1)
+    }
+
+    /// [`build`](Self::build) with the sketching pass split over
+    /// `threads` workers on the shared
+    /// [`parallel`](rolediet_matrix::parallel) substrate.
+    ///
+    /// The hash family is drawn once on the caller thread (the RNG
+    /// stream is untouched by the thread count); each worker sketches a
+    /// contiguous range of sets and the per-range signature vectors are
+    /// joined in range order, so the signature table — and therefore the
+    /// band tables and candidate pairs derived from it — is bit-identical
+    /// to the sequential build for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bands` does not divide `num_perm` or either is zero.
+    pub fn build_with(sets: &[Vec<u32>], params: MinHashLshParams, threads: usize) -> Self {
         assert!(
             params.num_perm > 0 && params.bands > 0,
             "parameters must be positive"
@@ -88,22 +107,24 @@ impl MinHashLsh {
                 )
             })
             .collect();
-        let signatures = sets
-            .iter()
-            .map(|set| {
-                coeffs
-                    .iter()
-                    .map(|&(a, b)| {
-                        set.iter()
-                            .map(|&x| {
-                                ((u128::from(a) * u128::from(x) + u128::from(b)) % PRIME) as u64
-                            })
-                            .min()
-                            .unwrap_or(EMPTY)
-                    })
-                    .collect()
-            })
-            .collect();
+        let signatures = par_map_rows(sets.len(), threads, |range| {
+            sets[range]
+                .iter()
+                .map(|set| {
+                    coeffs
+                        .iter()
+                        .map(|&(a, b)| {
+                            set.iter()
+                                .map(|&x| {
+                                    ((u128::from(a) * u128::from(x) + u128::from(b)) % PRIME) as u64
+                                })
+                                .min()
+                                .unwrap_or(EMPTY)
+                        })
+                        .collect()
+                })
+                .collect()
+        });
         MinHashLsh { params, signatures }
     }
 
@@ -137,27 +158,39 @@ impl MinHashLsh {
     /// All candidate pairs `(i, j)`, `i < j`, that collide in at least one
     /// band, sorted and deduplicated.
     pub fn candidate_pairs(&self) -> Vec<(usize, usize)> {
+        self.candidate_pairs_with(1)
+    }
+
+    /// [`candidate_pairs`](Self::candidate_pairs) with the banding pass
+    /// split over `threads` workers: each worker builds the band tables
+    /// for a contiguous range of bands, and the per-range pair lists are
+    /// joined in band order before the final sort + dedup, so the result
+    /// is identical to the sequential pass for every thread count.
+    pub fn candidate_pairs_with(&self, threads: usize) -> Vec<(usize, usize)> {
         use std::collections::HashMap;
         let rows = self.params.num_perm / self.params.bands;
-        let mut pairs = Vec::new();
-        for band in 0..self.params.bands {
-            let lo = band * rows;
-            let hi = lo + rows;
-            let mut buckets: HashMap<&[u64], Vec<usize>> = HashMap::new();
-            for (i, sig) in self.signatures.iter().enumerate() {
-                buckets.entry(&sig[lo..hi]).or_default().push(i);
-            }
-            for members in buckets.into_values() {
-                if members.len() < 2 {
-                    continue;
+        let mut pairs = par_map_rows(self.params.bands, threads, |band_range| {
+            let mut out = Vec::new();
+            for band in band_range {
+                let lo = band * rows;
+                let hi = lo + rows;
+                let mut buckets: HashMap<&[u64], Vec<usize>> = HashMap::new();
+                for (i, sig) in self.signatures.iter().enumerate() {
+                    buckets.entry(&sig[lo..hi]).or_default().push(i);
                 }
-                for (x, &i) in members.iter().enumerate() {
-                    for &j in &members[x + 1..] {
-                        pairs.push((i, j));
+                for members in buckets.into_values() {
+                    if members.len() < 2 {
+                        continue;
+                    }
+                    for (x, &i) in members.iter().enumerate() {
+                        for &j in &members[x + 1..] {
+                            out.push((i, j));
+                        }
                     }
                 }
             }
-        }
+            out
+        });
         pairs.sort_unstable();
         pairs.dedup();
         pairs
@@ -220,6 +253,38 @@ mod tests {
         let b = MinHashLsh::build(&sets, MinHashLshParams::default());
         assert_eq!(a.candidate_pairs(), b.candidate_pairs());
         assert_eq!(a.estimate_jaccard(0, 1), b.estimate_jaccard(0, 1));
+    }
+
+    #[test]
+    fn parallel_build_and_banding_match_sequential() {
+        let sets: Vec<Vec<u32>> = (0..50)
+            .map(|i| (0..8).map(|k| (i * 3 + k * 7) % 40).collect())
+            .collect();
+        let seq = MinHashLsh::build(&sets, MinHashLshParams::default());
+        let seq_pairs = seq.candidate_pairs();
+        for threads in [1, 2, 4, 8] {
+            let par = MinHashLsh::build_with(&sets, MinHashLshParams::default(), threads);
+            assert_eq!(par.signatures, seq.signatures, "threads={threads}");
+            assert_eq!(
+                par.candidate_pairs_with(threads),
+                seq_pairs,
+                "threads={threads}"
+            );
+        }
+        // Degenerate inputs: nothing indexed, all-empty sets.
+        for threads in [2, 8] {
+            let empty = MinHashLsh::build_with(&[], MinHashLshParams::default(), threads);
+            assert!(empty.candidate_pairs_with(threads).is_empty());
+            let blanks = MinHashLsh::build_with(
+                &[vec![], vec![], vec![]],
+                MinHashLshParams::default(),
+                threads,
+            );
+            assert_eq!(
+                blanks.candidate_pairs_with(threads),
+                vec![(0, 1), (0, 2), (1, 2)]
+            );
+        }
     }
 
     #[test]

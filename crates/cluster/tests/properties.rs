@@ -139,4 +139,38 @@ proptest! {
             );
         }
     }
+
+    #[test]
+    fn minhash_parallel_matches_sequential((rows, cols, mut data) in dataset()) {
+        // Empty and duplicate sets are the degenerate shapes: an empty
+        // set sketches to the sentinel signature, duplicates collide in
+        // every band.
+        data.push(Vec::new());
+        data.push(data[0].clone());
+        let sets: Vec<Vec<u32>> = data
+            .iter()
+            .map(|row| {
+                let mut s: Vec<u32> = row.iter().map(|&c| c as u32).collect();
+                s.sort_unstable();
+                s.dedup();
+                s
+            })
+            .collect();
+        let _ = (rows, cols);
+        let seq = MinHashLsh::build(&sets, MinHashLshParams::default());
+        let seq_pairs = seq.candidate_pairs();
+        for threads in [1usize, 2, 4, 8] {
+            let par = MinHashLsh::build_with(&sets, MinHashLshParams::default(), threads);
+            prop_assert_eq!(par.candidate_pairs_with(threads), seq_pairs.clone(), "threads={}", threads);
+            for i in 0..sets.len() {
+                for j in 0..sets.len() {
+                    prop_assert_eq!(
+                        par.estimate_jaccard(i, j),
+                        seq.estimate_jaccard(i, j),
+                        "signatures diverged at threads={}", threads
+                    );
+                }
+            }
+        }
+    }
 }

@@ -150,10 +150,14 @@ pub fn similar_pairs_parallel(
     // worker.
     rolediet_matrix::ops::assert_transpose_shape(matrix, transpose);
     let t = cfg.threshold;
+    // Norms are read O(co-occurrences) times; one precomputed vector is
+    // shared by the streaming pass and the disjoint supplement instead
+    // of repeated `row_norm` calls.
+    let norms = matrix.row_sums();
     let mut pairs = par_map_rows(matrix.n_rows(), threads, |range| {
         let mut out: Vec<SimilarPair> = Vec::new();
         for_each_cooccurring_pair_in(matrix, transpose, range, |i, j, g| {
-            let d = matrix.row_norm(i) + matrix.row_norm(j) - 2 * g;
+            let d = norms[i] + norms[j] - 2 * g;
             if d >= 1 && d <= t {
                 out.push(SimilarPair::new(i, j, d));
             }
@@ -161,19 +165,122 @@ pub fn similar_pairs_parallel(
         out
     });
     if cfg.include_disjoint {
-        pairs.extend(disjoint_supplement(matrix, t));
+        pairs.extend(disjoint_supplement_with_norms(matrix, &norms, t, threads));
     }
     finalize_pairs(pairs, cfg.max_pairs)
 }
 
 /// Pairs of rows with disjoint supports whose combined norm is within the
-/// threshold (`gⁱʲ = 0`, so the co-occurrence stream never emits them).
+/// threshold (`gⁱʲ = 0`, so the co-occurrence stream never emits them) —
+/// the norm-bucketed kernel.
 ///
-/// Quadratic in the number of low-norm rows; this is opt-in precisely
-/// because real RBAC data can contain thousands of empty roles (the
-/// paper's organization had 12,000), which would produce millions of
+/// Low-norm rows are bucketed by norm and only bucket pairs `(nᵃ, nᵇ)`
+/// with `1 ≤ nᵃ + nᵇ ≤ t` are enumerated, so the combinations the old
+/// quadratic scan wasted most of its time rejecting — empty row vs.
+/// empty row, or two rows whose norms already exceed the threshold
+/// together — are never visited at all. Within a surviving combination
+/// the disjointness check is word-wise: each row folds its CSR column
+/// words into a one-word fingerprint (bit `c mod 64`), two rows with
+/// non-intersecting fingerprints are proven disjoint without touching
+/// their columns, and only fingerprint collisions fall back to the exact
+/// merge join. The outer loop splits over `threads` workers with
+/// deterministic join order.
+///
+/// This remains opt-in
+/// ([`SimilarityConfig::include_disjoint`](crate::SimilarityConfig)):
+/// real RBAC data can contain thousands of empty roles (the paper's
+/// organization had 12,000), which produce quadratically many
 /// administratively useless "empty vs. nearly-empty" pairs.
-fn disjoint_supplement(matrix: &CsrMatrix, t: usize) -> Vec<SimilarPair> {
+pub fn disjoint_supplement(matrix: &CsrMatrix, t: usize, threads: usize) -> Vec<SimilarPair> {
+    let norms = matrix.row_sums();
+    disjoint_supplement_with_norms(matrix, &norms, t, threads)
+}
+
+/// [`disjoint_supplement`] against a caller-provided norms vector, so
+/// the T5 path computes norms once for both passes.
+fn disjoint_supplement_with_norms(
+    matrix: &CsrMatrix,
+    norms: &[usize],
+    t: usize,
+    threads: usize,
+) -> Vec<SimilarPair> {
+    // Bucket low-norm rows by norm, keeping a one-word fingerprint of
+    // each row's columns next to its id.
+    let mut buckets: Vec<Vec<(u32, u64)>> = vec![Vec::new(); t + 1];
+    for (i, &n) in norms.iter().enumerate() {
+        if n <= t {
+            let fp = matrix
+                .row(i)
+                .iter()
+                .fold(0u64, |acc, &c| acc | 1u64 << (c % 64));
+            buckets[n].push((i as u32, fp));
+        }
+    }
+    let disjoint = |i: u32, fi: u64, j: u32, fj: u64| {
+        fi & fj == 0 || matrix.row_dot(i as usize, j as usize) == 0
+    };
+    let mut out = Vec::new();
+    for na in 0..=t {
+        for nb in na..=(t - na) {
+            if na + nb == 0 {
+                continue;
+            }
+            let (ba, bb) = (&buckets[na], &buckets[nb]);
+            if ba.is_empty() || bb.is_empty() {
+                continue;
+            }
+            if na == 0 {
+                // Rows of norm 0 are disjoint from everything (and
+                // `na < nb` here, since (0, 0) is skipped): the block is
+                // dense with exactly `|ba| · |bb|` pairs, so workers
+                // write disjoint slices of the output in place — no
+                // per-chunk buffers, no growth, no post-merge copy. On
+                // real RBAC data this block dominates the supplement
+                // (thousands of empty × single-assignment roles).
+                let stride = bb.len();
+                let start = out.len();
+                out.resize(start + ba.len() * stride, SimilarPair::new(0, 1, 0));
+                let offsets: Vec<usize> = (0..=ba.len()).map(|x| x * stride).collect();
+                rolediet_matrix::parallel::par_fill_by_offsets(
+                    &mut out[start..],
+                    &offsets,
+                    threads,
+                    |range, slice| {
+                        let mut k = 0;
+                        for x in range {
+                            let (i, _) = ba[x];
+                            for &(j, _) in bb.iter() {
+                                slice[k] = SimilarPair::new(i as usize, j as usize, nb);
+                                k += 1;
+                            }
+                        }
+                    },
+                );
+                continue;
+            }
+            out.extend(par_map_rows(ba.len(), threads, |range| {
+                let mut found = Vec::new();
+                for x in range {
+                    let (i, fi) = ba[x];
+                    let partners = if na == nb { &bb[x + 1..] } else { &bb[..] };
+                    for &(j, fj) in partners {
+                        if disjoint(i, fi, j, fj) {
+                            found.push(SimilarPair::new(i as usize, j as usize, na + nb));
+                        }
+                    }
+                }
+                found
+            }));
+        }
+    }
+    out
+}
+
+/// The PR 1 disjoint supplement: a quadratic scan over all low-norm rows
+/// with per-pair `row_norm` recomputation. Kept verbatim as the ablation
+/// baseline (`abl-parallel` / `scripts/bench.sh`) and as an independent
+/// oracle for the bucketed kernel's tests.
+pub fn disjoint_supplement_naive(matrix: &CsrMatrix, t: usize) -> Vec<SimilarPair> {
     let low: Vec<usize> = (0..matrix.n_rows())
         .filter(|&i| matrix.row_norm(i) <= t)
         .collect();
@@ -366,6 +473,57 @@ mod tests {
                     "threshold {threshold}, threads {threads}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn bucketed_supplement_matches_naive() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+        for trial in 0..10 {
+            // Lots of empty and tiny rows so the supplement actually fires,
+            // plus duplicate rows (identical supports are never disjoint
+            // unless empty, and empty duplicates must all pair up).
+            let mut rows: Vec<Vec<usize>> = (0..80)
+                .map(|_| {
+                    let width = rng.gen_range(0..4usize);
+                    (0..30).filter(|_| rng.gen_bool(0.05)).take(width).collect()
+                })
+                .collect();
+            rows.push(Vec::new());
+            rows.push(Vec::new());
+            rows.push(vec![7]);
+            rows.push(vec![7]);
+            let n = rows.len();
+            let m = CsrMatrix::from_rows_of_indices(n, 30, &rows).unwrap();
+            for t in [1, 2, 4] {
+                let mut expected = disjoint_supplement_naive(&m, t);
+                expected.sort();
+                for threads in [1, 2, 4, 8] {
+                    let mut got = disjoint_supplement(&m, t, threads);
+                    got.sort();
+                    assert_eq!(got, expected, "trial {trial}, t={t}, threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bucketed_supplement_degenerate_matrices() {
+        // Empty matrix: no rows at all.
+        let empty = CsrMatrix::zeros(0, 10);
+        for threads in [1, 4] {
+            assert!(disjoint_supplement(&empty, 3, threads).is_empty());
+        }
+        // All-empty rows: every pair qualifies at distance 0 + 0 = 0,
+        // which the threshold window `1..=t` excludes — no pairs.
+        let blank = CsrMatrix::zeros(5, 10);
+        for threads in [1, 4] {
+            assert!(disjoint_supplement(&blank, 3, threads).is_empty());
+            assert_eq!(
+                disjoint_supplement(&blank, 3, threads),
+                disjoint_supplement_naive(&blank, 3)
+            );
         }
     }
 

@@ -46,13 +46,20 @@ impl Pipeline {
     }
 
     /// Runs all detectors over a tripartite graph.
+    ///
+    /// RUAM and RPAM are extracted with the two-pass parallel CSR build
+    /// ([`CsrMatrix::from_row_iter_two_pass`]) on the configured number
+    /// of workers; the count is recorded in
+    /// [`StageThreads::matrix_build`](crate::report::StageThreads).
     pub fn run(&self, graph: &TripartiteGraph) -> Report {
+        let threads = self.config.parallelism.threads();
         let start = Instant::now();
-        let ruam = graph.ruam_sparse();
-        let rpam = graph.rpam_sparse();
+        let ruam = graph.ruam_sparse_with(threads);
+        let rpam = graph.rpam_sparse_with(threads);
         let matrix_build = start.elapsed();
         let mut report = self.run_on_matrices(&ruam, &rpam);
         report.timings.matrix_build = matrix_build;
+        report.timings.threads.matrix_build = threads;
         report
     }
 
@@ -99,8 +106,21 @@ impl Pipeline {
         report.timings.same_permissions = t0.elapsed();
         report.timings.threads.same_permissions = threads;
 
+        // The MinHash stage runs whenever the MinHash strategy is
+        // selected (T4 banding at threshold 0, and T5 unless skipped).
+        if matches!(cfg.strategy, crate::config::Strategy::MinHashLsh { .. }) {
+            report.timings.threads.minhash = threads;
+        }
+
         if !cfg.skip_similarity {
             report.timings.threads.transpose = threads;
+            // The disjoint supplement only runs inside the custom T5
+            // path, and only when opted in.
+            if cfg.similarity.include_disjoint
+                && matches!(cfg.strategy, crate::config::Strategy::Custom)
+            {
+                report.timings.threads.disjoint_supplement = threads;
+            }
             let t0 = Instant::now();
             let ruam_t = ruam.transpose_with(threads);
             report.similar_user_pairs = find_similar_pairs(
@@ -258,20 +278,27 @@ mod tests {
 
     #[test]
     fn per_stage_thread_counts_are_recorded() {
-        use crate::config::Parallelism;
+        use crate::config::{Parallelism, SimilarityConfig};
         let graph = TripartiteGraph::figure1_example();
         let cfg = DetectionConfig {
             parallelism: Parallelism::Threads(4),
+            similarity: SimilarityConfig {
+                include_disjoint: true,
+                ..SimilarityConfig::default()
+            },
             ..DetectionConfig::default()
         };
         let report = Pipeline::new(cfg).run(&graph);
         let threads = report.timings.threads;
+        assert_eq!(threads.matrix_build, 4);
         assert_eq!(threads.degree_detectors, 4);
         assert_eq!(threads.same_users, 4);
         assert_eq!(threads.same_permissions, 4);
         assert_eq!(threads.transpose, 4);
         assert_eq!(threads.similar_users, 4);
         assert_eq!(threads.similar_permissions, 4);
+        assert_eq!(threads.disjoint_supplement, 4);
+        assert_eq!(threads.minhash, 0, "MinHash strategy not selected");
 
         // Stages that do not run report 0 threads.
         let cfg = DetectionConfig {
@@ -282,7 +309,18 @@ mod tests {
         let report = Pipeline::new(cfg).run(&graph);
         assert_eq!(report.timings.threads.similar_users, 0);
         assert_eq!(report.timings.threads.transpose, 0);
+        assert_eq!(report.timings.threads.disjoint_supplement, 0);
         assert_eq!(report.timings.threads.degree_detectors, 2);
+        assert_eq!(report.timings.threads.matrix_build, 2);
+
+        // The MinHash stage reports its workers when that strategy runs.
+        let cfg = DetectionConfig {
+            parallelism: Parallelism::Threads(3),
+            ..DetectionConfig::with_strategy(Strategy::minhash_default())
+        };
+        let report = Pipeline::new(cfg).run(&graph);
+        assert_eq!(report.timings.threads.minhash, 3);
+        assert_eq!(report.timings.threads.disjoint_supplement, 0);
     }
 
     #[test]

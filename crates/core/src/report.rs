@@ -47,6 +47,8 @@ impl SimilarPair {
 /// stage did not run at all (e.g. T5 under `skip_similarity`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StageThreads {
+    /// Two-pass CSR construction of RUAM/RPAM from the graph.
+    pub matrix_build: usize,
     /// Row/column-sum passes of the T1–T3 detectors.
     pub degree_detectors: usize,
     /// T4 signature build / clustering, user side.
@@ -59,6 +61,13 @@ pub struct StageThreads {
     pub similar_users: usize,
     /// T5 pair streaming, permission side.
     pub similar_permissions: usize,
+    /// T5 norm-bucketed disjoint supplement (both sides; `0` unless
+    /// [`SimilarityConfig::include_disjoint`](crate::SimilarityConfig)
+    /// and the custom strategy are active).
+    pub disjoint_supplement: usize,
+    /// MinHash sketching + LSH banding (`0` unless the MinHash strategy
+    /// is active).
+    pub minhash: usize,
 }
 
 /// Wall-clock time spent in each pipeline stage, plus the thread counts
@@ -372,12 +381,15 @@ mod tests {
     fn stage_threads_roundtrip_with_timings() {
         let t = StageTimings {
             threads: StageThreads {
+                matrix_build: 4,
                 degree_detectors: 4,
                 same_users: 4,
                 same_permissions: 4,
                 transpose: 4,
                 similar_users: 8,
                 similar_permissions: 8,
+                disjoint_supplement: 8,
+                minhash: 0,
             },
             ..StageTimings::default()
         };

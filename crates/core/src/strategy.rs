@@ -62,7 +62,7 @@ pub fn find_same_groups_with_empty(
             groups_from_pairs(matrix.n_rows(), pairs.into_iter().map(|p| (p.a, p.b)))
         }
         Strategy::MinHashLsh { params } => {
-            let pairs = minhash_pairs(matrix, *params, 0);
+            let pairs = minhash_pairs(matrix, *params, 0, threads);
             groups_from_pairs(matrix.n_rows(), pairs.into_iter().map(|p| (p.a, p.b)))
         }
     }
@@ -97,7 +97,7 @@ pub fn find_similar_pairs(
             finalize(pairs, cfg.max_pairs)
         }
         Strategy::MinHashLsh { params } => {
-            let mut pairs = minhash_pairs(matrix, *params, cfg.threshold);
+            let mut pairs = minhash_pairs(matrix, *params, cfg.threshold, parallelism.threads());
             pairs.retain(|p| p.distance >= 1);
             finalize(pairs, cfg.max_pairs)
         }
@@ -164,18 +164,20 @@ fn hnsw_pairs(
 }
 
 /// MinHash LSH probe: band-collision candidates, verified by true
-/// distance.
+/// distance. Sketching and banding both run on the shared parallel
+/// substrate (`threads` workers, deterministic join order).
 fn minhash_pairs(
     matrix: &CsrMatrix,
     params: MinHashLshParams,
     threshold: usize,
+    threads: usize,
 ) -> Vec<SimilarPair> {
     let sets: Vec<Vec<u32>> = (0..matrix.n_rows())
         .map(|i| matrix.row(i).to_vec())
         .collect();
-    let lsh = MinHashLsh::build(&sets, params);
+    let lsh = MinHashLsh::build_with(&sets, params, threads);
     let mut pairs = Vec::new();
-    for (i, j) in lsh.candidate_pairs() {
+    for (i, j) in lsh.candidate_pairs_with(threads) {
         let d = matrix.row_hamming(i, j);
         if d <= threshold {
             pairs.push(SimilarPair::new(i, j, d));

@@ -227,6 +227,48 @@ proptest! {
     }
 
     #[test]
+    fn graph_pipeline_reports_identical_across_thread_counts(graph in graph_inputs()) {
+        // The graph entry point additionally exercises the two-pass
+        // parallel matrix build that `run_on_matrices` never sees.
+        let base_cfg = DetectionConfig {
+            similarity: SimilarityConfig {
+                include_disjoint: true,
+                ..SimilarityConfig::default()
+            },
+            ..DetectionConfig::default()
+        };
+        let baseline = Pipeline::new(base_cfg).run(&graph);
+        for threads in [2usize, 4, 8] {
+            let cfg = DetectionConfig {
+                parallelism: Parallelism::Threads(threads),
+                ..base_cfg
+            };
+            let mut report = Pipeline::new(cfg).run(&graph);
+            prop_assert_eq!(report.timings.threads.matrix_build, threads);
+            report.timings = baseline.timings;
+            report.config = baseline.config;
+            prop_assert_eq!(&report, &baseline, "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn bucketed_disjoint_supplement_matches_naive(
+        (ruam, _) in matrix_pair_inputs(),
+        threshold in 1usize..5,
+    ) {
+        // The appended empty and duplicate rows make the supplement's
+        // degenerate cases (norm-0 buckets, identical supports) routine.
+        let mut expected = rolediet_core::cooccur::disjoint_supplement_naive(&ruam, threshold);
+        expected.sort_unstable();
+        for threads in [1usize, 2, 4, 8] {
+            let mut got =
+                rolediet_core::cooccur::disjoint_supplement(&ruam, threshold, threads);
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expected, "threads={}", threads);
+        }
+    }
+
+    #[test]
     fn parallel_degree_detection_matches_sequential((ruam, rpam) in matrix_pair_inputs()) {
         let seq = detect_degrees(&ruam, &rpam);
         for threads in [2usize, 4, 8] {

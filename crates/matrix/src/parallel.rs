@@ -111,6 +111,86 @@ where
     merged
 }
 
+/// Fills disjoint slices of `out` in parallel, one worker per chunk of
+/// `0..n`.
+///
+/// `offsets` maps the row space onto the element space of `out`
+/// (`offsets.len() == n + 1`, monotone, `offsets[n] == out.len()` —
+/// exactly the shape of a CSR `indptr`): the worker owning rows
+/// `range` receives `&mut out[offsets[range.start]..offsets[range.end]]`
+/// and writes it in place. Because the ranges of [`split_ranges`] are
+/// disjoint and cover `0..n`, the slices partition `out`, so no copy or
+/// post-merge is needed — this is the fill pass of two-pass CSR
+/// construction.
+///
+/// Worker panics are re-raised on the caller thread with their original
+/// payload, like [`par_map_ranges`].
+///
+/// # Panics
+///
+/// Panics if `offsets` does not have length `n + 1` or its terminal
+/// value is not `out.len()` (non-monotone offsets panic inside the
+/// slicing).
+///
+/// # Examples
+///
+/// ```
+/// use rolediet_matrix::parallel::par_fill_by_offsets;
+///
+/// let mut out = vec![0u32; 6];
+/// // Rows of widths 1, 3, 0, 2.
+/// let offsets = [0, 1, 4, 4, 6];
+/// par_fill_by_offsets(&mut out, &offsets, 2, |range, slice| {
+///     let mut k = 0;
+///     for row in range {
+///         for _ in offsets[row]..offsets[row + 1] {
+///             slice[k] = row as u32;
+///             k += 1;
+///         }
+///     }
+/// });
+/// assert_eq!(out, vec![0, 1, 1, 1, 3, 3]);
+/// ```
+pub fn par_fill_by_offsets<T, F>(out: &mut [T], offsets: &[usize], threads: usize, work: F)
+where
+    T: Send,
+    F: Fn(Range<usize>, &mut [T]) + Sync,
+{
+    let n = offsets
+        .len()
+        .checked_sub(1)
+        .expect("offsets must be non-empty");
+    assert_eq!(
+        offsets[n],
+        out.len(),
+        "terminal offset must equal output length"
+    );
+    let ranges = split_ranges(n, threads);
+    if ranges.len() <= 1 {
+        if let Some(range) = ranges.into_iter().next() {
+            work(range, out);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let work = &work;
+        let mut rest = out;
+        let mut consumed = 0usize;
+        let mut handles = Vec::with_capacity(ranges.len());
+        for range in ranges {
+            let (chunk, tail) = rest.split_at_mut(offsets[range.end] - consumed);
+            consumed = offsets[range.end];
+            rest = tail;
+            handles.push(scope.spawn(move || work(range, chunk)));
+        }
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +238,61 @@ mod tests {
     fn empty_input_runs_no_work() {
         let results: Vec<usize> = par_map_rows(0, 4, |_| panic!("no chunks expected"));
         assert!(results.is_empty());
+    }
+
+    #[test]
+    fn fill_by_offsets_matches_sequential_for_every_thread_count() {
+        // Rows of varying width, including empty rows at both ends.
+        let widths = [0usize, 3, 1, 0, 4, 2, 0];
+        let mut offsets = vec![0usize];
+        for w in widths {
+            offsets.push(offsets.last().unwrap() + w);
+        }
+        let total = *offsets.last().unwrap();
+        let fill = |range: Range<usize>, slice: &mut [u64]| {
+            let mut k = 0;
+            for row in range {
+                for slot in offsets[row]..offsets[row + 1] {
+                    slice[k] = (row * 100 + slot) as u64;
+                    k += 1;
+                }
+            }
+        };
+        let mut expected = vec![0u64; total];
+        fill(0..widths.len(), &mut expected);
+        for threads in [1, 2, 3, 4, 8, 50] {
+            let mut out = vec![0u64; total];
+            par_fill_by_offsets(&mut out, &offsets, threads, fill);
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fill_by_offsets_empty_rows_and_output() {
+        let mut out: Vec<u32> = Vec::new();
+        par_fill_by_offsets(&mut out, &[0], 4, |_, _| panic!("no rows expected"));
+        par_fill_by_offsets(&mut out, &[0, 0, 0], 4, |_, slice| {
+            assert!(slice.is_empty());
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "terminal offset must equal output length")]
+    fn fill_by_offsets_rejects_mismatched_offsets() {
+        let mut out = vec![0u32; 3];
+        par_fill_by_offsets(&mut out, &[0, 2], 2, |_, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "fill worker panic")]
+    fn fill_by_offsets_propagates_worker_panics() {
+        let mut out = vec![0u32; 8];
+        let offsets: Vec<usize> = (0..=8).collect();
+        par_fill_by_offsets(&mut out, &offsets, 4, |range, _| {
+            if range.start >= 4 {
+                panic!("fill worker panic");
+            }
+        });
     }
 
     #[test]

@@ -155,6 +155,121 @@ impl CsrMatrix {
         })
     }
 
+    /// Builds a CSR matrix with the two-pass parallel kernel, from a
+    /// function yielding each row's column indices in strictly
+    /// increasing order.
+    ///
+    /// Pass one counts every row's columns and an exclusive prefix sum
+    /// turns the counts into `indptr`; pass two writes each worker's
+    /// rows directly into disjoint slices of the single `indices`
+    /// allocation ([`par_fill_by_offsets`](crate::parallel::par_fill_by_offsets)).
+    /// Unlike [`from_rows_of_indices`](Self::from_rows_of_indices) there
+    /// is no per-row `Vec`, no sort and no re-copy — the kernel the
+    /// graph projections use at real-org scale. Output is bit-identical
+    /// for every thread count because both passes split by row range
+    /// and workers write non-overlapping slices.
+    ///
+    /// `row_of` is called twice per row (once per pass) and must yield
+    /// the same sequence both times; sources like `BTreeSet` iterators
+    /// satisfy the ordering contract for free. The iterator must be
+    /// [`ExactSizeIterator`] so the count pass reads each row's width in
+    /// O(1) instead of walking it — the fill pass verifies the claimed
+    /// lengths element by element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row yields an out-of-bounds or non-increasing column,
+    /// or yields different sequences in the two passes. Worker panics
+    /// are re-raised verbatim, so the message is identical for every
+    /// thread count.
+    pub fn from_row_iter_two_pass<F, I>(rows: usize, cols: usize, threads: usize, row_of: F) -> Self
+    where
+        F: Fn(usize) -> I + Sync,
+        I: IntoIterator<Item = u32>,
+        I::IntoIter: ExactSizeIterator,
+    {
+        let counts: Vec<usize> = crate::parallel::par_map_rows(rows, threads, |range| {
+            range.map(|i| row_of(i).into_iter().len()).collect()
+        });
+        let mut indptr = Vec::with_capacity(rows + 1);
+        indptr.push(0usize);
+        for &c in &counts {
+            indptr.push(indptr.last().expect("nonempty") + c);
+        }
+        let nnz = *indptr.last().expect("nonempty");
+        let mut indices = vec![0u32; nnz];
+        crate::parallel::par_fill_by_offsets(&mut indices, &indptr, threads, |range, slice| {
+            let base = indptr[range.start];
+            for i in range {
+                let hi = indptr[i + 1] - base;
+                let mut k = indptr[i] - base;
+                let mut prev: Option<u32> = None;
+                for c in row_of(i) {
+                    assert!(
+                        (c as usize) < cols,
+                        "column index {c} out of bounds in row {i}"
+                    );
+                    assert!(
+                        prev.is_none() || prev < Some(c),
+                        "columns of row {i} must be strictly increasing"
+                    );
+                    assert!(k < hi, "row {i} yielded more columns than it counted");
+                    slice[k] = c;
+                    prev = Some(c);
+                    k += 1;
+                }
+                assert_eq!(k, hi, "row {i} yielded fewer columns than it counted");
+            }
+        });
+        let m = CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+        };
+        m.debug_assert_invariants();
+        m
+    }
+
+    /// Debug-build check of the CSR invariants: `indptr` has length
+    /// `rows + 1`, starts at 0, is monotone and ends at `indices.len()`;
+    /// every row's columns are strictly increasing and in bounds.
+    ///
+    /// Compiled to nothing in release builds. The construction kernels
+    /// call this on their results; tests call it directly on matrices
+    /// from every build path.
+    pub fn debug_assert_invariants(&self) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        debug_assert_eq!(self.indptr.len(), self.rows + 1, "indptr length");
+        debug_assert_eq!(self.indptr[0], 0, "indptr must start at 0");
+        debug_assert_eq!(
+            *self.indptr.last().expect("len >= 1"),
+            self.indices.len(),
+            "indptr must end at nnz"
+        );
+        for r in 0..self.rows {
+            debug_assert!(
+                self.indptr[r] <= self.indptr[r + 1],
+                "indptr not monotone at row {r}"
+            );
+            let row = &self.indices[self.indptr[r]..self.indptr[r + 1]];
+            for pair in row.windows(2) {
+                debug_assert!(
+                    pair[0] < pair[1],
+                    "columns of row {r} not strictly increasing"
+                );
+            }
+            if let Some(&last) = row.last() {
+                debug_assert!(
+                    (last as usize) < self.cols,
+                    "column {last} of row {r} out of bounds"
+                );
+            }
+        }
+    }
+
     /// Converts a dense matrix to CSR.
     pub fn from_dense(dense: &BitMatrix) -> Self {
         let mut indptr = Vec::with_capacity(dense.n_rows() + 1);
@@ -303,12 +418,14 @@ impl CsrMatrix {
             }
             out
         });
-        CsrMatrix {
+        let t = CsrMatrix {
             rows: self.cols,
             cols: self.rows,
             indptr,
             indices,
-        }
+        };
+        t.debug_assert_invariants();
+        t
     }
 
     /// Memory footprint of the payload in bytes.
@@ -561,6 +678,68 @@ mod tests {
             assert_eq!(m.col_sums_with(threads), m.col_sums());
         }
         assert_eq!(CsrMatrix::zeros(0, 3).col_sums_with(4), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn two_pass_build_matches_from_rows_of_indices() {
+        let row_sets: Vec<Vec<Vec<u32>>> = vec![
+            vec![vec![0, 2, 4], vec![5], vec![0, 2, 4], vec![]],
+            vec![],
+            vec![vec![], vec![], vec![]],
+            vec![vec![0, 1, 2, 3, 4, 5]],
+        ];
+        for rows in &row_sets {
+            let as_usize: Vec<Vec<usize>> = rows
+                .iter()
+                .map(|r| r.iter().map(|&c| c as usize).collect())
+                .collect();
+            let reference = CsrMatrix::from_rows_of_indices(rows.len(), 6, &as_usize).unwrap();
+            for threads in [1, 2, 3, 4, 8, 50] {
+                let m = CsrMatrix::from_row_iter_two_pass(rows.len(), 6, threads, |i| {
+                    rows[i].iter().copied()
+                });
+                assert_eq!(m, reference, "rows={rows:?} threads={threads}");
+                m.debug_assert_invariants();
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "column index 6 out of bounds in row 1")]
+    fn two_pass_build_rejects_out_of_bounds_columns() {
+        let rows = [vec![0u32], vec![6]];
+        CsrMatrix::from_row_iter_two_pass(2, 6, 1, |i| rows[i].iter().copied());
+    }
+
+    #[test]
+    #[should_panic(expected = "columns of row 0 must be strictly increasing")]
+    fn two_pass_build_rejects_unsorted_rows() {
+        let rows = [vec![3u32, 1]];
+        CsrMatrix::from_row_iter_two_pass(1, 6, 1, |i| rows[i].iter().copied());
+    }
+
+    #[test]
+    #[should_panic(expected = "columns of row 0 must be strictly increasing")]
+    fn two_pass_build_panic_parity_across_threads() {
+        // The substrate re-raises worker panics verbatim, so the parallel
+        // path fails with exactly the sequential message.
+        let rows = [vec![3u32, 1], vec![0], vec![1], vec![2], vec![3], vec![4]];
+        CsrMatrix::from_row_iter_two_pass(6, 6, 4, |i| rows[i].iter().copied());
+    }
+
+    #[test]
+    #[should_panic(expected = "yielded fewer columns than it counted")]
+    fn two_pass_build_rejects_unstable_row_functions() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // A row function that shrinks between the count and fill passes.
+        let calls = AtomicUsize::new(0);
+        CsrMatrix::from_row_iter_two_pass(1, 6, 1, |_| {
+            if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                vec![0u32, 1]
+            } else {
+                vec![0u32]
+            }
+        });
     }
 
     #[test]

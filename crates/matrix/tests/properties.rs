@@ -166,6 +166,26 @@ proptest! {
     }
 
     #[test]
+    fn two_pass_build_matches_reference_for_every_thread_count(
+        (rows, cols, mut data) in matrix_strategy(),
+    ) {
+        // Include an empty row and a duplicate of row 0 so every case
+        // covers the degenerate shapes.
+        data.push(Vec::new());
+        data.push(data[0].clone());
+        let rows = rows + 2;
+        let reference = CsrMatrix::from_rows_of_indices(rows, cols, &data).unwrap();
+        // The two-pass builder requires strictly increasing columns per
+        // row — feed it the normalized rows of the reference.
+        for threads in [1usize, 2, 4, 8] {
+            let built = CsrMatrix::from_row_iter_two_pass(rows, cols, threads, |i| {
+                reference.row(i).iter().copied()
+            });
+            prop_assert_eq!(&built, &reference, "threads={}", threads);
+        }
+    }
+
+    #[test]
     fn subset_difference_consistency(
         a in row_strategy(60),
         b in row_strategy(60),

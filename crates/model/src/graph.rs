@@ -301,13 +301,19 @@ impl TripartiteGraph {
 
     /// Projects the graph onto the Role-User Assignment Matrix (sparse).
     pub fn ruam_sparse(&self) -> CsrMatrix {
-        let rows: Vec<Vec<usize>> = self
-            .role_users
-            .iter()
-            .map(|s| s.iter().map(|&u| u as usize).collect())
-            .collect();
-        CsrMatrix::from_rows_of_indices(self.n_roles(), self.n_users(), &rows)
-            .expect("graph edges are always in range")
+        self.ruam_sparse_with(1)
+    }
+
+    /// [`ruam_sparse`](Self::ruam_sparse) built by the two-pass parallel
+    /// CSR kernel ([`CsrMatrix::from_row_iter_two_pass`]) on `threads`
+    /// workers. Each role's `BTreeSet` already iterates its users in
+    /// strictly increasing order, so the rows stream straight into the
+    /// matrix with no per-row `Vec`, no sort and no dedup; output is
+    /// bit-identical for every thread count.
+    pub fn ruam_sparse_with(&self, threads: usize) -> CsrMatrix {
+        CsrMatrix::from_row_iter_two_pass(self.n_roles(), self.n_users(), threads, |r| {
+            self.role_users[r].iter().copied()
+        })
     }
 
     /// Projects the graph onto the Role-Permission Assignment Matrix (dense).
@@ -323,13 +329,16 @@ impl TripartiteGraph {
 
     /// Projects the graph onto the Role-Permission Assignment Matrix (sparse).
     pub fn rpam_sparse(&self) -> CsrMatrix {
-        let rows: Vec<Vec<usize>> = self
-            .role_perms
-            .iter()
-            .map(|s| s.iter().map(|&p| p as usize).collect())
-            .collect();
-        CsrMatrix::from_rows_of_indices(self.n_roles(), self.n_permissions(), &rows)
-            .expect("graph edges are always in range")
+        self.rpam_sparse_with(1)
+    }
+
+    /// [`rpam_sparse`](Self::rpam_sparse) built by the two-pass parallel
+    /// CSR kernel on `threads` workers; see
+    /// [`ruam_sparse_with`](Self::ruam_sparse_with).
+    pub fn rpam_sparse_with(&self, threads: usize) -> CsrMatrix {
+        CsrMatrix::from_row_iter_two_pass(self.n_roles(), self.n_permissions(), threads, |r| {
+            self.role_perms[r].iter().copied()
+        })
     }
 
     /// Projects the graph onto the *effective* User-Permission Assignment
@@ -340,16 +349,21 @@ impl TripartiteGraph {
     /// keep it bit-identical, and the dual detectors (users with
     /// identical effective access) run on it.
     pub fn upam_sparse(&self) -> CsrMatrix {
-        let rows: Vec<Vec<usize>> = (0..self.n_users())
-            .map(|u| {
-                self.effective_permissions(UserId::from_index(u))
-                    .into_iter()
-                    .map(|p| p.index())
-                    .collect()
-            })
-            .collect();
-        CsrMatrix::from_rows_of_indices(self.n_users(), self.n_permissions(), &rows)
-            .expect("graph edges are always in range")
+        self.upam_sparse_with(1)
+    }
+
+    /// [`upam_sparse`](Self::upam_sparse) built by the two-pass parallel
+    /// CSR kernel on `threads` workers. Each user's effective permission
+    /// set is recomputed on the fill pass rather than materialized for
+    /// the whole matrix at once, so peak memory is one row per worker
+    /// instead of all rows; output is bit-identical for every thread
+    /// count.
+    pub fn upam_sparse_with(&self, threads: usize) -> CsrMatrix {
+        CsrMatrix::from_row_iter_two_pass(self.n_users(), self.n_permissions(), threads, |u| {
+            self.effective_permissions(UserId::from_index(u))
+                .into_iter()
+                .map(|p| p.0)
+        })
     }
 
     /// Rebuilds the graph with roles remapped through `role_map`.
@@ -577,6 +591,23 @@ mod tests {
         assert_eq!(pd.cols(), 6);
         // Column sums of RPAM: P01 standalone → first column sum 0.
         assert_eq!(pd.col_sums()[0], 0);
+    }
+
+    #[test]
+    fn sparse_projections_identical_across_thread_counts() {
+        let graphs = [
+            TripartiteGraph::figure1_example(),
+            TripartiteGraph::new(),
+            TripartiteGraph::with_counts(3, 4, 2),
+        ];
+        for g in &graphs {
+            let (ruam, rpam, upam) = (g.ruam_sparse(), g.rpam_sparse(), g.upam_sparse());
+            for threads in [1, 2, 4, 8] {
+                assert_eq!(g.ruam_sparse_with(threads), ruam, "threads={threads}");
+                assert_eq!(g.rpam_sparse_with(threads), rpam, "threads={threads}");
+                assert_eq!(g.upam_sparse_with(threads), upam, "threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Benchmark driver for the hot-path kernels PR.
+#
+# Runs the abl-parallel microbenchmarks (threads in {1,2,4,8} for every
+# substrate stage plus the PR 1 sequential baselines) and then the
+# full-scale JSON bench: two-pass matrix build, bucketed disjoint
+# supplement and MinHash at the real-org scale of results_realorg.txt
+# (generate_ing_like), plus fig2/fig3 mini-sweeps. The JSON bench writes
+# machine-readable records {stage, size, threads, ns} to BENCH_OUT.
+#
+# Env knobs:
+#   BENCH_SCALE  org scale factor for the JSON bench (default 1.0)
+#   BENCH_SEED   generator seed (default 7)
+#   BENCH_ITERS  timing iterations, min-of-N (default 3)
+#   BENCH_OUT    output path (default BENCH_pr2.json at the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH_SCALE="${BENCH_SCALE:-1.0}"
+BENCH_SEED="${BENCH_SEED:-7}"
+BENCH_ITERS="${BENCH_ITERS:-3}"
+BENCH_OUT="${BENCH_OUT:-$PWD/BENCH_pr2.json}"
+
+echo "==> cargo build --workspace --benches --release"
+cargo build --workspace --benches --release
+
+echo "==> cargo bench --bench ablation_parallel (abl-parallel)"
+cargo bench -p rolediet-bench --bench ablation_parallel
+
+echo "==> bench_json --scale $BENCH_SCALE --seed $BENCH_SEED --iters $BENCH_ITERS --out $BENCH_OUT"
+cargo run --release -p rolediet-bench --bin bench_json -- \
+    --scale "$BENCH_SCALE" --seed "$BENCH_SEED" --iters "$BENCH_ITERS" --out "$BENCH_OUT"
+
+echo "bench: wrote $BENCH_OUT"

@@ -13,6 +13,9 @@ cargo test -q
 echo "==> cargo test --workspace --release -q"
 cargo test --workspace --release -q
 
+echo "==> cargo build --workspace --benches"
+cargo build --workspace --benches
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
