@@ -13,7 +13,12 @@
 //! * the norm-bucketed disjoint supplement, with the PR 1 quadratic
 //!   low-norm scan (`disjoint_supplement_naive`) as baseline;
 //! * MinHash sketching + LSH banding (`MinHashLsh::build_with` /
-//!   `candidate_pairs_with`).
+//!   `candidate_pairs_with`);
+//! * the DBSCAN grouping kernel (`Dbscan::group_cached_with` —
+//!   connected components over cached neighbour lists), with the
+//!   sequential BFS expansion (`Dbscan::fit_cached`) as baseline, plus
+//!   the hoisted eps-edge dedup (union only `q > p`) against the
+//!   both-directions union loop it replaced.
 //!
 //! A final full-pipeline pass records the per-stage thread counts that
 //! `Report::timings` now carries, so a bench run documents which stages
@@ -22,7 +27,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use rolediet_bench::sweep_matrix;
+use rolediet_cluster::dbscan::{Dbscan, DbscanParams};
+use rolediet_cluster::metric::{BinaryMetric, BinaryRows};
 use rolediet_cluster::minhash::{MinHashLsh, MinHashLshParams};
+use rolediet_cluster::neighbors::all_range_queries_with;
+use rolediet_cluster::UnionFind;
 use rolediet_core::cooccur::{
     disjoint_supplement, disjoint_supplement_naive, similar_pairs_parallel,
 };
@@ -134,6 +143,62 @@ fn parallel_scaling(c: &mut Criterion) {
             },
         );
     }
+
+    // DBSCAN grouping: connected-components kernel vs. the sequential
+    // BFS expansion, both over one shared neighbourhood precompute so
+    // only the grouping stage is timed.
+    let dbscan = Dbscan::new(DbscanParams::exact_duplicates());
+    let points = BinaryRows::new(&matrix, BinaryMetric::Hamming);
+    let neighborhoods = all_range_queries_with(&points, dbscan.params().eps, 8);
+    for threads in THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("dbscan_group_cc", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| dbscan.group_cached_with(&neighborhoods, threads));
+            },
+        );
+    }
+    group.bench_function("dbscan_expand_baseline", |b| {
+        b.iter(|| dbscan.fit_cached(&neighborhoods));
+    });
+
+    // Hoisted eps-edge dedup ablation: the kernel's union loop processes
+    // each unordered edge once (`q > p`); the loop it replaced unioned
+    // both directions of every edge.
+    let n_points = neighborhoods.len();
+    group.bench_function("eps_edge_union_dedup", |b| {
+        b.iter(|| {
+            let mut uf = UnionFind::new(n_points);
+            for (p, neigh) in neighborhoods.iter().enumerate() {
+                if neigh.len() < 2 {
+                    continue;
+                }
+                for &q in neigh {
+                    if q > p {
+                        uf.union(p, q);
+                    }
+                }
+            }
+            uf.components()
+        });
+    });
+    group.bench_function("eps_edge_union_nodedup", |b| {
+        b.iter(|| {
+            let mut uf = UnionFind::new(n_points);
+            for (p, neigh) in neighborhoods.iter().enumerate() {
+                if neigh.len() < 2 {
+                    continue;
+                }
+                for &q in neigh {
+                    if q != p {
+                        uf.union(p, q);
+                    }
+                }
+            }
+            uf.components()
+        });
+    });
     group.finish();
 
     // Per-stage thread counts from a full pipeline run, as recorded in
@@ -150,7 +215,7 @@ fn parallel_scaling(c: &mut Criterion) {
         println!(
             "pipeline threads={threads}: degrees={} same(u)={} same(p)={} \
              transpose={} similar(u)={} similar(p)={} disjoint={} minhash={} \
-             | total {:.2?}",
+             cluster_expand={} group_extract={} | total {:.2?}",
             t.degree_detectors,
             t.same_users,
             t.same_permissions,
@@ -159,6 +224,8 @@ fn parallel_scaling(c: &mut Criterion) {
             t.similar_permissions,
             t.disjoint_supplement,
             t.minhash,
+            t.cluster_expand,
+            t.group_extract,
             report.timings.total(),
         );
     }

@@ -1,26 +1,34 @@
-//! Machine-readable benchmark of the PR 2 parallel kernels.
+//! Machine-readable benchmark of the PR 2/PR 3 parallel kernels.
 //!
-//! Times the three newly parallelized stages — two-pass CSR matrix
-//! build, norm-bucketed disjoint supplement, MinHash sketching + LSH
-//! banding — across worker counts, next to their PR 1 sequential
-//! baselines, and runs small Figure 2/3 sweeps of the custom T5
-//! detector. Results are written as a JSON array of
-//! `{stage, size, threads, ns, found}` records (`scripts/bench.sh`
-//! invokes this and commits the output as `BENCH_pr2.json`).
+//! Times the parallelized stages — two-pass CSR matrix build,
+//! norm-bucketed disjoint supplement, MinHash sketching + LSH banding
+//! (PR 2), and the DBSCAN connected-components grouping kernel (PR 3) —
+//! across worker counts, next to their sequential baselines, and runs
+//! small Figure 2/3 sweeps of the custom T5 detector. Results are
+//! written as a JSON array of `{stage, size, threads, ns, found}`
+//! records (`scripts/bench.sh` invokes this and commits the output as
+//! `BENCH_pr3.json`; the schema is unchanged from `BENCH_pr2.json` so
+//! the perf trajectory stays machine-readable).
 //!
 //! ```text
-//! bench_json [--scale 1.0] [--seed 7] [--iters 3] [--out BENCH_pr2.json]
+//! bench_json [--scale 1.0] [--seed 7] [--iters 3] [--out BENCH_pr3.json]
 //! ```
 //!
-//! The matrix-build and supplement stages run at the real-org scale of
-//! `results_realorg.txt` (the ing-like organization at `--scale 1.0`);
-//! every result is cross-checked against its baseline before timing is
-//! trusted.
+//! The matrix-build, supplement and DBSCAN-grouping stages run at the
+//! real-org scale of `results_realorg.txt` (the ing-like organization at
+//! `--scale 1.0`); every result is cross-checked against its baseline
+//! before timing is trusted. The grouping stages share one neighbourhood
+//! precompute (the O(n²) region queries are not what PR 3 changes), so
+//! the kernel and the sequential expansion are timed on identical cached
+//! inputs.
 
 use std::time::Instant;
 
 use rolediet_bench::sweep_matrix;
+use rolediet_cluster::dbscan::{Dbscan, DbscanParams};
+use rolediet_cluster::metric::{BinaryMetric, BinaryRows};
 use rolediet_cluster::minhash::{MinHashLsh, MinHashLshParams};
+use rolediet_cluster::neighbors::all_range_queries_with;
 use rolediet_core::cooccur::{disjoint_supplement, disjoint_supplement_naive};
 use rolediet_core::{Parallelism, SimilarityConfig, Strategy};
 use rolediet_matrix::{CsrMatrix, RowMatrix};
@@ -57,7 +65,7 @@ impl Opts {
             scale: 1.0,
             seed: 7,
             iters: 3,
-            out: "BENCH_pr2.json".to_owned(),
+            out: "BENCH_pr3.json".to_owned(),
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -181,9 +189,53 @@ fn main() {
         found: naive.len(),
     });
     drop(naive);
+
+    // --- Stage 3: DBSCAN grouping — CC kernel vs. BFS expansion. ---
+    // T4 shape: eps ≈ 0, min_pts = 2 over the real-org RUAM rows. The
+    // O(n²) neighbourhood precompute is shared (computed once, outside
+    // every timer), so the records isolate exactly the stage PR 3
+    // replaced: sequential cluster expansion over cached lists vs. the
+    // parallel connected-components kernel over the same lists.
+    let dbscan = Dbscan::new(DbscanParams::exact_duplicates());
+    let points = BinaryRows::new(&ruam, BinaryMetric::Hamming);
+    let t0 = Instant::now();
+    let neighborhoods = all_range_queries_with(&points, dbscan.params().eps, 8);
+    println!(
+        "# precomputed {} neighbourhoods in {:.2?} ({} entries)",
+        neighborhoods.len(),
+        t0.elapsed(),
+        neighborhoods.iter().map(Vec::len).sum::<usize>()
+    );
+    let (expand_ns, expand_labels) = time_best(opts.iters, || dbscan.fit_cached(&neighborhoods));
+    println!("dbscan_expand_seq (sequential): {expand_ns} ns");
+    records.push(Record {
+        stage: "dbscan_expand_seq".into(),
+        size: size.clone(),
+        threads: 1,
+        ns: expand_ns,
+        found: expand_labels.n_clusters(),
+    });
+    for threads in THREAD_COUNTS {
+        let (ns, labels) = time_best(opts.iters, || {
+            dbscan.group_cached_with(&neighborhoods, threads)
+        });
+        assert_eq!(
+            labels, expand_labels,
+            "grouping kernel diverged at {threads} threads"
+        );
+        println!("dbscan_group_cc threads={threads}: {ns} ns");
+        records.push(Record {
+            stage: "dbscan_group_cc".into(),
+            size: size.clone(),
+            threads,
+            ns,
+            found: labels.n_clusters(),
+        });
+    }
+    drop(neighborhoods);
     drop(ruam);
 
-    // --- Stage 3: MinHash sketching + banding across thread counts. ---
+    // --- Stage 4: MinHash sketching + banding across thread counts. ---
     // A paper-shaped matrix (planted duplicate clusters, no empty-row
     // blocks — banding on thousands of identical empty rows would just
     // measure quadratic pair emission).

@@ -16,7 +16,8 @@
 use serde::{Deserialize, Serialize};
 
 use crate::metric::PointSet;
-use crate::neighbors::range_query;
+use crate::neighbors::{all_range_queries_with, range_query};
+use crate::unionfind::UnionFind;
 
 /// Label assigned to noise points.
 pub const NOISE: i64 = -1;
@@ -141,31 +142,131 @@ impl Dbscan {
 
     /// Like [`fit`](Self::fit), but all `n` region queries — the O(n²)
     /// part — are precomputed on `threads` worker threads (via the shared
-    /// [`parallel`](rolediet_matrix::parallel) substrate) before the
-    /// (cheap, sequential) cluster expansion runs over the cached
-    /// neighbour lists.
+    /// [`parallel`](rolediet_matrix::parallel) substrate), and for
+    /// `min_pts <= 2` the cluster assignment itself runs as the parallel
+    /// connected-components grouping kernel
+    /// ([`group_cached_with`](Self::group_cached_with)) instead of the
+    /// sequential expansion.
     ///
-    /// Produces exactly the same labels as `fit` (asserted in tests) at
-    /// the cost of `O(Σ|N(p)|)` extra memory. This is the parallel
-    /// ablation of DESIGN.md (`abl-parallel`); scikit-learn's `n_jobs`
-    /// parallelizes the same stage.
+    /// Produces exactly the same labels as `fit` at every thread count
+    /// (asserted in tests and proptests) at the cost of `O(Σ|N(p)|)`
+    /// extra memory. This is the parallel ablation of DESIGN.md
+    /// (`abl-parallel`); scikit-learn's `n_jobs` parallelizes only the
+    /// region queries.
     pub fn fit_with_threads<P: PointSet + Sync>(
         &self,
         points: &P,
         threads: usize,
     ) -> ClusterLabels {
         let n = points.len();
-        if threads.max(1) == 1 || n == 0 {
+        let threads = threads.max(1);
+        if n == 0 {
             return self.fit(points);
         }
-        let mut neighborhoods = rolediet_matrix::parallel::par_map_rows(n, threads, |range| {
-            range
-                .map(|p| range_query(points, p, self.params.eps))
-                .collect()
-        });
-        // Each point's neighbourhood is consumed at most once during
-        // expansion, so it can be moved out rather than cloned.
-        self.expand(n, |p| std::mem::take(&mut neighborhoods[p]))
+        if self.params.min_pts <= 2 {
+            // Every clustered point is a core point, so DBSCAN reduces to
+            // connected components of the eps-graph (DESIGN.md §5).
+            let neighborhoods = all_range_queries_with(points, self.params.eps, threads);
+            return self.group_cached_with(&neighborhoods, threads);
+        }
+        if threads == 1 {
+            return self.fit(points);
+        }
+        let neighborhoods = all_range_queries_with(points, self.params.eps, threads);
+        self.fit_cached(&neighborhoods)
+    }
+
+    /// Sequential DBSCAN expansion over pre-computed neighbour lists
+    /// (`neighborhoods[p]` must be `range_query(points, p, eps)`).
+    ///
+    /// This is the general-`min_pts` path and the test/ablation oracle
+    /// the grouping kernel is pinned against; it borrows the cached
+    /// lists, so repeated timing runs share one precompute.
+    pub fn fit_cached(&self, neighborhoods: &[Vec<usize>]) -> ClusterLabels {
+        self.expand(neighborhoods.len(), |p| neighborhoods[p].as_slice())
+    }
+
+    /// Parallel grouping kernel: DBSCAN as connected components over
+    /// cached neighbour lists, for `min_pts <= 2`.
+    ///
+    /// With `min_pts <= 2` and a symmetric distance, `q ∈ N(p)` implies
+    /// `p ∈ N(q)`, so both endpoints of every eps-edge are core points:
+    /// there are no border points and clusters are exactly the connected
+    /// components of the eps-graph. The kernel enumerates eps-edges with
+    /// [`par_map_ranges`](rolediet_matrix::parallel::par_map_ranges)
+    /// (one local [`UnionFind`] forest per range, processing only
+    /// `q > p` so each unordered edge is seen once — the dedup is hoisted
+    /// out of the region callback because the cached lists are already
+    /// sorted and duplicate-free), joins the forests in range order
+    /// ([`UnionFind::merge_from`]), then runs a canonical relabeling
+    /// pass: scanning `p` ascending and assigning a fresh cluster id at
+    /// each component's first-seen member reproduces the sequential
+    /// expansion's ids (which ascend by smallest cluster member)
+    /// bit-identically at every thread count. Noise (`|N(p)| < min_pts`)
+    /// stays [`NOISE`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_pts > 2` (border points would exist, breaking the
+    /// reduction), if a neighbour index is out of range, or if the lists
+    /// are asymmetric (a noise point appears in a core point's list —
+    /// impossible under a metric), identically at every thread count.
+    pub fn group_cached_with(&self, neighborhoods: &[Vec<usize>], threads: usize) -> ClusterLabels {
+        assert!(
+            self.params.min_pts <= 2,
+            "grouping kernel requires min_pts <= 2 (no border points)"
+        );
+        let n = neighborhoods.len();
+        let min_pts = self.params.min_pts;
+        let mut uf = rolediet_matrix::parallel::par_map_reduce_ranges(
+            n,
+            threads.max(1),
+            |range| {
+                let mut local = UnionFind::new(n);
+                for p in range {
+                    let neigh = &neighborhoods[p];
+                    if neigh.len() < min_pts {
+                        continue; // noise contributes no edges
+                    }
+                    for &q in neigh {
+                        assert!(q < n, "neighbour index {q} out of range for {n} points");
+                        if q > p {
+                            local.union(p, q);
+                        }
+                    }
+                }
+                local
+            },
+            |acc, part| acc.merge_from(&part),
+        )
+        .unwrap_or_else(|| UnionFind::new(0));
+        // Canonical relabeling: first-seen member of each component (in
+        // ascending index order) opens its cluster id.
+        let mut labels = vec![NOISE; n];
+        let mut cluster_of_root = vec![NOISE; n];
+        let mut next: i64 = 0;
+        let mut n_noise = 0usize;
+        for (p, neigh) in neighborhoods.iter().enumerate() {
+            if neigh.len() < min_pts {
+                n_noise += 1;
+                continue;
+            }
+            let root = uf.find(p);
+            if cluster_of_root[root] == NOISE {
+                cluster_of_root[root] = next;
+                next += 1;
+            }
+            labels[p] = cluster_of_root[root];
+        }
+        assert_eq!(
+            uf.components(),
+            next as usize + n_noise,
+            "grouping kernel: noise point merged into a cluster (asymmetric neighbourhoods)"
+        );
+        ClusterLabels {
+            labels,
+            n_clusters: next as usize,
+        }
     }
 
     /// Like [`fit`](Self::fit), but region queries go through a
@@ -188,8 +289,14 @@ impl Dbscan {
         })
     }
 
-    /// Core DBSCAN expansion over a region-query oracle.
-    fn expand<F: FnMut(usize) -> Vec<usize>>(&self, n: usize, mut region: F) -> ClusterLabels {
+    /// Core DBSCAN expansion over a region-query oracle. Generic over the
+    /// oracle's return type so cached callers can lend `&[usize]` rows
+    /// without cloning while lazy callers keep returning owned `Vec`s.
+    fn expand<R, F>(&self, n: usize, mut region: F) -> ClusterLabels
+    where
+        R: std::borrow::Borrow<[usize]>,
+        F: FnMut(usize) -> R,
+    {
         const UNVISITED: i64 = -2;
         let mut labels = vec![UNVISITED; n];
         let mut cluster: i64 = 0;
@@ -199,6 +306,7 @@ impl Dbscan {
                 continue;
             }
             let neigh = region(p);
+            let neigh = neigh.borrow();
             if neigh.len() < self.params.min_pts {
                 labels[p] = NOISE;
                 continue;
@@ -206,7 +314,7 @@ impl Dbscan {
             // p is a core point: start a new cluster and expand.
             labels[p] = cluster;
             queue.clear();
-            for &q in &neigh {
+            for &q in neigh {
                 if q != p {
                     queue.push_back(q);
                 }
@@ -221,8 +329,9 @@ impl Dbscan {
                 }
                 labels[q] = cluster;
                 let q_neigh = region(q);
+                let q_neigh = q_neigh.borrow();
                 if q_neigh.len() >= self.params.min_pts {
-                    for &r in &q_neigh {
+                    for &r in q_neigh {
                         if labels[r] == UNVISITED || labels[r] == NOISE {
                             queue.push_back(r);
                         }
@@ -374,6 +483,133 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn grouping_kernel_matches_fit_on_edge_cases() {
+        let cases: Vec<(&str, VecPoints)> = vec![
+            ("empty input", VecPoints::new(vec![])),
+            ("single point", VecPoints::new(vec![vec![0.0]])),
+            (
+                "all noise",
+                VecPoints::new(vec![vec![0.0], vec![10.0], vec![20.0], vec![30.0]]),
+            ),
+            (
+                "one giant cluster",
+                VecPoints::new((0..40).map(|i| vec![i as f64 * 0.1]).collect()),
+            ),
+            (
+                "duplicate rows",
+                VecPoints::new(vec![
+                    vec![1.0],
+                    vec![1.0],
+                    vec![1.0],
+                    vec![50.0],
+                    vec![9.0],
+                    vec![9.0],
+                ]),
+            ),
+        ];
+        for min_pts in [0usize, 1, 2] {
+            let dbscan = Dbscan::new(DbscanParams { eps: 0.5, min_pts });
+            for (name, pts) in &cases {
+                let seq = dbscan.fit(pts);
+                for threads in [1usize, 2, 4, 8] {
+                    let neigh = crate::neighbors::all_range_queries_with(pts, 0.5, threads);
+                    assert_eq!(
+                        dbscan.group_cached_with(&neigh, threads),
+                        seq,
+                        "kernel vs fit: {name}, min_pts={min_pts}, threads={threads}"
+                    );
+                    assert_eq!(
+                        dbscan.fit_with_threads(pts, threads),
+                        seq,
+                        "fit_with_threads: {name}, min_pts={min_pts}, threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fit_cached_matches_fit() {
+        let pts = VecPoints::new(vec![vec![0.0], vec![1.0], vec![2.0], vec![3.5], vec![9.0]]);
+        for params in [
+            DbscanParams {
+                eps: 1.0,
+                min_pts: 3,
+            },
+            DbscanParams::similar(1),
+        ] {
+            let dbscan = Dbscan::new(params);
+            let neigh = crate::neighbors::all_range_queries_with(&pts, params.eps, 4);
+            assert_eq!(dbscan.fit_cached(&neigh), dbscan.fit(&pts), "{params:?}");
+        }
+    }
+
+    /// Runs `f`, which must panic, with the default hook silenced, and
+    /// returns the panic message.
+    fn panic_message(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let err = std::panic::catch_unwind(f).expect_err("closure must panic");
+        std::panic::set_hook(prev);
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+            .expect("panic payload should be a message")
+    }
+
+    #[test]
+    fn relabeling_panic_parity_across_thread_counts() {
+        // Hand-built asymmetric lists: point 2 claims only itself (noise)
+        // but core point 0 lists it — impossible under a metric. The
+        // relabeling invariant must trip with the same message at every
+        // thread count (panic parity: workers re-raise via resume_unwind).
+        let asymmetric: Vec<Vec<usize>> = vec![vec![0, 1, 2], vec![0, 1], vec![2]];
+        // And an out-of-range neighbour index must trip the bound check
+        // identically everywhere.
+        let out_of_range: Vec<Vec<usize>> = vec![vec![0, 5], vec![0, 1]];
+        let dbscan = Dbscan::new(DbscanParams {
+            eps: 1.0,
+            min_pts: 2,
+        });
+        let mut messages: Vec<(String, String)> = Vec::new();
+        for threads in [1usize, 2, 4, 8] {
+            let (d, lists) = (dbscan.clone(), asymmetric.clone());
+            let noise_msg = panic_message(move || {
+                d.group_cached_with(&lists, threads);
+            });
+            assert!(
+                noise_msg.contains("noise point merged into a cluster"),
+                "threads={threads}: {noise_msg}"
+            );
+            let (d, lists) = (dbscan.clone(), out_of_range.clone());
+            let bound_msg = panic_message(move || {
+                d.group_cached_with(&lists, threads);
+            });
+            assert!(
+                bound_msg.contains("out of range"),
+                "threads={threads}: {bound_msg}"
+            );
+            messages.push((noise_msg, bound_msg));
+        }
+        assert!(
+            messages.windows(2).all(|w| w[0] == w[1]),
+            "panic messages must not depend on the thread count: {messages:?}"
+        );
+    }
+
+    #[test]
+    fn grouping_kernel_rejects_min_pts_above_two() {
+        let dbscan = Dbscan::new(DbscanParams {
+            eps: 1.0,
+            min_pts: 3,
+        });
+        let msg = panic_message(move || {
+            dbscan.group_cached_with(&[vec![0]], 2);
+        });
+        assert!(msg.contains("min_pts <= 2"), "{msg}");
     }
 
     #[test]

@@ -18,6 +18,23 @@ pub fn range_query<P: PointSet>(points: &P, i: usize, eps: f64) -> Vec<usize> {
         .collect()
 }
 
+/// All `n` range queries at once, computed on `threads` workers via the
+/// shared [`parallel`](rolediet_matrix::parallel) substrate and joined
+/// in range order (deterministic for every thread count).
+///
+/// Row `p` is exactly [`range_query`]`(points, p, eps)`: ascending,
+/// duplicate-free, and including `p` itself — so consumers (the DBSCAN
+/// grouping kernel) never need a per-row dedup pass.
+pub fn all_range_queries_with<P: PointSet + Sync>(
+    points: &P,
+    eps: f64,
+    threads: usize,
+) -> Vec<Vec<usize>> {
+    rolediet_matrix::parallel::par_map_rows(points.len(), threads, |range| {
+        range.map(|p| range_query(points, p, eps)).collect()
+    })
+}
+
 /// The `k` nearest neighbours of point `i` (excluding `i`), sorted by
 /// distance then index. Returns fewer than `k` when the set is small.
 ///
@@ -93,6 +110,19 @@ mod tests {
         assert_eq!(range_query(&p, 0, 1.0), vec![0, 1]);
         assert_eq!(range_query(&p, 1, 1.0), vec![0, 1, 2]);
         assert_eq!(range_query(&p, 3, 0.5), vec![3]);
+    }
+
+    #[test]
+    fn all_range_queries_match_per_point_queries() {
+        let p = line();
+        let expected: Vec<Vec<usize>> = (0..4).map(|i| range_query(&p, i, 1.0)).collect();
+        for threads in [1usize, 2, 4, 8] {
+            assert_eq!(
+                all_range_queries_with(&p, 1.0, threads),
+                expected,
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

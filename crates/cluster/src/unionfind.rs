@@ -54,6 +54,23 @@ impl UnionFind {
         self.components
     }
 
+    /// Finds the representative of `x` without mutating the structure
+    /// (no path compression).
+    ///
+    /// Read-only, so parallel workers can resolve roots over a shared
+    /// `&UnionFind`; union-by-rank bounds the walk at O(log n) links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= len()`.
+    pub fn find_root(&self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        root
+    }
+
     /// Finds the representative of `x`, compressing the path.
     ///
     /// # Panics
@@ -106,8 +123,40 @@ impl UnionFind {
         self.find(a) == self.find(b)
     }
 
-    /// All groups with at least `min_size` members, each sorted ascending,
-    /// ordered by their smallest member.
+    /// Absorbs another forest over the same element space: after the
+    /// call, `a` and `b` are connected in `self` iff they were connected
+    /// in `self` *or* in `other`.
+    ///
+    /// This is the join step of the parallel grouping kernels: each
+    /// worker builds a local forest from its range's edges, and the
+    /// forests are absorbed in range order — a deterministic,
+    /// lock-free merge whose final components never depend on the
+    /// thread count. Cost is O(n α(n)): one union per element of
+    /// `other` that is not its own root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two structures track different element counts.
+    pub fn merge_from(&mut self, other: &UnionFind) {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "merge_from requires forests over the same element space"
+        );
+        for x in 0..other.len() {
+            let root = other.find_root(x);
+            if root != x {
+                self.union(x, root);
+            }
+        }
+    }
+
+    /// All groups with at least `min_size` members.
+    ///
+    /// **Stable contract** (relied on by every grouping consumer):
+    /// members of each group are sorted ascending, and groups are
+    /// ordered by their smallest member — unconditionally, regardless
+    /// of the union order that built the forest or of insertion order.
     pub fn groups_min_size(&mut self, min_size: usize) -> Vec<Vec<usize>> {
         let n = self.len();
         let mut by_root: std::collections::HashMap<usize, Vec<usize>> =
@@ -119,7 +168,65 @@ impl UnionFind {
             .into_values()
             .filter(|g| g.len() >= min_size)
             .collect();
-        // members were pushed in ascending order already
+        // Members are pushed in ascending element order above, but the
+        // sorted output is a documented invariant, not an accident of
+        // the iteration: enforce it unconditionally.
+        for g in &mut groups {
+            g.sort_unstable();
+        }
+        groups.sort_unstable_by_key(|g| g[0]);
+        groups
+    }
+
+    /// [`groups_min_size`](Self::groups_min_size) with the root
+    /// resolution and group assembly split over `threads` workers.
+    ///
+    /// Phase one resolves every element's root in parallel
+    /// (read-only [`find_root`](Self::find_root), joined in range
+    /// order); phase two buckets members per root with a counting sort;
+    /// phase three partitions the *root* index space by range and
+    /// concatenates each range's groups in order. Every phase is
+    /// deterministic, so the output is bit-identical to
+    /// `groups_min_size` for every thread count (pinned by tests).
+    pub fn groups_min_size_with(&mut self, min_size: usize, threads: usize) -> Vec<Vec<usize>> {
+        let n = self.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let shared = &*self;
+        let roots: Vec<u32> = rolediet_matrix::parallel::par_map_rows(n, threads, |range| {
+            range.map(|x| shared.find_root(x) as u32).collect()
+        });
+        // Counting sort of members by root: offsets, then a stable
+        // ascending fill, so each root's member slice is sorted.
+        let mut counts = vec![0u32; n];
+        for &r in &roots {
+            counts[r as usize] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + counts[i] as usize;
+        }
+        let mut members = vec![0u32; n];
+        let mut cursor = offsets[..n].to_vec();
+        for (x, &r) in roots.iter().enumerate() {
+            members[cursor[r as usize]] = x as u32;
+            cursor[r as usize] += 1;
+        }
+        // Partition roots by range; concatenation in range order yields
+        // groups ascending by root. A group's smallest member *is* not
+        // its root in general, so the public order (by smallest member)
+        // needs the final sort.
+        let mut groups: Vec<Vec<usize>> =
+            rolediet_matrix::parallel::par_map_rows(n, threads, |range| {
+                range
+                    .filter_map(|r| {
+                        let g = &members[offsets[r]..offsets[r + 1]];
+                        (!g.is_empty() && g.len() >= min_size)
+                            .then(|| g.iter().map(|&x| x as usize).collect())
+                    })
+                    .collect()
+            });
         groups.sort_unstable_by_key(|g| g[0]);
         groups
     }
@@ -174,5 +281,120 @@ mod tests {
         assert!(uf.is_empty());
         assert_eq!(uf.components(), 0);
         assert!(uf.groups_min_size(1).is_empty());
+        assert!(uf.groups_min_size_with(1, 4).is_empty());
+    }
+
+    #[test]
+    fn find_root_is_read_only_and_agrees_with_find() {
+        let mut uf = UnionFind::new(8);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(5, 6);
+        for x in 0..8 {
+            assert_eq!(uf.find_root(x), uf.clone().find(x), "element {x}");
+        }
+    }
+
+    #[test]
+    fn merge_from_unions_connectivity() {
+        let mut a = UnionFind::new(6);
+        a.union(0, 1);
+        let mut b = UnionFind::new(6);
+        b.union(1, 2);
+        b.union(4, 5);
+        a.merge_from(&b);
+        assert!(a.connected(0, 2));
+        assert!(a.connected(4, 5));
+        assert!(!a.connected(0, 4));
+        assert_eq!(a.components(), 3);
+        assert_eq!(a.groups_min_size(2), vec![vec![0, 1, 2], vec![4, 5]]);
+    }
+
+    #[test]
+    fn merge_from_is_idempotent_on_equal_forests() {
+        let mut a = UnionFind::new(5);
+        a.union(0, 4);
+        let b = a.clone();
+        a.merge_from(&b);
+        assert_eq!(a.components(), 4);
+        assert_eq!(a.groups_min_size(2), vec![vec![0, 4]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same element space")]
+    fn merge_from_rejects_size_mismatch() {
+        let mut a = UnionFind::new(3);
+        a.merge_from(&UnionFind::new(4));
+    }
+
+    #[test]
+    fn range_joined_forests_match_single_forest() {
+        // The kernel shape: edges split over ranges, local forests,
+        // joined in range order — must equal unioning every edge in one
+        // forest, for every partition.
+        let edges: Vec<(usize, usize)> = vec![(0, 9), (1, 2), (2, 3), (9, 1), (5, 6), (7, 8)];
+        let mut reference = UnionFind::new(10);
+        for &(a, b) in &edges {
+            reference.union(a, b);
+        }
+        let expected = reference.groups_min_size(1);
+        for threads in [1usize, 2, 3, 4, 8] {
+            let forests =
+                rolediet_matrix::parallel::par_map_ranges(edges.len(), threads, |range| {
+                    let mut uf = UnionFind::new(10);
+                    for &(a, b) in &edges[range] {
+                        uf.union(a, b);
+                    }
+                    uf
+                });
+            let mut iter = forests.into_iter();
+            let mut joined = iter.next().unwrap();
+            for f in iter {
+                joined.merge_from(&f);
+            }
+            assert_eq!(
+                joined.components(),
+                reference.components(),
+                "threads={threads}"
+            );
+            assert_eq!(joined.groups_min_size(1), expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn groups_are_sorted_regardless_of_union_order() {
+        // Union in an order that leaves high-rank roots on high indices;
+        // the sorted contract must hold anyway.
+        let mut uf = UnionFind::new(7);
+        uf.union(6, 2);
+        uf.union(2, 4);
+        uf.union(5, 0);
+        let groups = uf.groups_min_size(2);
+        assert_eq!(groups, vec![vec![0, 5], vec![2, 4, 6]]);
+        for g in &groups {
+            assert!(g.windows(2).all(|w| w[0] < w[1]), "members sorted");
+        }
+    }
+
+    #[test]
+    fn parallel_groups_match_sequential_for_every_thread_count() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(29);
+        for n in [1usize, 2, 17, 400] {
+            let mut uf = UnionFind::new(n);
+            for _ in 0..n {
+                uf.union(rng.gen_range(0..n), rng.gen_range(0..n));
+            }
+            for min_size in [1usize, 2, 3] {
+                let expected = uf.clone().groups_min_size(min_size);
+                for threads in [1usize, 2, 4, 8] {
+                    assert_eq!(
+                        uf.clone().groups_min_size_with(min_size, threads),
+                        expected,
+                        "n={n} min_size={min_size} threads={threads}"
+                    );
+                }
+            }
+        }
     }
 }

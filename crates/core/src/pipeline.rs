@@ -112,6 +112,16 @@ impl Pipeline {
             report.timings.threads.minhash = threads;
         }
 
+        // The grouping half of T4/T5: the exact-DBSCAN strategy assigns
+        // clusters through the parallel connected-components kernel;
+        // every other strategy extracts groups through the parallel
+        // union-find (signature verification or candidate components).
+        if matches!(cfg.strategy, crate::config::Strategy::ExactDbscan) {
+            report.timings.threads.cluster_expand = threads;
+        } else {
+            report.timings.threads.group_extract = threads;
+        }
+
         if !cfg.skip_similarity {
             report.timings.threads.transpose = threads;
             // The disjoint supplement only runs inside the custom T5
@@ -299,6 +309,21 @@ mod tests {
         assert_eq!(threads.similar_permissions, 4);
         assert_eq!(threads.disjoint_supplement, 4);
         assert_eq!(threads.minhash, 0, "MinHash strategy not selected");
+        assert_eq!(
+            threads.group_extract, 4,
+            "custom T4 extracts via union-find"
+        );
+        assert_eq!(threads.cluster_expand, 0, "DBSCAN strategy not selected");
+
+        // The exact-DBSCAN strategy routes grouping through the
+        // connected-components kernel instead of the union-find path.
+        let cfg = DetectionConfig {
+            parallelism: Parallelism::Threads(4),
+            ..DetectionConfig::with_strategy(Strategy::ExactDbscan)
+        };
+        let report = Pipeline::new(cfg).run(&graph);
+        assert_eq!(report.timings.threads.cluster_expand, 4);
+        assert_eq!(report.timings.threads.group_extract, 0);
 
         // Stages that do not run report 0 threads.
         let cfg = DetectionConfig {

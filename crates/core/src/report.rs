@@ -68,6 +68,13 @@ pub struct StageThreads {
     /// MinHash sketching + LSH banding (`0` unless the MinHash strategy
     /// is active).
     pub minhash: usize,
+    /// DBSCAN cluster assignment via the parallel connected-components
+    /// grouping kernel (`0` unless the exact-DBSCAN strategy is active).
+    pub cluster_expand: usize,
+    /// Union-find group extraction — T4 signature-group verification and
+    /// HNSW/LSH candidate-component grouping (`0` under the exact-DBSCAN
+    /// strategy, whose groups come out of the cluster labels instead).
+    pub group_extract: usize,
 }
 
 /// Wall-clock time spent in each pipeline stage, plus the thread counts
@@ -390,6 +397,8 @@ mod tests {
                 similar_permissions: 8,
                 disjoint_supplement: 8,
                 minhash: 0,
+                cluster_expand: 0,
+                group_extract: 4,
             },
             ..StageTimings::default()
         };

@@ -59,11 +59,11 @@ pub fn find_same_groups_with_empty(
         }
         Strategy::ApproxHnsw { params, probe_k } => {
             let pairs = hnsw_pairs(matrix, *params, *probe_k, 0, threads);
-            groups_from_pairs(matrix.n_rows(), pairs.into_iter().map(|p| (p.a, p.b)))
+            groups_from_pairs_with(matrix.n_rows(), &pairs, threads)
         }
         Strategy::MinHashLsh { params } => {
             let pairs = minhash_pairs(matrix, *params, 0, threads);
-            groups_from_pairs(matrix.n_rows(), pairs.into_iter().map(|p| (p.a, p.b)))
+            groups_from_pairs_with(matrix.n_rows(), &pairs, threads)
         }
     }
 }
@@ -186,13 +186,30 @@ fn minhash_pairs(
     pairs
 }
 
-/// Builds groups from 0-distance pairs with union-find.
-fn groups_from_pairs(n: usize, pairs: impl Iterator<Item = (usize, usize)>) -> Vec<Vec<usize>> {
-    let mut uf = UnionFind::new(n);
-    for (a, b) in pairs {
-        uf.union(a, b);
+/// Builds groups from 0-distance pairs with the parallel grouping
+/// kernel: the pair list is split over `threads` ranges, each range
+/// unions into a local [`UnionFind`] forest, forests are joined in range
+/// order ([`UnionFind::merge_from`]), and groups are assembled with the
+/// parallel [`UnionFind::groups_min_size_with`]. Deterministic — the
+/// sorted-groups contract makes the output independent of the thread
+/// count and of the pair order.
+fn groups_from_pairs_with(n: usize, pairs: &[SimilarPair], threads: usize) -> Vec<Vec<usize>> {
+    let forest = rolediet_matrix::parallel::par_map_reduce_ranges(
+        pairs.len(),
+        threads,
+        |range| {
+            let mut local = UnionFind::new(n);
+            for p in &pairs[range] {
+                local.union(p.a, p.b);
+            }
+            local
+        },
+        |acc, part| acc.merge_from(&part),
+    );
+    match forest {
+        Some(mut uf) => uf.groups_min_size_with(2, threads),
+        None => Vec::new(),
     }
-    uf.groups_min_size(2)
 }
 
 fn normalize_groups(mut groups: Vec<Vec<usize>>) -> Vec<Vec<usize>> {

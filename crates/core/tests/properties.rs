@@ -227,6 +227,28 @@ proptest! {
     }
 
     #[test]
+    fn dbscan_pipeline_reports_identical_across_thread_counts(graph in graph_inputs()) {
+        // Whole-Report bit-identity through `Pipeline::run` under the
+        // exact-DBSCAN strategy, whose T4/T5 grouping now runs on the
+        // parallel connected-components kernel (min_pts = 2 fast path).
+        let base_cfg =
+            DetectionConfig::with_strategy(rolediet_core::config::Strategy::ExactDbscan);
+        let baseline = Pipeline::new(base_cfg).run(&graph);
+        for threads in [1usize, 2, 4, 8] {
+            let cfg = DetectionConfig {
+                parallelism: Parallelism::Threads(threads),
+                ..base_cfg
+            };
+            let mut report = Pipeline::new(cfg).run(&graph);
+            prop_assert_eq!(report.timings.threads.cluster_expand, threads);
+            prop_assert_eq!(report.timings.threads.group_extract, 0);
+            report.timings = baseline.timings;
+            report.config = baseline.config;
+            prop_assert_eq!(&report, &baseline, "threads={}", threads);
+        }
+    }
+
+    #[test]
     fn graph_pipeline_reports_identical_across_thread_counts(graph in graph_inputs()) {
         // The graph entry point additionally exercises the two-pass
         // parallel matrix build that `run_on_matrices` never sees.

@@ -111,6 +111,44 @@ where
     merged
 }
 
+/// Chunked map-reduce with a deterministic fold: runs `work` over each
+/// chunk of `0..n` and folds the per-chunk results into the first one
+/// **in range order** with `reduce`.
+///
+/// This is the shape of the parallel grouping kernels: each worker
+/// builds a local partial structure (e.g. a union-find forest over its
+/// row range's edges) and the partials are absorbed left-to-right, so
+/// the merged result never depends on completion order or thread count.
+/// Returns `None` when `n == 0` (no chunks, nothing to fold).
+///
+/// # Examples
+///
+/// ```
+/// use rolediet_matrix::parallel::par_map_reduce_ranges;
+///
+/// let sum = par_map_reduce_ranges(
+///     10,
+///     4,
+///     |range| range.sum::<usize>(),
+///     |acc, part| *acc += part,
+/// );
+/// assert_eq!(sum, Some(45));
+/// assert_eq!(par_map_reduce_ranges(0, 4, |_| 0usize, |a, b| *a += b), None);
+/// ```
+pub fn par_map_reduce_ranges<T, F, R>(n: usize, threads: usize, work: F, mut reduce: R) -> Option<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+    R: FnMut(&mut T, T),
+{
+    let mut parts = par_map_ranges(n, threads, work).into_iter();
+    let mut acc = parts.next()?;
+    for part in parts {
+        reduce(&mut acc, part);
+    }
+    Some(acc)
+}
+
 /// Fills disjoint slices of `out` in parallel, one worker per chunk of
 /// `0..n`.
 ///
@@ -238,6 +276,34 @@ mod tests {
     fn empty_input_runs_no_work() {
         let results: Vec<usize> = par_map_rows(0, 4, |_| panic!("no chunks expected"));
         assert!(results.is_empty());
+    }
+
+    #[test]
+    fn map_reduce_folds_in_range_order_for_every_thread_count() {
+        // A non-commutative fold (string concatenation) exposes any
+        // completion-order dependence.
+        let sequential: String = (0..23).map(|i| format!("{i},")).collect();
+        for threads in [1, 2, 3, 4, 8, 50] {
+            let folded = par_map_reduce_ranges(
+                23,
+                threads,
+                |range| range.map(|i| format!("{i},")).collect::<String>(),
+                |acc, part| acc.push_str(&part),
+            );
+            assert_eq!(
+                folded.as_deref(),
+                Some(sequential.as_str()),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn map_reduce_empty_input_returns_none() {
+        assert_eq!(
+            par_map_reduce_ranges(0, 4, |_| unreachable!("no chunks"), |_: &mut usize, _| {}),
+            None
+        );
     }
 
     #[test]

@@ -2,24 +2,27 @@
 # Benchmark driver for the hot-path kernels PR.
 #
 # Runs the abl-parallel microbenchmarks (threads in {1,2,4,8} for every
-# substrate stage plus the PR 1 sequential baselines) and then the
-# full-scale JSON bench: two-pass matrix build, bucketed disjoint
-# supplement and MinHash at the real-org scale of results_realorg.txt
-# (generate_ing_like), plus fig2/fig3 mini-sweeps. The JSON bench writes
-# machine-readable records {stage, size, threads, ns} to BENCH_OUT.
+# substrate stage plus the sequential baselines, including the DBSCAN
+# grouping kernel vs. BFS expansion and the eps-edge dedup ablation) and
+# then the full-scale JSON bench: two-pass matrix build, bucketed
+# disjoint supplement, DBSCAN connected-components grouping and MinHash
+# at the real-org scale of results_realorg.txt (generate_ing_like), plus
+# fig2/fig3 mini-sweeps. The JSON bench writes machine-readable records
+# {stage, size, threads, ns, found} to BENCH_OUT — the same schema as
+# BENCH_pr2.json, so the perf trajectory stays machine-readable.
 #
 # Env knobs:
 #   BENCH_SCALE  org scale factor for the JSON bench (default 1.0)
 #   BENCH_SEED   generator seed (default 7)
 #   BENCH_ITERS  timing iterations, min-of-N (default 3)
-#   BENCH_OUT    output path (default BENCH_pr2.json at the repo root)
+#   BENCH_OUT    output path (default BENCH_pr3.json at the repo root)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SCALE="${BENCH_SCALE:-1.0}"
 BENCH_SEED="${BENCH_SEED:-7}"
 BENCH_ITERS="${BENCH_ITERS:-3}"
-BENCH_OUT="${BENCH_OUT:-$PWD/BENCH_pr2.json}"
+BENCH_OUT="${BENCH_OUT:-$PWD/BENCH_pr3.json}"
 
 echo "==> cargo build --workspace --benches --release"
 cargo build --workspace --benches --release

@@ -13,6 +13,17 @@ cargo test -q
 echo "==> cargo test --workspace --release -q"
 cargo test --workspace --release -q
 
+# The PR 3 determinism proptests, run explicitly so a filtered or
+# partial test invocation can never silently skip the bit-identity
+# pins for the parallel grouping kernel.
+echo "==> proptests: parallel grouping determinism"
+cargo test --release -q -p rolediet-cluster --test properties \
+    dbscan_grouping_kernel_is_bit_identical_to_sequential_expansion
+cargo test --release -q -p rolediet-core --test properties \
+    dbscan_pipeline_reports_identical_across_thread_counts
+cargo test --release -q -p rolediet-core --test properties \
+    pipeline_reports_identical_across_thread_counts
+
 echo "==> cargo build --workspace --benches"
 cargo build --workspace --benches
 
