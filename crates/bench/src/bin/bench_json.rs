@@ -22,6 +22,9 @@
 //! the kernel and the sequential expansion are timed on identical cached
 //! inputs.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use std::time::Instant;
 
 use rolediet_bench::sweep_matrix;

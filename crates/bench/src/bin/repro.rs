@@ -3,7 +3,7 @@
 //! ```text
 //! repro fig2 [--runs 5] [--roles 1000] [--min 1000 --max 10000 --step 1000] [--budget-secs 600] [--similar]
 //! repro fig3 [--runs 5] [--users 1000] [--min 1000 --max 10000 --step 1000] [--budget-secs 600] [--similar]
-//! repro realorg [--scale 1.0] [--seed 7] [--baselines] [--budget-secs 600]
+//! repro realorg [--scale 1.0] [--seed 7] [--baselines] [--validate] [--budget-secs 600]
 //! repro recall [--roles 2000] [--users 1000]
 //! repro cooccur-example
 //! ```
@@ -13,6 +13,9 @@
 //! approx, near-flat scaling in users (Fig 2), superlinear growth in
 //! roles with an approx/exact crossover (Fig 3), and the Section IV-B
 //! inefficiency table at organization scale.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 use std::time::{Duration, Instant};
 
@@ -62,7 +65,8 @@ fn print_help() {
          \n\
          common flags: --runs N --min N --max N --step N --roles N --users N\n\
          \x20             --budget-secs N --similar --scale F --seed N --baselines\n\
-         \x20             --threads N (worker threads for the parallel stages; default 1)"
+         \x20             --threads N (worker threads for the parallel stages; default 1)\n\
+         \x20             --validate (realorg: run the report validators on the result)"
     );
 }
 
@@ -80,6 +84,7 @@ struct Opts {
     seed: u64,
     baselines: bool,
     threads: usize,
+    validate: bool,
 }
 
 impl Opts {
@@ -108,6 +113,7 @@ impl Opts {
             seed: 7,
             baselines: false,
             threads: 1,
+            validate: false,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -131,6 +137,7 @@ impl Opts {
                 "--seed" => o.seed = val("--seed").parse().expect("--seed"),
                 "--baselines" => o.baselines = true,
                 "--threads" => o.threads = val("--threads").parse().expect("--threads"),
+                "--validate" => o.validate = true,
                 other => panic!("unknown flag {other:?}"),
             }
         }
@@ -249,6 +256,16 @@ fn realorg(opts: &Opts) {
     let t0 = Instant::now();
     let report = Pipeline::new(cfg).run(&org.graph);
     let detect_time = t0.elapsed();
+    if opts.validate {
+        let t0 = Instant::now();
+        match rolediet_core::validate::validate_report_against_graph(&report, &org.graph) {
+            Ok(()) => println!("# report validators passed in {:.2?}", t0.elapsed()),
+            Err(msg) => {
+                eprintln!("report validation FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
     println!("\n{}", report.summary_table());
     println!("custom pipeline total: {detect_time:.2?}");
     println!(

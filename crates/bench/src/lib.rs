@@ -7,7 +7,7 @@
 //! EXPERIMENTS.md for recorded results.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod chart;
 

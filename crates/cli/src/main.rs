@@ -12,6 +12,9 @@
 //! file holds `role,permission` records (header optional, `#` comments
 //! allowed).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write as _};
 use std::process::ExitCode;

@@ -39,7 +39,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod dbscan;
 pub mod hnsw;
@@ -48,6 +48,7 @@ pub mod minhash;
 pub mod neighbors;
 pub mod recall;
 pub mod unionfind;
+mod validate;
 pub mod vptree;
 
 pub use dbscan::{ClusterLabels, Dbscan, DbscanParams};

@@ -5,7 +5,7 @@
 //! gradually"; this module quantifies how much is missed per run
 //! (experiment `abl-recall` in DESIGN.md).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
 
@@ -24,7 +24,7 @@ pub struct PairStats {
     pub recall: f64,
 }
 
-fn normalize(pairs: &[(usize, usize)]) -> HashSet<(usize, usize)> {
+fn normalize(pairs: &[(usize, usize)]) -> BTreeSet<(usize, usize)> {
     pairs
         .iter()
         .map(|&(a, b)| if a <= b { (a, b) } else { (b, a) })

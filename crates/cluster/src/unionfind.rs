@@ -151,6 +151,25 @@ impl UnionFind {
         }
     }
 
+    /// Raw forest arrays plus the tracked component count, for the
+    /// structural validator.
+    pub(crate) fn raw_parts(&self) -> (&[u32], &[u8], usize) {
+        (&self.parent, &self.rank, self.components)
+    }
+
+    /// Test-only back door: overwrites a parent link so the validator's
+    /// negative cases can construct forests no public path produces.
+    #[cfg(test)]
+    pub(crate) fn corrupt_parent(&mut self, x: usize, p: usize) {
+        self.parent[x] = p as u32;
+    }
+
+    /// Test-only back door: overwrites the cached component count.
+    #[cfg(test)]
+    pub(crate) fn corrupt_components(&mut self, components: usize) {
+        self.components = components;
+    }
+
     /// All groups with at least `min_size` members.
     ///
     /// **Stable contract** (relied on by every grouping consumer):
@@ -159,8 +178,8 @@ impl UnionFind {
     /// of the union order that built the forest or of insertion order.
     pub fn groups_min_size(&mut self, min_size: usize) -> Vec<Vec<usize>> {
         let n = self.len();
-        let mut by_root: std::collections::HashMap<usize, Vec<usize>> =
-            std::collections::HashMap::new();
+        let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
         for x in 0..n {
             by_root.entry(self.find(x)).or_default().push(x);
         }

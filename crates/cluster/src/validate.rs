@@ -1,0 +1,140 @@
+//! Structural validator for [`UnionFind`].
+//!
+//! The forest's public operations preserve its invariants by
+//! construction, but the parallel grouping kernels build forests
+//! range-by-range and absorb them with `merge_from` — a path worth an
+//! independent check. [`UnionFind::validate`] re-derives every invariant
+//! from the raw arrays; property tests run it after randomized
+//! union/merge sequences.
+
+use crate::unionfind::UnionFind;
+
+impl UnionFind {
+    /// Checks every union-find structural invariant, returning the first
+    /// violation as a human-readable message.
+    ///
+    /// Verified, in order:
+    ///
+    /// 1. `parent` and `rank` have the same length;
+    /// 2. every parent index is in bounds;
+    /// 3. rank strictly increases along every parent link
+    ///    (`rank[x] < rank[parent[x]]` for non-roots) — the union-by-rank
+    ///    invariant, which also proves the forest acyclic, since no
+    ///    strictly-increasing walk can revisit a node;
+    /// 4. every element reaches a root within `len()` steps (a direct,
+    ///    redundant acyclicity check, so a broken rank array cannot mask
+    ///    a cycle);
+    /// 5. the cached component count equals the number of roots.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first broken invariant and the
+    /// element it was found at.
+    pub fn validate(&self) -> Result<(), String> {
+        let (parent, rank, components) = self.raw_parts();
+        let n = parent.len();
+        if rank.len() != n {
+            return Err(format!("rank length {} != parent length {n}", rank.len()));
+        }
+        for (x, &p) in parent.iter().enumerate() {
+            let p = p as usize;
+            if p >= n {
+                return Err(format!("parent of {x} is {p}, out of bounds (n={n})"));
+            }
+            if p != x && rank[x] >= rank[p] {
+                return Err(format!(
+                    "rank does not increase along link {x} -> {p} ({} >= {})",
+                    rank[x], rank[p]
+                ));
+            }
+        }
+        let mut roots = 0usize;
+        for x in 0..n {
+            let mut cur = x;
+            let mut steps = 0usize;
+            while parent[cur] as usize != cur {
+                cur = parent[cur] as usize;
+                steps += 1;
+                if steps > n {
+                    return Err(format!("no root reachable from {x} within {n} steps"));
+                }
+            }
+            if cur == x {
+                roots += 1;
+            }
+        }
+        if roots != components {
+            return Err(format!(
+                "cached component count {components} != actual root count {roots}"
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_and_merged_forests_pass() {
+        let mut uf = UnionFind::new(10);
+        assert_eq!(uf.validate(), Ok(()));
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(7, 8);
+        assert_eq!(uf.validate(), Ok(()));
+        // Path compression must not break anything.
+        uf.find(0);
+        uf.find(2);
+        assert_eq!(uf.validate(), Ok(()));
+        assert_eq!(UnionFind::new(0).validate(), Ok(()));
+    }
+
+    #[test]
+    fn range_joined_forests_pass() {
+        let edges: Vec<(usize, usize)> = vec![(0, 9), (1, 2), (2, 3), (9, 1), (5, 6)];
+        for threads in [1usize, 2, 4] {
+            let forests = rolediet_matrix::parallel::par_map_ranges(edges.len(), threads, |r| {
+                let mut uf = UnionFind::new(10);
+                for &(a, b) in &edges[r] {
+                    uf.union(a, b);
+                }
+                uf
+            });
+            let mut iter = forests.into_iter();
+            let mut joined = iter.next().expect("at least one chunk");
+            for f in iter {
+                f.validate().expect("local forest");
+                joined.merge_from(&f);
+            }
+            joined.validate().expect("joined forest");
+        }
+    }
+
+    /// Hand-corrupted forests (via the test-only setter below) trip the
+    /// matching check.
+    #[test]
+    fn corrupted_forests_are_caught() {
+        // Cycle between two non-roots: 0 -> 1 -> 0. Caught by the rank
+        // check (neither link can strictly increase).
+        let mut uf = UnionFind::new(3);
+        uf.corrupt_parent(0, 1);
+        uf.corrupt_parent(1, 0);
+        let err = uf.validate().unwrap_err();
+        assert!(err.contains("rank does not increase"), "{err}");
+
+        // Stale component count.
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1);
+        uf.corrupt_components(4);
+        let err = uf.validate().unwrap_err();
+        assert!(err.contains("component count"), "{err}");
+
+        // Out-of-bounds parent.
+        let mut uf = UnionFind::new(2);
+        uf.corrupt_parent(1, 9);
+        let err = uf.validate().unwrap_err();
+        assert!(err.contains("out of bounds"), "{err}");
+    }
+}

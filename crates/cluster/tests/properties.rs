@@ -202,4 +202,43 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn union_find_invariants_survive_random_union_sequences(
+        n in 1usize..40,
+        edges in vec((0usize..40, 0usize..40), 0..80),
+    ) {
+        use rolediet_cluster::UnionFind;
+        let edges: Vec<(usize, usize)> =
+            edges.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+        // Sequential build: validate after every structural change.
+        let mut uf = UnionFind::new(n);
+        for &(a, b) in &edges {
+            uf.union(a, b);
+        }
+        prop_assert_eq!(uf.validate(), Ok(()));
+        // Range-joined build (the parallel kernel's shape) must reach an
+        // equally well-formed forest with the same groups.
+        for threads in [2usize, 4] {
+            let forests =
+                rolediet_matrix::parallel::par_map_ranges(edges.len(), threads, |range| {
+                    let mut local = UnionFind::new(n);
+                    for &(a, b) in &edges[range] {
+                        local.union(a, b);
+                    }
+                    local
+                });
+            let mut joined = UnionFind::new(n);
+            for f in forests {
+                prop_assert_eq!(f.validate(), Ok(()));
+                joined.merge_from(&f);
+            }
+            prop_assert_eq!(joined.validate(), Ok(()));
+            prop_assert_eq!(
+                joined.groups_min_size(1),
+                uf.groups_min_size(1),
+                "threads={}", threads
+            );
+        }
+    }
 }

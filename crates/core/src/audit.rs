@@ -20,7 +20,7 @@
 //! order; for id-unstable pipelines, fingerprint over names by mapping
 //! members through the interner first).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -89,7 +89,9 @@ pub struct ReviewItem {
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AuditLog {
-    decisions: HashMap<FindingKey, Decision>,
+    // Keyed by fingerprint in a BTreeMap so a serialized log is
+    // byte-stable across runs, like every other artifact.
+    decisions: BTreeMap<FindingKey, Decision>,
 }
 
 impl AuditLog {
@@ -204,7 +206,7 @@ impl AuditLog {
     /// (resolved by consolidation or by the data changing underneath).
     /// Returns the number pruned.
     pub fn prune_stale(&mut self, report: &Report) -> usize {
-        let mut live: std::collections::HashSet<FindingKey> = std::collections::HashSet::new();
+        let mut live: std::collections::BTreeSet<FindingKey> = std::collections::BTreeSet::new();
         for g in &report.same_user_groups {
             live.insert(fingerprint("T4-user", g));
         }

@@ -8,7 +8,7 @@
 //! "detect on every change" deployment would embed, and the batch
 //! algorithms serve as its test oracle.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use rolediet_matrix::{hash_words, BitVec, CsrMatrix, RowMatrix, RowSignature};
 
@@ -31,7 +31,7 @@ use rolediet_matrix::{hash_words, BitVec, CsrMatrix, RowMatrix, RowSignature};
 pub struct IncrementalDuplicates {
     rows: Vec<BitVec>,
     signatures: Vec<RowSignature>,
-    buckets: HashMap<RowSignature, BTreeSet<usize>>,
+    buckets: BTreeMap<RowSignature, BTreeSet<usize>>,
     /// Report groups of all-zero rows too? Default `false`, matching the
     /// batch pipeline's semantics (empty roles are T2 findings).
     include_empty: bool,
@@ -42,7 +42,7 @@ impl IncrementalDuplicates {
     pub fn new(rows: usize, cols: usize) -> Self {
         let empty = BitVec::new(cols);
         let sig = hash_words(empty.as_words());
-        let mut buckets: HashMap<RowSignature, BTreeSet<usize>> = HashMap::new();
+        let mut buckets: BTreeMap<RowSignature, BTreeSet<usize>> = BTreeMap::new();
         buckets.insert(sig, (0..rows).collect());
         IncrementalDuplicates {
             rows: vec![empty; rows],

@@ -48,7 +48,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod access;
 pub mod audit;
@@ -65,6 +65,7 @@ pub mod report;
 pub mod strategy;
 pub mod suggest;
 pub mod taxonomy;
+pub mod validate;
 
 pub use config::{DetectionConfig, Parallelism, SimilarityConfig, Strategy};
 pub use consolidate::{ConsolidationOutcome, Merge, MergeBasis, MergePlan};

@@ -197,6 +197,11 @@ pub fn merge_delta(graph: &TripartiteGraph, a: RoleId, b: RoleId) -> MergeDelta 
 
 /// Side-aware wrapper: evaluates [`merge_delta`] for every pair in a T5
 /// finding list and returns `(pair index, delta)` for the unsafe ones.
+///
+/// Deterministic: pairs are evaluated in input order and the output
+/// preserves that order (indices ascending), with no dependence on hash
+/// state, thread count, or anything but `graph` and `pairs` — so two
+/// runs over the same report always block the same merges.
 pub fn unsafe_similar_merges(
     graph: &TripartiteGraph,
     pairs: &[crate::report::SimilarPair],
@@ -353,15 +358,15 @@ mod tests {
             crate::report::SimilarPair::new(0, 1, 1),
             crate::report::SimilarPair::new(0, 2, 2),
         ];
-        let unsafe_ = unsafe_similar_merges(&g, &pairs, Side::Permission);
-        assert!(unsafe_.is_empty(), "{unsafe_:?}");
+        let blocked = unsafe_similar_merges(&g, &pairs, Side::Permission);
+        assert!(blocked.is_empty(), "{blocked:?}");
         // Now remove role 1 from user 1 — user 1 loses the alternate path
         // to p1, so both merges (each would hand user 1 a role granting
         // p1) become real grants.
         g.revoke_user(RoleId(1), UserId(1)).unwrap();
-        let unsafe_ = unsafe_similar_merges(&g, &pairs, Side::Permission);
-        assert_eq!(unsafe_.len(), 2);
-        for (_, delta) in &unsafe_ {
+        let blocked = unsafe_similar_merges(&g, &pairs, Side::Permission);
+        assert_eq!(blocked.len(), 2);
+        for (_, delta) in &blocked {
             assert_eq!(delta.granted_pairs(), 1);
             assert_eq!(delta.user_gains[0].0, UserId(1));
         }

@@ -1,0 +1,492 @@
+//! Cross-consistency validators for detection [`Report`]s.
+//!
+//! A report's fields encode one taxonomy over one dataset, so they are
+//! heavily interdependent: a standalone role cannot also be userless, a
+//! similar pair cannot join two members of the same duplicate group, and
+//! every list carries documented sorting contracts. [`Report::validate`]
+//! checks all of that structurally — from the report alone — while
+//! [`validate_report_against_graph`] goes further and re-derives the
+//! T1–T3 findings and T4/T5 distances from the graph itself. Property
+//! tests run both after every pipeline strategy; the `repro` driver
+//! exposes them behind `--validate`.
+
+use rolediet_model::{RoleId, TripartiteGraph};
+
+use crate::detector::detect_degrees;
+use crate::report::{Report, SimilarPair};
+use crate::taxonomy::Side;
+
+/// Checks that `v` is strictly increasing with all entries below
+/// `bound`.
+fn check_sorted_unique_bounded(name: &str, v: &[usize], bound: usize) -> Result<(), String> {
+    for pair in v.windows(2) {
+        if pair[0] >= pair[1] {
+            return Err(format!(
+                "{name} not strictly increasing ({} then {})",
+                pair[0], pair[1]
+            ));
+        }
+    }
+    if let Some(&last) = v.last() {
+        if last >= bound {
+            return Err(format!("{name} contains {last}, out of bounds ({bound})"));
+        }
+    }
+    Ok(())
+}
+
+/// Checks that two sorted index lists share no element.
+fn check_disjoint(name_a: &str, name_b: &str, a: &[usize], b: &[usize]) -> Result<(), String> {
+    let (mut ia, mut ib) = (0usize, 0usize);
+    while ia < a.len() && ib < b.len() {
+        match a[ia].cmp(&b[ib]) {
+            std::cmp::Ordering::Less => ia += 1,
+            std::cmp::Ordering::Greater => ib += 1,
+            std::cmp::Ordering::Equal => {
+                return Err(format!(
+                    "role {} is in both {name_a} and {name_b}, which are mutually exclusive",
+                    a[ia]
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the T4 group-list contract and returns each role's group
+/// index, or an error naming the broken invariant.
+fn check_groups(
+    name: &str,
+    groups: &[Vec<usize>],
+    n_roles: usize,
+) -> Result<Vec<Option<usize>>, String> {
+    let mut membership: Vec<Option<usize>> = vec![None; n_roles];
+    let mut prev_first: Option<usize> = None;
+    for (g, members) in groups.iter().enumerate() {
+        if members.len() < 2 {
+            return Err(format!("{name}[{g}] has {} members (< 2)", members.len()));
+        }
+        check_sorted_unique_bounded(&format!("{name}[{g}]"), members, n_roles)?;
+        if let Some(prev) = prev_first {
+            if members[0] <= prev {
+                return Err(format!(
+                    "{name} not ordered by first member ({prev} then {})",
+                    members[0]
+                ));
+            }
+        }
+        prev_first = Some(members[0]);
+        for &r in members {
+            if let Some(other) = membership[r] {
+                return Err(format!(
+                    "role {r} is in both {name}[{other}] and {name}[{g}] — \
+                     sharing identical sets is transitive, groups must be disjoint"
+                ));
+            }
+            membership[r] = Some(g);
+        }
+    }
+    Ok(membership)
+}
+
+/// Checks the T5 pair-list contract: `a < b`, both in bounds, distance in
+/// `1..=threshold`, strictly increasing by `(distance, a, b)`, and no
+/// `(a, b)` pair claimed twice. Returns nothing; pairs feed the T4/T5
+/// contradiction check separately.
+fn check_pairs(
+    name: &str,
+    pairs: &[SimilarPair],
+    n_roles: usize,
+    threshold: usize,
+) -> Result<(), String> {
+    for (i, p) in pairs.iter().enumerate() {
+        if p.a >= p.b {
+            return Err(format!("{name}[{i}] not normalized ({} >= {})", p.a, p.b));
+        }
+        if p.b >= n_roles {
+            return Err(format!(
+                "{name}[{i}] role {} out of bounds ({n_roles})",
+                p.b
+            ));
+        }
+        if p.distance < 1 || p.distance > threshold {
+            return Err(format!(
+                "{name}[{i}] distance {} outside 1..={threshold}",
+                p.distance
+            ));
+        }
+    }
+    for (i, w) in pairs.windows(2).enumerate() {
+        let (x, y) = (&w[0], &w[1]);
+        if (x.distance, x.a, x.b) >= (y.distance, y.a, y.b) {
+            return Err(format!(
+                "{name} not strictly increasing by (distance, a, b) at index {i}"
+            ));
+        }
+        if (x.a, x.b) == (y.a, y.b) {
+            return Err(format!(
+                "{name} claims pair ({}, {}) twice with different distances",
+                x.a, x.b
+            ));
+        }
+    }
+    Ok(())
+}
+
+impl Report {
+    /// Checks every structural and cross-field invariant of the report,
+    /// given the dataset dimensions it describes.
+    ///
+    /// Verified:
+    ///
+    /// * all T1–T3 lists are strictly increasing and within bounds;
+    /// * the mutually exclusive T1/T2 role classes are disjoint
+    ///   (standalone means both sides empty; userless/permless exactly
+    ///   one side; a single-link role has degree 1 on that side, so it
+    ///   cannot be empty on the same side);
+    /// * T4 groups have ≥ 2 sorted members, are ordered by first member,
+    ///   and are pairwise disjoint per side (identical-set sharing is an
+    ///   equivalence relation);
+    /// * unless [`include_empty_duplicates`] is set, no T4 member on a
+    ///   side has an empty set on that side (is standalone/disconnected);
+    /// * T5 pairs are normalized (`a < b`), in bounds, with distance in
+    ///   `1..=threshold`, sorted by `(distance, a, b)`, duplicate-free;
+    /// * no T5 pair joins two members of the same T4 group on the same
+    ///   side — members share identical sets (distance 0), pairs require
+    ///   distance ≥ 1.
+    ///
+    /// [`include_empty_duplicates`]: crate::DetectionConfig::include_empty_duplicates
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first broken invariant.
+    pub fn validate(
+        &self,
+        n_users: usize,
+        n_roles: usize,
+        n_permissions: usize,
+    ) -> Result<(), String> {
+        check_sorted_unique_bounded("standalone_users", &self.standalone_users, n_users)?;
+        check_sorted_unique_bounded(
+            "standalone_permissions",
+            &self.standalone_permissions,
+            n_permissions,
+        )?;
+        for (name, v) in [
+            ("standalone_roles", &self.standalone_roles),
+            ("userless_roles", &self.userless_roles),
+            ("permless_roles", &self.permless_roles),
+            ("single_user_roles", &self.single_user_roles),
+            ("single_permission_roles", &self.single_permission_roles),
+        ] {
+            check_sorted_unique_bounded(name, v, n_roles)?;
+        }
+        for (a_name, b_name, a, b) in [
+            (
+                "standalone_roles",
+                "userless_roles",
+                &self.standalone_roles,
+                &self.userless_roles,
+            ),
+            (
+                "standalone_roles",
+                "permless_roles",
+                &self.standalone_roles,
+                &self.permless_roles,
+            ),
+            (
+                "standalone_roles",
+                "single_user_roles",
+                &self.standalone_roles,
+                &self.single_user_roles,
+            ),
+            (
+                "standalone_roles",
+                "single_permission_roles",
+                &self.standalone_roles,
+                &self.single_permission_roles,
+            ),
+            (
+                "userless_roles",
+                "permless_roles",
+                &self.userless_roles,
+                &self.permless_roles,
+            ),
+            (
+                "userless_roles",
+                "single_user_roles",
+                &self.userless_roles,
+                &self.single_user_roles,
+            ),
+            (
+                "permless_roles",
+                "single_permission_roles",
+                &self.permless_roles,
+                &self.single_permission_roles,
+            ),
+        ] {
+            check_disjoint(a_name, b_name, a, b)?;
+        }
+        let user_groups = check_groups("same_user_groups", &self.same_user_groups, n_roles)?;
+        let perm_groups = check_groups(
+            "same_permission_groups",
+            &self.same_permission_groups,
+            n_roles,
+        )?;
+        if !self.config.include_empty_duplicates {
+            for (side, membership, empties) in [
+                ("user", &user_groups, &self.userless_roles),
+                ("permission", &perm_groups, &self.permless_roles),
+            ] {
+                for &r in self.standalone_roles.iter().chain(empties.iter()) {
+                    if membership[r].is_some() {
+                        return Err(format!(
+                            "role {r} has an empty {side} set but appears in a same-{side} \
+                             group, and include_empty_duplicates is off"
+                        ));
+                    }
+                }
+            }
+        }
+        let threshold = self.config.similarity.threshold;
+        check_pairs(
+            "similar_user_pairs",
+            &self.similar_user_pairs,
+            n_roles,
+            threshold,
+        )?;
+        check_pairs(
+            "similar_permission_pairs",
+            &self.similar_permission_pairs,
+            n_roles,
+            threshold,
+        )?;
+        for (name, pairs, membership) in [
+            ("user", &self.similar_user_pairs, &user_groups),
+            ("permission", &self.similar_permission_pairs, &perm_groups),
+        ] {
+            for p in pairs.iter() {
+                if let (Some(ga), Some(gb)) = (membership[p.a], membership[p.b]) {
+                    if ga == gb {
+                        return Err(format!(
+                            "similar_{name}_pairs claims ({}, {}) at distance {} but both \
+                             are in same_{name}_groups[{ga}] (identical sets, distance 0)",
+                            p.a, p.b, p.distance
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validates `report` against the graph that (supposedly) produced it:
+/// runs [`Report::validate`] with the graph's dimensions, re-derives the
+/// T1–T3 findings with the sequential detector and demands exact
+/// equality, and re-checks the T4/T5 claims against the actual rows —
+/// every T4 group's members must share identical sets on the group's
+/// side, and every T5 pair's claimed distance must equal the true
+/// Hamming distance.
+///
+/// Approximate strategies may *miss* findings, so no completeness check
+/// is made for T4/T5 — but everything claimed must be true.
+///
+/// # Errors
+///
+/// Returns a message naming the first claim the graph contradicts.
+pub fn validate_report_against_graph(
+    report: &Report,
+    graph: &TripartiteGraph,
+) -> Result<(), String> {
+    report.validate(graph.n_users(), graph.n_roles(), graph.n_permissions())?;
+    let ruam = graph.ruam_sparse();
+    let rpam = graph.rpam_sparse();
+    let degrees = detect_degrees(&ruam, &rpam);
+    for (name, claimed, actual) in [
+        (
+            "standalone_users",
+            &report.standalone_users,
+            &degrees.standalone_users,
+        ),
+        (
+            "standalone_permissions",
+            &report.standalone_permissions,
+            &degrees.standalone_permissions,
+        ),
+        (
+            "standalone_roles",
+            &report.standalone_roles,
+            &degrees.standalone_roles,
+        ),
+        (
+            "userless_roles",
+            &report.userless_roles,
+            &degrees.userless_roles,
+        ),
+        (
+            "permless_roles",
+            &report.permless_roles,
+            &degrees.permless_roles,
+        ),
+        (
+            "single_user_roles",
+            &report.single_user_roles,
+            &degrees.single_user_roles,
+        ),
+        (
+            "single_permission_roles",
+            &report.single_permission_roles,
+            &degrees.single_permission_roles,
+        ),
+    ] {
+        if claimed != actual {
+            return Err(format!(
+                "{name} disagrees with the graph: report claims {claimed:?}, \
+                 recomputation yields {actual:?}"
+            ));
+        }
+    }
+    for (side, groups, matrix) in [
+        (Side::User, &report.same_user_groups, &ruam),
+        (Side::Permission, &report.same_permission_groups, &rpam),
+    ] {
+        for (g, members) in groups.iter().enumerate() {
+            let first = matrix.row(members[0]);
+            for &r in &members[1..] {
+                if matrix.row(r) != first {
+                    return Err(format!(
+                        "same-{side:?} group {g}: roles {} and {r} do not share \
+                         identical {side:?} sets",
+                        members[0]
+                    ));
+                }
+            }
+        }
+    }
+    for (side, pairs, matrix) in [
+        (Side::User, &report.similar_user_pairs, &ruam),
+        (Side::Permission, &report.similar_permission_pairs, &rpam),
+    ] {
+        for p in pairs.iter() {
+            let actual = rolediet_matrix::RowMatrix::row_hamming(matrix, p.a, p.b);
+            if actual != p.distance {
+                return Err(format!(
+                    "similar-{side:?} pair ({}, {}): claimed distance {} but the \
+                     rows differ in {actual} positions",
+                    p.a, p.b, p.distance
+                ));
+            }
+        }
+    }
+    // Sanity anchor on the id types: the matrices above are indexed by
+    // the same dense indices the graph hands out.
+    debug_assert_eq!(RoleId::from_index(0).index(), 0);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DetectionConfig;
+    use crate::pipeline::Pipeline;
+
+    fn figure1_report() -> (Report, TripartiteGraph) {
+        let g = TripartiteGraph::figure1_example();
+        let report = Pipeline::new(DetectionConfig::default()).run(&g);
+        (report, g)
+    }
+
+    #[test]
+    fn pipeline_reports_pass_both_validators() {
+        let (report, g) = figure1_report();
+        report
+            .validate(g.n_users(), g.n_roles(), g.n_permissions())
+            .expect("structural");
+        validate_report_against_graph(&report, &g).expect("against graph");
+    }
+
+    #[test]
+    fn default_report_passes_on_empty_dataset() {
+        Report::default().validate(0, 0, 0).expect("empty");
+    }
+
+    #[test]
+    fn unsorted_lists_are_caught() {
+        let (mut report, g) = figure1_report();
+        report.standalone_users = vec![3, 1];
+        let err = report
+            .validate(g.n_users(), g.n_roles(), g.n_permissions())
+            .unwrap_err();
+        assert!(err.contains("strictly increasing"), "{err}");
+    }
+
+    #[test]
+    fn exclusive_role_classes_are_caught() {
+        let (mut report, g) = figure1_report();
+        // Claim a role is simultaneously standalone and userless.
+        report.standalone_roles = vec![2];
+        let err = report
+            .validate(g.n_users(), g.n_roles(), g.n_permissions())
+            .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn overlapping_groups_are_caught() {
+        let report = Report {
+            same_user_groups: vec![vec![0, 1], vec![1, 2]],
+            ..Default::default()
+        };
+        let err = report.validate(5, 5, 5).unwrap_err();
+        assert!(err.contains("groups must be disjoint"), "{err}");
+    }
+
+    #[test]
+    fn pair_inside_a_group_is_caught() {
+        let report = Report {
+            same_user_groups: vec![vec![0, 1]],
+            similar_user_pairs: vec![SimilarPair::new(0, 1, 1)],
+            ..Default::default()
+        };
+        let err = report.validate(5, 5, 5).unwrap_err();
+        assert!(err.contains("identical sets, distance 0"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_distance_is_caught() {
+        let mut report = Report::default();
+        let t = report.config.similarity.threshold;
+        report.similar_user_pairs = vec![SimilarPair::new(0, 1, t + 1)];
+        let err = report.validate(5, 5, 5).unwrap_err();
+        assert!(err.contains("outside 1..="), "{err}");
+    }
+
+    #[test]
+    fn graph_contradictions_are_caught() {
+        let (mut report, g) = figure1_report();
+        // Claim two roles with different (non-empty) user sets are
+        // duplicates. (An empty-set member would trip the structural
+        // include_empty_duplicates check before the graph comparison.)
+        report.same_user_groups = vec![vec![0, 1]];
+        let err = validate_report_against_graph(&report, &g).unwrap_err();
+        assert!(err.contains("do not share identical"), "{err}");
+
+        let (mut report, g) = figure1_report();
+        // Misreport a pair's distance.
+        if let Some(p) = report.similar_user_pairs.first().copied() {
+            report.similar_user_pairs = vec![SimilarPair::new(p.a, p.b, p.distance + 1)];
+            let err = validate_report_against_graph(&report, &g).unwrap_err();
+            assert!(
+                err.contains("positions") || err.contains("outside 1..="),
+                "{err}"
+            );
+        }
+
+        let (mut report, g) = figure1_report();
+        // Drop a T1 finding the graph demands.
+        report.standalone_permissions.clear();
+        let err = validate_report_against_graph(&report, &g).unwrap_err();
+        assert!(err.contains("disagrees with the graph"), "{err}");
+    }
+}

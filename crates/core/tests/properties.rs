@@ -9,6 +9,7 @@ use rolediet_core::cooccur::{same_groups, same_groups_via_indicator, similar_pai
 use rolediet_core::detector::{detect_degrees, detect_degrees_with};
 use rolediet_core::pipeline::Pipeline;
 use rolediet_core::suggest::{merge_delta, redundant_roles, subset_pairs};
+use rolediet_core::validate::validate_report_against_graph;
 use rolediet_matrix::{CsrMatrix, RowMatrix};
 use rolediet_model::{PermissionId, RoleId, TripartiteGraph, UserId};
 
@@ -334,6 +335,30 @@ proptest! {
         // Similar pairs exclude identical rows.
         for p in &report.similar_user_pairs {
             prop_assert!(ruam.row_hamming(p.a, p.b) >= 1);
+        }
+    }
+
+    #[test]
+    fn reports_pass_both_validators_under_every_strategy(graph in graph_inputs()) {
+        use rolediet_core::config::Strategy;
+        for strategy in [
+            Strategy::Custom,
+            Strategy::ExactDbscan,
+            Strategy::hnsw_default(),
+            Strategy::minhash_default(),
+        ] {
+            let cfg = DetectionConfig::with_strategy(strategy);
+            let report = Pipeline::new(cfg).run(&graph);
+            prop_assert_eq!(
+                report.validate(graph.n_users(), graph.n_roles(), graph.n_permissions()),
+                Ok(()),
+                "structural, strategy={}", strategy.name()
+            );
+            prop_assert_eq!(
+                validate_report_against_graph(&report, &graph),
+                Ok(()),
+                "against graph, strategy={}", strategy.name()
+            );
         }
     }
 }

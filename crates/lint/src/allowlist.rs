@@ -1,0 +1,165 @@
+//! The audited-exception allowlist.
+//!
+//! Format (one entry per line, `#` comments):
+//!
+//! ```text
+//! RULE  PATH  MAX  # why this is sound
+//! D2    crates/matrix/src/signature.rs  2  # buckets sorted before exposure
+//! ```
+//!
+//! `MAX` is a ratchet: the file may carry at most that many violations
+//! of the rule. Growing past the allowance fails the lint, so audited
+//! debt can shrink but never silently grow. Entries with slack (fewer
+//! violations than allowed) are reported as warnings so the allowance
+//! can be tightened.
+
+use std::collections::BTreeMap;
+
+use crate::rules::Violation;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Rule code (`D1`..`D5`).
+    pub rule: String,
+    /// Workspace-relative path the allowance applies to.
+    pub path: String,
+    /// Maximum violations of `rule` allowed in `path`.
+    pub max: usize,
+}
+
+/// Parses allowlist text.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn parse(text: &str) -> Result<Vec<Entry>, String> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let [rule, path, max] = fields.as_slice() else {
+            return Err(format!(
+                "allowlist line {}: expected `RULE PATH MAX`, got {raw:?}",
+                idx + 1
+            ));
+        };
+        if !matches!(*rule, "D1" | "D2" | "D3" | "D4" | "D5") {
+            return Err(format!("allowlist line {}: unknown rule {rule:?}", idx + 1));
+        }
+        let max: usize = max
+            .parse()
+            .map_err(|_| format!("allowlist line {}: bad count {max:?}", idx + 1))?;
+        entries.push(Entry {
+            rule: (*rule).to_owned(),
+            path: (*path).to_owned(),
+            max,
+        });
+    }
+    Ok(entries)
+}
+
+/// Result of filtering violations through the allowlist.
+#[derive(Debug, Default)]
+pub struct Filtered {
+    /// Violations that remain actionable (not covered by an allowance,
+    /// or in excess of one).
+    pub violations: Vec<Violation>,
+    /// Non-fatal notes: slack or stale allowances worth tightening.
+    pub warnings: Vec<String>,
+}
+
+/// Applies the allowlist: groups violations by `(rule, path)` and
+/// suppresses groups whose count fits the allowance.
+pub fn apply(violations: Vec<Violation>, entries: &[Entry]) -> Filtered {
+    let mut allowance: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for e in entries {
+        allowance.insert((e.rule.clone(), e.path.clone()), e.max);
+    }
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for v in &violations {
+        *counts
+            .entry((v.rule.to_owned(), v.path.clone()))
+            .or_default() += 1;
+    }
+    let mut out = Filtered::default();
+    for v in violations {
+        let key = (v.rule.to_owned(), v.path.clone());
+        let found = counts[&key];
+        match allowance.get(&key) {
+            Some(&max) if found <= max => {} // audited, within ratchet
+            Some(&max) => {
+                out.violations.push(Violation {
+                    msg: format!(
+                        "{} [{found} found, allowance is {max} — the ratchet only goes down]",
+                        v.msg
+                    ),
+                    ..v
+                });
+            }
+            None => out.violations.push(v),
+        }
+    }
+    for (key @ (rule, path), &max) in &allowance {
+        let found = counts.get(key).copied().unwrap_or(0);
+        if found == 0 {
+            out.warnings.push(format!(
+                "allowlist: stale entry {rule} {path} (no violations left; remove it)"
+            ));
+        } else if found < max {
+            out.warnings.push(format!(
+                "allowlist: slack for {rule} {path} ({found} found < {max} allowed; tighten to {found})"
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: &'static str, path: &str, line: u32) -> Violation {
+        Violation {
+            rule,
+            path: path.to_owned(),
+            line,
+            msg: "m".to_owned(),
+        }
+    }
+
+    #[test]
+    fn parse_accepts_comments_and_rejects_junk() {
+        let entries = parse("# header\nD4 crates/x/src/a.rs 3 # audited\n\n").unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].max, 3);
+        assert!(parse("D9 p 1").is_err());
+        assert!(parse("D4 p notanumber").is_err());
+        assert!(parse("D4 p").is_err());
+    }
+
+    #[test]
+    fn apply_ratchets() {
+        let entries = parse("D4 a.rs 2\nD2 b.rs 1\nD5 stale.rs 4").unwrap();
+        let vs = vec![
+            v("D4", "a.rs", 1),
+            v("D4", "a.rs", 9),
+            v("D2", "b.rs", 3),
+            v("D2", "b.rs", 7), // exceeds allowance of 1
+            v("D1", "c.rs", 2), // no entry
+        ];
+        let filtered = apply(vs, &entries);
+        // a.rs fits; b.rs exceeds (both reported); c.rs unlisted.
+        assert_eq!(filtered.violations.len(), 3);
+        assert!(filtered.violations.iter().any(|x| x.path == "c.rs"));
+        assert!(filtered
+            .violations
+            .iter()
+            .filter(|x| x.path == "b.rs")
+            .all(|x| x.msg.contains("ratchet")));
+        assert!(filtered.warnings.iter().any(|w| w.contains("stale")));
+    }
+}

@@ -1,0 +1,403 @@
+//! A minimal Rust lexer for lint scanning.
+//!
+//! Produces identifier and punctuation tokens with line numbers, after
+//! discarding comments (line, nested block), string literals (plain,
+//! raw, byte), character literals, and lifetimes. A post-pass marks
+//! tokens that belong to test-only items — any item under an outer
+//! attribute whose tokens mention `test` outside a `not(..)`, which
+//! covers `#[test]`, `#[cfg(test)]`, and `#[cfg(any(test, ...))]` — so
+//! rules can exempt test code without parsing Rust for real.
+//!
+//! This is deliberately not a full lexer: it only needs to be sound for
+//! the token patterns the rules in [`crate::rules`] look for, on the
+//! workspace's own sources.
+
+/// One scanned token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Identifier text, or a single punctuation character.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// `true` for identifiers and keywords, `false` for punctuation.
+    pub ident: bool,
+    /// `true` when the token sits inside a test-marked item.
+    pub in_test: bool,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.chars().peekable(),
+            line: 1,
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next();
+        if c == Some('\n') {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    /// Consumes until after the terminator of a plain string/char literal.
+    fn eat_quoted(&mut self, quote: char) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                c if c == quote => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a raw string body: `"` already seen, `hashes` trailing
+    /// `#`s close it.
+    fn eat_raw_string(&mut self, hashes: usize) {
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut seen = 0;
+                while seen < hashes && self.peek() == Some('#') {
+                    self.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Consumes a (possibly nested) block comment, `/*` already seen.
+    fn eat_block_comment(&mut self) {
+        let mut depth = 1usize;
+        while let Some(c) = self.bump() {
+            if c == '*' && self.peek() == Some('/') {
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            } else if c == '/' && self.peek() == Some('*') {
+                self.bump();
+                depth += 1;
+            }
+        }
+    }
+}
+
+/// Lexes `src` into tokens; comments, literals, and lifetimes are gone.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let line = cur.line;
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' {
+            cur.bump();
+            match cur.peek() {
+                Some('/') => {
+                    while let Some(n) = cur.peek() {
+                        if n == '\n' {
+                            break;
+                        }
+                        cur.bump();
+                    }
+                }
+                Some('*') => {
+                    cur.bump();
+                    cur.eat_block_comment();
+                }
+                _ => out.push(punct('/', line)),
+            }
+            continue;
+        }
+        if c == '"' {
+            cur.bump();
+            cur.eat_quoted('"');
+            continue;
+        }
+        if c == '\'' {
+            cur.bump();
+            // Lifetime (`'a`) or char literal (`'a'`, `'\n'`). A
+            // lifetime is an identifier not followed by a closing quote.
+            match cur.peek() {
+                Some(n) if is_ident_start(n) => {
+                    let mut name = String::new();
+                    while let Some(k) = cur.peek() {
+                        if is_ident_continue(k) {
+                            name.push(k);
+                            cur.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    if name.chars().count() == 1 && cur.peek() == Some('\'') {
+                        cur.bump(); // char literal like 'a'
+                    }
+                }
+                _ => cur.eat_quoted('\''),
+            }
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while let Some(n) = cur.peek() {
+                if is_ident_continue(n) {
+                    text.push(n);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            // Raw/byte string prefixes swallow the literal that follows.
+            if matches!(text.as_str(), "r" | "br") {
+                let mut hashes = 0usize;
+                while cur.peek() == Some('#') {
+                    cur.bump();
+                    hashes += 1;
+                }
+                if cur.peek() == Some('"') {
+                    cur.bump();
+                    cur.eat_raw_string(hashes);
+                    continue;
+                }
+                // `r#ident` raw identifier: emit the identifier itself.
+                if hashes == 1 {
+                    if let Some(n) = cur.peek() {
+                        if is_ident_start(n) {
+                            continue; // next loop turn lexes the identifier
+                        }
+                    }
+                }
+                if hashes > 0 {
+                    // Lone `#`s we consumed; they cannot matter to rules.
+                    continue;
+                }
+            }
+            if text == "b" && cur.peek() == Some('"') {
+                cur.bump();
+                cur.eat_quoted('"');
+                continue;
+            }
+            out.push(Token {
+                text,
+                line,
+                ident: true,
+                in_test: false,
+            });
+            continue;
+        }
+        cur.bump();
+        out.push(punct(c, line));
+    }
+    mark_test_regions(&mut out);
+    out
+}
+
+fn punct(c: char, line: u32) -> Token {
+    Token {
+        text: c.to_string(),
+        line,
+        ident: false,
+        in_test: false,
+    }
+}
+
+/// Marks tokens of items guarded by test-only outer attributes.
+fn mark_test_regions(tokens: &mut [Token]) {
+    let mut i = 0;
+    let mut pending_test = false;
+    while i < tokens.len() {
+        if tokens[i].text == "#" && !tokens[i].ident {
+            // Inner attribute `#![..]`: skip without test inference.
+            let inner = tokens.get(i + 1).is_some_and(|t| t.text == "!");
+            let open = if inner { i + 2 } else { i + 1 };
+            if tokens.get(open).is_some_and(|t| t.text == "[") {
+                let (end, is_test) = scan_attribute(tokens, open);
+                if !inner && is_test {
+                    pending_test = true;
+                }
+                i = end;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        if pending_test {
+            i = mark_item(tokens, i);
+            pending_test = false;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Scans a bracket-balanced attribute starting at the `[` at `open`.
+/// Returns (index after the closing `]`, whether it marks test code).
+fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut has_test = false;
+    let mut has_not = false;
+    let mut j = open;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        match t.text.as_str() {
+            "[" if !t.ident => depth += 1,
+            "]" if !t.ident => {
+                depth -= 1;
+                if depth == 0 {
+                    return (j + 1, has_test && !has_not);
+                }
+            }
+            "test" if t.ident => has_test = true,
+            "not" if t.ident => has_not = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    (j, false)
+}
+
+/// Marks one item starting at `start` as test code; returns the index
+/// just past it. An item ends at a top-level `;` (no body) or at the
+/// close of its first top-level brace block.
+fn mark_item(tokens: &mut [Token], start: usize) -> usize {
+    let mut brace_depth = 0usize;
+    let mut bracket_depth = 0usize;
+    let mut saw_brace = false;
+    let mut j = start;
+    while j < tokens.len() {
+        tokens[j].in_test = true;
+        let text = tokens[j].text.clone();
+        let ident = tokens[j].ident;
+        if !ident {
+            match text.as_str() {
+                "{" => {
+                    brace_depth += 1;
+                    saw_brace = true;
+                }
+                "}" => {
+                    brace_depth = brace_depth.saturating_sub(1);
+                    if brace_depth == 0 && saw_brace {
+                        return j + 1;
+                    }
+                }
+                "[" | "(" => bracket_depth += 1,
+                "]" | ")" => bracket_depth = bracket_depth.saturating_sub(1),
+                ";" if brace_depth == 0 && bracket_depth == 0 && !saw_brace => {
+                    return j + 1;
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(tokens: &[Token]) -> Vec<&str> {
+        tokens
+            .iter()
+            .filter(|t| t.ident)
+            .map(|t| t.text.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let toks = tokenize(
+            "// HashMap in a comment\nlet x = \"HashMap\"; /* HashSet */ let y = r#\"Instant\"#;",
+        );
+        let ids = idents(&toks);
+        assert!(ids.contains(&"let"));
+        assert!(!ids.contains(&"HashMap"));
+        assert!(!ids.contains(&"HashSet"));
+        assert!(!ids.contains(&"Instant"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let toks = tokenize("fn f<'a>(x: &'a str) -> Vec<Token> { unwrap() }");
+        let ids = idents(&toks);
+        assert!(ids.contains(&"unwrap"));
+        assert!(!ids.contains(&"a"));
+    }
+
+    #[test]
+    fn char_literals_with_escapes() {
+        let toks = tokenize("let q = '\\''; let b = '{'; spawn()");
+        assert!(idents(&toks).contains(&"spawn"));
+        assert!(!toks.iter().any(|t| t.text == "{"));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let src =
+            "fn lib() { a(); }\n#[cfg(test)]\nmod tests { fn t() { b(); } }\nfn tail() { c(); }";
+        let toks = tokenize(src);
+        let find = |name: &str| toks.iter().find(|t| t.text == name).expect(name);
+        assert!(!find("a").in_test);
+        assert!(find("b").in_test);
+        assert!(!find("c").in_test);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_marked() {
+        let toks = tokenize("#[cfg(not(test))]\nfn live() { hot(); }");
+        assert!(!toks.iter().find(|t| t.text == "hot").unwrap().in_test);
+    }
+
+    #[test]
+    fn test_attribute_skips_semicolon_items() {
+        let toks = tokenize("#[cfg(test)]\nuse std::collections::HashMap;\nfn live() { go(); }");
+        assert!(toks.iter().find(|t| t.text == "HashMap").unwrap().in_test);
+        assert!(!toks.iter().find(|t| t.text == "go").unwrap().in_test);
+    }
+
+    #[test]
+    fn stacked_attributes_keep_pending() {
+        let toks = tokenize("#[test]\n#[ignore]\nfn t() { probe(); }");
+        assert!(toks.iter().find(|t| t.text == "probe").unwrap().in_test);
+    }
+
+    #[test]
+    fn any_test_feature_is_marked() {
+        let toks = tokenize("#[cfg(any(test, feature = \"audit\"))]\nfn gated() { g(); }");
+        assert!(toks.iter().find(|t| t.text == "g").unwrap().in_test);
+    }
+
+    #[test]
+    fn raw_identifier_is_lexed() {
+        let toks = tokenize("let r#type = 1; thread()");
+        assert!(idents(&toks).contains(&"type"));
+        assert!(idents(&toks).contains(&"thread"));
+    }
+}

@@ -1,0 +1,105 @@
+//! `rolediet-lint` — domain lints for the rolediet workspace.
+//!
+//! The workspace's central claim is that every parallel stage is
+//! bit-identical to its sequential oracle at every thread count. The
+//! proptests pin that dynamically; this crate prevents the *next* change
+//! from breaking it statically, with five hand-rolled lints (see
+//! [`rules`] for the table) enforced by a dependency-free token scanner
+//! over the workspace's own sources.
+//!
+//! Audited exceptions live in `crates/lint/allowlist.txt` as per-file,
+//! per-rule allowances with a ratchet: the violation count may shrink
+//! but never grow (see [`allowlist`]).
+//!
+//! Run it as `cargo run -p rolediet-lint` (wired into
+//! `scripts/verify.sh` and CI), or `--print-allowlist` to emit entries
+//! for the current findings when auditing new debt.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod allowlist;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::path::Path;
+
+use rules::Violation;
+
+/// Everything one lint run produced.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Actionable violations (allowlist already applied). Non-empty
+    /// means the run failed.
+    pub violations: Vec<Violation>,
+    /// Non-fatal notes (allowlist slack, stale entries).
+    pub warnings: Vec<String>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Raw violation count before the allowlist was applied.
+    pub raw_count: usize,
+}
+
+/// Lints the workspace rooted at `root` with the checked-in allowlist.
+///
+/// # Errors
+///
+/// Returns a message when the workspace cannot be walked or the
+/// allowlist is malformed — infrastructure failures, distinct from lint
+/// violations, which are reported in the [`Outcome`].
+pub fn run(root: &Path) -> Result<Outcome, String> {
+    let allow_path = root.join("crates/lint/allowlist.txt");
+    let entries = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => allowlist::parse(&text)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(format!("cannot read {}: {e}", allow_path.display())),
+    };
+    let raw = scan_workspace(root)?;
+    let files_scanned = walk::workspace_files(root)?
+        .iter()
+        .filter(|rel| rules::classify(rel).is_some())
+        .count();
+    let raw_count = raw.len();
+    let filtered = allowlist::apply(raw, &entries);
+    Ok(Outcome {
+        violations: filtered.violations,
+        warnings: filtered.warnings,
+        files_scanned,
+        raw_count,
+    })
+}
+
+/// Scans every lintable workspace file, with no allowlist applied.
+///
+/// # Errors
+///
+/// Returns a message when a file or directory cannot be read.
+pub fn scan_workspace(root: &Path) -> Result<Vec<Violation>, String> {
+    let mut out = Vec::new();
+    for rel in walk::workspace_files(root)? {
+        let Some(class) = rules::classify(&rel) else {
+            continue;
+        };
+        let path = root.join(&rel);
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        out.extend(rules::scan_file(&class, &src));
+    }
+    Ok(out)
+}
+
+/// Renders `violations` as allowlist entries (one per `(rule, path)`
+/// group, allowance = current count) for `--print-allowlist`.
+pub fn suggested_allowlist(violations: &[Violation]) -> String {
+    let mut counts: std::collections::BTreeMap<(&str, &str), usize> =
+        std::collections::BTreeMap::new();
+    for v in violations {
+        *counts.entry((v.rule, v.path.as_str())).or_default() += 1;
+    }
+    let mut out = String::new();
+    for ((rule, path), n) in counts {
+        out.push_str(&format!("{rule} {path} {n}  # TODO: justify\n"));
+    }
+    out
+}

@@ -1,0 +1,89 @@
+//! Driver for `rolediet-lint`.
+//!
+//! ```text
+//! cargo run -p rolediet-lint [-- --root PATH] [--print-allowlist] [--quiet]
+//! ```
+//!
+//! Exits non-zero when any violation survives the allowlist, so
+//! `scripts/verify.sh` and CI can gate on it.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut root: Option<PathBuf> = None;
+    let mut print_allowlist = false;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => die("--root needs a path"),
+            },
+            "--print-allowlist" => print_allowlist = true,
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "rolediet-lint — workspace domain lints (D1–D5)\n\
+                     \n\
+                     \x20 --root PATH         workspace root (default: inferred)\n\
+                     \x20 --print-allowlist   emit allowlist entries for current findings\n\
+                     \x20 --quiet             suppress the summary line"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag {other:?}")),
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+
+    if print_allowlist {
+        match rolediet_lint::scan_workspace(&root) {
+            Ok(raw) => print!("{}", rolediet_lint::suggested_allowlist(&raw)),
+            Err(e) => die(&e),
+        }
+        return;
+    }
+
+    match rolediet_lint::run(&root) {
+        Ok(outcome) => {
+            for w in &outcome.warnings {
+                eprintln!("warning: {w}");
+            }
+            for v in &outcome.violations {
+                println!("{v}");
+            }
+            if !quiet {
+                eprintln!(
+                    "rolediet-lint: {} files scanned, {} raw findings, {} allowlisted, {} actionable",
+                    outcome.files_scanned,
+                    outcome.raw_count,
+                    outcome.raw_count - outcome.violations.len(),
+                    outcome.violations.len()
+                );
+            }
+            if !outcome.violations.is_empty() {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => die(&e),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("rolediet-lint: {msg}");
+    std::process::exit(2)
+}
+
+/// The workspace root: two levels above this crate's manifest, which
+/// holds both when run via `cargo run` from any directory and when the
+/// binary is invoked directly from a checkout.
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("."))
+}

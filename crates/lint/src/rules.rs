@@ -1,0 +1,366 @@
+//! The domain lint rules (D1–D5) and the per-file scanner.
+//!
+//! | Rule | Contract it guards |
+//! |------|--------------------|
+//! | D1 | All parallelism rides the substrate: no `thread::spawn`/`thread::scope` outside `crates/matrix/src/parallel.rs`. |
+//! | D2 | No order-dependent output: no `HashMap`/`HashSet` in non-test library code of `matrix`/`cluster`/`core` — use `BTreeMap`/`BTreeSet` or sort before exposure (audited exceptions go in the allowlist). |
+//! | D3 | Crate roots carry `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]`; no `unsafe` token anywhere (including keyword-adjacent `unsafe_` bindings, which read as `unsafe` in diffs). |
+//! | D4 | No `.unwrap()`/`.expect(..)` in non-test library code (invariant-backed uses are audited in the allowlist). |
+//! | D5 | No wall-clock reads (`Instant`/`SystemTime`) outside the `Report::timings` plumbing (`crates/core/src/pipeline.rs`) and the bench crate. |
+
+use crate::lexer::{tokenize, Token};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule code, `"D1"`..`"D5"`.
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line (0 for whole-file findings such as missing attributes).
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "{} {}: {}", self.rule, self.path, self.msg)
+        } else {
+            write!(f, "{} {}:{}: {}", self.rule, self.path, self.line, self.msg)
+        }
+    }
+}
+
+/// What kind of target a file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/` of a library crate (or the workspace root crate).
+    LibSrc,
+    /// `src/main.rs` or `src/bin/*.rs`.
+    BinSrc,
+    /// An integration-test file under `tests/`.
+    TestsDir,
+    /// A benchmark under `benches/`.
+    BenchesDir,
+}
+
+/// Where a file sits in the workspace, as far as rule scoping cares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileClass {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Crate directory name (`matrix`, `core`, ...; the root crate is
+    /// `rolediet`).
+    pub crate_name: String,
+    /// Target kind.
+    pub kind: FileKind,
+    /// Whether this file is a crate root (`lib.rs`, `main.rs`, `bin/*.rs`).
+    pub crate_root: bool,
+}
+
+/// Classifies a workspace-relative path; `None` means the file is out of
+/// scope (vendored code, lint fixtures, non-Rust files).
+pub fn classify(rel: &str) -> Option<FileClass> {
+    if !rel.ends_with(".rs")
+        || rel.starts_with("vendor/")
+        || rel.starts_with("target/")
+        || rel.starts_with("crates/lint/tests/fixtures/")
+    {
+        return None;
+    }
+    let parts: Vec<&str> = rel.split('/').collect();
+    let (crate_name, rest) = match parts.as_slice() {
+        ["crates", name, rest @ ..] => ((*name).to_owned(), rest.to_vec()),
+        ["src", rest @ ..] => {
+            let mut v = vec!["src"];
+            v.extend(rest);
+            ("rolediet".to_owned(), v)
+        }
+        _ => return None,
+    };
+    let (kind, crate_root) = match rest.as_slice() {
+        ["src", "lib.rs"] => (FileKind::LibSrc, true),
+        ["src", "main.rs"] => (FileKind::BinSrc, true),
+        ["src", "bin", _] => (FileKind::BinSrc, true),
+        ["src", ..] => (FileKind::LibSrc, false),
+        ["tests", ..] => (FileKind::TestsDir, false),
+        ["benches", ..] => (FileKind::BenchesDir, false),
+        _ => return None,
+    };
+    Some(FileClass {
+        rel: rel.to_owned(),
+        crate_name,
+        kind,
+        crate_root,
+    })
+}
+
+/// The one file allowed to touch `std::thread` directly.
+const SUBSTRATE: &str = "crates/matrix/src/parallel.rs";
+/// The one file allowed to read wall clocks outside the bench crate.
+const TIMINGS_PLUMBING: &str = "crates/core/src/pipeline.rs";
+/// Crates whose non-test library code must not use hash collections (D2).
+const ORDER_SENSITIVE_CRATES: &[&str] = &["matrix", "cluster", "core"];
+/// Crates whose non-test library code must not unwrap/expect (D4).
+const LIBRARY_CRATES: &[&str] = &[
+    "matrix", "model", "cluster", "synth", "core", "mining", "lint", "rolediet",
+];
+
+/// Scans one classified file and returns its violations.
+pub fn scan_file(class: &FileClass, src: &str) -> Vec<Violation> {
+    let tokens = tokenize(src);
+    let mut out = Vec::new();
+    d1_substrate_only(class, &tokens, &mut out);
+    d2_no_hash_collections(class, &tokens, &mut out);
+    d3_unsafe_hygiene(class, src, &tokens, &mut out);
+    d4_no_unwrap(class, &tokens, &mut out);
+    d5_no_wall_clock(class, &tokens, &mut out);
+    out
+}
+
+fn push(out: &mut Vec<Violation>, rule: &'static str, class: &FileClass, line: u32, msg: String) {
+    out.push(Violation {
+        rule,
+        path: class.rel.clone(),
+        line,
+        msg,
+    });
+}
+
+/// D1: `thread::spawn` / `thread::scope` only inside the substrate.
+fn d1_substrate_only(class: &FileClass, tokens: &[Token], out: &mut Vec<Violation>) {
+    if class.rel == SUBSTRATE {
+        return;
+    }
+    for w in tokens.windows(4) {
+        let [a, c1, c2, b] = w else { continue };
+        if a.ident
+            && a.text == "thread"
+            && c1.text == ":"
+            && c2.text == ":"
+            && b.ident
+            && matches!(b.text.as_str(), "spawn" | "scope")
+        {
+            push(
+                out,
+                "D1",
+                class,
+                b.line,
+                format!(
+                    "`thread::{}` outside the parallel substrate ({SUBSTRATE}); \
+                     use rolediet_matrix::parallel instead",
+                    b.text
+                ),
+            );
+        }
+    }
+}
+
+/// D2: no `HashMap`/`HashSet` in non-test library code of the
+/// order-sensitive crates.
+fn d2_no_hash_collections(class: &FileClass, tokens: &[Token], out: &mut Vec<Violation>) {
+    if class.kind != FileKind::LibSrc
+        || !ORDER_SENSITIVE_CRATES.contains(&class.crate_name.as_str())
+    {
+        return;
+    }
+    for t in tokens {
+        if t.ident && !t.in_test && matches!(t.text.as_str(), "HashMap" | "HashSet") {
+            push(
+                out,
+                "D2",
+                class,
+                t.line,
+                format!(
+                    "`{}` in non-test code of an order-sensitive crate: iteration order \
+                     can leak into output; use BTreeMap/BTreeSet or allowlist the audited use",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// D3: crate-root hygiene attributes plus a textual `unsafe` scan.
+fn d3_unsafe_hygiene(class: &FileClass, src: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+    if class.crate_root {
+        // Whitespace-insensitive search over the raw source; the lexer
+        // has no attribute AST, and these attributes are head-of-file
+        // boilerplate that comments have no business faking.
+        let compact: String = src.chars().filter(|c| !c.is_whitespace()).collect();
+        for needle in ["#![forbid(unsafe_code)]", "#![deny(missing_docs)]"] {
+            let compact_needle: String = needle.chars().filter(|c| !c.is_whitespace()).collect();
+            if !compact.contains(&compact_needle) {
+                push(
+                    out,
+                    "D3",
+                    class,
+                    0,
+                    format!("crate root is missing `{needle}`"),
+                );
+            }
+        }
+    }
+    for t in tokens {
+        if t.ident && matches!(t.text.as_str(), "unsafe" | "unsafe_") {
+            push(
+                out,
+                "D3",
+                class,
+                t.line,
+                format!(
+                    "`{}` token: unsafe code is forbidden workspace-wide, and \
+                     keyword-adjacent `unsafe_` bindings read as unsafe in diffs",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// D4: no `.unwrap()` / `.expect(..)` in non-test library code.
+fn d4_no_unwrap(class: &FileClass, tokens: &[Token], out: &mut Vec<Violation>) {
+    if class.kind != FileKind::LibSrc || !LIBRARY_CRATES.contains(&class.crate_name.as_str()) {
+        return;
+    }
+    for w in tokens.windows(3) {
+        let [dot, name, paren] = w else { continue };
+        if dot.text == "."
+            && !dot.ident
+            && name.ident
+            && !name.in_test
+            && matches!(name.text.as_str(), "unwrap" | "expect")
+            && paren.text == "("
+        {
+            push(
+                out,
+                "D4",
+                class,
+                name.line,
+                format!(
+                    "`.{}(..)` in library code: return an error or prove the \
+                     invariant and allowlist the audited call site",
+                    name.text
+                ),
+            );
+        }
+    }
+}
+
+/// D5: wall-clock reads only in the timings plumbing and the bench crate.
+fn d5_no_wall_clock(class: &FileClass, tokens: &[Token], out: &mut Vec<Violation>) {
+    if class.rel == TIMINGS_PLUMBING || class.crate_name == "bench" {
+        return;
+    }
+    for t in tokens {
+        if t.ident && !t.in_test && matches!(t.text.as_str(), "Instant" | "SystemTime") {
+            push(
+                out,
+                "D5",
+                class,
+                t.line,
+                format!(
+                    "`{}` outside the Report::timings plumbing ({TIMINGS_PLUMBING}): \
+                     wall-clock reads make output depend on when it ran",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_class(rel: &str) -> FileClass {
+        classify(rel).expect("classifiable")
+    }
+
+    #[test]
+    fn classify_maps_layouts() {
+        let c = lib_class("crates/matrix/src/sparse.rs");
+        assert_eq!(c.crate_name, "matrix");
+        assert_eq!(c.kind, FileKind::LibSrc);
+        assert!(!c.crate_root);
+        assert!(lib_class("crates/cli/src/main.rs").crate_root);
+        assert!(lib_class("crates/bench/src/bin/repro.rs").crate_root);
+        assert_eq!(lib_class("src/lib.rs").crate_name, "rolediet");
+        assert_eq!(
+            lib_class("crates/model/tests/properties.rs").kind,
+            FileKind::TestsDir
+        );
+        assert!(classify("vendor/rand/src/lib.rs").is_none());
+        assert!(classify("crates/lint/tests/fixtures/d1.rs").is_none());
+        assert!(classify("README.md").is_none());
+    }
+
+    #[test]
+    fn d1_flags_spawn_everywhere_but_substrate() {
+        let src = "fn f() { std::thread::spawn(|| {}); }";
+        let hits = scan_file(&lib_class("crates/core/src/pipeline.rs"), src);
+        assert!(hits.iter().any(|v| v.rule == "D1"), "{hits:?}");
+        let none = scan_file(&lib_class("crates/matrix/src/parallel.rs"), src);
+        assert!(none.iter().all(|v| v.rule != "D1"));
+    }
+
+    #[test]
+    fn d2_respects_test_regions_and_crate_scope() {
+        let src = "#[cfg(test)]\nmod tests { use std::collections::HashMap; }\n";
+        let c = lib_class("crates/cluster/src/minhash.rs");
+        assert!(scan_file(&c, src).iter().all(|v| v.rule != "D2"));
+        let live = "use std::collections::HashMap;\n";
+        assert!(scan_file(&c, live).iter().any(|v| v.rule == "D2"));
+        // Out-of-scope crate: model may use hash collections.
+        let m = lib_class("crates/model/src/graph.rs");
+        assert!(scan_file(&m, live).iter().all(|v| v.rule != "D2"));
+    }
+
+    #[test]
+    fn d3_requires_root_attrs_and_flags_unsafe_adjacent_names() {
+        let c = lib_class("crates/cli/src/main.rs");
+        let hits = scan_file(&c, "fn main() {}");
+        assert_eq!(hits.iter().filter(|v| v.rule == "D3").count(), 2);
+        let clean = "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\nfn main() {}";
+        assert!(scan_file(&c, clean).iter().all(|v| v.rule != "D3"));
+        let shadow = "fn main() { let unsafe_ = 1; }";
+        assert!(scan_file(&c, shadow).iter().any(|v| v.rule == "D3"));
+        // `unsafe_similar_merges` is a distinct identifier, not flagged.
+        let ok = "fn main() { unsafe_similar_merges(); }";
+        assert!(scan_file(&c, ok)
+            .iter()
+            .all(|v| v.rule != "D3" || v.line == 0));
+    }
+
+    #[test]
+    fn d4_only_library_nontest_code() {
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); }";
+        let c = lib_class("crates/model/src/graph.rs");
+        assert_eq!(
+            scan_file(&c, src).iter().filter(|v| v.rule == "D4").count(),
+            2
+        );
+        // unwrap_or_else is a different identifier.
+        let ok = "fn f() { x.unwrap_or_else(|| 3); }";
+        assert!(scan_file(&c, ok).iter().all(|v| v.rule != "D4"));
+        // Integration tests may unwrap freely.
+        let t = lib_class("crates/model/tests/properties.rs");
+        assert!(scan_file(&t, src).iter().all(|v| v.rule != "D4"));
+        // The CLI is a bin target, out of D4 scope.
+        let cli = lib_class("crates/cli/src/main.rs");
+        assert!(scan_file(&cli, src).iter().all(|v| v.rule != "D4"));
+    }
+
+    #[test]
+    fn d5_exempts_plumbing_and_bench() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }";
+        let c = lib_class("crates/cluster/src/dbscan.rs");
+        assert!(scan_file(&c, src).iter().any(|v| v.rule == "D5"));
+        let plumbing = lib_class("crates/core/src/pipeline.rs");
+        assert!(scan_file(&plumbing, src).iter().all(|v| v.rule != "D5"));
+        let bench = lib_class("crates/bench/src/bin/repro.rs");
+        assert!(scan_file(&bench, src).iter().all(|v| v.rule != "D5"));
+    }
+}

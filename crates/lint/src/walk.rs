@@ -1,0 +1,75 @@
+//! Deterministic workspace file discovery.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Collects every lintable `.rs` file under the workspace root, as
+/// sorted workspace-relative paths with `/` separators.
+///
+/// Scope: the root crate's `src/`, and each `crates/*/{src,tests,benches}`.
+/// Vendored crates and the lint self-test fixtures are excluded (the
+/// classifier in [`crate::rules::classify`] re-checks this, so a stray
+/// file cannot sneak in through either layer alone).
+///
+/// # Errors
+///
+/// Returns a message naming the directory that could not be read.
+pub fn workspace_files(root: &Path) -> Result<Vec<String>, String> {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    if root.join("src").is_dir() {
+        dirs.push(root.join("src"));
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in read_dir_sorted(&crates_dir)? {
+            if entry.is_dir() {
+                for sub in ["src", "tests", "benches"] {
+                    let d = entry.join(sub);
+                    if d.is_dir() {
+                        dirs.push(d);
+                    }
+                }
+            }
+        }
+    }
+    let mut files = Vec::new();
+    for dir in dirs {
+        collect_rs(&dir, &mut files)?;
+    }
+    let mut rels: Vec<String> = files
+        .into_iter()
+        .filter_map(|p| {
+            let rel = p.strip_prefix(root).ok()?;
+            let rel: Vec<String> = rel
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect();
+            Some(rel.join("/"))
+        })
+        .filter(|rel| !rel.starts_with("crates/lint/tests/fixtures/"))
+        .collect();
+    rels.sort();
+    Ok(rels)
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let rd = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut out = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        out.push(entry.path());
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    for path in read_dir_sorted(dir)? {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! A fixture that satisfies every rule even under the strictest
+//! classification (crate root of an order-sensitive library crate):
+//! hygiene attributes present, ordered collections only, fallible
+//! extraction, no clocks, no threads — and a `#[cfg(test)]` module
+//! proving the test exemptions apply.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::collections::BTreeMap;
+
+/// Groups values by key in deterministic key order.
+pub fn group_sorted(pairs: &[(u32, u32)]) -> Vec<Vec<u32>> {
+    let mut by_key: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for &(k, v) in pairs {
+        by_key.entry(k).or_default().push(v);
+    }
+    by_key.into_values().collect()
+}
+
+/// Fallible head extraction instead of `.unwrap()`.
+pub fn first(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_may_use_hashes_and_unwrap() {
+        let grouped = group_sorted(&[(2, 1), (1, 9)]);
+        assert_eq!(grouped, vec![vec![9], vec![1]]);
+        let mut m = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m.get(&1).copied().unwrap(), 2);
+        assert_eq!(first(&[7]).unwrap(), 7);
+    }
+}

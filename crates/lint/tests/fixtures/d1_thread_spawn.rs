@@ -1,0 +1,14 @@
+//! Seeded D1 violation: hand-rolled parallelism outside the substrate.
+
+/// Splits work across ad-hoc threads instead of riding
+/// `rolediet_matrix::parallel` — the exact pattern D1 exists to stop,
+/// because a completion-order join here would break bit-identity.
+pub fn rogue_parallel_sum(xs: &[u64]) -> u64 {
+    let mid = xs.len() / 2;
+    let (lo, hi) = xs.split_at(mid);
+    std::thread::scope(|scope| {
+        let a = scope.spawn(|| lo.iter().sum::<u64>());
+        let b = hi.iter().sum::<u64>();
+        a.join().unwrap_or(0) + b
+    })
+}

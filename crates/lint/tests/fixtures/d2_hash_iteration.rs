@@ -1,0 +1,14 @@
+//! Seeded D2 violation: hash-collection use in an order-sensitive crate.
+
+use std::collections::HashMap;
+
+/// Groups values by key and emits them in `HashMap` iteration order —
+/// output silently depends on the hasher seed and layout, which is the
+/// nondeterminism hazard D2 exists to stop.
+pub fn group_in_hash_order(pairs: &[(u32, u32)]) -> Vec<Vec<u32>> {
+    let mut by_key: HashMap<u32, Vec<u32>> = HashMap::new();
+    for &(k, v) in pairs {
+        by_key.entry(k).or_default().push(v);
+    }
+    by_key.into_values().collect()
+}

@@ -1,0 +1,9 @@
+//! Seeded D3 violations: a crate root with neither hygiene attribute,
+//! plus a keyword-adjacent `unsafe_` binding (the shadow-name the
+//! scanner special-cases — rename such bindings, e.g. to `blocked`).
+
+/// Filters out even values; the binding name is the violation.
+pub fn partition_demo(xs: &[u32]) -> Vec<u32> {
+    let unsafe_ = xs.iter().copied().filter(|x| x % 2 == 1);
+    unsafe_.collect()
+}

@@ -1,0 +1,11 @@
+//! Seeded D4 violations: panicking extractors in library code.
+
+/// Parses a dotted pair like `"3.7"`; panics on malformed input instead
+/// of returning an error — the hidden-partiality pattern D4 exists to
+/// stop in library code paths.
+pub fn parse_pair(s: &str) -> (u32, u32) {
+    let mut it = s.split('.');
+    let a = it.next().unwrap().parse().expect("left half");
+    let b = it.next().unwrap().parse().expect("right half");
+    (a, b)
+}

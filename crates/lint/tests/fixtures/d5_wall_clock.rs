@@ -1,0 +1,12 @@
+//! Seeded D5 violation: a wall-clock read outside the timings plumbing.
+
+use std::time::Instant;
+
+/// Returns how long a closure takes — timing logic that belongs in the
+/// bench crate or the `Report::timings` plumbing, nowhere else, because
+/// wall-clock reads make output depend on when it ran.
+pub fn measure<F: FnOnce()>(f: F) -> std::time::Duration {
+    let start = Instant::now();
+    f();
+    start.elapsed()
+}

@@ -1,0 +1,166 @@
+//! Self-tests: every seeded fixture under `tests/fixtures/` trips its
+//! rule (through the library *and* through the real binary's exit
+//! code), the clean fixture passes under the strictest classification,
+//! and the actual workspace lints clean with the checked-in allowlist.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use rolediet_lint::rules::{classify, scan_file};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Scans a fixture as if it lived at `rel` inside the workspace.
+fn scan_as(rel: &str, src: &str) -> Vec<rolediet_lint::rules::Violation> {
+    let class = classify(rel).unwrap_or_else(|| panic!("{rel} must classify"));
+    scan_file(&class, src)
+}
+
+fn rules_hit(violations: &[rolediet_lint::rules::Violation]) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = violations.iter().map(|v| v.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn d1_fixture_trips_outside_substrate_only() {
+    let src = fixture("d1_thread_spawn.rs");
+    assert_eq!(
+        rules_hit(&scan_as("crates/core/src/seeded.rs", &src)),
+        ["D1"]
+    );
+    // The same tokens inside the substrate file are the substrate.
+    assert!(scan_as("crates/matrix/src/parallel.rs", &src).is_empty());
+}
+
+#[test]
+fn d2_fixture_trips_in_order_sensitive_crates_only() {
+    let src = fixture("d2_hash_iteration.rs");
+    assert_eq!(
+        rules_hit(&scan_as("crates/matrix/src/seeded.rs", &src)),
+        ["D2"]
+    );
+    // `model` is outside D2's scope (its maps never reach reports raw).
+    assert!(scan_as("crates/model/src/seeded.rs", &src).is_empty());
+}
+
+#[test]
+fn d3_fixture_trips_missing_attrs_and_shadow_binding() {
+    let src = fixture("d3_unsafe_hygiene.rs");
+    let hits = scan_as("crates/cluster/src/lib.rs", &src);
+    assert_eq!(rules_hit(&hits), ["D3"]);
+    let missing_attrs = hits.iter().filter(|v| v.line == 0).count();
+    assert_eq!(missing_attrs, 2, "both hygiene attributes reported missing");
+    assert!(
+        hits.iter().any(|v| v.line > 0 && v.msg.contains("unsafe_")),
+        "the keyword-adjacent binding is flagged: {hits:?}"
+    );
+}
+
+#[test]
+fn d4_fixture_trips_in_library_code_only() {
+    let src = fixture("d4_unwrap.rs");
+    let hits = scan_as("crates/model/src/seeded.rs", &src);
+    assert_eq!(rules_hit(&hits), ["D4"]);
+    assert_eq!(hits.len(), 4, "two unwraps + two expects: {hits:?}");
+    assert!(scan_as("crates/model/tests/seeded.rs", &src).is_empty());
+}
+
+#[test]
+fn d5_fixture_trips_outside_timings_plumbing() {
+    let src = fixture("d5_wall_clock.rs");
+    assert_eq!(
+        rules_hit(&scan_as("crates/synth/src/seeded.rs", &src)),
+        ["D5"]
+    );
+    assert!(scan_as("crates/core/src/pipeline.rs", &src).is_empty());
+    assert!(scan_as("crates/bench/src/seeded.rs", &src).is_empty());
+}
+
+#[test]
+fn clean_fixture_passes_strictest_classification() {
+    let src = fixture("clean.rs");
+    // Crate root of an order-sensitive library crate: D2/D3/D4 all apply.
+    assert!(scan_as("crates/matrix/src/lib.rs", &src).is_empty());
+}
+
+/// Builds a throwaway one-file workspace and returns its root.
+fn seeded_workspace(test_name: &str, rel: &str, fixture_name: &str) -> PathBuf {
+    let root =
+        std::env::temp_dir().join(format!("rolediet-lint-{}-{test_name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let target = root.join(rel);
+    std::fs::create_dir_all(target.parent().expect("fixture path has a parent"))
+        .expect("create workspace dirs");
+    std::fs::write(&target, fixture(fixture_name)).expect("write fixture");
+    root
+}
+
+fn lint_exit_code(root: &Path) -> i32 {
+    let output = Command::new(env!("CARGO_BIN_EXE_rolediet-lint"))
+        .args(["--root", &root.display().to_string(), "--quiet"])
+        .output()
+        .expect("run rolediet-lint");
+    output.status.code().expect("exit code")
+}
+
+#[test]
+fn binary_exits_nonzero_on_each_seeded_rule() {
+    let cases = [
+        ("bin-d1", "crates/core/src/seeded.rs", "d1_thread_spawn.rs"),
+        (
+            "bin-d2",
+            "crates/matrix/src/seeded.rs",
+            "d2_hash_iteration.rs",
+        ),
+        (
+            "bin-d3",
+            "crates/cluster/src/lib.rs",
+            "d3_unsafe_hygiene.rs",
+        ),
+        ("bin-d4", "crates/model/src/seeded.rs", "d4_unwrap.rs"),
+        ("bin-d5", "crates/synth/src/seeded.rs", "d5_wall_clock.rs"),
+    ];
+    for (name, rel, fixture_name) in cases {
+        let root = seeded_workspace(name, rel, fixture_name);
+        assert_eq!(
+            lint_exit_code(&root),
+            1,
+            "{fixture_name} must fail the lint"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}
+
+#[test]
+fn binary_exits_zero_on_clean_workspace() {
+    let root = seeded_workspace("bin-clean", "crates/matrix/src/lib.rs", "clean.rs");
+    assert_eq!(lint_exit_code(&root), 0);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The repository itself must lint clean with the checked-in allowlist —
+/// this is the same gate `scripts/verify.sh` runs, enforced from
+/// `cargo test` too so a violation cannot land through a partial check.
+#[test]
+fn real_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let outcome = rolediet_lint::run(&root).expect("lint run");
+    assert!(
+        outcome.violations.is_empty(),
+        "workspace lint violations:\n{}",
+        outcome
+            .violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(outcome.files_scanned > 50, "walker found the workspace");
+}

@@ -40,7 +40,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bitvec;
 pub mod dense;
@@ -50,6 +50,7 @@ pub mod parallel;
 pub mod signature;
 pub mod sparse;
 mod traits;
+mod validate;
 
 pub use bitvec::BitVec;
 pub use dense::{BitMatrix, RowRef};

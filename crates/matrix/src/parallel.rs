@@ -12,8 +12,114 @@
 //! Worker panics are re-raised on the caller thread with their original
 //! payload ([`std::panic::resume_unwind`]), so a failed assertion inside
 //! a worker produces the same panic message a sequential run would.
+//!
+//! # Race auditing
+//!
+//! Under `cfg(test)` or the `audit` feature, every dispatch additionally
+//! runs the [`audit`] write-span checks: the chunk ranges (and, for
+//! [`par_fill_by_offsets`], the output spans they claim) are verified
+//! pairwise disjoint, in range order, and fully covering *before any
+//! worker is spawned* — a deterministic race detector for the
+//! substrate's core soundness contract that does not depend on thread
+//! interleavings to trip. The checks run identically on the inline
+//! (single-chunk) path, so a contract violation panics with the same
+//! message at every thread count.
 
 use std::ops::Range;
+
+#[cfg(any(test, feature = "audit"))]
+pub mod audit {
+    //! Deterministic write-span race auditor.
+    //!
+    //! The substrate's soundness rests on a static claim: the chunks
+    //! handed to workers partition the index space, and the output
+    //! slices they may write partition the output buffer. These checks
+    //! verify that claim eagerly — before join, before any worker runs —
+    //! so an overlapping or gapped span panics deterministically instead
+    //! of racing. Active under `cfg(test)` and the `audit` feature;
+    //! release builds without the feature pay nothing.
+
+    use std::ops::Range;
+
+    /// Asserts that `spans` are non-inverted, pairwise disjoint, in
+    /// ascending order, and exactly cover `0..total`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a `write-span audit:` message naming the first
+    /// inverted span, overlap, or gap.
+    pub fn check_write_spans(spans: &[Range<usize>], total: usize) {
+        let mut cursor = 0usize;
+        for (i, s) in spans.iter().enumerate() {
+            assert!(
+                s.start <= s.end,
+                "write-span audit: span {i} is inverted ({} > {})",
+                s.start,
+                s.end
+            );
+            assert!(
+                s.start >= cursor,
+                "write-span audit: span {i} ({}..{}) overlaps the span before it (claimed through {cursor})",
+                s.start,
+                s.end
+            );
+            assert!(
+                s.start <= cursor,
+                "write-span audit: gap before span {i} (elements {cursor}..{} claimed by no worker)",
+                s.start
+            );
+            cursor = s.end;
+        }
+        assert!(
+            cursor == total,
+            "write-span audit: spans cover only {cursor} of {total} elements"
+        );
+    }
+
+    /// Asserts that worker `ranges` are non-empty, in order, disjoint,
+    /// and exactly cover `0..n` — the [`split_ranges`] contract every
+    /// dispatch relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a `write-span audit:` message on any violation.
+    ///
+    /// [`split_ranges`]: super::split_ranges
+    pub fn check_ranges(ranges: &[Range<usize>], n: usize) {
+        for (i, r) in ranges.iter().enumerate() {
+            assert!(!r.is_empty(), "write-span audit: chunk {i} is empty");
+        }
+        check_write_spans(ranges, n);
+    }
+
+    /// Asserts the `par_fill_by_offsets` offsets contract: non-empty,
+    /// starting at 0, and monotone — the properties that make the
+    /// derived write spans a partition for *every* chunking.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a `write-span audit:` message naming the first
+    /// non-monotone row, at every thread count identically.
+    pub fn check_offsets(offsets: &[usize]) {
+        assert!(
+            !offsets.is_empty(),
+            "write-span audit: offsets must be non-empty"
+        );
+        assert!(
+            offsets[0] == 0,
+            "write-span audit: offsets must start at 0 (got {})",
+            offsets[0]
+        );
+        for (i, w) in offsets.windows(2).enumerate() {
+            assert!(
+                w[0] <= w[1],
+                "write-span audit: offsets not monotone at row {i} ({} -> {})",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}
 
 /// Splits `0..n` into at most `threads` contiguous, non-empty ranges
 /// covering the whole index space in order.
@@ -61,6 +167,8 @@ where
     F: Fn(Range<usize>) -> T + Sync,
 {
     let ranges = split_ranges(n, threads);
+    #[cfg(any(test, feature = "audit"))]
+    audit::check_ranges(&ranges, n);
     if ranges.len() <= 1 {
         return ranges.into_iter().map(work).collect();
     }
@@ -101,8 +209,8 @@ where
     F: Fn(Range<usize>) -> Vec<T> + Sync,
 {
     let mut chunks = par_map_ranges(n, threads, work);
-    if chunks.len() == 1 {
-        return chunks.pop().unwrap();
+    if let [only] = chunks.as_mut_slice() {
+        return std::mem::take(only);
     }
     let mut merged = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
     for chunk in chunks {
@@ -204,6 +312,15 @@ where
         "terminal offset must equal output length"
     );
     let ranges = split_ranges(n, threads);
+    #[cfg(any(test, feature = "audit"))]
+    {
+        audit::check_offsets(offsets);
+        let spans: Vec<Range<usize>> = ranges
+            .iter()
+            .map(|r| offsets[r.start]..offsets[r.end])
+            .collect();
+        audit::check_write_spans(&spans, out.len());
+    }
     if ranges.len() <= 1 {
         if let Some(range) = ranges.into_iter().next() {
             work(range, out);
@@ -370,5 +487,128 @@ mod tests {
             }
             range.start
         });
+    }
+
+    #[test]
+    fn split_with_more_threads_than_items_yields_unit_ranges() {
+        let ranges = split_ranges(3, 100);
+        assert_eq!(ranges, vec![0..1, 1..2, 2..3]);
+        // And dispatch over them still matches the sequential result.
+        let doubled = par_map_rows(3, 100, |range| range.map(|i| i * 2).collect());
+        assert_eq!(doubled, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn fill_by_offsets_single_row() {
+        // A one-row offsets array always takes the inline path, at any
+        // thread count.
+        for threads in [1, 4, 16] {
+            let mut out = vec![0u32; 5];
+            par_fill_by_offsets(&mut out, &[0, 5], threads, |range, slice| {
+                assert_eq!(range, 0..1);
+                slice.fill(7);
+            });
+            assert_eq!(out, vec![7; 5], "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fill_by_offsets_zero_width_trailing_chunks() {
+        // All data lives in row 0; rows 1 and 2 are empty, so with three
+        // threads the trailing workers receive zero-width slices.
+        let offsets = [0usize, 2, 2, 2];
+        for threads in [1, 2, 3, 8] {
+            let mut out = vec![0u32; 2];
+            par_fill_by_offsets(&mut out, &offsets, threads, |range, slice| {
+                if range.contains(&0) {
+                    slice[0] = 1;
+                    slice[1] = 2;
+                } else {
+                    assert!(slice.is_empty(), "trailing chunk {range:?} must be empty");
+                }
+            });
+            assert_eq!(out, vec![1, 2], "threads={threads}");
+        }
+    }
+
+    fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            String::from("<non-string panic payload>")
+        }
+    }
+
+    #[test]
+    fn non_monotone_offsets_panic_identically_at_every_thread_count() {
+        let offsets = [0usize, 4, 2, 6];
+        let mut messages = Vec::new();
+        for threads in [1, 2, 3, 8] {
+            let result = std::panic::catch_unwind(|| {
+                let mut out = vec![0u32; 6];
+                par_fill_by_offsets(&mut out, &offsets, threads, |_, _| {});
+            });
+            let payload = result.expect_err("non-monotone offsets must panic");
+            messages.push(panic_message(payload));
+        }
+        assert!(
+            messages[0].contains("offsets not monotone at row 1 (4 -> 2)"),
+            "unexpected message: {}",
+            messages[0]
+        );
+        assert!(
+            messages.iter().all(|m| m == &messages[0]),
+            "panic message differs across thread counts: {messages:?}"
+        );
+    }
+
+    #[test]
+    fn audit_accepts_partitions_with_zero_width_spans() {
+        audit::check_write_spans(&[], 0);
+        audit::check_write_spans(&[0..2, 2..2, 2..4], 4);
+        audit::check_ranges(&split_ranges(10, 3), 10);
+        audit::check_offsets(&[0, 0, 3, 3, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps the span before it")]
+    fn audit_catches_overlapping_spans() {
+        // A deliberately overlapping claim: both workers would own
+        // elements 2..3.
+        audit::check_write_spans(&[0..3, 2..5], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "claimed by no worker")]
+    fn audit_catches_gapped_spans() {
+        audit::check_write_spans(&[0..2, 3..5], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "is inverted")]
+    #[allow(clippy::reversed_empty_ranges)]
+    fn audit_catches_inverted_spans() {
+        audit::check_write_spans(&[0..2, 4..2], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover only 2 of 5")]
+    #[allow(clippy::single_range_in_vec_init)] // a one-span plan, not a range literal
+    fn audit_catches_short_coverage() {
+        audit::check_write_spans(&[0..2], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk 1 is empty")]
+    fn audit_rejects_empty_chunk_ranges() {
+        audit::check_ranges(&[0..2, 2..2, 2..4], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must start at 0")]
+    fn audit_rejects_offsets_not_starting_at_zero() {
+        audit::check_offsets(&[1, 3]);
     }
 }

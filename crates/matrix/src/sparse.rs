@@ -231,43 +231,29 @@ impl CsrMatrix {
         m
     }
 
-    /// Debug-build check of the CSR invariants: `indptr` has length
-    /// `rows + 1`, starts at 0, is monotone and ends at `indices.len()`;
-    /// every row's columns are strictly increasing and in bounds.
+    /// Debug-build check of the CSR invariants — a free-in-release
+    /// wrapper over [`validate`](Self::validate).
     ///
     /// Compiled to nothing in release builds. The construction kernels
     /// call this on their results; tests call it directly on matrices
     /// from every build path.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics with the [`validate`](Self::validate)
+    /// message if any invariant is broken.
     pub fn debug_assert_invariants(&self) {
         if !cfg!(debug_assertions) {
             return;
         }
-        debug_assert_eq!(self.indptr.len(), self.rows + 1, "indptr length");
-        debug_assert_eq!(self.indptr[0], 0, "indptr must start at 0");
-        debug_assert_eq!(
-            *self.indptr.last().expect("len >= 1"),
-            self.indices.len(),
-            "indptr must end at nnz"
-        );
-        for r in 0..self.rows {
-            debug_assert!(
-                self.indptr[r] <= self.indptr[r + 1],
-                "indptr not monotone at row {r}"
-            );
-            let row = &self.indices[self.indptr[r]..self.indptr[r + 1]];
-            for pair in row.windows(2) {
-                debug_assert!(
-                    pair[0] < pair[1],
-                    "columns of row {r} not strictly increasing"
-                );
-            }
-            if let Some(&last) = row.last() {
-                debug_assert!(
-                    (last as usize) < self.cols,
-                    "column {last} of row {r} out of bounds"
-                );
-            }
+        if let Err(msg) = self.validate() {
+            panic!("CSR invariant violated: {msg}");
         }
+    }
+
+    /// Raw CSR arrays, for the structural validator.
+    pub(crate) fn raw_parts(&self) -> (&[usize], &[u32]) {
+        (&self.indptr, &self.indices)
     }
 
     /// Converts a dense matrix to CSR.

@@ -1,0 +1,164 @@
+//! Structural validator for [`CsrMatrix`].
+//!
+//! The construction paths (`from_rows_of_indices`, `from_raw`, the
+//! two-pass parallel kernel) establish the CSR invariants, but a matrix
+//! can also arrive by deserialization — which fills the private fields
+//! directly and checks nothing. [`CsrMatrix::validate`] re-derives every
+//! invariant from the raw arrays so untrusted inputs and property tests
+//! have a single authoritative check; `debug_assert_invariants` is now a
+//! debug-build wrapper over it.
+
+use crate::sparse::CsrMatrix;
+use crate::traits::RowMatrix;
+
+impl CsrMatrix {
+    /// Checks every CSR structural invariant, returning the first
+    /// violation as a human-readable message.
+    ///
+    /// Verified, in order:
+    ///
+    /// 1. `indptr.len() == rows + 1`, `indptr[0] == 0`, terminal value
+    ///    equals `indices.len()`;
+    /// 2. `indptr` is monotone non-decreasing (row widths are
+    ///    non-negative and no row can exceed `cols` columns);
+    /// 3. each row's column indices are strictly increasing (sorted,
+    ///    duplicate-free) and below `cols`.
+    ///
+    /// This is the check to run on any matrix that did not come from a
+    /// validating constructor — most importantly one produced by serde
+    /// deserialization, which bypasses [`from_raw`](Self::from_raw).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first broken invariant and the row
+    /// it was found in.
+    pub fn validate(&self) -> Result<(), String> {
+        let (rows, cols) = (self.rows(), self.cols());
+        let (indptr, indices) = self.raw_parts();
+        if indptr.len() != rows + 1 {
+            return Err(format!(
+                "indptr length {} != rows + 1 = {}",
+                indptr.len(),
+                rows + 1
+            ));
+        }
+        if indptr[0] != 0 {
+            return Err(format!("indptr must start at 0, got {}", indptr[0]));
+        }
+        let terminal = indptr[rows];
+        if terminal != indices.len() {
+            return Err(format!(
+                "indptr terminal value {terminal} != nnz {}",
+                indices.len()
+            ));
+        }
+        // Monotonicity (and width bounds) over the whole array first:
+        // only once `0 = indptr[0] <= … <= indptr[rows] = nnz` is
+        // established is slicing `indices` by indptr pairs safe.
+        for r in 0..rows {
+            let (lo, hi) = (indptr[r], indptr[r + 1]);
+            if lo > hi {
+                return Err(format!("indptr not monotone at row {r} ({lo} > {hi})"));
+            }
+            let width = hi - lo;
+            if width > cols {
+                return Err(format!(
+                    "row {r} claims {width} columns but the matrix has only {cols}"
+                ));
+            }
+        }
+        for r in 0..rows {
+            let row = &indices[indptr[r]..indptr[r + 1]];
+            for pair in row.windows(2) {
+                if pair[0] >= pair[1] {
+                    return Err(format!(
+                        "columns of row {r} not strictly increasing ({} then {})",
+                        pair[0], pair[1]
+                    ));
+                }
+            }
+            if let Some(&last) = row.last() {
+                if last as usize >= cols {
+                    return Err(format!(
+                        "column {last} of row {r} out of bounds (cols={cols})"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_matrices_pass() {
+        let m = CsrMatrix::from_rows_of_indices(3, 5, &[vec![0, 4], vec![], vec![2]]).unwrap();
+        assert_eq!(m.validate(), Ok(()));
+        assert_eq!(CsrMatrix::zeros(0, 0).validate(), Ok(()));
+        assert_eq!(CsrMatrix::zeros(4, 7).validate(), Ok(()));
+    }
+
+    /// Deserialization fills the private fields without any checks —
+    /// exactly the hole `validate` exists to close.
+    #[test]
+    fn deserialized_garbage_is_caught() {
+        let cases = [
+            // non-monotone indptr (terminal still equals nnz)
+            (
+                r#"{"rows":2,"cols":4,"indptr":[0,2,1],"indices":[1]}"#,
+                "not monotone",
+            ),
+            // terminal value disagrees with nnz
+            (
+                r#"{"rows":1,"cols":4,"indptr":[0,1],"indices":[1,3]}"#,
+                "terminal",
+            ),
+            // unsorted row
+            (
+                r#"{"rows":1,"cols":4,"indptr":[0,2],"indices":[3,1]}"#,
+                "strictly increasing",
+            ),
+            // duplicate column
+            (
+                r#"{"rows":1,"cols":4,"indptr":[0,2],"indices":[1,1]}"#,
+                "strictly increasing",
+            ),
+            // out-of-bounds column
+            (
+                r#"{"rows":1,"cols":4,"indptr":[0,1],"indices":[9]}"#,
+                "out of bounds",
+            ),
+            // wrong indptr length
+            (
+                r#"{"rows":3,"cols":4,"indptr":[0,1],"indices":[1]}"#,
+                "indptr length",
+            ),
+        ];
+        for (json, needle) in cases {
+            let m: CsrMatrix = serde_json::from_str(json).expect("structurally valid JSON");
+            let err = m.validate().expect_err(json);
+            assert!(err.contains(needle), "{json}: got {err:?}");
+        }
+    }
+
+    #[test]
+    fn deserialized_valid_matrix_passes() {
+        let json = r#"{"rows":2,"cols":4,"indptr":[0,2,3],"indices":[1,3,0]}"#;
+        let m: CsrMatrix = serde_json::from_str(json).unwrap();
+        assert_eq!(m.validate(), Ok(()));
+    }
+
+    // The delegation is compiled out in release builds, so the panic
+    // can only be observed under debug assertions.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "CSR invariant violated")]
+    fn debug_assert_invariants_panics_on_garbage() {
+        let m: CsrMatrix =
+            serde_json::from_str(r#"{"rows":1,"cols":4,"indptr":[0,2],"indices":[3,1]}"#).unwrap();
+        m.debug_assert_invariants();
+    }
+}

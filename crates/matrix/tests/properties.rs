@@ -93,6 +93,7 @@ proptest! {
     fn dense_sparse_equivalence((rows, cols, data) in matrix_strategy()) {
         let d = BitMatrix::from_rows_of_indices(rows, cols, &data).unwrap();
         let s = CsrMatrix::from_rows_of_indices(rows, cols, &data).unwrap();
+        prop_assert_eq!(s.validate(), Ok(()));
         prop_assert_eq!(CsrMatrix::from_dense(&d), s.clone());
         prop_assert_eq!(s.to_dense(), d.clone());
         prop_assert_eq!(d.col_sums(), s.col_sums());
@@ -113,6 +114,7 @@ proptest! {
     fn transpose_involution_and_sums((rows, cols, data) in matrix_strategy()) {
         let s = CsrMatrix::from_rows_of_indices(rows, cols, &data).unwrap();
         let t = s.transpose();
+        prop_assert_eq!(t.validate(), Ok(()));
         prop_assert_eq!(t.transpose(), s.clone());
         prop_assert_eq!(t.row_sums(), s.col_sums());
         prop_assert_eq!(t.col_sums(), s.row_sums());
@@ -181,6 +183,7 @@ proptest! {
             let built = CsrMatrix::from_row_iter_two_pass(rows, cols, threads, |i| {
                 reference.row(i).iter().copied()
             });
+            prop_assert_eq!(built.validate(), Ok(()));
             prop_assert_eq!(&built, &reference, "threads={}", threads);
         }
     }

@@ -26,7 +26,7 @@
 //! count against the diet's consolidated count on the same organizations.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod candidates;
 pub mod greedy;

@@ -20,7 +20,7 @@
 //! configs produce identical datasets.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod churn;
 pub mod matrix_gen;

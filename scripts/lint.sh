@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Run the workspace domain lints (rolediet-lint, rules D1-D5) against
+# the ratcheting allowlist in crates/lint/allowlist.txt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+exec cargo run -q -p rolediet-lint -- "$@"

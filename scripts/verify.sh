@@ -27,6 +27,14 @@ cargo test --release -q -p rolediet-core --test properties \
 echo "==> cargo build --workspace --benches"
 cargo build --workspace --benches
 
+# Race-audit feature: the write-span auditor is compiled into the
+# parallel substrate's release path too, not just under cfg(test).
+echo "==> cargo test -q -p rolediet-matrix --features audit"
+cargo test -q -p rolediet-matrix --features audit
+
+echo "==> rolediet-lint (domain lints D1-D5)"
+cargo run -q -p rolediet-lint
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

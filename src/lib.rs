@@ -33,6 +33,9 @@
 //! assert!(report.total_findings() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub use rolediet_cluster as cluster;
 pub use rolediet_core as core;
 pub use rolediet_matrix as matrix;
