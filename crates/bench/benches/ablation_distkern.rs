@@ -1,0 +1,112 @@
+//! Ablation `abl-distkern`: the packed bounded-distance engine against
+//! the scalar `PointSet` scan it replaced (PR 5).
+//!
+//! Three comparisons on a paper-shaped matrix with planted similar pairs:
+//!
+//! * `scalar_range_queries` vs `engine_range_queries` — the exact O(n²)
+//!   neighbourhood precompute behind the DBSCAN T4/T5 strategies, scalar
+//!   trait-call distances vs the engine (pack + norm-band pruning +
+//!   early-exit kernels), at 1, 2, 4 and 8 workers; the engine rows
+//!   include the `PackedRows` build so they measure the full
+//!   `distance_precompute` stage of `Report::timings`.
+//! * `pruned_*` vs `noprune_*` — the norm-band pruning ablation on a
+//!   prebuilt engine: the banded candidate walk against the full tiled
+//!   scan, for both the packed-word and sparse-merge representations.
+//! * `bounded_hamming_*` vs `row_hamming` — the point kernel alone, over
+//!   every pair of a small row block, isolating the early-exit win from
+//!   the batching.
+//!
+//! The scalar scan survives as the correctness oracle (`neighbors` tests
+//! pin the engine against it), so this ablation stays honest about what
+//! the restructuring buys.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rolediet_bench::sweep_matrix_with;
+use rolediet_cluster::dbscan::DbscanParams;
+use rolediet_cluster::metric::{BinaryMetric, BinaryRows};
+use rolediet_cluster::neighbors::{all_range_queries_packed, all_range_queries_with};
+use rolediet_matrix::{PackedRows, RowMatrix};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn distkern_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_distkern");
+    group.sample_size(10);
+    // T5 shape: threshold-1 similarity over planted clusters with one
+    // perturbed member each.
+    let matrix = sweep_matrix_with(3_000, 1_000, 0, 1);
+    let points = BinaryRows::new(&matrix, BinaryMetric::Hamming);
+    let eps = DbscanParams::similar(1).eps;
+    for threads in THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("scalar_range_queries", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| all_range_queries_with(&points, eps, threads));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("engine_range_queries", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let rows = PackedRows::from_matrix(&matrix, threads);
+                    all_range_queries_packed(&rows, eps, threads)
+                });
+            },
+        );
+    }
+
+    // Norm-band pruning ablation on a prebuilt engine, both
+    // representations: banded candidate walk vs. the full tiled scan.
+    let bound = 1usize;
+    let reprs = [
+        ("packed", PackedRows::packed_from_matrix(&matrix, 8)),
+        ("sparse", PackedRows::sparse_from_matrix(&matrix, 8)),
+    ];
+    for (name, rows) in &reprs {
+        group.bench_function(format!("pruned_{name}"), |b| {
+            b.iter(|| rows.range_queries_within(bound, 8));
+        });
+        group.bench_function(format!("noprune_{name}"), |b| {
+            b.iter(|| rows.range_queries_within_no_prune(bound, 8));
+        });
+    }
+
+    // The point kernel alone: every pair of a 256-row block, early-exit
+    // bounded distance vs. the full scalar row distance.
+    let block = 256.min(matrix.n_rows());
+    for (name, rows) in &reprs {
+        group.bench_function(format!("bounded_hamming_{name}"), |b| {
+            b.iter(|| {
+                let mut within = 0usize;
+                for i in 0..block {
+                    for j in (i + 1)..block {
+                        if rows.bounded_hamming(i, j, bound).is_some() {
+                            within += 1;
+                        }
+                    }
+                }
+                within
+            });
+        });
+    }
+    group.bench_function("row_hamming", |b| {
+        b.iter(|| {
+            let mut within = 0usize;
+            for i in 0..block {
+                for j in (i + 1)..block {
+                    if matrix.row_hamming(i, j) <= bound {
+                        within += 1;
+                    }
+                }
+            }
+            within
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, distkern_scaling);
+criterion_main!(benches);

@@ -1,25 +1,28 @@
-//! Machine-readable benchmark of the PR 2/PR 3 parallel kernels.
+//! Machine-readable benchmark of the PR 2/PR 3/PR 5 parallel kernels.
 //!
 //! Times the parallelized stages — two-pass CSR matrix build,
 //! norm-bucketed disjoint supplement, MinHash sketching + LSH banding
-//! (PR 2), and the DBSCAN connected-components grouping kernel (PR 3) —
-//! across worker counts, next to their sequential baselines, and runs
-//! small Figure 2/3 sweeps of the custom T5 detector. Results are
-//! written as a JSON array of `{stage, size, threads, ns, found}`
-//! records (`scripts/bench.sh` invokes this and commits the output as
-//! `BENCH_pr3.json`; the schema is unchanged from `BENCH_pr2.json` so
-//! the perf trajectory stays machine-readable).
+//! (PR 2), the DBSCAN connected-components grouping kernel (PR 3), and
+//! the packed bounded-distance engine against the scalar O(n²)
+//! neighbourhood precompute it replaced (PR 5) — across worker counts,
+//! next to their sequential baselines, and runs small Figure 2/3 sweeps
+//! of the custom T5 detector. Results are written as a JSON array of
+//! `{stage, size, threads, ns, found}` records (`scripts/bench.sh`
+//! invokes this and commits the output as `BENCH_pr5.json`; the schema
+//! is unchanged from `BENCH_pr2.json`/`BENCH_pr3.json` so the perf
+//! trajectory stays machine-readable).
 //!
 //! ```text
-//! bench_json [--scale 1.0] [--seed 7] [--iters 3] [--out BENCH_pr3.json]
+//! bench_json [--scale 1.0] [--seed 7] [--iters 3] [--out BENCH_pr5.json]
 //! ```
 //!
-//! The matrix-build, supplement and DBSCAN-grouping stages run at the
-//! real-org scale of `results_realorg.txt` (the ing-like organization at
-//! `--scale 1.0`); every result is cross-checked against its baseline
-//! before timing is trusted. The grouping stages share one neighbourhood
-//! precompute (the O(n²) region queries are not what PR 3 changes), so
-//! the kernel and the sequential expansion are timed on identical cached
+//! The matrix-build, supplement, DBSCAN-grouping and distance-precompute
+//! stages run at the real-org scale of `results_realorg.txt` (the
+//! ing-like organization at `--scale 1.0`); every result is
+//! cross-checked against its baseline before timing is trusted. The
+//! grouping stages share one neighbourhood precompute (the O(n²) region
+//! queries are what PR 5 changes, timed as their own stage), so the
+//! kernel and the sequential expansion are timed on identical cached
 //! inputs.
 
 #![forbid(unsafe_code)]
@@ -31,10 +34,10 @@ use rolediet_bench::sweep_matrix;
 use rolediet_cluster::dbscan::{Dbscan, DbscanParams};
 use rolediet_cluster::metric::{BinaryMetric, BinaryRows};
 use rolediet_cluster::minhash::{MinHashLsh, MinHashLshParams};
-use rolediet_cluster::neighbors::all_range_queries_with;
+use rolediet_cluster::neighbors::{all_range_queries_packed, all_range_queries_with};
 use rolediet_core::cooccur::{disjoint_supplement, disjoint_supplement_naive};
 use rolediet_core::{Parallelism, SimilarityConfig, Strategy};
-use rolediet_matrix::{CsrMatrix, RowMatrix};
+use rolediet_matrix::{CsrMatrix, PackedRows, RowMatrix};
 use rolediet_model::RoleId;
 use serde::Serialize;
 
@@ -68,7 +71,7 @@ impl Opts {
             scale: 1.0,
             seed: 7,
             iters: 3,
-            out: "BENCH_pr3.json".to_owned(),
+            out: "BENCH_pr5.json".to_owned(),
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -236,6 +239,77 @@ fn main() {
         });
     }
     drop(neighborhoods);
+
+    // --- Stage 5 (PR 5): exact O(n²) distance precompute — packed ---
+    // --- bounded-distance engine vs. the PR 3 scalar scan.         ---
+    // T5 shape (eps = threshold + ε) over the real-org RUAM: the scalar
+    // rows are the `all_range_queries_with` precompute the DBSCAN
+    // strategies paid before this PR; the engine rows time the full
+    // replacement stage — `PackedRows` build (norms, buckets,
+    // density-keyed representation) plus the banded range queries — so
+    // they correspond one-to-one with `Report::timings
+    // .distance_precompute`. Every engine result is asserted equal to
+    // the scalar oracle's.
+    let eps = DbscanParams::similar(1).eps;
+    let mut scalar_ref: Option<Vec<Vec<usize>>> = None;
+    for threads in THREAD_COUNTS {
+        let (ns, neigh) = time_best(opts.iters, || all_range_queries_with(&points, eps, threads));
+        let entries = neigh.iter().map(Vec::len).sum::<usize>();
+        match &scalar_ref {
+            Some(reference) => assert_eq!(
+                &neigh, reference,
+                "scalar precompute diverged at {threads} threads"
+            ),
+            None => scalar_ref = Some(neigh),
+        }
+        println!("distance_precompute_scalar threads={threads}: {ns} ns");
+        records.push(Record {
+            stage: "distance_precompute_scalar".into(),
+            size: size.clone(),
+            threads,
+            ns,
+            found: entries,
+        });
+    }
+    let scalar_ref = scalar_ref.expect("scalar precompute ran");
+    for threads in THREAD_COUNTS {
+        let (ns, neigh) = time_best(opts.iters, || {
+            let rows = PackedRows::from_matrix(&ruam, threads);
+            all_range_queries_packed(&rows, eps, threads)
+        });
+        assert_eq!(
+            neigh, scalar_ref,
+            "engine precompute diverged from the scalar oracle at {threads} threads"
+        );
+        println!("distance_precompute_engine threads={threads}: {ns} ns");
+        records.push(Record {
+            stage: "distance_precompute_engine".into(),
+            size: size.clone(),
+            threads,
+            ns,
+            found: neigh.iter().map(Vec::len).sum(),
+        });
+    }
+    // Pruning ablation: the same engine queries with the norm-band walk
+    // disabled (full tiled scan, early-exit kernels only), on a prebuilt
+    // engine at the widest worker count.
+    let engine = PackedRows::from_matrix(&ruam, 8);
+    let bound = eps as usize;
+    let (ns, neigh) = time_best(opts.iters, || {
+        engine.range_queries_within_no_prune(bound, 8)
+    });
+    assert_eq!(neigh, scalar_ref, "no-prune scan diverged from the oracle");
+    println!("distance_precompute_engine_noprune threads=8: {ns} ns");
+    records.push(Record {
+        stage: "distance_precompute_engine_noprune".into(),
+        size: size.clone(),
+        threads: 8,
+        ns,
+        found: neigh.iter().map(Vec::len).sum(),
+    });
+    drop(neigh);
+    drop(scalar_ref);
+    drop(engine);
     drop(ruam);
 
     // --- Stage 4: MinHash sketching + banding across thread counts. ---

@@ -269,18 +269,19 @@ fn realorg(opts: &Opts) {
     println!("\n{}", report.summary_table());
     println!("custom pipeline total: {detect_time:.2?}");
     println!(
-        "  matrix={:.2?} degrees={:.2?} same(u)={:.2?} same(p)={:.2?} similar(u)={:.2?} similar(p)={:.2?}",
+        "  matrix={:.2?} degrees={:.2?} same(u)={:.2?} same(p)={:.2?} similar(u)={:.2?} similar(p)={:.2?} distkern={:.2?}",
         report.timings.matrix_build,
         report.timings.degree_detectors,
         report.timings.same_users,
         report.timings.same_permissions,
         report.timings.similar_users,
         report.timings.similar_permissions,
+        report.timings.distance_precompute,
     );
     let t = report.timings.threads;
     println!(
         "  stage threads: matrix={} degrees={} same(u)={} same(p)={} transpose={} \
-         similar(u)={} similar(p)={} disjoint={} minhash={}",
+         similar(u)={} similar(p)={} disjoint={} minhash={} distkern={}",
         t.matrix_build,
         t.degree_detectors,
         t.same_users,
@@ -290,6 +291,7 @@ fn realorg(opts: &Opts) {
         t.similar_permissions,
         t.disjoint_supplement,
         t.minhash,
+        t.distance_precompute,
     );
 
     // Planted-vs-detected cross-check (the advantage of a synthetic org).

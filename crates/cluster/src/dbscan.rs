@@ -15,8 +15,10 @@
 
 use serde::{Deserialize, Serialize};
 
+use rolediet_matrix::PackedRows;
+
 use crate::metric::PointSet;
-use crate::neighbors::{all_range_queries_with, range_query};
+use crate::neighbors::{all_range_queries_packed, all_range_queries_with, range_query};
 use crate::unionfind::UnionFind;
 
 /// Label assigned to noise points.
@@ -174,6 +176,25 @@ impl Dbscan {
         }
         let neighborhoods = all_range_queries_with(points, self.params.eps, threads);
         self.fit_cached(&neighborhoods)
+    }
+
+    /// Like [`fit_with_threads`](Self::fit_with_threads), but the O(n²)
+    /// region queries run through the packed bounded-distance engine
+    /// ([`PackedRows`]) instead of scalar [`PointSet`] distance calls.
+    ///
+    /// The engine returns exactly the scalar neighbour lists (pinned by
+    /// proptests in `rolediet-matrix` and the oracle tests in
+    /// [`neighbors`](crate::neighbors)), so the labels are bit-identical
+    /// to `fit` on the equivalent Hamming point set at every thread
+    /// count.
+    pub fn fit_packed_with(&self, rows: &PackedRows, threads: usize) -> ClusterLabels {
+        let threads = threads.max(1);
+        let neighborhoods = all_range_queries_packed(rows, self.params.eps, threads);
+        if self.params.min_pts <= 2 {
+            self.group_cached_with(&neighborhoods, threads)
+        } else {
+            self.fit_cached(&neighborhoods)
+        }
     }
 
     /// Sequential DBSCAN expansion over pre-computed neighbour lists
@@ -481,6 +502,43 @@ mod tests {
                     seq,
                     "params {params:?}, threads {threads}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_fit_matches_sequential() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let mut rows: Vec<Vec<usize>> = (0..120)
+            .map(|_| (0..40).filter(|_| rng.gen_bool(0.12)).collect())
+            .collect();
+        rows.push(Vec::new());
+        rows.push(rows[0].clone());
+        let m = BitMatrix::from_rows_of_indices(122, 40, &rows).unwrap();
+        let points = BinaryRows::new(&m, BinaryMetric::Hamming);
+        for packed in [
+            PackedRows::packed_from_matrix(&m, 3),
+            PackedRows::sparse_from_matrix(&m, 3),
+        ] {
+            for params in [
+                DbscanParams::exact_duplicates(),
+                DbscanParams::similar(3),
+                DbscanParams {
+                    eps: 5.0,
+                    min_pts: 3,
+                },
+            ] {
+                let dbscan = Dbscan::new(params);
+                let seq = dbscan.fit(&points);
+                for threads in [1usize, 2, 4, 8] {
+                    assert_eq!(
+                        dbscan.fit_packed_with(&packed, threads),
+                        seq,
+                        "params {params:?}, threads {threads}, packed {}",
+                        packed.is_packed()
+                    );
+                }
             }
         }
     }

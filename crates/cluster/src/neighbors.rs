@@ -1,10 +1,36 @@
-//! Brute-force neighbour queries.
+//! Brute-force neighbour queries, and their engine-backed fast paths.
 //!
-//! These O(n) scans are the exact reference that (a) DBSCAN uses for its
-//! region queries and (b) [`recall`](crate::recall) measures the
-//! approximate indexes against.
+//! The generic scans over [`PointSet`] are the exact reference that
+//! (a) DBSCAN uses for its region queries and (b)
+//! [`recall`](crate::recall) measures the approximate indexes against.
+//! For binary rows under Hamming distance — the only metric the paper's
+//! T4/T5 detectors use — each query also has a `*_packed` variant riding
+//! the [`PackedRows`] bounded-distance engine (norm-band pruning +
+//! early-exit kernels), with bit-identical output; the scalar scans
+//! survive as the ablation oracle the engine is pinned against.
+
+use rolediet_matrix::PackedRows;
 
 use crate::metric::PointSet;
+
+/// Ordering for `(index, distance)` candidates: by distance then index.
+/// `total_cmp` gives NaN-free inputs the same order as `partial_cmp`
+/// while staying total (no panic paths) on adversarial metrics.
+fn by_distance_then_index(a: &(usize, f64), b: &(usize, f64)) -> std::cmp::Ordering {
+    a.1.total_cmp(&b.1).then(a.0.cmp(&b.0))
+}
+
+/// Integer Hamming bound equivalent to a float `eps`: Hamming distances
+/// are integers, so `d as f64 <= eps` iff `d <= floor(eps)`. `None` when
+/// `eps` is negative or NaN — no distance (not even the self-distance 0)
+/// qualifies.
+fn hamming_bound(eps: f64) -> Option<usize> {
+    if eps >= 0.0 {
+        Some(eps as usize)
+    } else {
+        None
+    }
+}
 
 /// All points within distance `eps` of point `i` (inclusive), including
 /// `i` itself, ascending by index.
@@ -35,6 +61,23 @@ pub fn all_range_queries_with<P: PointSet + Sync>(
     })
 }
 
+/// [`all_range_queries_with`] for binary rows under Hamming distance,
+/// riding the [`PackedRows`] bounded-distance engine: the float `eps` is
+/// converted to its exact integer bound and every query row walks only
+/// its norm band with early-exit kernels.
+///
+/// Output is bit-identical to the scalar scan over
+/// [`BinaryRows`](crate::metric::BinaryRows) with
+/// [`Hamming`](crate::metric::BinaryMetric::Hamming) at every thread
+/// count (pinned in tests); the scalar path survives as the ablation
+/// oracle.
+pub fn all_range_queries_packed(rows: &PackedRows, eps: f64, threads: usize) -> Vec<Vec<usize>> {
+    match hamming_bound(eps) {
+        Some(bound) => rows.range_queries_within(bound, threads),
+        None => vec![Vec::new(); rows.rows()],
+    }
+}
+
 /// The `k` nearest neighbours of point `i` (excluding `i`), sorted by
 /// distance then index. Returns fewer than `k` when the set is small.
 ///
@@ -46,13 +89,82 @@ pub fn knn<P: PointSet>(points: &P, i: usize, k: usize) -> Vec<(usize, f64)> {
         .filter(|&j| j != i)
         .map(|j| (j, points.distance(i, j)))
         .collect();
-    all.sort_by(|a, b| {
-        a.1.partial_cmp(&b.1)
-            .expect("no NaN distances")
-            .then(a.0.cmp(&b.0))
-    });
-    all.truncate(k);
+    if k == 0 {
+        return Vec::new();
+    }
+    // Select the k smallest before sorting: O(n + k log k) instead of
+    // sorting all n distances. The comparator is a total order over
+    // unique (distance, index) keys, so the kept prefix — and the final
+    // sort — match the full-sort output exactly (tie-break pinned by
+    // `knn_ties_break_by_index`).
+    if all.len() > k {
+        all.select_nth_unstable_by(k, by_distance_then_index);
+        all.truncate(k);
+    }
+    all.sort_unstable_by(by_distance_then_index);
     all
+}
+
+/// [`knn`] for binary rows under Hamming distance, riding the
+/// [`PackedRows`] engine: candidates are visited in rings of increasing
+/// norm distance (a lower bound on Hamming distance), each checked with
+/// the bounded kernel against the current k-th best, and the walk stops
+/// as soon as the next ring cannot improve the result. Output is
+/// identical to the scalar [`knn`] (distance then index order).
+///
+/// # Panics
+///
+/// Panics if `i` is out of range.
+pub fn knn_packed(rows: &PackedRows, i: usize, k: usize) -> Vec<(usize, f64)> {
+    assert!(i < rows.rows(), "point index out of range");
+    if k == 0 {
+        return Vec::new();
+    }
+    let ni = rows.row_norm(i);
+    let max_norm = rows.max_norm();
+    // Max-heap of the k best (distance, index) pairs seen so far; the
+    // root is the current worst, so a candidate wins iff it compares
+    // below the root under the same (distance, index) order `knn` uses.
+    let mut heap: std::collections::BinaryHeap<(usize, usize)> =
+        std::collections::BinaryHeap::new();
+    for delta in 0..=ni.max(max_norm.saturating_sub(ni)) {
+        if let Some(&(worst, _)) = heap.peek() {
+            if heap.len() == k && delta > worst {
+                break; // every later ring has distance >= delta > worst
+            }
+        }
+        let above = ni + delta;
+        let norms = ni
+            .checked_sub(delta)
+            .into_iter()
+            .chain((delta > 0 && above <= max_norm).then_some(above));
+        for norm in norms {
+            for &j in rows.rows_with_norm(norm) {
+                let j = j as usize;
+                if j == i {
+                    continue;
+                }
+                if heap.len() < k {
+                    if let Some(d) = rows.bounded_hamming(i, j, rows.cols()) {
+                        heap.push((d, j));
+                    }
+                } else if let Some(&(worst, worst_j)) = heap.peek() {
+                    // bound = worst keeps equal distances in play so the
+                    // index tie-break below can still improve the set.
+                    if let Some(d) = rows.bounded_hamming(i, j, worst) {
+                        if (d, j) < (worst, worst_j) {
+                            heap.pop();
+                            heap.push((d, j));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    heap.into_sorted_vec()
+        .into_iter()
+        .map(|(d, j)| (j, d as f64))
+        .collect()
 }
 
 /// The sorted k-distance curve: for every point, the distance to its
@@ -76,7 +188,30 @@ pub fn k_distance_curve<P: PointSet>(points: &P, k: usize) -> Vec<f64> {
             }
         })
         .collect();
-    out.sort_by(|a, b| b.partial_cmp(a).expect("no NaN distances"));
+    out.sort_unstable_by(|a, b| b.total_cmp(a));
+    out
+}
+
+/// [`k_distance_curve`] for binary rows under Hamming distance, riding
+/// the [`PackedRows`] engine — and parallel: the per-point k-NN queries
+/// fan out over `threads` workers (joined in range order) before the
+/// final descending sort, so the output is identical to the scalar curve
+/// at every thread count.
+pub fn k_distance_curve_packed(rows: &PackedRows, k: usize, threads: usize) -> Vec<f64> {
+    let mut out: Vec<f64> =
+        rolediet_matrix::parallel::par_map_rows(rows.rows(), threads, |range| {
+            range
+                .map(|i| {
+                    let nn = knn_packed(rows, i, k);
+                    if nn.len() < k {
+                        f64::INFINITY
+                    } else {
+                        nn[k - 1].1
+                    }
+                })
+                .collect()
+        });
+    out.sort_unstable_by(|a, b| b.total_cmp(a));
     out
 }
 
@@ -93,6 +228,22 @@ pub fn all_pairs_within<P: PointSet>(points: &P, eps: f64) -> Vec<(usize, usize)
         }
     }
     out
+}
+
+/// [`all_pairs_within`] for binary rows under Hamming distance, riding
+/// the [`PackedRows`] engine. Pair order matches the sequential double
+/// loop (`i` ascending, then `j`) at every thread count, so recall
+/// measurements can diff the two ground truths directly; the scalar
+/// scan survives as the ablation oracle.
+pub fn all_pairs_within_packed(rows: &PackedRows, eps: f64, threads: usize) -> Vec<(usize, usize)> {
+    match hamming_bound(eps) {
+        Some(bound) => rows
+            .pairs_within(bound, threads)
+            .into_iter()
+            .map(|(i, j, _)| (i, j))
+            .collect(),
+        None => Vec::new(),
+    }
 }
 
 #[cfg(test)]
@@ -161,5 +312,97 @@ mod tests {
         assert_eq!(all_pairs_within(&p, 1.0), vec![(0, 1), (1, 2)]);
         assert_eq!(all_pairs_within(&p, 2.0), vec![(0, 1), (0, 2), (1, 2)]);
         assert!(all_pairs_within(&p, 0.5).is_empty());
+    }
+
+    /// A random binary matrix with an empty row and a duplicate pair,
+    /// plus its scalar point-set view and both engine representations.
+    fn binary_fixture() -> (rolediet_matrix::BitMatrix, Vec<PackedRows>) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let mut rows: Vec<Vec<usize>> = (0..60)
+            .map(|_| (0..90).filter(|_| rng.gen_bool(0.15)).collect())
+            .collect();
+        rows.push(Vec::new());
+        rows.push(rows[0].clone());
+        let m = rolediet_matrix::BitMatrix::from_rows_of_indices(62, 90, &rows).unwrap();
+        let packed = vec![
+            PackedRows::packed_from_matrix(&m, 3),
+            PackedRows::sparse_from_matrix(&m, 3),
+        ];
+        (m, packed)
+    }
+
+    #[test]
+    fn packed_range_queries_match_scalar_oracle() {
+        use crate::metric::{BinaryMetric, BinaryRows};
+        let (m, reprs) = binary_fixture();
+        let points = BinaryRows::new(&m, BinaryMetric::Hamming);
+        for eps in [-1.0, 0.0, 1e-9, 1.0 + 1e-9, 3.0 + 1e-9, 7.5] {
+            let expected = all_range_queries_with(&points, eps, 1);
+            for rows in &reprs {
+                for threads in [1usize, 2, 4, 8] {
+                    assert_eq!(
+                        all_range_queries_packed(rows, eps, threads),
+                        expected,
+                        "eps={eps} threads={threads} packed={}",
+                        rows.is_packed()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_pairs_match_scalar_ground_truth() {
+        use crate::metric::{BinaryMetric, BinaryRows};
+        let (m, reprs) = binary_fixture();
+        let points = BinaryRows::new(&m, BinaryMetric::Hamming);
+        for eps in [-0.5, 1e-9, 2.0 + 1e-9, 6.0] {
+            let expected = all_pairs_within(&points, eps);
+            for rows in &reprs {
+                for threads in [1usize, 2, 4, 8] {
+                    assert_eq!(
+                        all_pairs_within_packed(rows, eps, threads),
+                        expected,
+                        "eps={eps} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_knn_and_curve_match_scalar() {
+        use crate::metric::{BinaryMetric, BinaryRows};
+        let (m, reprs) = binary_fixture();
+        let points = BinaryRows::new(&m, BinaryMetric::Hamming);
+        for rows in &reprs {
+            for k in [1usize, 2, 5, 61, 100] {
+                for i in [0usize, 7, 60, 61] {
+                    assert_eq!(
+                        knn_packed(rows, i, k),
+                        knn(&points, i, k),
+                        "i={i} k={k} packed={}",
+                        rows.is_packed()
+                    );
+                }
+                for threads in [1usize, 2, 4, 8] {
+                    assert_eq!(
+                        k_distance_curve_packed(rows, k, threads),
+                        k_distance_curve(&points, k),
+                        "k={k} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_packed_handles_k_zero_and_empty() {
+        let (_, reprs) = binary_fixture();
+        assert!(knn_packed(&reprs[0], 0, 0).is_empty());
+        let empty = PackedRows::from_matrix(&rolediet_matrix::CsrMatrix::zeros(0, 4), 1);
+        assert!(all_range_queries_packed(&empty, 1.0, 2).is_empty());
+        assert!(all_pairs_within_packed(&empty, 1.0, 2).is_empty());
     }
 }

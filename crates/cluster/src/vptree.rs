@@ -96,7 +96,7 @@ impl VpTree {
             .iter()
             .map(|&p| (p, points.distance(vantage, p)))
             .collect();
-        with_d.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN distances"));
+        with_d.sort_by(|a, b| a.1.total_cmp(&b.1));
         let mid = with_d.len() / 2;
         let radius = with_d[mid].1;
         for (slot, &(p, _)) in rest.iter_mut().zip(&with_d) {

@@ -5,15 +5,18 @@
 //! detectors (T1–T3) off row/column sums and the configured grouping
 //! strategy for T4/T5, on both sides. Every stage is timed.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rolediet_matrix::CsrMatrix;
 use rolediet_model::TripartiteGraph;
 
-use crate::config::DetectionConfig;
+use crate::config::{DetectionConfig, SimilarityConfig};
 use crate::detector::detect_degrees_with;
-use crate::report::Report;
-use crate::strategy::{find_same_groups, find_same_groups_with_empty, find_similar_pairs};
+use crate::report::{Report, SimilarPair};
+use crate::strategy::{
+    dbscan_same_groups_cached, dbscan_similar_pairs_cached, find_same_groups,
+    find_same_groups_with_empty, find_similar_pairs, DbscanEngine,
+};
 
 /// The detection framework: runs all detectors over a graph or a pair of
 /// assignment matrices.
@@ -89,21 +92,54 @@ impl Pipeline {
         report.single_user_roles = degrees.single_user_roles;
         report.single_permission_roles = degrees.single_permission_roles;
 
-        let same = |m: &CsrMatrix| {
-            if cfg.include_empty_duplicates {
-                find_same_groups_with_empty(m, &cfg.strategy, cfg.parallelism)
-            } else {
-                find_same_groups(m, &cfg.strategy, cfg.parallelism)
-            }
+        // The exact-DBSCAN strategy routes every O(n²) distance through
+        // the packed bounded-distance engine: each side's rows are packed
+        // once and shared by the T4 and T5 neighbourhood precomputes,
+        // which are timed apart from the grouping they feed (the engine
+        // build and all precomputes accumulate into
+        // `timings.distance_precompute`).
+        let engines = if matches!(cfg.strategy, crate::config::Strategy::ExactDbscan) {
+            report.timings.threads.distance_precompute = threads;
+            let t0 = Instant::now();
+            let e = (
+                DbscanEngine::build(ruam, threads),
+                DbscanEngine::build(rpam, threads),
+            );
+            report.timings.distance_precompute += t0.elapsed();
+            Some(e)
+        } else {
+            None
         };
-        let t0 = Instant::now();
-        report.same_user_groups = same(ruam);
-        report.timings.same_users = t0.elapsed();
-        report.timings.threads.same_users = threads;
 
-        let t0 = Instant::now();
-        report.same_permission_groups = same(rpam);
-        report.timings.same_permissions = t0.elapsed();
+        if let Some((ruam_engine, rpam_engine)) = &engines {
+            let (groups, pre, grouping) =
+                dbscan_same_stage(ruam_engine, cfg.include_empty_duplicates, threads);
+            report.same_user_groups = groups;
+            report.timings.distance_precompute += pre;
+            report.timings.same_users = grouping;
+
+            let (groups, pre, grouping) =
+                dbscan_same_stage(rpam_engine, cfg.include_empty_duplicates, threads);
+            report.same_permission_groups = groups;
+            report.timings.distance_precompute += pre;
+            report.timings.same_permissions = grouping;
+        } else {
+            let same = |m: &CsrMatrix| {
+                if cfg.include_empty_duplicates {
+                    find_same_groups_with_empty(m, &cfg.strategy, cfg.parallelism)
+                } else {
+                    find_same_groups(m, &cfg.strategy, cfg.parallelism)
+                }
+            };
+            let t0 = Instant::now();
+            report.same_user_groups = same(ruam);
+            report.timings.same_users = t0.elapsed();
+
+            let t0 = Instant::now();
+            report.same_permission_groups = same(rpam);
+            report.timings.same_permissions = t0.elapsed();
+        }
+        report.timings.threads.same_users = threads;
         report.timings.threads.same_permissions = threads;
 
         // The MinHash stage runs whenever the MinHash strategy is
@@ -123,40 +159,88 @@ impl Pipeline {
         }
 
         if !cfg.skip_similarity {
-            report.timings.threads.transpose = threads;
-            // The disjoint supplement only runs inside the custom T5
-            // path, and only when opted in.
-            if cfg.similarity.include_disjoint
-                && matches!(cfg.strategy, crate::config::Strategy::Custom)
-            {
-                report.timings.threads.disjoint_supplement = threads;
-            }
-            let t0 = Instant::now();
-            let ruam_t = ruam.transpose_with(threads);
-            report.similar_user_pairs = find_similar_pairs(
-                ruam,
-                &ruam_t,
-                &cfg.strategy,
-                &cfg.similarity,
-                cfg.parallelism,
-            );
-            report.timings.similar_users = t0.elapsed();
-            report.timings.threads.similar_users = threads;
+            if let Some((ruam_engine, rpam_engine)) = &engines {
+                // The engine replaces the transposed inverted index: T5
+                // pairs come out of the packed neighbourhoods, so no
+                // transpose is built (`threads.transpose` stays 0).
+                let (pairs, pre, grouping) =
+                    dbscan_similar_stage(ruam_engine, &cfg.similarity, threads);
+                report.similar_user_pairs = pairs;
+                report.timings.distance_precompute += pre;
+                report.timings.similar_users = grouping;
 
-            let t0 = Instant::now();
-            let rpam_t = rpam.transpose_with(threads);
-            report.similar_permission_pairs = find_similar_pairs(
-                rpam,
-                &rpam_t,
-                &cfg.strategy,
-                &cfg.similarity,
-                cfg.parallelism,
-            );
-            report.timings.similar_permissions = t0.elapsed();
+                let (pairs, pre, grouping) =
+                    dbscan_similar_stage(rpam_engine, &cfg.similarity, threads);
+                report.similar_permission_pairs = pairs;
+                report.timings.distance_precompute += pre;
+                report.timings.similar_permissions = grouping;
+            } else {
+                report.timings.threads.transpose = threads;
+                // The disjoint supplement only runs inside the custom T5
+                // path, and only when opted in.
+                if cfg.similarity.include_disjoint
+                    && matches!(cfg.strategy, crate::config::Strategy::Custom)
+                {
+                    report.timings.threads.disjoint_supplement = threads;
+                }
+                let t0 = Instant::now();
+                let ruam_t = ruam.transpose_with(threads);
+                report.similar_user_pairs = find_similar_pairs(
+                    ruam,
+                    &ruam_t,
+                    &cfg.strategy,
+                    &cfg.similarity,
+                    cfg.parallelism,
+                );
+                report.timings.similar_users = t0.elapsed();
+
+                let t0 = Instant::now();
+                let rpam_t = rpam.transpose_with(threads);
+                report.similar_permission_pairs = find_similar_pairs(
+                    rpam,
+                    &rpam_t,
+                    &cfg.strategy,
+                    &cfg.similarity,
+                    cfg.parallelism,
+                );
+                report.timings.similar_permissions = t0.elapsed();
+            }
+            report.timings.threads.similar_users = threads;
             report.timings.threads.similar_permissions = threads;
         }
         report
     }
+}
+
+/// One T4 side on the engine: neighbourhood precompute timed apart from
+/// the grouping kernel. Returns `(groups, precompute, grouping)`.
+fn dbscan_same_stage(
+    engine: &DbscanEngine,
+    include_empty: bool,
+    threads: usize,
+) -> (Vec<Vec<usize>>, Duration, Duration) {
+    let t0 = Instant::now();
+    let neighborhoods = engine.duplicate_neighborhoods(threads);
+    let precompute = t0.elapsed();
+    let t0 = Instant::now();
+    let groups = dbscan_same_groups_cached(engine, &neighborhoods, include_empty, threads);
+    (groups, precompute, t0.elapsed())
+}
+
+/// One T5 side on the engine: neighbourhood precompute timed apart from
+/// the clustering + pair verification. Returns `(pairs, precompute,
+/// grouping)`.
+fn dbscan_similar_stage(
+    engine: &DbscanEngine,
+    similarity: &SimilarityConfig,
+    threads: usize,
+) -> (Vec<SimilarPair>, Duration, Duration) {
+    let t0 = Instant::now();
+    let neighborhoods = engine.similar_neighborhoods(similarity.threshold, threads);
+    let precompute = t0.elapsed();
+    let t0 = Instant::now();
+    let pairs = dbscan_similar_pairs_cached(engine, &neighborhoods, similarity, threads);
+    (pairs, precompute, t0.elapsed())
 }
 
 #[cfg(test)]
@@ -314,9 +398,14 @@ mod tests {
             "custom T4 extracts via union-find"
         );
         assert_eq!(threads.cluster_expand, 0, "DBSCAN strategy not selected");
+        assert_eq!(
+            threads.distance_precompute, 0,
+            "engine only runs under exact-DBSCAN"
+        );
 
         // The exact-DBSCAN strategy routes grouping through the
-        // connected-components kernel instead of the union-find path.
+        // connected-components kernel instead of the union-find path,
+        // with the packed engine paying the distance plane.
         let cfg = DetectionConfig {
             parallelism: Parallelism::Threads(4),
             ..DetectionConfig::with_strategy(Strategy::ExactDbscan)
@@ -324,6 +413,11 @@ mod tests {
         let report = Pipeline::new(cfg).run(&graph);
         assert_eq!(report.timings.threads.cluster_expand, 4);
         assert_eq!(report.timings.threads.group_extract, 0);
+        assert_eq!(report.timings.threads.distance_precompute, 4);
+        assert_eq!(
+            report.timings.threads.transpose, 0,
+            "the engine replaces the transposed index"
+        );
 
         // Stages that do not run report 0 threads.
         let cfg = DetectionConfig {

@@ -71,6 +71,10 @@ pub struct StageThreads {
     /// DBSCAN cluster assignment via the parallel connected-components
     /// grouping kernel (`0` unless the exact-DBSCAN strategy is active).
     pub cluster_expand: usize,
+    /// Packed bounded-distance engine: neighbourhood precompute for the
+    /// exact O(n²) T4/T5 stages (`0` unless the exact-DBSCAN strategy is
+    /// active).
+    pub distance_precompute: usize,
     /// Union-find group extraction — T4 signature-group verification and
     /// HNSW/LSH candidate-component grouping (`0` under the exact-DBSCAN
     /// strategy, whose groups come out of the cluster labels instead).
@@ -93,6 +97,12 @@ pub struct StageTimings {
     pub similar_users: Duration,
     /// T5 on the permission side.
     pub similar_permissions: Duration,
+    /// Packed-engine build + neighbourhood precompute for the exact
+    /// O(n²) stages, accumulated across both sides of T4 and T5 (zero
+    /// unless the exact-DBSCAN strategy is active; carved out of the
+    /// per-stage timings so grouping is timed apart from the shared
+    /// distance plane).
+    pub distance_precompute: Duration,
     /// Worker-thread count per parallel stage.
     pub threads: StageThreads,
 }
@@ -106,6 +116,7 @@ impl StageTimings {
             + self.same_permissions
             + self.similar_users
             + self.similar_permissions
+            + self.distance_precompute
     }
 }
 
@@ -379,9 +390,10 @@ mod tests {
             same_permissions: Duration::from_millis(4),
             similar_users: Duration::from_millis(5),
             similar_permissions: Duration::from_millis(6),
+            distance_precompute: Duration::from_millis(7),
             threads: StageThreads::default(),
         };
-        assert_eq!(t.total(), Duration::from_millis(21));
+        assert_eq!(t.total(), Duration::from_millis(28));
     }
 
     #[test]
@@ -398,6 +410,7 @@ mod tests {
                 disjoint_supplement: 8,
                 minhash: 0,
                 cluster_expand: 0,
+                distance_precompute: 8,
                 group_extract: 4,
             },
             ..StageTimings::default()

@@ -18,8 +18,9 @@ use rolediet_cluster::dbscan::{Dbscan, DbscanParams};
 use rolediet_cluster::hnsw::{Hnsw, HnswParams};
 use rolediet_cluster::metric::{BinaryMetric, BinaryRows};
 use rolediet_cluster::minhash::{MinHashLsh, MinHashLshParams};
+use rolediet_cluster::neighbors::all_range_queries_packed;
 use rolediet_cluster::UnionFind;
-use rolediet_matrix::{CsrMatrix, RowMatrix};
+use rolediet_matrix::{CsrMatrix, PackedRows, RowMatrix};
 
 use crate::config::{Parallelism, SimilarityConfig, Strategy};
 use crate::cooccur;
@@ -52,10 +53,9 @@ pub fn find_same_groups_with_empty(
     match strategy {
         Strategy::Custom => cooccur::same_groups_with(matrix, threads),
         Strategy::ExactDbscan => {
-            let points = BinaryRows::new(matrix, BinaryMetric::Hamming);
-            let labels =
-                Dbscan::new(DbscanParams::exact_duplicates()).fit_with_threads(&points, threads);
-            normalize_groups(labels.clusters())
+            let engine = DbscanEngine::build(matrix, threads);
+            let neighborhoods = engine.duplicate_neighborhoods(threads);
+            dbscan_same_groups_cached(&engine, &neighborhoods, true, threads)
         }
         Strategy::ApproxHnsw { params, probe_k } => {
             let pairs = hnsw_pairs(matrix, *params, *probe_k, 0, threads);
@@ -104,33 +104,105 @@ pub fn find_similar_pairs(
     }
 }
 
-/// DBSCAN-based T5: cluster with `eps = t`, then enumerate and verify the
-/// pairs inside each cluster.
+/// The exact-DBSCAN strategy's packed bounded-distance engine: role rows
+/// packed once ([`PackedRows`]), then shared by every O(n²) neighbourhood
+/// precompute and the within-cluster pair verification.
+///
+/// The pipeline builds one engine per matrix side and times the build and
+/// the neighbourhood precomputes into `Report::timings.distance_precompute`
+/// — apart from the grouping they feed — so benches can compare the
+/// distance plane against the scalar [`PointSet`] oracle directly.
+///
+/// [`PointSet`]: rolediet_cluster::metric::PointSet
+pub struct DbscanEngine {
+    rows: PackedRows,
+}
+
+impl DbscanEngine {
+    /// Packs `matrix` for bounded-distance queries (representation chosen
+    /// by density; see [`PackedRows::from_matrix`]).
+    pub fn build(matrix: &CsrMatrix, threads: usize) -> Self {
+        DbscanEngine {
+            rows: PackedRows::from_matrix(matrix, threads.max(1)),
+        }
+    }
+
+    /// Neighbour lists for the T4 duplicate query (`eps` from
+    /// [`DbscanParams::exact_duplicates`]).
+    pub fn duplicate_neighborhoods(&self, threads: usize) -> Vec<Vec<usize>> {
+        let eps = DbscanParams::exact_duplicates().eps;
+        all_range_queries_packed(&self.rows, eps, threads.max(1))
+    }
+
+    /// Neighbour lists for the T5 similarity query (`eps` from
+    /// [`DbscanParams::similar`]).
+    pub fn similar_neighborhoods(&self, threshold: usize, threads: usize) -> Vec<Vec<usize>> {
+        let eps = DbscanParams::similar(threshold).eps;
+        all_range_queries_packed(&self.rows, eps, threads.max(1))
+    }
+}
+
+/// T4 groups from precomputed duplicate neighbourhoods (the grouping half
+/// of the exact-DBSCAN strategy, with the distance plane already paid for
+/// by [`DbscanEngine::duplicate_neighborhoods`]).
+pub fn dbscan_same_groups_cached(
+    engine: &DbscanEngine,
+    neighborhoods: &[Vec<usize>],
+    include_empty: bool,
+    threads: usize,
+) -> Vec<Vec<usize>> {
+    let labels =
+        Dbscan::new(DbscanParams::exact_duplicates()).group_cached_with(neighborhoods, threads);
+    let mut groups = normalize_groups(labels.clusters());
+    if !include_empty {
+        groups.retain(|g| engine.rows.row_norm(g[0]) > 0);
+    }
+    groups
+}
+
+/// T5 pairs from precomputed similarity neighbourhoods: cluster with
+/// `eps = t`, then enumerate and verify the pairs inside each cluster.
 ///
 /// DBSCAN with `min_pts = 2` never misses a true pair (both endpoints of
 /// a `d ≤ t` pair are core points of the same cluster), but density
 /// chaining can pull farther points into the cluster, so the
-/// within-cluster pair enumeration re-checks every distance.
-fn dbscan_similar_pairs(
-    matrix: &CsrMatrix,
+/// within-cluster pair enumeration re-checks every distance — through the
+/// engine's [`PackedRows::bounded_hamming`] kernel, which prunes the
+/// chained-in far pairs by norm band before touching row words.
+pub fn dbscan_similar_pairs_cached(
+    engine: &DbscanEngine,
+    neighborhoods: &[Vec<usize>],
     cfg: &SimilarityConfig,
     threads: usize,
 ) -> Vec<SimilarPair> {
-    let points = BinaryRows::new(matrix, BinaryMetric::Hamming);
     let labels =
-        Dbscan::new(DbscanParams::similar(cfg.threshold)).fit_with_threads(&points, threads);
+        Dbscan::new(DbscanParams::similar(cfg.threshold)).group_cached_with(neighborhoods, threads);
     let mut pairs = Vec::new();
     for cluster in labels.clusters() {
         for (x, &i) in cluster.iter().enumerate() {
             for &j in &cluster[x + 1..] {
-                let d = matrix.row_hamming(i, j);
-                if d >= 1 && d <= cfg.threshold {
-                    pairs.push(SimilarPair::new(i, j, d));
+                if let Some(d) = engine.rows.bounded_hamming(i, j, cfg.threshold) {
+                    if d >= 1 {
+                        pairs.push(SimilarPair::new(i, j, d));
+                    }
                 }
             }
         }
     }
     finalize(pairs, cfg.max_pairs)
+}
+
+/// DBSCAN-based T5 over a freshly built engine (the strategy-dispatch
+/// entry; the pipeline calls the `_cached` halves instead so the engine
+/// and neighbourhoods are timed as `distance_precompute`).
+fn dbscan_similar_pairs(
+    matrix: &CsrMatrix,
+    cfg: &SimilarityConfig,
+    threads: usize,
+) -> Vec<SimilarPair> {
+    let engine = DbscanEngine::build(matrix, threads);
+    let neighborhoods = engine.similar_neighborhoods(cfg.threshold, threads);
+    dbscan_similar_pairs_cached(&engine, &neighborhoods, cfg, threads)
 }
 
 /// HNSW probe: query every role for its `probe_k` nearest neighbours and

@@ -243,6 +243,8 @@ proptest! {
             let mut report = Pipeline::new(cfg).run(&graph);
             prop_assert_eq!(report.timings.threads.cluster_expand, threads);
             prop_assert_eq!(report.timings.threads.group_extract, 0);
+            prop_assert_eq!(report.timings.threads.distance_precompute, threads);
+            prop_assert_eq!(report.timings.threads.transpose, 0);
             report.timings = baseline.timings;
             report.config = baseline.config;
             prop_assert_eq!(&report, &baseline, "threads={}", threads);

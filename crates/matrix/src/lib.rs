@@ -20,6 +20,10 @@
 //!   fast path.
 //! * [`ops`] — sparse co-occurrence products (`A · Aᵀ` restricted to pairs
 //!   that share at least one column) and column sums.
+//! * [`packed`] — the batched bounded-distance engine ([`PackedRows`]):
+//!   norm-band pruning plus early-exit Hamming kernels over density-keyed
+//!   packed-word or sparse-merge row storage, feeding every exact O(n²)
+//!   T4/T5 stage.
 //! * [`parallel`] — the deterministic chunked map-reduce substrate every
 //!   parallel stage in the workspace is built on.
 //!
@@ -46,6 +50,7 @@ pub mod bitvec;
 pub mod dense;
 pub mod error;
 pub mod ops;
+pub mod packed;
 pub mod parallel;
 pub mod signature;
 pub mod sparse;
@@ -55,6 +60,7 @@ mod validate;
 pub use bitvec::BitVec;
 pub use dense::{BitMatrix, RowRef};
 pub use error::MatrixError;
+pub use packed::PackedRows;
 pub use signature::{hash_words, RowSignature, SignatureIndex};
 pub use sparse::CsrMatrix;
 pub use traits::RowMatrix;

@@ -1,0 +1,687 @@
+//! Batched bounded-distance engine for the O(n²) T4/T5 distance plane.
+//!
+//! Every exact duplicate/similarity detector ultimately asks the same
+//! question n² times: *is the Hamming distance between rows `i` and `j`
+//! at most `bound`?* — with `bound = 0` for T4 and `bound = t` for T5.
+//! [`PackedRows`] answers it without ever walking a full row pair when
+//! the answer is knowable sooner:
+//!
+//! 1. **Norm-band pruning.** `Hamming(i, j) ≥ |‖rᵢ‖ − ‖rⱼ‖|` (dropping a
+//!    set bit costs one mismatch minimum), so any pair whose precomputed
+//!    norms differ by more than `bound` is rejected in O(1) without
+//!    touching row data. Rows are also counting-sorted into *norm
+//!    buckets*, so the batched kernels enumerate only candidates inside
+//!    the band `[‖rᵢ‖ − bound, ‖rᵢ‖ + bound]` instead of scanning all n.
+//! 2. **Early-exit kernels.** Within the band, the distance loop aborts
+//!    the moment the running mismatch count exceeds `bound`: the packed
+//!    representation XOR-popcounts contiguous `u64` word blocks (checked
+//!    every four words), the sparse representation merge-walks two sorted
+//!    index lists and counts mismatches as it goes.
+//!
+//! The representation is **density-keyed** at construction: rows pack
+//! into contiguous word blocks when a dense row costs no more to scan
+//! than the average sparse merge (`words ≤ max(8, 2·nnz/rows)`), and fall
+//! back to an owned CSR copy for extremely sparse data — at real-org
+//! scale (50 300 × 89 900, density ≈ 1e-4) packing would waste ~565 MB
+//! and thousands of zero words per pair, while the sorted-merge touches
+//! only the few set bits.
+//!
+//! The batched kernels ([`range_queries_within`](PackedRows::range_queries_within),
+//! [`pairs_within`](PackedRows::pairs_within)) run on the shared
+//! [`parallel`](crate::parallel) substrate with tiles joined in range
+//! order, so their output is bit-identical at every thread count; a
+//! no-pruning scan ([`range_queries_within_no_prune`](PackedRows::range_queries_within_no_prune))
+//! survives as the ablation baseline for the norm band.
+
+use crate::bitvec::words_for;
+use crate::parallel;
+use crate::traits::RowMatrix;
+
+/// Row storage behind the engine: dense packed words or an owned sparse
+/// index copy, chosen by density at build time.
+#[derive(Debug, Clone)]
+enum Repr {
+    /// Rows packed into contiguous `u64` blocks of `words_per_row` words
+    /// each (row `i` occupies `words[i·wpr .. (i+1)·wpr]`).
+    Packed {
+        /// All rows' words, row-major, tail bits zero.
+        words: Vec<u64>,
+        /// Words per row, `words_for(cols)`.
+        words_per_row: usize,
+    },
+    /// Owned CSR copy: `indices[indptr[i]..indptr[i+1]]` are row `i`'s
+    /// set columns, ascending.
+    Sparse {
+        /// Row start offsets, `rows + 1` entries.
+        indptr: Vec<usize>,
+        /// Concatenated sorted column indices.
+        indices: Vec<u32>,
+    },
+}
+
+/// A batch of binary rows prepared for bounded Hamming-distance queries:
+/// norms precomputed, rows counting-sorted into norm buckets, and row
+/// data either packed into cache-friendly `u64` word blocks or kept as a
+/// contiguous sparse index copy (density-keyed — see the
+/// [module docs](self)).
+///
+/// Built once per matrix (in parallel, deterministically) and then
+/// queried many times; all batched kernels are bit-identical at every
+/// thread count.
+///
+/// # Examples
+///
+/// ```
+/// use rolediet_matrix::{BitMatrix, PackedRows};
+///
+/// let m = BitMatrix::from_rows_of_indices(3, 4, &[
+///     vec![0, 1], vec![0, 1, 2], vec![3],
+/// ]).unwrap();
+/// let packed = PackedRows::from_matrix(&m, 1);
+/// assert_eq!(packed.bounded_hamming(0, 1, 1), Some(1));
+/// assert_eq!(packed.bounded_hamming(0, 2, 1), None); // distance 3 > 1
+/// assert_eq!(packed.range_queries_within(1, 2), vec![
+///     vec![0, 1], vec![0, 1], vec![2],
+/// ]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PackedRows {
+    rows: usize,
+    cols: usize,
+    /// Per-row popcounts (norms); `cols` fits `u32` by the matrix types'
+    /// construction, and norms never exceed `cols`.
+    norms: Vec<u32>,
+    repr: Repr,
+    /// Norm-bucket offsets: rows with norm `b` are
+    /// `bucket_members[bucket_indptr[b]..bucket_indptr[b + 1]]`,
+    /// ascending by row index. Length `max_norm + 2`.
+    bucket_indptr: Vec<usize>,
+    /// Row indices counting-sorted by norm (stable, so ascending within
+    /// each bucket).
+    bucket_members: Vec<u32>,
+}
+
+/// Candidate tiles in the full-scan path are sized to roughly this many
+/// packed words so a tile of candidate rows stays resident in L2 while
+/// every query row of a chunk runs against it.
+const SCAN_TILE_WORDS: usize = 32_768;
+
+impl PackedRows {
+    /// Builds the engine from any [`RowMatrix`], choosing the packed or
+    /// sparse representation by density (see the [module docs](self)).
+    /// The build itself runs on `threads` workers and is deterministic.
+    pub fn from_matrix<M: RowMatrix + Sync + ?Sized>(m: &M, threads: usize) -> Self {
+        let rows = m.rows();
+        let avg2 = (2 * m.nnz()).checked_div(rows).unwrap_or(0);
+        let pack = words_for(m.cols()) <= avg2.max(8);
+        if pack {
+            Self::packed_from_matrix(m, threads)
+        } else {
+            Self::sparse_from_matrix(m, threads)
+        }
+    }
+
+    /// Builds the engine with the packed (dense word-block)
+    /// representation regardless of density — the ablation/forcing
+    /// constructor; prefer [`from_matrix`](Self::from_matrix).
+    pub fn packed_from_matrix<M: RowMatrix + Sync + ?Sized>(m: &M, threads: usize) -> Self {
+        let (rows, cols) = (m.rows(), m.cols());
+        let norms = Self::build_norms(m, threads);
+        let words_per_row = words_for(cols);
+        let mut words = vec![0u64; rows * words_per_row];
+        let offsets: Vec<usize> = (0..=rows).map(|i| i * words_per_row).collect();
+        parallel::par_fill_by_offsets(&mut words, &offsets, threads, |range, chunk| {
+            for i in range.clone() {
+                let base = (i - range.start) * words_per_row;
+                for idx in m.row_indices(i) {
+                    chunk[base + idx / 64] |= 1u64 << (idx % 64);
+                }
+            }
+        });
+        Self::with_repr(
+            rows,
+            cols,
+            norms,
+            Repr::Packed {
+                words,
+                words_per_row,
+            },
+        )
+    }
+
+    /// Builds the engine with the sparse (owned CSR copy)
+    /// representation regardless of density — the ablation/forcing
+    /// constructor; prefer [`from_matrix`](Self::from_matrix).
+    pub fn sparse_from_matrix<M: RowMatrix + Sync + ?Sized>(m: &M, threads: usize) -> Self {
+        let (rows, cols) = (m.rows(), m.cols());
+        let norms = Self::build_norms(m, threads);
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut acc = 0usize;
+        indptr.push(0);
+        for &nm in &norms {
+            acc += nm as usize;
+            indptr.push(acc);
+        }
+        let mut indices = vec![0u32; acc];
+        parallel::par_fill_by_offsets(&mut indices, &indptr, threads, |range, chunk| {
+            let mut k = 0usize;
+            for i in range {
+                for idx in m.row_indices(i) {
+                    chunk[k] = idx as u32;
+                    k += 1;
+                }
+            }
+        });
+        Self::with_repr(rows, cols, norms, Repr::Sparse { indptr, indices })
+    }
+
+    fn build_norms<M: RowMatrix + Sync + ?Sized>(m: &M, threads: usize) -> Vec<u32> {
+        parallel::par_map_rows(m.rows(), threads, |range| {
+            range.map(|i| m.row_norm(i) as u32).collect()
+        })
+    }
+
+    /// Finishes construction: counting-sorts rows into norm buckets
+    /// (stable, so members ascend within each bucket).
+    fn with_repr(rows: usize, cols: usize, norms: Vec<u32>, repr: Repr) -> Self {
+        let max_norm = norms.iter().copied().max().unwrap_or(0) as usize;
+        let mut bucket_indptr = vec![0usize; max_norm + 2];
+        for &nm in &norms {
+            bucket_indptr[nm as usize + 1] += 1;
+        }
+        for b in 0..=max_norm {
+            bucket_indptr[b + 1] += bucket_indptr[b];
+        }
+        let mut cursor = bucket_indptr.clone();
+        let mut bucket_members = vec![0u32; rows];
+        for (i, &nm) in norms.iter().enumerate() {
+            bucket_members[cursor[nm as usize]] = i as u32;
+            cursor[nm as usize] += 1;
+        }
+        PackedRows {
+            rows,
+            cols,
+            norms,
+            repr,
+            bucket_indptr,
+            bucket_members,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Norm (popcount) of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows()`.
+    pub fn row_norm(&self, i: usize) -> usize {
+        self.norms[i] as usize
+    }
+
+    /// The largest row norm (0 for an empty batch).
+    pub fn max_norm(&self) -> usize {
+        self.bucket_indptr.len() - 2
+    }
+
+    /// Row indices with exactly `norm` set bits, ascending (empty when
+    /// `norm` exceeds [`max_norm`](Self::max_norm)).
+    pub fn rows_with_norm(&self, norm: usize) -> &[u32] {
+        if norm > self.max_norm() {
+            return &[];
+        }
+        &self.bucket_members[self.bucket_indptr[norm]..self.bucket_indptr[norm + 1]]
+    }
+
+    /// `true` when the density key chose the packed word-block
+    /// representation, `false` for the sparse fallback.
+    pub fn is_packed(&self) -> bool {
+        matches!(self.repr, Repr::Packed { .. })
+    }
+
+    /// `Some(Hamming(i, j))` when the distance is at most `bound`,
+    /// `None` otherwise — the engine's core kernel. Pairs outside the
+    /// norm band `|‖rᵢ‖ − ‖rⱼ‖| > bound` are rejected without touching
+    /// row data; inside the band the distance loop early-exits as soon
+    /// as the running count exceeds `bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn bounded_hamming(&self, i: usize, j: usize, bound: usize) -> Option<usize> {
+        if (self.norms[i].abs_diff(self.norms[j])) as usize > bound {
+            return None;
+        }
+        self.distance_within(i, j, bound)
+    }
+
+    /// The bounded kernel *without* the norm-band check — only the
+    /// early-exit distance loop. Same result as
+    /// [`bounded_hamming`](Self::bounded_hamming); kept separate so the
+    /// band path (which enumerates only in-band candidates) skips the
+    /// redundant check and the pruning ablation can measure the band's
+    /// contribution.
+    fn distance_within(&self, i: usize, j: usize, bound: usize) -> Option<usize> {
+        match &self.repr {
+            Repr::Packed {
+                words,
+                words_per_row,
+            } => {
+                let a = &words[i * words_per_row..(i + 1) * words_per_row];
+                let b = &words[j * words_per_row..(j + 1) * words_per_row];
+                packed_within(a, b, bound)
+            }
+            Repr::Sparse { indptr, indices } => {
+                let a = &indices[indptr[i]..indptr[i + 1]];
+                let b = &indices[indptr[j]..indptr[j + 1]];
+                sparse_within(a, b, bound)
+            }
+        }
+    }
+
+    /// Upper bound on the number of (ordered) candidate pairs the norm
+    /// band leaves: Σ over rows of the band population. Drives the
+    /// band-vs-scan path choice — a pure function of the input, so the
+    /// choice (and hence the output) never depends on the thread count.
+    fn band_candidates(&self, bound: usize) -> u128 {
+        let buckets = self.bucket_indptr.len() - 1;
+        let mut total = 0u128;
+        for b in 0..buckets {
+            let size = (self.bucket_indptr[b + 1] - self.bucket_indptr[b]) as u128;
+            if size == 0 {
+                continue;
+            }
+            let lo = b.saturating_sub(bound);
+            let hi = (b + bound).min(buckets - 1);
+            total += size * (self.bucket_indptr[hi + 1] - self.bucket_indptr[lo]) as u128;
+        }
+        total
+    }
+
+    /// `true` when the norm band is so unselective that enumerating
+    /// bucket candidates per row would cost more than a straight tiled
+    /// scan of all rows.
+    fn prefer_scan(&self, bound: usize) -> bool {
+        let n = self.rows as u128;
+        2 * self.band_candidates(bound) >= n * n
+    }
+
+    /// Visits the rows whose norm lies within `bound` of `norm`, in
+    /// ascending row order: a k-way merge of the (already ascending)
+    /// bucket slices, `k ≤ 2·bound + 1`.
+    fn for_each_band_candidate(&self, norm: usize, bound: usize, mut f: impl FnMut(usize)) {
+        let lo = norm.saturating_sub(bound);
+        let hi = (norm + bound).min(self.max_norm());
+        let mut slices: Vec<&[u32]> = (lo..=hi)
+            .map(|b| self.rows_with_norm(b))
+            .filter(|s| !s.is_empty())
+            .collect();
+        if slices.len() == 1 {
+            // The common T4 case (bound 0): one bucket, no merge needed.
+            for &j in slices[0] {
+                f(j as usize);
+            }
+            return;
+        }
+        loop {
+            let mut best: Option<usize> = None;
+            for (si, s) in slices.iter().enumerate() {
+                if !s.is_empty() && best.is_none_or(|b| s[0] < slices[b][0]) {
+                    best = Some(si);
+                }
+            }
+            let Some(si) = best else { break };
+            f(slices[si][0] as usize);
+            slices[si] = &slices[si][1..];
+        }
+    }
+
+    /// All `n` bounded range queries at once: `out[i]` lists every `j`
+    /// (including `i` itself) with `Hamming(i, j) ≤ bound`, ascending.
+    ///
+    /// Rows are chunked over `threads` workers via
+    /// [`par_map_rows`](parallel::par_map_rows) and joined in range
+    /// order — bit-identical at every thread count. Per query row the
+    /// engine either walks the norm-band candidates (selective band) or
+    /// falls back to a tiled block×block scan of all rows (candidate
+    /// tiles sized to stay cache-resident, ascending so output order is
+    /// unchanged); the choice is a pure function of the input.
+    pub fn range_queries_within(&self, bound: usize, threads: usize) -> Vec<Vec<usize>> {
+        if self.prefer_scan(bound) {
+            return self.scan_queries(bound, threads, true);
+        }
+        parallel::par_map_rows(self.rows, threads, |range| {
+            range
+                .map(|i| {
+                    let mut out = Vec::new();
+                    self.for_each_band_candidate(self.norms[i] as usize, bound, |j| {
+                        if j == i {
+                            out.push(i);
+                        } else if self.distance_within(i, j, bound).is_some() {
+                            out.push(j);
+                        }
+                    });
+                    out
+                })
+                .collect()
+        })
+    }
+
+    /// [`range_queries_within`](Self::range_queries_within) with norm
+    /// pruning disabled: every pair goes through the early-exit distance
+    /// loop. Identical output (the band is a pure optimization) — this
+    /// is the pruning-ablation baseline (`abl-distkern`).
+    pub fn range_queries_within_no_prune(&self, bound: usize, threads: usize) -> Vec<Vec<usize>> {
+        self.scan_queries(bound, threads, false)
+    }
+
+    /// Tiled full scan behind both the unselective-band fallback and the
+    /// pruning ablation: candidate rows are visited in ascending tiles
+    /// (packed tiles sized to ~[`SCAN_TILE_WORDS`] words) with every
+    /// query row of a worker's chunk run against the resident tile.
+    fn scan_queries(&self, bound: usize, threads: usize, prune: bool) -> Vec<Vec<usize>> {
+        let n = self.rows;
+        let tile = match &self.repr {
+            Repr::Packed { words_per_row, .. } => {
+                (SCAN_TILE_WORDS / (*words_per_row).max(1)).max(1)
+            }
+            // Sparse rows have no fixed stride to tile against; one pass
+            // over all candidates per query row is already index-local.
+            Repr::Sparse { .. } => n.max(1),
+        };
+        parallel::par_map_rows(n, threads, |range| {
+            let mut out: Vec<Vec<usize>> = range.clone().map(|_| Vec::new()).collect();
+            let mut tile_start = 0usize;
+            while tile_start < n {
+                let tile_end = (tile_start + tile).min(n);
+                for i in range.clone() {
+                    let row_out = &mut out[i - range.start];
+                    for j in tile_start..tile_end {
+                        let d = if prune {
+                            self.bounded_hamming(i, j, bound)
+                        } else {
+                            self.distance_within(i, j, bound)
+                        };
+                        if d.is_some() {
+                            row_out.push(j);
+                        }
+                    }
+                }
+                tile_start = tile_end;
+            }
+            out
+        })
+    }
+
+    /// Every unordered pair `(i, j)`, `i < j`, with
+    /// `Hamming(i, j) ≤ bound`, plus the distance — ascending by `i`
+    /// then `j` (the order of the sequential double loop). Chunked over
+    /// `threads` workers and joined in range order: bit-identical at
+    /// every thread count.
+    pub fn pairs_within(&self, bound: usize, threads: usize) -> Vec<(usize, usize, usize)> {
+        let scan = self.prefer_scan(bound);
+        let chunks = parallel::par_map_ranges(self.rows, threads, |range| {
+            let mut out = Vec::new();
+            for i in range {
+                if scan {
+                    for j in (i + 1)..self.rows {
+                        if let Some(d) = self.bounded_hamming(i, j, bound) {
+                            out.push((i, j, d));
+                        }
+                    }
+                } else {
+                    self.for_each_band_candidate(self.norms[i] as usize, bound, |j| {
+                        if j > i {
+                            if let Some(d) = self.distance_within(i, j, bound) {
+                                out.push((i, j, d));
+                            }
+                        }
+                    });
+                }
+            }
+            out
+        });
+        let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        out
+    }
+}
+
+/// Early-exit XOR-popcount over packed words, unrolled four words at a
+/// time with the running distance checked per block.
+fn packed_within(a: &[u64], b: &[u64], bound: usize) -> Option<usize> {
+    let mut d = 0usize;
+    let mut k = 0usize;
+    let n = a.len();
+    while k + 4 <= n {
+        d += ((a[k] ^ b[k]).count_ones()
+            + (a[k + 1] ^ b[k + 1]).count_ones()
+            + (a[k + 2] ^ b[k + 2]).count_ones()
+            + (a[k + 3] ^ b[k + 3]).count_ones()) as usize;
+        if d > bound {
+            return None;
+        }
+        k += 4;
+    }
+    while k < n {
+        d += (a[k] ^ b[k]).count_ones() as usize;
+        k += 1;
+    }
+    if d > bound {
+        None
+    } else {
+        Some(d)
+    }
+}
+
+/// Early-exit sorted-merge mismatch count over two ascending index
+/// lists: every index present in exactly one list is one unit of
+/// distance, and the walk aborts as soon as the count exceeds `bound`.
+fn sparse_within(a: &[u32], b: &[u32], bound: usize) -> Option<usize> {
+    let mut d = 0usize;
+    let (mut x, mut y) = (0usize, 0usize);
+    while x < a.len() && y < b.len() {
+        match a[x].cmp(&b[y]) {
+            std::cmp::Ordering::Equal => {
+                x += 1;
+                y += 1;
+            }
+            std::cmp::Ordering::Less => {
+                d += 1;
+                if d > bound {
+                    return None;
+                }
+                x += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                d += 1;
+                if d > bound {
+                    return None;
+                }
+                y += 1;
+            }
+        }
+    }
+    d += (a.len() - x) + (b.len() - y);
+    if d > bound {
+        None
+    } else {
+        Some(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::BitMatrix;
+    use crate::sparse::CsrMatrix;
+
+    /// 7 rows over 70 columns (not a multiple of 64): an empty row, a
+    /// duplicate pair, a full-ish row, and near-duplicates at distance 1.
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_rows_of_indices(
+            7,
+            70,
+            &[
+                vec![0, 1, 65],
+                vec![],
+                vec![0, 1, 65],
+                vec![0, 1, 65, 69],
+                (0..70).step_by(2).collect(),
+                vec![7],
+                vec![],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn both_reprs(m: &CsrMatrix) -> Vec<PackedRows> {
+        vec![
+            PackedRows::packed_from_matrix(m, 3),
+            PackedRows::sparse_from_matrix(m, 3),
+        ]
+    }
+
+    #[test]
+    fn bounded_hamming_agrees_with_row_hamming() {
+        let m = sample();
+        for p in both_reprs(&m) {
+            for i in 0..m.n_rows() {
+                for j in 0..m.n_rows() {
+                    let d = m.row_hamming(i, j);
+                    for bound in 0..6 {
+                        let got = p.bounded_hamming(i, j, bound);
+                        let expected = (d <= bound).then_some(d);
+                        assert_eq!(got, expected, "i={i} j={j} bound={bound}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn norms_buckets_and_accessors() {
+        let m = sample();
+        for p in both_reprs(&m) {
+            assert_eq!(p.rows(), 7);
+            assert_eq!(p.cols(), 70);
+            for i in 0..7 {
+                assert_eq!(p.row_norm(i), m.row_norm(i));
+            }
+            assert_eq!(p.max_norm(), 35);
+            assert_eq!(p.rows_with_norm(0), &[1, 6]);
+            assert_eq!(p.rows_with_norm(3), &[0, 2]);
+            assert_eq!(p.rows_with_norm(35), &[4]);
+            assert_eq!(p.rows_with_norm(99), &[] as &[u32]);
+        }
+    }
+
+    #[test]
+    fn density_key_picks_packed_for_dense_and_sparse_for_wide() {
+        let dense =
+            BitMatrix::from_rows_of_indices(3, 40, &[vec![0, 5], vec![1], vec![2, 3]]).unwrap();
+        assert!(PackedRows::from_matrix(&dense, 1).is_packed());
+        // 3 rows over 10k columns with 2 set bits each: packing would
+        // cost 157 words per row for nothing.
+        let wide =
+            CsrMatrix::from_rows_of_indices(3, 10_000, &[vec![0, 9000], vec![17], vec![5, 6]])
+                .unwrap();
+        assert!(!PackedRows::from_matrix(&wide, 1).is_packed());
+    }
+
+    #[test]
+    fn range_queries_match_brute_force_at_every_thread_count() {
+        let m = sample();
+        for bound in [0usize, 1, 2, 40, 100] {
+            let brute: Vec<Vec<usize>> = (0..m.n_rows())
+                .map(|i| {
+                    (0..m.n_rows())
+                        .filter(|&j| m.row_hamming(i, j) <= bound)
+                        .collect()
+                })
+                .collect();
+            for p in both_reprs(&m) {
+                for threads in [1usize, 2, 4, 8] {
+                    assert_eq!(
+                        p.range_queries_within(bound, threads),
+                        brute,
+                        "bound={bound} threads={threads} packed={}",
+                        p.is_packed()
+                    );
+                    assert_eq!(
+                        p.range_queries_within_no_prune(bound, threads),
+                        brute,
+                        "no-prune bound={bound} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pairs_within_match_brute_force_in_order() {
+        let m = sample();
+        for bound in [0usize, 1, 3, 70] {
+            let mut brute = Vec::new();
+            for i in 0..m.n_rows() {
+                for j in (i + 1)..m.n_rows() {
+                    let d = m.row_hamming(i, j);
+                    if d <= bound {
+                        brute.push((i, j, d));
+                    }
+                }
+            }
+            for p in both_reprs(&m) {
+                for threads in [1usize, 2, 4, 8] {
+                    assert_eq!(p.pairs_within(bound, threads), brute, "bound={bound}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let empty = CsrMatrix::zeros(0, 5);
+        for p in both_reprs(&empty) {
+            assert_eq!(p.rows(), 0);
+            assert!(p.range_queries_within(1, 4).is_empty());
+            assert!(p.pairs_within(1, 4).is_empty());
+        }
+        // Zero columns: every row is empty and identical.
+        let zero_cols = CsrMatrix::zeros(3, 0);
+        for p in both_reprs(&zero_cols) {
+            assert_eq!(p.bounded_hamming(0, 2, 0), Some(0));
+            assert_eq!(
+                p.range_queries_within(0, 2),
+                vec![vec![0, 1, 2]; 3],
+                "packed={}",
+                p.is_packed()
+            );
+        }
+    }
+
+    #[test]
+    fn auto_repr_matches_forced_reprs() {
+        let m = sample();
+        let auto = PackedRows::from_matrix(&m, 2);
+        let expected = PackedRows::packed_from_matrix(&m, 1).range_queries_within(2, 1);
+        assert_eq!(auto.range_queries_within(2, 3), expected);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bounded_hamming_rejects_out_of_range() {
+        let m = sample();
+        PackedRows::from_matrix(&m, 1).bounded_hamming(0, 99, 1);
+    }
+}

@@ -189,6 +189,70 @@ proptest! {
     }
 
     #[test]
+    fn packed_bounded_hamming_agrees_with_row_hamming(
+        (rows, cols, mut data) in matrix_strategy(),
+        bound in 0usize..8,
+    ) {
+        // Append an empty row and a duplicate of row 0 so every case
+        // covers the engine's degenerate shapes; `matrix_strategy`'s
+        // 1..150 column range covers widths not divisible by 64.
+        data.push(Vec::new());
+        data.push(data[0].clone());
+        let rows = rows + 2;
+        let m = CsrMatrix::from_rows_of_indices(rows, cols, &data).unwrap();
+        for packed in [
+            rolediet_matrix::PackedRows::packed_from_matrix(&m, 3),
+            rolediet_matrix::PackedRows::sparse_from_matrix(&m, 3),
+        ] {
+            // The kernel agrees with the scalar distance, including the
+            // `None` <=> distance > bound direction.
+            for i in 0..rows {
+                prop_assert_eq!(packed.row_norm(i), m.row_norm(i));
+                for j in 0..rows {
+                    let d = m.row_hamming(i, j);
+                    let expected = if d <= bound { Some(d) } else { None };
+                    prop_assert_eq!(
+                        packed.bounded_hamming(i, j, bound),
+                        expected,
+                        "i={} j={} bound={} packed={}", i, j, bound, packed.is_packed()
+                    );
+                }
+            }
+            // The batched kernels match brute force, with and without
+            // norm pruning, at every thread count.
+            let brute_queries: Vec<Vec<usize>> = (0..rows)
+                .map(|i| (0..rows).filter(|&j| m.row_hamming(i, j) <= bound).collect())
+                .collect();
+            let mut brute_pairs = Vec::new();
+            for i in 0..rows {
+                for j in (i + 1)..rows {
+                    let d = m.row_hamming(i, j);
+                    if d <= bound {
+                        brute_pairs.push((i, j, d));
+                    }
+                }
+            }
+            for threads in [1usize, 2, 4, 8] {
+                prop_assert_eq!(
+                    &packed.range_queries_within(bound, threads),
+                    &brute_queries,
+                    "threads={}", threads
+                );
+                prop_assert_eq!(
+                    &packed.range_queries_within_no_prune(bound, threads),
+                    &brute_queries,
+                    "no-prune threads={}", threads
+                );
+                prop_assert_eq!(
+                    &packed.pairs_within(bound, threads),
+                    &brute_pairs,
+                    "pairs threads={}", threads
+                );
+            }
+        }
+    }
+
+    #[test]
     fn subset_difference_consistency(
         a in row_strategy(60),
         b in row_strategy(60),

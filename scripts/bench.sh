@@ -3,32 +3,39 @@
 #
 # Runs the abl-parallel microbenchmarks (threads in {1,2,4,8} for every
 # substrate stage plus the sequential baselines, including the DBSCAN
-# grouping kernel vs. BFS expansion and the eps-edge dedup ablation) and
-# then the full-scale JSON bench: two-pass matrix build, bucketed
-# disjoint supplement, DBSCAN connected-components grouping and MinHash
-# at the real-org scale of results_realorg.txt (generate_ing_like), plus
-# fig2/fig3 mini-sweeps. The JSON bench writes machine-readable records
+# grouping kernel vs. BFS expansion and the eps-edge dedup ablation),
+# the abl-distkern microbenchmarks (packed bounded-distance engine vs
+# the scalar scan, plus the norm-band pruning ablation) and then the
+# full-scale JSON bench: two-pass matrix build, bucketed disjoint
+# supplement, DBSCAN connected-components grouping, MinHash and the
+# distance-precompute engine-vs-scalar comparison at the real-org scale
+# of results_realorg.txt (generate_ing_like), plus fig2/fig3
+# mini-sweeps. The JSON bench writes machine-readable records
 # {stage, size, threads, ns, found} to BENCH_OUT — the same schema as
-# BENCH_pr2.json, so the perf trajectory stays machine-readable.
+# BENCH_pr2.json/BENCH_pr3.json, so the perf trajectory stays
+# machine-readable.
 #
 # Env knobs:
 #   BENCH_SCALE  org scale factor for the JSON bench (default 1.0)
 #   BENCH_SEED   generator seed (default 7)
 #   BENCH_ITERS  timing iterations, min-of-N (default 3)
-#   BENCH_OUT    output path (default BENCH_pr3.json at the repo root)
+#   BENCH_OUT    output path (default BENCH_pr5.json at the repo root)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SCALE="${BENCH_SCALE:-1.0}"
 BENCH_SEED="${BENCH_SEED:-7}"
 BENCH_ITERS="${BENCH_ITERS:-3}"
-BENCH_OUT="${BENCH_OUT:-$PWD/BENCH_pr3.json}"
+BENCH_OUT="${BENCH_OUT:-$PWD/BENCH_pr5.json}"
 
 echo "==> cargo build --workspace --benches --release"
 cargo build --workspace --benches --release
 
 echo "==> cargo bench --bench ablation_parallel (abl-parallel)"
 cargo bench -p rolediet-bench --bench ablation_parallel
+
+echo "==> cargo bench --bench ablation_distkern (abl-distkern)"
+cargo bench -p rolediet-bench --bench ablation_distkern
 
 echo "==> bench_json --scale $BENCH_SCALE --seed $BENCH_SEED --iters $BENCH_ITERS --out $BENCH_OUT"
 cargo run --release -p rolediet-bench --bin bench_json -- \

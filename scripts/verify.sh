@@ -24,8 +24,20 @@ cargo test --release -q -p rolediet-core --test properties \
 cargo test --release -q -p rolediet-core --test properties \
     pipeline_reports_identical_across_thread_counts
 
+# The PR 5 engine pins, run explicitly for the same reason.
+echo "==> proptests: packed bounded-distance engine"
+cargo test --release -q -p rolediet-matrix --test properties \
+    packed_bounded_hamming_agrees_with_row_hamming
+
 echo "==> cargo build --workspace --benches"
 cargo build --workspace --benches
+
+# Bench smoke: a short-iteration bench_json run exercises the packed
+# engine's full-pipeline path (scalar-vs-engine equality asserts run
+# inside) without the cost of a real measurement.
+echo "==> bench_json smoke (--scale 0.02 --iters 1)"
+cargo run --release -q -p rolediet-bench --bin bench_json -- \
+    --scale 0.02 --iters 1 --out "$(mktemp -t bench_smoke.XXXXXX.json)" >/dev/null
 
 # Race-audit feature: the write-span auditor is compiled into the
 # parallel substrate's release path too, not just under cfg(test).
