@@ -1,19 +1,21 @@
-//! Machine-readable benchmark of the PR 2/PR 3/PR 5 parallel kernels.
+//! Machine-readable benchmark of the PR 2/PR 3/PR 5/PR 6 kernels.
 //!
 //! Times the parallelized stages — two-pass CSR matrix build,
 //! norm-bucketed disjoint supplement, MinHash sketching + LSH banding
-//! (PR 2), the DBSCAN connected-components grouping kernel (PR 3), and
-//! the packed bounded-distance engine against the scalar O(n²)
-//! neighbourhood precompute it replaced (PR 5) — across worker counts,
-//! next to their sequential baselines, and runs small Figure 2/3 sweeps
-//! of the custom T5 detector. Results are written as a JSON array of
+//! (PR 2), the DBSCAN connected-components grouping kernel (PR 3), the
+//! packed bounded-distance engine against the scalar O(n²)
+//! neighbourhood precompute it replaced (PR 5), and the incremental
+//! apply of a 1,000-event churn batch against the full batch rerun it
+//! avoids (PR 6) — across worker counts, next to their sequential
+//! baselines, and runs small Figure 2/3 sweeps of the custom T5
+//! detector. Results are written as a JSON array of
 //! `{stage, size, threads, ns, found}` records (`scripts/bench.sh`
-//! invokes this and commits the output as `BENCH_pr5.json`; the schema
-//! is unchanged from `BENCH_pr2.json`/`BENCH_pr3.json` so the perf
+//! invokes this and commits the output as `BENCH_pr6.json`; the schema
+//! is unchanged from `BENCH_pr2.json`…`BENCH_pr5.json` so the perf
 //! trajectory stays machine-readable).
 //!
 //! ```text
-//! bench_json [--scale 1.0] [--seed 7] [--iters 3] [--out BENCH_pr5.json]
+//! bench_json [--scale 1.0] [--seed 7] [--iters 3] [--out BENCH_pr6.json]
 //! ```
 //!
 //! The matrix-build, supplement, DBSCAN-grouping and distance-precompute
@@ -36,9 +38,10 @@ use rolediet_cluster::metric::{BinaryMetric, BinaryRows};
 use rolediet_cluster::minhash::{MinHashLsh, MinHashLshParams};
 use rolediet_cluster::neighbors::{all_range_queries_packed, all_range_queries_with};
 use rolediet_core::cooccur::{disjoint_supplement, disjoint_supplement_naive};
-use rolediet_core::{Parallelism, SimilarityConfig, Strategy};
+use rolediet_core::{DetectionConfig, Parallelism, Pipeline, SimilarityConfig, Strategy};
 use rolediet_matrix::{CsrMatrix, PackedRows, RowMatrix};
 use rolediet_model::RoleId;
+use rolediet_synth::churn::{ChurnSimulator, ChurnWeights};
 use serde::Serialize;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -71,7 +74,7 @@ impl Opts {
             scale: 1.0,
             seed: 7,
             iters: 3,
-            out: "BENCH_pr5.json".to_owned(),
+            out: "BENCH_pr6.json".to_owned(),
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -371,6 +374,76 @@ fn main() {
                 found,
             });
         }
+    }
+
+    // --- Stage 6 (PR 6): incremental apply of a 1k-event churn batch ---
+    // --- vs. the full pipeline rerun it replaces.                    ---
+    // The simulator churns the real-scale org until exactly EVENTS edge
+    // deltas are recorded; the mutated graph is materialized by replay so
+    // both sides detect over the identical end state. The rerun rows are
+    // the status quo (recompute everything, per thread count); the apply
+    // row is the maintained path (sequential by nature: one event, one
+    // row touch). Bit-identity is asserted before either time is trusted.
+    const EVENTS: usize = 1_000;
+    let mut sim = ChurnSimulator::from_graph(graph.clone(), ChurnWeights::default(), opts.seed);
+    while sim.deltas().len() < EVENTS {
+        sim.run(100);
+    }
+    let mut stream = sim.drain_deltas();
+    stream.truncate(EVENTS);
+    drop(sim);
+    let mut mutated = graph.clone();
+    rolediet_model::EdgeDelta::replay(&mut mutated, &stream).expect("recorded stream replays");
+    let churn_cfg = DetectionConfig::default();
+    let base = Pipeline::new(churn_cfg).incremental(&graph);
+    let mut pool: Vec<_> = (0..opts.iters).map(|_| base.clone()).collect();
+    drop(base);
+    let (apply_ns, maintained) = time_best(opts.iters, || {
+        let mut inc = pool.pop().expect("one prebuilt engine per iteration");
+        inc.apply_all(&stream).expect("recorded stream applies");
+        inc.report()
+    });
+    let total_findings = |r: &rolediet_core::Report| {
+        r.standalone_users.len()
+            + r.standalone_permissions.len()
+            + r.standalone_roles.len()
+            + r.userless_roles.len()
+            + r.permless_roles.len()
+            + r.single_user_roles.len()
+            + r.single_permission_roles.len()
+            + r.same_user_groups.len()
+            + r.same_permission_groups.len()
+            + r.similar_user_pairs.len()
+            + r.similar_permission_pairs.len()
+    };
+    println!("churn_incremental_apply ({EVENTS} events, threads=1): {apply_ns} ns");
+    records.push(Record {
+        stage: "churn_incremental_apply".into(),
+        size: size.clone(),
+        threads: 1,
+        ns: apply_ns,
+        found: total_findings(&maintained),
+    });
+    for threads in THREAD_COUNTS {
+        let rerun_cfg = DetectionConfig {
+            parallelism: Parallelism::Threads(threads),
+            ..churn_cfg
+        };
+        let (ns, mut report) = time_best(opts.iters, || Pipeline::new(rerun_cfg).run(&mutated));
+        report.timings = Default::default();
+        report.config = maintained.config;
+        assert_eq!(
+            maintained, report,
+            "incremental findings diverged from the {threads}-thread rerun"
+        );
+        println!("churn_batch_rerun threads={threads}: {ns} ns");
+        records.push(Record {
+            stage: "churn_batch_rerun".into(),
+            size: size.clone(),
+            threads,
+            ns,
+            found: total_findings(&report),
+        });
     }
 
     let json = serde_json::to_string_pretty(&records).expect("serialize records");

@@ -5,6 +5,7 @@
 //! repro fig3 [--runs 5] [--users 1000] [--min 1000 --max 10000 --step 1000] [--budget-secs 600] [--similar]
 //! repro realorg [--scale 1.0] [--seed 7] [--baselines] [--validate] [--budget-secs 600]
 //! repro recall [--roles 2000] [--users 1000]
+//! repro churn [--steps 500] [--batch 100] [--incremental] [--scale 0.05] [--seed 7]
 //! repro cooccur-example
 //! ```
 //!
@@ -40,6 +41,7 @@ fn main() {
         "recall" => recall(&opts),
         "periodic" => periodic(&opts),
         "mining" => mining(&opts),
+        "churn" => churn(&opts),
         "cooccur-example" => cooccur_example(),
         "help" | "--help" | "-h" => print_help(),
         other => {
@@ -61,12 +63,16 @@ fn print_help() {
          \x20 recall           HNSW/MinHash recall ablation (abl-recall)\n\
          \x20 periodic         periodic-cleanup convergence per strategy\n\
          \x20 mining           regenerate (role mining) vs refine (role diet)\n\
+         \x20 churn            replay simulated churn in batches, re-detecting per batch\n\
          \x20 cooccur-example  print the Section III-C co-occurrence matrix\n\
          \n\
          common flags: --runs N --min N --max N --step N --roles N --users N\n\
          \x20             --budget-secs N --similar --scale F --seed N --baselines\n\
          \x20             --threads N (worker threads for the parallel stages; default 1)\n\
-         \x20             --validate (realorg: run the report validators on the result)"
+         \x20             --validate (realorg: run the report validators on the result)\n\
+         \x20             --steps N --batch N (churn: total events and events per batch)\n\
+         \x20             --incremental (churn: maintain findings online and verify\n\
+         \x20                            bit-identity against the batch rerun per batch)"
     );
 }
 
@@ -85,6 +91,9 @@ struct Opts {
     baselines: bool,
     threads: usize,
     validate: bool,
+    steps: usize,
+    batch: usize,
+    incremental: bool,
 }
 
 impl Opts {
@@ -114,6 +123,9 @@ impl Opts {
             baselines: false,
             threads: 1,
             validate: false,
+            steps: 500,
+            batch: 100,
+            incremental: false,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -138,6 +150,9 @@ impl Opts {
                 "--baselines" => o.baselines = true,
                 "--threads" => o.threads = val("--threads").parse().expect("--threads"),
                 "--validate" => o.validate = true,
+                "--steps" => o.steps = val("--steps").parse().expect("--steps"),
+                "--batch" => o.batch = val("--batch").parse().expect("--batch"),
+                "--incremental" => o.incremental = true,
                 other => panic!("unknown flag {other:?}"),
             }
         }
@@ -508,6 +523,71 @@ fn mining(opts: &Opts) {
         elapsed,
         mined.candidates_considered
     );
+}
+
+/// Simulated churn over an ing-like organization, re-detecting per event
+/// batch. With `--incremental` the findings are additionally maintained
+/// online through [`rolediet_core::IncrementalPipeline`]; after every
+/// batch the maintained report is asserted bit-identical to the batch
+/// rerun, and the per-batch apply-vs-rerun speedup is printed.
+fn churn(opts: &Opts) {
+    use rolediet_core::report::StageTimings;
+    use rolediet_synth::churn::{ChurnSimulator, ChurnWeights};
+
+    let scale = if opts.scale >= 1.0 { 0.05 } else { opts.scale };
+    println!(
+        "# ing-like organization at scale {scale}, seed {}, {} steps in batches of {}",
+        opts.seed, opts.steps, opts.batch
+    );
+    let org = rolediet_synth::profiles::generate_ing_like(scale, opts.seed);
+    let mut sim = ChurnSimulator::from_graph(org.graph, ChurnWeights::default(), opts.seed);
+    let cfg = DetectionConfig {
+        parallelism: opts.parallelism(),
+        ..DetectionConfig::default()
+    };
+    let pipeline = Pipeline::new(cfg);
+    let mut inc = opts.incremental.then(|| pipeline.incremental(sim.graph()));
+    sim.drain_deltas();
+    let mut previous = pipeline.run(sim.graph());
+    let (mut apply_total, mut rerun_total) = (Duration::ZERO, Duration::ZERO);
+    let mut done = 0usize;
+    while done < opts.steps {
+        let steps = opts.batch.min(opts.steps - done);
+        done += steps;
+        sim.run(steps);
+        let stream = sim.drain_deltas();
+        let t0 = Instant::now();
+        let mut report = pipeline.run(sim.graph());
+        let rerun = t0.elapsed();
+        rerun_total += rerun;
+        let delta = rolediet_core::ReportDelta::between(&previous, &report);
+        print!(
+            "batch of {steps:>4} events ({:>4} deltas): {:>3} findings changed, rerun {rerun:.2?}",
+            stream.len(),
+            delta.change_count()
+        );
+        if let Some(inc) = &mut inc {
+            let t0 = Instant::now();
+            inc.apply_all(&stream).expect("recorded stream applies");
+            let maintained = inc.report();
+            let apply = t0.elapsed();
+            apply_total += apply;
+            report.timings = StageTimings::default();
+            assert_eq!(
+                maintained, report,
+                "incremental findings diverged from the batch rerun"
+            );
+            print!(", incremental {apply:.2?} (verified identical)");
+        }
+        println!();
+        previous = report;
+    }
+    if opts.incremental {
+        println!(
+            "total: rerun {rerun_total:.2?}, incremental {apply_total:.2?} ({:.1}x)",
+            rerun_total.as_secs_f64() / apply_total.as_secs_f64().max(1e-9)
+        );
+    }
 }
 
 /// Prints the worked co-occurrence matrix of Section III-C for the

@@ -111,6 +111,11 @@ impl Trend {
 
     /// Renders the series as CSV: one row per snapshot, one column per
     /// taxonomy kind (labelled `T1-user` …), plus graph sizes.
+    ///
+    /// Labels are caller-provided free text, so they are escaped per
+    /// RFC 4180: a label containing a comma, double quote, CR or LF is
+    /// quoted, with embedded quotes doubled. All other fields are
+    /// numeric and never need quoting.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("label,users,roles,permissions");
         for kind in InefficiencyKind::all() {
@@ -121,7 +126,10 @@ impl Trend {
         for p in &self.points {
             out.push_str(&format!(
                 "{},{},{},{}",
-                p.label, p.users, p.roles, p.permissions
+                csv_field(&p.label),
+                p.users,
+                p.roles,
+                p.permissions
             ));
             for c in &p.counts {
                 out.push_str(&format!(",{c}"));
@@ -129,6 +137,16 @@ impl Trend {
             out.push('\n');
         }
         out
+    }
+}
+
+/// Quotes `field` per RFC 4180 when it contains a delimiter, quote or
+/// line break; returns it verbatim otherwise.
+fn csv_field(field: &str) -> String {
+    if field.contains(['"', ',', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
     }
 }
 
@@ -194,6 +212,24 @@ mod tests {
         assert!(lines[1].starts_with("q1,4,5,6,"));
         let cols = lines[0].split(',').count();
         assert!(lines.iter().all(|l| l.split(',').count() == cols));
+    }
+
+    #[test]
+    fn csv_escapes_hostile_labels() {
+        let graph = TripartiteGraph::figure1_example();
+        let mut trend = Trend::new();
+        trend.record("2026-01-01, pre \"diet\"", &snapshot(&graph), &graph);
+        trend.record("line\nbreak", &snapshot(&graph), &graph);
+        trend.record("plain", &snapshot(&graph), &graph);
+        let csv = trend.to_csv();
+        // The comma inside the first label must not add a column: split
+        // on the *quoted* form and the column counts stay rectangular.
+        assert!(csv.contains("\"2026-01-01, pre \"\"diet\"\"\",4,5,6,"));
+        assert!(csv.contains("\"line\nbreak\",4,5,6,"));
+        assert!(csv.contains("\nplain,4,5,6,"), "plain labels stay bare");
+        let header_cols = csv.lines().next().unwrap().split(',').count();
+        let last = csv.lines().next_back().unwrap();
+        assert_eq!(last.split(',').count(), header_cols);
     }
 
     #[test]

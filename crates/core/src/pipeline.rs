@@ -48,6 +48,13 @@ impl Pipeline {
         &self.config
     }
 
+    /// Builds an [`IncrementalPipeline`](crate::incremental::IncrementalPipeline)
+    /// seeded from `graph` under this pipeline's configuration, so batch
+    /// and incremental detection share one [`DetectionConfig`].
+    pub fn incremental(&self, graph: &TripartiteGraph) -> crate::incremental::IncrementalPipeline {
+        crate::incremental::IncrementalPipeline::new(graph, self.config)
+    }
+
     /// Runs all detectors over a tripartite graph.
     ///
     /// RUAM and RPAM are extracted with the two-pass parallel CSR build

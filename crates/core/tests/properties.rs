@@ -7,11 +7,14 @@ use proptest::prelude::*;
 use rolediet_core::config::{DetectionConfig, Parallelism, SimilarityConfig};
 use rolediet_core::cooccur::{same_groups, same_groups_via_indicator, similar_pairs};
 use rolediet_core::detector::{detect_degrees, detect_degrees_with};
+use rolediet_core::incremental::IncrementalPipeline;
 use rolediet_core::pipeline::Pipeline;
+use rolediet_core::report::StageTimings;
 use rolediet_core::suggest::{merge_delta, redundant_roles, subset_pairs};
 use rolediet_core::validate::validate_report_against_graph;
 use rolediet_matrix::{CsrMatrix, RowMatrix};
 use rolediet_model::{PermissionId, RoleId, TripartiteGraph, UserId};
+use rolediet_synth::churn::{ChurnConfig, ChurnSimulator};
 
 fn matrix_inputs() -> impl Strategy<Value = (usize, usize, Vec<Vec<usize>>)> {
     (2usize..24, 2usize..16).prop_flat_map(|(rows, cols)| {
@@ -362,5 +365,82 @@ proptest! {
                 "against graph, strategy={}", strategy.name()
             );
         }
+    }
+
+    /// The tentpole invariant: an [`IncrementalPipeline`] fed a recorded
+    /// churn stream stays bit-identical to `Pipeline::run` on the
+    /// materialized graph — after every applied batch, at every tested
+    /// thread count, with and without disjoint pairs.
+    #[test]
+    fn incremental_pipeline_matches_batch_oracle(
+        seed in 0u64..1_000_000,
+        batches in vec(10usize..40, 2..5),
+        include_disjoint in proptest::bool::ANY,
+    ) {
+        let sim_cfg = ChurnConfig {
+            initial_users: 40,
+            initial_roles: 12,
+            initial_permissions: 50,
+            seed,
+            ..ChurnConfig::default()
+        };
+        let mut sim = ChurnSimulator::new(sim_cfg);
+        let config = DetectionConfig {
+            similarity: SimilarityConfig {
+                include_disjoint,
+                ..SimilarityConfig::default()
+            },
+            ..DetectionConfig::default()
+        };
+        let mut inc = IncrementalPipeline::new(sim.graph(), config);
+        sim.drain_deltas(); // seeding deltas predate the snapshot
+        for (i, steps) in batches.iter().enumerate() {
+            sim.run(*steps);
+            inc.apply_all(&sim.drain_deltas()).unwrap();
+            prop_assert_eq!(inc.graph(), sim.graph());
+            let got = inc.report();
+            for threads in [1usize, 2, 4, 8] {
+                let cfg = DetectionConfig {
+                    parallelism: Parallelism::Threads(threads),
+                    ..config
+                };
+                let mut want = Pipeline::new(cfg).run(sim.graph());
+                want.timings = StageTimings::default();
+                want.config = got.config;
+                prop_assert_eq!(&got, &want, "batch {} threads {}", i, threads);
+            }
+        }
+    }
+
+    /// Replaying the identical delta stream twice converges to the
+    /// identical engine state (full `PartialEq`, not just equal reports),
+    /// and `EdgeDelta::replay` reproduces the simulator's graph.
+    #[test]
+    fn incremental_pipeline_replay_is_deterministic(
+        seed in 0u64..1_000_000,
+        steps in 20usize..120,
+    ) {
+        let sim_cfg = ChurnConfig {
+            initial_users: 30,
+            initial_roles: 10,
+            initial_permissions: 40,
+            seed,
+            ..ChurnConfig::default()
+        };
+        let mut sim = ChurnSimulator::new(sim_cfg);
+        let initial = sim.graph().clone();
+        sim.run(steps);
+        let stream = sim.drain_deltas();
+
+        let mut replayed = initial.clone();
+        rolediet_model::EdgeDelta::replay(&mut replayed, &stream).unwrap();
+        prop_assert_eq!(&replayed, sim.graph());
+
+        let config = DetectionConfig::default();
+        let mut a = IncrementalPipeline::new(&initial, config);
+        let mut b = IncrementalPipeline::new(&initial, config);
+        a.apply_all(&stream).unwrap();
+        b.apply_all(&stream).unwrap();
+        prop_assert_eq!(a, b);
     }
 }

@@ -37,6 +37,7 @@
 #![deny(missing_docs)]
 
 pub mod dataset;
+pub mod delta;
 pub mod diff;
 pub mod error;
 pub mod graph;
@@ -46,6 +47,7 @@ pub mod io;
 pub mod stats;
 
 pub use dataset::RbacDataset;
+pub use delta::EdgeDelta;
 pub use error::ModelError;
 pub use graph::TripartiteGraph;
 pub use id::{EntityKind, PermissionId, RoleId, UserId};

@@ -19,12 +19,18 @@
 //! | `DriftRole` (one edge added/removed after a clone) | T5 similar roles |
 //! | `AbandonRole` (users unassigned, role kept) | T2 userless role |
 //! | `CreateRole` without follow-up | T2/T3 skeleton roles |
+//!
+//! Every mutation an event applies is also recorded as a
+//! [`rolediet_model::EdgeDelta`], so the stream a simulation produced can
+//! be [drained](ChurnSimulator::drain_deltas) and either replayed onto a
+//! copy of the starting graph (bit-for-bit reproduction) or fed to an
+//! incremental consumer that maintains derived state event by event.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use rolediet_model::{PermissionId, RoleId, TripartiteGraph, UserId};
+use rolediet_model::{EdgeDelta, PermissionId, RoleId, TripartiteGraph, UserId};
 
 /// One simulated administrative event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -144,11 +150,70 @@ pub struct ChurnSimulator {
     decommissioned: Vec<PermissionId>,
     /// Clone events (T4 seeds; later drift may separate them).
     clones: Vec<(RoleId, RoleId)>,
+    /// Edge deltas recorded by events since the last drain (the initial
+    /// organization is *not* part of the stream — consumers snapshot the
+    /// starting graph and replay from there).
+    deltas: Vec<EdgeDelta>,
+}
+
+/// Flattens the weight struct into the event-order table `step` walks.
+fn weight_table(w: &ChurnWeights) -> [f64; 8] {
+    [
+        w.hire,
+        w.leave,
+        w.create_role,
+        w.clone_role,
+        w.drift_role,
+        w.abandon_role,
+        w.decommission,
+        w.register_permission,
+    ]
+}
+
+/// Rejects weight tables the sampler cannot draw from: every weight must
+/// be finite and non-negative, and at least one must be positive (an
+/// all-zero table would panic inside `gen_range(0.0..0.0)`).
+fn validate_weights(table: &[f64; 8]) {
+    assert!(
+        table.iter().all(|&t| t.is_finite() && t >= 0.0),
+        "churn weights must be finite and non-negative: {table:?}"
+    );
+    assert!(
+        table.iter().any(|&t| t > 0.0),
+        "churn weights must include at least one positive weight"
+    );
+}
+
+/// Weighted pick over `table` given `pick` drawn from `[0, Σtable)`:
+/// walks the cumulative distribution, skipping zero-weight entries (they
+/// must never be selected, even when floating-point subtraction leaves
+/// `pick` exactly at a bucket boundary), and falls through to the *last
+/// positive-weight* entry when accumulated rounding lets `pick` survive
+/// the whole walk — never to an arbitrary default.
+fn pick_kind(table: &[f64], mut pick: f64) -> usize {
+    let mut last_positive = 0usize;
+    for (i, &tw) in table.iter().enumerate() {
+        if tw <= 0.0 {
+            continue;
+        }
+        if pick < tw {
+            return i;
+        }
+        pick -= tw;
+        last_positive = i;
+    }
+    last_positive
 }
 
 impl ChurnSimulator {
     /// Builds the initial healthy organization and the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative or non-finite, or if every
+    /// weight is zero.
     pub fn new(config: ChurnConfig) -> Self {
+        validate_weights(&weight_table(&config.weights));
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut graph = TripartiteGraph::with_counts(
             config.initial_users,
@@ -189,12 +254,53 @@ impl ChurnSimulator {
             departed: Vec::new(),
             decommissioned: Vec::new(),
             clones: Vec::new(),
+            deltas: Vec::new(),
+        }
+    }
+
+    /// Wraps an existing organization (e.g. a
+    /// [`profiles`](crate::profiles) graph) in a simulator so churn can
+    /// be applied to it — the delta stream then starts from exactly the
+    /// supplied graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no users, roles or permissions (every
+    /// event needs nodes to pick from), or on an invalid weight table
+    /// (see [`new`](Self::new)).
+    pub fn from_graph(graph: TripartiteGraph, weights: ChurnWeights, seed: u64) -> Self {
+        validate_weights(&weight_table(&weights));
+        assert!(
+            graph.n_users() > 0 && graph.n_roles() > 0 && graph.n_permissions() > 0,
+            "from_graph requires at least one user, role and permission"
+        );
+        ChurnSimulator {
+            graph,
+            rng: StdRng::seed_from_u64(seed),
+            weights,
+            departed: Vec::new(),
+            decommissioned: Vec::new(),
+            clones: Vec::new(),
+            deltas: Vec::new(),
         }
     }
 
     /// The current graph.
     pub fn graph(&self) -> &TripartiteGraph {
         &self.graph
+    }
+
+    /// Edge deltas recorded since construction or the last
+    /// [`drain_deltas`](Self::drain_deltas), in application order.
+    pub fn deltas(&self) -> &[EdgeDelta] {
+        &self.deltas
+    }
+
+    /// Takes the recorded edge deltas, leaving the buffer empty.
+    /// Replaying the drained stream onto a copy of the graph as it stood
+    /// at the previous drain reproduces the current graph bit-for-bit.
+    pub fn drain_deltas(&mut self) -> Vec<EdgeDelta> {
+        std::mem::take(&mut self.deltas)
     }
 
     /// Users that left and were never reassigned — guaranteed T1
@@ -222,28 +328,11 @@ impl ChurnSimulator {
 
     /// Applies one random event.
     pub fn step(&mut self) -> ChurnEvent {
-        let w = self.weights;
-        let table = [
-            w.hire,
-            w.leave,
-            w.create_role,
-            w.clone_role,
-            w.drift_role,
-            w.abandon_role,
-            w.decommission,
-            w.register_permission,
-        ];
+        let table = weight_table(&self.weights);
+        // Constructors validated the table: total > 0, no negatives.
         let total: f64 = table.iter().sum();
-        let mut pick = self.rng.gen_range(0.0..total);
-        let mut kind = 0usize;
-        for (i, &tw) in table.iter().enumerate() {
-            if pick < tw {
-                kind = i;
-                break;
-            }
-            pick -= tw;
-        }
-        match kind {
+        let pick = self.rng.gen_range(0.0..total);
+        match pick_kind(&table, pick) {
             0 => self.hire(),
             1 => self.leave(),
             2 => self.create_role(),
@@ -259,12 +348,70 @@ impl ChurnSimulator {
         RoleId::from_index(self.rng.gen_range(0..self.graph.n_roles()))
     }
 
-    fn hire(&mut self) -> ChurnEvent {
+    // Recording wrappers: apply the graph mutation and append the
+    // matching delta — edge flips only when the edge actually changed,
+    // so the recorded stream replays without no-ops.
+
+    fn add_user_recorded(&mut self) -> UserId {
         let u = self.graph.add_user();
+        self.deltas.push(EdgeDelta::AddUser);
+        u
+    }
+
+    fn add_role_recorded(&mut self) -> RoleId {
+        let r = self.graph.add_role();
+        self.deltas.push(EdgeDelta::AddRole);
+        r
+    }
+
+    fn add_permission_recorded(&mut self) -> PermissionId {
+        let p = self.graph.add_permission();
+        self.deltas.push(EdgeDelta::AddPermission);
+        p
+    }
+
+    fn assign_recorded(&mut self, r: RoleId, u: UserId) {
+        if self.graph.assign_user(r, u).expect("in range") {
+            self.deltas.push(EdgeDelta::Assign {
+                role: r.0,
+                user: u.0,
+            });
+        }
+    }
+
+    fn revoke_recorded(&mut self, r: RoleId, u: UserId) {
+        if self.graph.revoke_user(r, u).expect("in range") {
+            self.deltas.push(EdgeDelta::Revoke {
+                role: r.0,
+                user: u.0,
+            });
+        }
+    }
+
+    fn grant_recorded(&mut self, r: RoleId, p: PermissionId) {
+        if self.graph.grant_permission(r, p).expect("in range") {
+            self.deltas.push(EdgeDelta::Grant {
+                role: r.0,
+                permission: p.0,
+            });
+        }
+    }
+
+    fn ungrant_recorded(&mut self, r: RoleId, p: PermissionId) {
+        if self.graph.revoke_permission(r, p).expect("in range") {
+            self.deltas.push(EdgeDelta::Ungrant {
+                role: r.0,
+                permission: p.0,
+            });
+        }
+    }
+
+    fn hire(&mut self) -> ChurnEvent {
+        let u = self.add_user_recorded();
         let n = self.rng.gen_range(1..4);
         for _ in 0..n {
             let r = self.random_role();
-            self.graph.assign_user(r, u).expect("in range");
+            self.assign_recorded(r, u);
         }
         ChurnEvent::Hire(u)
     }
@@ -278,9 +425,14 @@ impl ChurnSimulator {
                 continue;
             }
             for r in roles {
-                self.graph.revoke_user(r, u).expect("edge exists");
+                self.revoke_recorded(r, u);
             }
-            self.departed.push(u);
+            // A drift event can reassign a departed user, letting them
+            // leave a second time — record each user once so the
+            // planted-T1 ground truth stays a set.
+            if !self.departed.contains(&u) {
+                self.departed.push(u);
+            }
             return ChurnEvent::Leave(u);
         }
         // Everyone already departed — fall back to a hire.
@@ -288,16 +440,16 @@ impl ChurnSimulator {
     }
 
     fn create_role(&mut self) -> ChurnEvent {
-        let r = self.graph.add_role();
+        let r = self.add_role_recorded();
         for _ in 0..self.rng.gen_range(1..4) {
             let p = PermissionId::from_index(self.rng.gen_range(0..self.graph.n_permissions()));
-            self.graph.grant_permission(r, p).expect("in range");
+            self.grant_recorded(r, p);
         }
         // Half the time the creator forgets to assign users — a T2 seed.
         if self.rng.gen_bool(0.5) {
             for _ in 0..self.rng.gen_range(1..3) {
                 let u = UserId::from_index(self.rng.gen_range(0..self.graph.n_users()));
-                self.graph.assign_user(r, u).expect("in range");
+                self.assign_recorded(r, u);
             }
         }
         ChurnEvent::CreateRole(r)
@@ -305,14 +457,14 @@ impl ChurnSimulator {
 
     fn clone_role(&mut self) -> ChurnEvent {
         let source = self.random_role();
-        let clone = self.graph.add_role();
+        let clone = self.add_role_recorded();
         let users: Vec<UserId> = self.graph.users_of(source).collect();
         let perms: Vec<PermissionId> = self.graph.permissions_of(source).collect();
         for u in users {
-            self.graph.assign_user(clone, u).expect("in range");
+            self.assign_recorded(clone, u);
         }
         for p in perms {
-            self.graph.grant_permission(clone, p).expect("in range");
+            self.grant_recorded(clone, p);
         }
         self.clones.push((source, clone));
         ChurnEvent::CloneRole { source, clone }
@@ -325,21 +477,19 @@ impl ChurnSimulator {
             let users: Vec<UserId> = self.graph.users_of(r).collect();
             if !users.is_empty() && self.rng.gen_bool(0.5) {
                 let victim = users[self.rng.gen_range(0..users.len())];
-                self.graph.revoke_user(r, victim).expect("edge exists");
+                self.revoke_recorded(r, victim);
             } else {
                 let u = UserId::from_index(self.rng.gen_range(0..self.graph.n_users()));
-                self.graph.assign_user(r, u).expect("in range");
+                self.assign_recorded(r, u);
             }
         } else {
             let perms: Vec<PermissionId> = self.graph.permissions_of(r).collect();
             if !perms.is_empty() && self.rng.gen_bool(0.5) {
                 let victim = perms[self.rng.gen_range(0..perms.len())];
-                self.graph
-                    .revoke_permission(r, victim)
-                    .expect("edge exists");
+                self.ungrant_recorded(r, victim);
             } else {
                 let p = PermissionId::from_index(self.rng.gen_range(0..self.graph.n_permissions()));
-                self.graph.grant_permission(r, p).expect("in range");
+                self.grant_recorded(r, p);
             }
         }
         ChurnEvent::DriftRole(r)
@@ -349,7 +499,7 @@ impl ChurnSimulator {
         let r = self.random_role();
         let users: Vec<UserId> = self.graph.users_of(r).collect();
         for u in users {
-            self.graph.revoke_user(r, u).expect("edge exists");
+            self.revoke_recorded(r, u);
         }
         ChurnEvent::AbandonRole(r)
     }
@@ -362,18 +512,22 @@ impl ChurnSimulator {
                 continue;
             }
             for r in roles {
-                self.graph.revoke_permission(r, p).expect("edge exists");
+                self.ungrant_recorded(r, p);
             }
-            self.decommissioned.push(p);
+            // Same dedup rationale as `leave`: a drift event can
+            // re-grant a decommissioned permission.
+            if !self.decommissioned.contains(&p) {
+                self.decommissioned.push(p);
+            }
             return ChurnEvent::DecommissionAsset(p);
         }
         self.register_permission()
     }
 
     fn register_permission(&mut self) -> ChurnEvent {
-        let p = self.graph.add_permission();
+        let p = self.add_permission_recorded();
         let r = self.random_role();
-        self.graph.grant_permission(r, p).expect("in range");
+        self.grant_recorded(r, p);
         ChurnEvent::RegisterPermission(p)
     }
 }
@@ -471,6 +625,115 @@ mod tests {
             late > early + 20,
             "churn must accumulate inefficiencies: early={early}, late={late}"
         );
+    }
+
+    #[test]
+    fn pick_kind_skips_zero_weights_and_falls_through_to_last_nonzero() {
+        let table = [1.0, 0.0, 2.0];
+        assert_eq!(pick_kind(&table, 0.5), 0);
+        assert_eq!(pick_kind(&table, 1.0), 2); // boundary: zero bucket skipped
+        assert_eq!(pick_kind(&table, 2.5), 2);
+        // A pick that numerically survives the whole walk (accumulated
+        // floating-point error) lands on the last *positive* entry — the
+        // old loop silently fell back to kind 0 (Hire).
+        assert_eq!(pick_kind(&table, 3.0), 2);
+        // A trailing zero weight can never be selected, even on
+        // fall-through.
+        assert_eq!(pick_kind(&[1.0, 1.0, 0.0], 5.0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn all_zero_weights_are_rejected() {
+        ChurnSimulator::new(ChurnConfig {
+            weights: ChurnWeights {
+                hire: 0.0,
+                leave: 0.0,
+                create_role: 0.0,
+                clone_role: 0.0,
+                drift_role: 0.0,
+                abandon_role: 0.0,
+                decommission: 0.0,
+                register_permission: 0.0,
+            },
+            ..ChurnConfig::default()
+        });
+    }
+
+    #[test]
+    fn ground_truth_lists_stay_deduped_under_heavy_drift() {
+        // Drift-heavy mix: departed users get reassigned by drift and
+        // then leave again (likewise re-granted decommissioned
+        // permissions) — before the dedup fix both ground-truth lists
+        // accumulated duplicate entries under this load.
+        let mut sim = ChurnSimulator::new(ChurnConfig {
+            seed: 33,
+            weights: ChurnWeights {
+                hire: 1.0,
+                leave: 12.0,
+                drift_role: 20.0,
+                decommission: 8.0,
+                register_permission: 1.0,
+                ..ChurnWeights::default()
+            },
+            ..ChurnConfig::default()
+        });
+        sim.run(4_000);
+        assert!(!sim.departed_users().is_empty());
+        assert!(!sim.decommissioned_permissions().is_empty());
+        let mut departed = sim.departed_users().to_vec();
+        departed.sort();
+        departed.dedup();
+        assert_eq!(
+            departed.len(),
+            sim.departed_users().len(),
+            "departed ground truth contains duplicates"
+        );
+        let mut decommissioned = sim.decommissioned_permissions().to_vec();
+        decommissioned.sort();
+        decommissioned.dedup();
+        assert_eq!(
+            decommissioned.len(),
+            sim.decommissioned_permissions().len(),
+            "decommissioned ground truth contains duplicates"
+        );
+    }
+
+    #[test]
+    fn recorded_deltas_replay_to_the_same_graph() {
+        let mut sim = ChurnSimulator::new(ChurnConfig {
+            seed: 17,
+            ..ChurnConfig::default()
+        });
+        let initial = sim.graph().clone();
+        sim.run(500);
+        let stream = sim.drain_deltas();
+        assert!(!stream.is_empty());
+        assert!(sim.deltas().is_empty(), "drain must empty the buffer");
+        let mut replayed = initial;
+        EdgeDelta::replay(&mut replayed, &stream).unwrap();
+        assert_eq!(&replayed, sim.graph());
+        // Draining is incremental: the next batch replays from here.
+        sim.run(100);
+        let mut resumed = replayed;
+        EdgeDelta::replay(&mut resumed, &sim.drain_deltas()).unwrap();
+        assert_eq!(&resumed, sim.graph());
+    }
+
+    #[test]
+    fn from_graph_churns_an_existing_org() {
+        let mut g = TripartiteGraph::with_counts(5, 2, 6);
+        g.assign_user(RoleId::from_index(0), UserId::from_index(0))
+            .unwrap();
+        g.grant_permission(RoleId::from_index(0), PermissionId::from_index(0))
+            .unwrap();
+        let initial = g.clone();
+        let mut sim = ChurnSimulator::from_graph(g, ChurnWeights::default(), 3);
+        sim.run(200);
+        sim.graph().validate().unwrap();
+        let mut replayed = initial;
+        EdgeDelta::replay(&mut replayed, &sim.drain_deltas()).unwrap();
+        assert_eq!(&replayed, sim.graph());
     }
 
     #[test]

@@ -7,26 +7,27 @@
 # the abl-distkern microbenchmarks (packed bounded-distance engine vs
 # the scalar scan, plus the norm-band pruning ablation) and then the
 # full-scale JSON bench: two-pass matrix build, bucketed disjoint
-# supplement, DBSCAN connected-components grouping, MinHash and the
-# distance-precompute engine-vs-scalar comparison at the real-org scale
-# of results_realorg.txt (generate_ing_like), plus fig2/fig3
-# mini-sweeps. The JSON bench writes machine-readable records
+# supplement, DBSCAN connected-components grouping, MinHash, the
+# distance-precompute engine-vs-scalar comparison and the incremental
+# churn-apply vs. full-rerun comparison at the real-org scale of
+# results_realorg.txt (generate_ing_like), plus fig2/fig3 mini-sweeps.
+# The JSON bench writes machine-readable records
 # {stage, size, threads, ns, found} to BENCH_OUT — the same schema as
-# BENCH_pr2.json/BENCH_pr3.json, so the perf trajectory stays
+# BENCH_pr2.json…BENCH_pr5.json, so the perf trajectory stays
 # machine-readable.
 #
 # Env knobs:
 #   BENCH_SCALE  org scale factor for the JSON bench (default 1.0)
 #   BENCH_SEED   generator seed (default 7)
 #   BENCH_ITERS  timing iterations, min-of-N (default 3)
-#   BENCH_OUT    output path (default BENCH_pr5.json at the repo root)
+#   BENCH_OUT    output path (default BENCH_pr6.json at the repo root)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SCALE="${BENCH_SCALE:-1.0}"
 BENCH_SEED="${BENCH_SEED:-7}"
 BENCH_ITERS="${BENCH_ITERS:-3}"
-BENCH_OUT="${BENCH_OUT:-$PWD/BENCH_pr5.json}"
+BENCH_OUT="${BENCH_OUT:-$PWD/BENCH_pr6.json}"
 
 echo "==> cargo build --workspace --benches --release"
 cargo build --workspace --benches --release

@@ -29,6 +29,15 @@ echo "==> proptests: packed bounded-distance engine"
 cargo test --release -q -p rolediet-matrix --test properties \
     packed_bounded_hamming_agrees_with_row_hamming
 
+# The PR 6 incremental-maintenance pins: the online T1-T5 state must be
+# bit-identical to a batch rerun after every churn batch, at every
+# tested thread count, and replay must be deterministic.
+echo "==> proptests: incremental pipeline oracle"
+cargo test --release -q -p rolediet-core --test properties \
+    incremental_pipeline_matches_batch_oracle
+cargo test --release -q -p rolediet-core --test properties \
+    incremental_pipeline_replay_is_deterministic
+
 echo "==> cargo build --workspace --benches"
 cargo build --workspace --benches
 
@@ -38,6 +47,13 @@ cargo build --workspace --benches
 echo "==> bench_json smoke (--scale 0.02 --iters 1)"
 cargo run --release -q -p rolediet-bench --bin bench_json -- \
     --scale 0.02 --iters 1 --out "$(mktemp -t bench_smoke.XXXXXX.json)" >/dev/null
+
+# Churn smoke: replay simulated churn through the incremental pipeline;
+# the subcommand asserts bit-identity against the batch rerun after
+# every applied batch.
+echo "==> repro churn --incremental smoke"
+cargo run --release -q -p rolediet-bench --bin repro -- \
+    churn --incremental --steps 200 --batch 50 --scale 0.02 >/dev/null
 
 # Race-audit feature: the write-span auditor is compiled into the
 # parallel substrate's release path too, not just under cfg(test).
