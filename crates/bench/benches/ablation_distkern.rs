@@ -15,10 +15,20 @@
 //! * `bounded_hamming_*` vs `row_hamming` — the point kernel alone, over
 //!   every pair of a small row block, isolating the early-exit win from
 //!   the batching.
+//! * `kernel_lanes8` vs `kernel_unrolled4` vs `roofline_stream_xor` —
+//!   the PR 7 word-loop ablation: the 8-word-lane accumulator kernel and
+//!   the PR 5 4-word unroll over every pair of a dense packed block with
+//!   the bound wide open (no early exit), next to a pure streaming
+//!   XOR-reduce over an L2-busting buffer. Dividing bytes touched by the
+//!   reported times puts kernel GB/s beside the machine's streaming
+//!   GB/s — how far the inner loop sits from the memory-bandwidth roof.
+//!   Bytes per iteration are printed before the group runs.
 //!
 //! The scalar scan survives as the correctness oracle (`neighbors` tests
 //! pin the engine against it), so this ablation stays honest about what
 //! the restructuring buys.
+
+use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -26,6 +36,7 @@ use rolediet_bench::sweep_matrix_with;
 use rolediet_cluster::dbscan::DbscanParams;
 use rolediet_cluster::metric::{BinaryMetric, BinaryRows};
 use rolediet_cluster::neighbors::{all_range_queries_packed, all_range_queries_with};
+use rolediet_matrix::packed::{xor_popcount_within, xor_popcount_within_unrolled4};
 use rolediet_matrix::{PackedRows, RowMatrix};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -104,6 +115,55 @@ fn distkern_scaling(c: &mut Criterion) {
             }
             within
         });
+    });
+
+    // PR 7 word-loop ablation + memory-bandwidth roofline. A dense
+    // planted matrix (30% fill, 2,048 columns → 32 words/row) forces the
+    // packed representation; every pair of a 1,024-row block runs through
+    // each kernel with the bound wide open so neither can early-exit.
+    let kcfg = rolediet_synth::MatrixGenConfig {
+        density: 0.3,
+        ..rolediet_synth::MatrixGenConfig::paper(1_024, 2_048, 0)
+    };
+    let kdense = rolediet_synth::generate_matrix(kcfg).dense;
+    let kpacked = PackedRows::packed_from_matrix(&kdense, 8);
+    assert!(kpacked.is_packed(), "kernel ablation needs the packed repr");
+    let kwords: Vec<&[u64]> = (0..kdense.n_rows())
+        .map(|i| kpacked.row_words(i).expect("packed repr has words"))
+        .collect();
+    let kbound = kdense.n_cols();
+    let words_per_row = kwords[0].len();
+    let kernel_bytes = kwords.len() * (kwords.len() - 1) / 2 * 2 * words_per_row * 8;
+    // Streaming buffer: 32 MiB of u64s, far past L2, so the XOR-reduce
+    // measures main-memory bandwidth rather than cache replay.
+    let stream: Vec<u64> = (0..4 * 1024 * 1024u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    println!(
+        "# roofline bytes/iter: kernels={kernel_bytes} stream={}",
+        stream.len() * 8
+    );
+    for (name, kernel) in [
+        (
+            "kernel_lanes8",
+            xor_popcount_within as fn(&[u64], &[u64], usize) -> Option<usize>,
+        ),
+        ("kernel_unrolled4", xor_popcount_within_unrolled4),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sum = 0usize;
+                for (i, a) in kwords.iter().enumerate() {
+                    for bb in &kwords[i + 1..] {
+                        sum += kernel(a, bb, kbound).expect("bound is the column count");
+                    }
+                }
+                black_box(sum)
+            });
+        });
+    }
+    group.bench_function("roofline_stream_xor", |b| {
+        b.iter(|| black_box(stream.iter().fold(0u64, |acc, &w| acc ^ w)));
     });
     group.finish();
 }

@@ -1,31 +1,41 @@
-//! Machine-readable benchmark of the PR 2/PR 3/PR 5/PR 6 kernels.
+//! Machine-readable benchmark of the PR 2/PR 3/PR 5/PR 6/PR 7 kernels.
 //!
 //! Times the parallelized stages — two-pass CSR matrix build,
 //! norm-bucketed disjoint supplement, MinHash sketching + LSH banding
 //! (PR 2), the DBSCAN connected-components grouping kernel (PR 3), the
 //! packed bounded-distance engine against the scalar O(n²)
-//! neighbourhood precompute it replaced (PR 5), and the incremental
-//! apply of a 1,000-event churn batch against the full batch rerun it
-//! avoids (PR 6) — across worker counts, next to their sequential
-//! baselines, and runs small Figure 2/3 sweeps of the custom T5
-//! detector. Results are written as a JSON array of
+//! neighbourhood precompute it replaced (PR 5), the incremental apply
+//! of a 1,000-event churn batch against the full batch rerun it avoids
+//! (PR 6), and the PR 7 scale plane: the stream-keyed parallel org
+//! generator against its sequential baseline, the 8-word-lane popcount
+//! kernel against the PR 5 4-word unroll on a dense packed matrix, the
+//! memory-budgeted sharded distance engine against the resident flat
+//! engine and the scalar oracle, and a million-user end-to-end run
+//! (generation + sharded distance plane, bit-identity asserted against
+//! the unbudgeted engine). Results are written as a JSON array of
 //! `{stage, size, threads, ns, found}` records (`scripts/bench.sh`
-//! invokes this and commits the output as `BENCH_pr6.json`; the schema
-//! is unchanged from `BENCH_pr2.json`…`BENCH_pr5.json` so the perf
+//! invokes this and commits the output as `BENCH_pr7.json`; the schema
+//! is unchanged from `BENCH_pr2.json`…`BENCH_pr6.json` so the perf
 //! trajectory stays machine-readable).
 //!
 //! ```text
-//! bench_json [--scale 1.0] [--seed 7] [--iters 3] [--out BENCH_pr6.json]
+//! bench_json [--scale 1.0] [--seed 7] [--iters 3]
+//!            [--users N --roles N --density D] [--skip-million]
+//!            [--out BENCH_pr7.json]
 //! ```
 //!
-//! The matrix-build, supplement, DBSCAN-grouping and distance-precompute
-//! stages run at the real-org scale of `results_realorg.txt` (the
-//! ing-like organization at `--scale 1.0`); every result is
-//! cross-checked against its baseline before timing is trusted. The
-//! grouping stages share one neighbourhood precompute (the O(n²) region
-//! queries are what PR 5 changes, timed as their own stage), so the
-//! kernel and the sequential expansion are timed on identical cached
-//! inputs.
+//! By default the matrix-build, supplement, DBSCAN-grouping and
+//! distance-precompute stages run at the real-org scale of
+//! `results_realorg.txt` (the ing-like organization at `--scale 1.0`);
+//! passing any of `--users`/`--roles`/`--density` swaps the subject
+//! organization for a [`rolediet_synth::profiles::custom_shape`] org of
+//! that shape instead. Every result is cross-checked against its
+//! baseline before timing is trusted. The grouping stages share one
+//! neighbourhood precompute (the O(n²) region queries are what PR 5
+//! changes, timed as their own stage), so the kernel and the sequential
+//! expansion are timed on identical cached inputs. The million-user
+//! stage always runs at its fixed 1M-user shape regardless of flags;
+//! `--skip-million` drops it for quick CI passes.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -36,12 +46,17 @@ use rolediet_bench::sweep_matrix;
 use rolediet_cluster::dbscan::{Dbscan, DbscanParams};
 use rolediet_cluster::metric::{BinaryMetric, BinaryRows};
 use rolediet_cluster::minhash::{MinHashLsh, MinHashLshParams};
-use rolediet_cluster::neighbors::{all_range_queries_packed, all_range_queries_with};
+use rolediet_cluster::neighbors::{
+    all_range_queries_packed, all_range_queries_sharded, all_range_queries_with,
+};
 use rolediet_core::cooccur::{disjoint_supplement, disjoint_supplement_naive};
 use rolediet_core::{DetectionConfig, Parallelism, Pipeline, SimilarityConfig, Strategy};
-use rolediet_matrix::{CsrMatrix, PackedRows, RowMatrix};
+use rolediet_matrix::packed::{xor_popcount_within, xor_popcount_within_unrolled4};
+use rolediet_matrix::{CsrMatrix, PackedRows, PackedShards, RowMatrix};
 use rolediet_model::RoleId;
 use rolediet_synth::churn::{ChurnSimulator, ChurnWeights};
+use rolediet_synth::profiles::{custom_shape, ing_like};
+use rolediet_synth::{generate_org, generate_org_with, MatrixGenConfig, OrgConfig};
 use serde::Serialize;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -65,6 +80,10 @@ struct Opts {
     scale: f64,
     seed: u64,
     iters: usize,
+    users: Option<usize>,
+    roles: Option<usize>,
+    density: Option<f64>,
+    million: bool,
     out: String,
 }
 
@@ -74,7 +93,11 @@ impl Opts {
             scale: 1.0,
             seed: 7,
             iters: 3,
-            out: "BENCH_pr6.json".to_owned(),
+            users: None,
+            roles: None,
+            density: None,
+            million: true,
+            out: "BENCH_pr7.json".to_owned(),
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -87,12 +110,31 @@ impl Opts {
                 "--scale" => o.scale = val("--scale").parse().expect("--scale"),
                 "--seed" => o.seed = val("--seed").parse().expect("--seed"),
                 "--iters" => o.iters = val("--iters").parse().expect("--iters"),
+                "--users" => o.users = Some(val("--users").parse().expect("--users")),
+                "--roles" => o.roles = Some(val("--roles").parse().expect("--roles")),
+                "--density" => o.density = Some(val("--density").parse().expect("--density")),
+                "--skip-million" => o.million = false,
                 "--out" => o.out = val("--out"),
                 other => panic!("unknown flag {other:?}"),
             }
         }
         o.iters = o.iters.max(1);
         o
+    }
+
+    /// The subject organization: the published real-org shape by
+    /// default, or a [`custom_shape`] org when any shape flag is given.
+    fn org_config(&self) -> OrgConfig {
+        if self.users.is_some() || self.roles.is_some() || self.density.is_some() {
+            let users = self.users.unwrap_or(89_900);
+            let roles = self.roles.unwrap_or(50_300);
+            // Default density ≈ the ing-like mean role degree (16) over
+            // the user column count.
+            let density = self.density.unwrap_or(16.0 / users as f64);
+            custom_shape(users, roles, density, self.seed)
+        } else {
+            ing_like(self.scale, self.seed)
+        }
     }
 }
 
@@ -114,21 +156,64 @@ fn main() {
     let opts = Opts::parse(&args);
     let mut records: Vec<Record> = Vec::new();
 
+    // --- Stage 0 (PR 7): organization generation — per-role RNG ---
+    // --- streams fanned out over workers vs. the sequential walk. ---
+    // The two paths draw from different RNG streams by design, so their
+    // outputs differ from each other (each is internally bit-identical
+    // across thread counts, which the parallel rows assert); both are
+    // generated once (`iters` is ignored — generation has no cache
+    // warm-up story worth best-of-N at this size).
+    let cfg = opts.org_config();
     println!(
-        "# generating ing-like organization (scale={}, seed={})",
-        opts.scale, opts.seed
+        "# generating organization (scale={}, seed={}, departments={})",
+        opts.scale, opts.seed, cfg.departments
     );
-    let t0 = Instant::now();
-    let org = rolediet_synth::profiles::generate_ing_like(opts.scale, opts.seed);
+    let (seq_ns, org_seq) = time_best(1, || generate_org(cfg));
+    let seq_size = format!("{}x{}", org_seq.graph.n_roles(), org_seq.graph.n_users());
+    println!("org_gen_seq (sequential): {seq_ns} ns");
+    records.push(Record {
+        stage: "org_gen_seq".into(),
+        size: seq_size,
+        threads: 1,
+        ns: seq_ns,
+        found: org_seq.graph.n_roles(),
+    });
+    drop(org_seq);
+    let mut org = None;
+    for threads in THREAD_COUNTS {
+        let (ns, o) = time_best(1, || generate_org_with(cfg, threads));
+        match &org {
+            Some(reference) => {
+                let r: &rolediet_synth::GeneratedOrg = reference;
+                assert!(
+                    o.graph == r.graph && o.truth == r.truth,
+                    "parallel generator diverged at {threads} threads"
+                );
+            }
+            None => org = Some(o),
+        }
+        println!("org_gen_parallel threads={threads}: {ns} ns");
+        records.push(Record {
+            stage: "org_gen_parallel".into(),
+            size: "pending".into(),
+            threads,
+            ns,
+            found: 0,
+        });
+    }
+    let org = org.expect("parallel generation ran");
     let graph = org.graph;
     println!(
-        "# generated in {:.2?}: roles={} users={} permissions={}",
-        t0.elapsed(),
+        "# generated: roles={} users={} permissions={}",
         graph.n_roles(),
         graph.n_users(),
         graph.n_permissions()
     );
     let size = format!("{}x{}", graph.n_roles(), graph.n_users());
+    for r in records.iter_mut().filter(|r| r.stage == "org_gen_parallel") {
+        r.size = size.clone();
+        r.found = graph.n_roles();
+    }
 
     // --- Stage 1: two-pass CSR matrix build vs. the PR 1 collection. ---
     let reference = graph.ruam_sparse();
@@ -311,9 +396,91 @@ fn main() {
         found: neigh.iter().map(Vec::len).sum(),
     });
     drop(neigh);
-    drop(scalar_ref);
     drop(engine);
+
+    // --- Stage 7a (PR 7): memory-budgeted sharded distance engine. ---
+    // The same T5 range queries, streamed as shard×shard tile passes
+    // under an explicit resident-set budget instead of one flat
+    // resident engine. Timed end-to-end (plan + shard builds + tile
+    // passes, matching the engine rows above, which also pay their
+    // build); every budget/thread combination is asserted against the
+    // scalar oracle. The budgets are deliberately far below the flat
+    // engine's resident cost so the plan is forced to cut many shards.
+    for budget in [256 * 1024usize, 1024 * 1024] {
+        let n_shards = PackedShards::new(&ruam, budget, 1).n_shards();
+        let stage = format!("distance_precompute_sharded_{}k", budget / 1024);
+        for threads in THREAD_COUNTS {
+            let (ns, neigh) = time_best(opts.iters, || {
+                all_range_queries_sharded(&ruam, eps, budget, threads)
+            });
+            assert_eq!(
+                neigh, scalar_ref,
+                "sharded engine (budget {budget}) diverged from the scalar oracle \
+                 at {threads} threads"
+            );
+            println!("{stage} shards={n_shards} threads={threads}: {ns} ns");
+            records.push(Record {
+                stage: stage.clone(),
+                size: size.clone(),
+                threads,
+                ns,
+                found: n_shards,
+            });
+        }
+    }
+    drop(scalar_ref);
     drop(ruam);
+
+    // --- Stage 7b (PR 7): popcount kernel ablation on the dense path. ---
+    // A dense planted-cluster matrix (30% fill over 2,048 columns → 32
+    // words/row, packed representation) exercises the word-loop kernels
+    // without the sparse-merge path: every row pair in a fixed sample is
+    // pushed through the 8-word-lane accumulator kernel and the PR 5
+    // 4-word unroll with the bound wide open (no early exit), so the
+    // rows measure raw XOR-popcount throughput. Distance sums are
+    // asserted identical before either time is recorded.
+    let kcfg = MatrixGenConfig {
+        density: 0.3,
+        ..MatrixGenConfig::paper(2_000, 2_048, opts.seed)
+    };
+    let kdense = rolediet_synth::generate_matrix(kcfg).dense;
+    let kpacked = PackedRows::packed_from_matrix(&kdense, 8);
+    assert!(kpacked.is_packed(), "kernel ablation needs the packed repr");
+    let ksize = format!("{}x{}", kdense.n_rows(), kdense.n_cols());
+    let kbound = kdense.n_cols();
+    let kwords: Vec<&[u64]> = (0..kdense.n_rows())
+        .map(|i| kpacked.row_words(i).expect("packed repr has words"))
+        .collect();
+    let kernel_sum = |kernel: fn(&[u64], &[u64], usize) -> Option<usize>| {
+        let mut sum = 0usize;
+        for (i, a) in kwords.iter().enumerate() {
+            for b in &kwords[i + 1..] {
+                sum += kernel(a, b, kbound).expect("bound is the column count");
+            }
+        }
+        sum
+    };
+    let (lanes8_ns, lanes8_sum) = time_best(opts.iters, || kernel_sum(xor_popcount_within));
+    let (unroll4_ns, unroll4_sum) =
+        time_best(opts.iters, || kernel_sum(xor_popcount_within_unrolled4));
+    assert_eq!(lanes8_sum, unroll4_sum, "kernel ablation sums diverged");
+    println!("kernel_lanes8 (sequential): {lanes8_ns} ns");
+    println!("kernel_unrolled4 (sequential): {unroll4_ns} ns");
+    for (stage, ns) in [
+        ("kernel_lanes8", lanes8_ns),
+        ("kernel_unrolled4", unroll4_ns),
+    ] {
+        records.push(Record {
+            stage: stage.into(),
+            size: ksize.clone(),
+            threads: 1,
+            ns,
+            found: lanes8_sum,
+        });
+    }
+    drop(kwords);
+    drop(kpacked);
+    drop(kdense);
 
     // --- Stage 4: MinHash sketching + banding across thread counts. ---
     // A paper-shaped matrix (planted duplicate clusters, no empty-row
@@ -443,6 +610,72 @@ fn main() {
             threads,
             ns,
             found: total_findings(&report),
+        });
+    }
+
+    // --- Stage 8 (PR 7): million-user end-to-end. ---
+    // A fixed 1M-user, ~100k-role, ~1M-edge organization (the
+    // `custom_shape` profile: planted inefficiency counts stay modest so
+    // the norm-0 blocks don't make the T5 output itself quadratic).
+    // Generation uses the stream-keyed parallel generator; the distance
+    // plane then runs once through the flat resident engine and once
+    // through the sharded engine under a 2 MiB budget (far below the
+    // resident sparse engine's ~10 MB, forcing a multi-shard plan), and
+    // the two neighbourhood sets are asserted bit-identical. Everything
+    // runs a single iteration — at this size one pass is the
+    // measurement.
+    if opts.million {
+        drop(graph);
+        drop(mutated);
+        drop(maintained);
+        let mcfg = custom_shape(1_000_000, 100_000, 1.0e-5, opts.seed);
+        println!("# generating the million-user organization");
+        let (gen_ns, morg) = time_best(1, || generate_org_with(mcfg, 8));
+        let mgraph = morg.graph;
+        let msize = format!("{}x{}", mgraph.n_roles(), mgraph.n_users());
+        println!(
+            "million_org_gen threads=8: {gen_ns} ns (roles={} users={} permissions={})",
+            mgraph.n_roles(),
+            mgraph.n_users(),
+            mgraph.n_permissions()
+        );
+        records.push(Record {
+            stage: "million_org_gen".into(),
+            size: msize.clone(),
+            threads: 8,
+            ns: gen_ns,
+            found: mgraph.n_roles(),
+        });
+        let mruam = mgraph.ruam_sparse_with(8);
+        println!("# million-user RUAM: {} nnz", mruam.nnz());
+        let (flat_ns, flat) = time_best(1, || {
+            let rows = PackedRows::from_matrix(&mruam, 8);
+            all_range_queries_packed(&rows, eps, 8)
+        });
+        println!("million_distance_flat threads=8: {flat_ns} ns");
+        records.push(Record {
+            stage: "million_distance_flat".into(),
+            size: msize.clone(),
+            threads: 8,
+            ns: flat_ns,
+            found: flat.iter().map(Vec::len).sum(),
+        });
+        let budget = 2 * 1024 * 1024usize;
+        let n_shards = PackedShards::new(&mruam, budget, 1).n_shards();
+        assert!(n_shards > 1, "2 MiB budget must shard the 1M-user plane");
+        let (shard_ns, sharded) =
+            time_best(1, || all_range_queries_sharded(&mruam, eps, budget, 8));
+        assert_eq!(
+            sharded, flat,
+            "sharded million-user plane diverged from the flat engine"
+        );
+        println!("million_distance_sharded shards={n_shards} threads=8: {shard_ns} ns");
+        records.push(Record {
+            stage: "million_distance_sharded".into(),
+            size: msize,
+            threads: 8,
+            ns: shard_ns,
+            found: n_shards,
         });
     }
 

@@ -3,7 +3,7 @@
 //! ```text
 //! repro fig2 [--runs 5] [--roles 1000] [--min 1000 --max 10000 --step 1000] [--budget-secs 600] [--similar]
 //! repro fig3 [--runs 5] [--users 1000] [--min 1000 --max 10000 --step 1000] [--budget-secs 600] [--similar]
-//! repro realorg [--scale 1.0] [--seed 7] [--baselines] [--validate] [--budget-secs 600]
+//! repro realorg [--scale 1.0 | --users N --roles N --density D] [--seed 7] [--baselines] [--validate] [--budget-secs 600]
 //! repro recall [--roles 2000] [--users 1000]
 //! repro churn [--steps 500] [--batch 100] [--incremental] [--scale 0.05] [--seed 7]
 //! repro cooccur-example
@@ -67,6 +67,7 @@ fn print_help() {
          \x20 cooccur-example  print the Section III-C co-occurrence matrix\n\
          \n\
          common flags: --runs N --min N --max N --step N --roles N --users N\n\
+         \x20             --density D (realorg: custom-shape org instead of ing-like)\n\
          \x20             --budget-secs N --similar --scale F --seed N --baselines\n\
          \x20             --threads N (worker threads for the parallel stages; default 1)\n\
          \x20             --validate (realorg: run the report validators on the result)\n\
@@ -82,8 +83,9 @@ struct Opts {
     min: usize,
     max: usize,
     step: usize,
-    roles: usize,
-    users: usize,
+    roles: Option<usize>,
+    users: Option<usize>,
+    density: Option<f64>,
     budget: Duration,
     similar: bool,
     scale: f64,
@@ -105,6 +107,34 @@ impl Opts {
             Parallelism::Threads(self.threads)
         }
     }
+
+    /// `--roles` with the sweep default.
+    fn roles(&self) -> usize {
+        self.roles.unwrap_or(1_000)
+    }
+
+    /// `--users` with the sweep default.
+    fn users(&self) -> usize {
+        self.users.unwrap_or(1_000)
+    }
+
+    /// The realorg subject: the published ing-like shape at `--scale` by
+    /// default; any of `--users`/`--roles`/`--density` switches to a
+    /// [`rolediet_synth::profiles::custom_shape`] organization of that
+    /// shape instead (unset targets default to the published counts).
+    fn realorg_subject(&self) -> rolediet_synth::GeneratedOrg {
+        if self.users.is_some() || self.roles.is_some() || self.density.is_some() {
+            let users = self.users.unwrap_or(89_900);
+            let roles = self.roles.unwrap_or(50_300);
+            let density = self.density.unwrap_or(16.0 / users as f64);
+            println!("# custom-shape organization: users={users} roles={roles} density={density}");
+            rolediet_synth::generate_org(rolediet_synth::profiles::custom_shape(
+                users, roles, density, self.seed,
+            ))
+        } else {
+            rolediet_synth::profiles::generate_ing_like(self.scale, self.seed)
+        }
+    }
 }
 
 impl Opts {
@@ -114,8 +144,9 @@ impl Opts {
             min: 1_000,
             max: 10_000,
             step: 1_000,
-            roles: 1_000,
-            users: 1_000,
+            roles: None,
+            users: None,
+            density: None,
             budget: Duration::from_secs(600),
             similar: false,
             scale: 1.0,
@@ -139,8 +170,9 @@ impl Opts {
                 "--min" => o.min = val("--min").parse().expect("--min"),
                 "--max" => o.max = val("--max").parse().expect("--max"),
                 "--step" => o.step = val("--step").parse().expect("--step"),
-                "--roles" => o.roles = val("--roles").parse().expect("--roles"),
-                "--users" => o.users = val("--users").parse().expect("--users"),
+                "--roles" => o.roles = Some(val("--roles").parse().expect("--roles")),
+                "--users" => o.users = Some(val("--users").parse().expect("--users")),
+                "--density" => o.density = Some(val("--density").parse().expect("--density")),
                 "--budget-secs" => {
                     o.budget = Duration::from_secs(val("--budget-secs").parse().expect("secs"))
                 }
@@ -170,8 +202,8 @@ enum SweepAxis {
 /// (mirroring the paper's halted 24-hour baseline runs).
 fn sweep(axis: SweepAxis, opts: &Opts) {
     let (fixed_name, fixed, axis_name) = match axis {
-        SweepAxis::Users => ("roles", opts.roles, "users"),
-        SweepAxis::Roles => ("users", opts.users, "roles"),
+        SweepAxis::Users => ("roles", opts.roles(), "users"),
+        SweepAxis::Roles => ("users", opts.users(), "roles"),
     };
     let task = if opts.similar { "similar(t=1)" } else { "same" };
     println!(
@@ -246,13 +278,13 @@ fn sweep(axis: SweepAxis, opts: &Opts) {
 /// two baseline strategies on the same RUAM (with the budget cap).
 fn realorg(opts: &Opts) {
     println!(
-        "# ing-like organization, scale={}, seed={}, threads={}",
+        "# organization scale={}, seed={}, threads={}",
         opts.scale,
         opts.seed,
         opts.parallelism().threads()
     );
     let t0 = Instant::now();
-    let org = rolediet_synth::profiles::generate_ing_like(opts.scale, opts.seed);
+    let org = opts.realorg_subject();
     println!("# generated in {:.2?}", t0.elapsed());
     let stats = DatasetStats::compute(&org.graph);
     println!(
@@ -405,13 +437,13 @@ fn recall(opts: &Opts) {
     use rolediet_core::strategy::find_same_groups;
     use rolediet_core::Parallelism;
 
-    let m = sweep_matrix(opts.roles, opts.users, 0);
+    let m = sweep_matrix(opts.roles(), opts.users(), 0);
     let truth_groups = find_same_groups(&m, &Strategy::Custom, Parallelism::Sequential);
     let truth_pairs = groups_to_pairs(&truth_groups);
     println!(
         "# roles={} users={} true duplicate pairs={}",
-        opts.roles,
-        opts.users,
+        opts.roles(),
+        opts.users(),
         truth_pairs.len()
     );
     for ef in [8usize, 16, 32, 64, 128, 256] {

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! rolediet detect      --users a.csv --perms g.csv [--strategy custom] [--threshold 1]
-//!                      [--no-similar] [--threads N] [--json report.json] [--names N]
+//!                      [--no-similar] [--threads N] [--memory-budget BYTES]
+//!                      [--json report.json] [--names N]
 //! rolediet stats       --users a.csv --perms g.csv
 //! rolediet consolidate --users a.csv --perms g.csv [--apply PREFIX] [--keep-standalone]
 //! rolediet generate    [--profile small|ing] [--scale F] [--seed N] --out PREFIX
@@ -129,6 +130,9 @@ fn build_config(args: &[String]) -> Result<DetectionConfig, Box<dyn std::error::
     }
     if let Some(n) = flag_value(args, "--threads") {
         cfg.parallelism = Parallelism::Threads(n.parse()?);
+    }
+    if let Some(b) = flag_value(args, "--memory-budget") {
+        cfg.memory_budget_bytes = b.parse()?;
     }
     Ok(cfg)
 }

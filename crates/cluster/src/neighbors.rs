@@ -78,6 +78,30 @@ pub fn all_range_queries_packed(rows: &PackedRows, eps: f64, threads: usize) -> 
     }
 }
 
+/// [`all_range_queries_packed`] under an explicit memory budget: the
+/// matrix is split into norm-contiguous shard blocks by
+/// [`PackedShards`](rolediet_matrix::PackedShards) and streamed as
+/// shard×shard tile passes, so only two shard blocks (plus the output)
+/// are resident at a time.
+///
+/// Output is bit-identical to [`all_range_queries_packed`] over
+/// `PackedRows::from_matrix(matrix, ..)` — and hence to the scalar
+/// oracle — at every thread count *and* every budget (pinned in tests).
+/// `memory_budget_bytes == 0` means unbounded: one shard, delegating
+/// byte-for-byte to the flat engine.
+pub fn all_range_queries_sharded<M: rolediet_matrix::RowMatrix + Sync + ?Sized>(
+    matrix: &M,
+    eps: f64,
+    memory_budget_bytes: usize,
+    threads: usize,
+) -> Vec<Vec<usize>> {
+    match hamming_bound(eps) {
+        Some(bound) => rolediet_matrix::PackedShards::new(matrix, memory_budget_bytes, threads)
+            .range_queries_within(bound),
+        None => vec![Vec::new(); matrix.rows()],
+    }
+}
+
 /// The `k` nearest neighbours of point `i` (excluding `i`), sorted by
 /// distance then index. Returns fewer than `k` when the set is small.
 ///
@@ -346,6 +370,27 @@ mod tests {
                         expected,
                         "eps={eps} threads={threads} packed={}",
                         rows.is_packed()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_range_queries_match_scalar_oracle_under_tiny_budgets() {
+        use crate::metric::{BinaryMetric, BinaryRows};
+        let (m, _) = binary_fixture();
+        let points = BinaryRows::new(&m, BinaryMetric::Hamming);
+        for eps in [-1.0, 0.0, 1.0 + 1e-9, 3.0 + 1e-9] {
+            let expected = all_range_queries_with(&points, eps, 1);
+            // Budget 1 forces one-row shards; 2 KiB a handful; 0 means a
+            // single shard delegating to the flat engine.
+            for budget in [1usize, 2048, 0] {
+                for threads in [1usize, 2, 4, 8] {
+                    assert_eq!(
+                        all_range_queries_sharded(&m, eps, budget, threads),
+                        expected,
+                        "eps={eps} budget={budget} threads={threads}"
                     );
                 }
             }

@@ -137,6 +137,18 @@ pub struct DetectionConfig {
     pub include_empty_duplicates: bool,
     /// Thread configuration.
     pub parallelism: Parallelism,
+    /// Memory budget (in bytes) for the exact-DBSCAN distance plane.
+    ///
+    /// `0` (default) means unbounded: the whole packed matrix stays
+    /// resident, exactly as before the knob existed. A positive budget
+    /// routes the O(n²) T4/T5 neighbourhood precomputes through the
+    /// sharded engine ([`rolediet_matrix::PackedShards`]): the rows are
+    /// split into norm-contiguous shard blocks sized so that the two
+    /// blocks active in any tile pass fit the budget, and results are
+    /// bit-identical to the unbounded engine at every budget and thread
+    /// count. Only the exact-DBSCAN strategy consults this knob.
+    #[serde(default)]
+    pub memory_budget_bytes: usize,
 }
 
 impl DetectionConfig {

@@ -109,10 +109,11 @@ impl Pipeline {
             report.timings.threads.distance_precompute = threads;
             let t0 = Instant::now();
             let e = (
-                DbscanEngine::build(ruam, threads),
-                DbscanEngine::build(rpam, threads),
+                DbscanEngine::build_with_budget(ruam, cfg.memory_budget_bytes, threads),
+                DbscanEngine::build_with_budget(rpam, cfg.memory_budget_bytes, threads),
             );
             report.timings.distance_precompute += t0.elapsed();
+            report.timings.distance_shards = e.0.shard_count().max(e.1.shard_count());
             Some(e)
         } else {
             None
@@ -425,6 +426,10 @@ mod tests {
             report.timings.threads.transpose, 0,
             "the engine replaces the transposed index"
         );
+        assert_eq!(
+            report.timings.distance_shards, 1,
+            "no memory budget → flat resident engine"
+        );
 
         // Stages that do not run report 0 threads.
         let cfg = DetectionConfig {
@@ -447,6 +452,45 @@ mod tests {
         let report = Pipeline::new(cfg).run(&graph);
         assert_eq!(report.timings.threads.minhash, 3);
         assert_eq!(report.timings.threads.disjoint_supplement, 0);
+    }
+
+    #[test]
+    fn memory_budget_shards_the_distance_plane_without_changing_results() {
+        use crate::config::{Parallelism, SimilarityConfig};
+        let graph = TripartiteGraph::figure1_example();
+        let base_cfg = DetectionConfig {
+            similarity: SimilarityConfig {
+                include_disjoint: true,
+                ..SimilarityConfig::default()
+            },
+            ..DetectionConfig::with_strategy(Strategy::ExactDbscan)
+        };
+        let baseline = Pipeline::new(base_cfg).run(&graph);
+        assert_eq!(baseline.timings.distance_shards, 1);
+        // A 1-byte budget forces one-row shards; results must not move.
+        for budget in [1usize, 10_000] {
+            for threads in [1, 2, 4] {
+                let cfg = DetectionConfig {
+                    memory_budget_bytes: budget,
+                    parallelism: Parallelism::Threads(threads),
+                    ..base_cfg
+                };
+                let mut report = Pipeline::new(cfg).run(&graph);
+                if budget == 1 {
+                    assert!(
+                        report.timings.distance_shards > 1,
+                        "tiny budget must force multiple shards, got {}",
+                        report.timings.distance_shards
+                    );
+                }
+                report.timings = baseline.timings;
+                report.config = baseline.config;
+                assert_eq!(report, baseline, "budget={budget} threads={threads}");
+            }
+        }
+        // Strategies that never build the engine report zero shards.
+        let custom = Pipeline::new(DetectionConfig::default()).run(&graph);
+        assert_eq!(custom.timings.distance_shards, 0);
     }
 
     #[test]

@@ -103,6 +103,13 @@ pub struct StageTimings {
     /// per-stage timings so grouping is timed apart from the shared
     /// distance plane).
     pub distance_precompute: Duration,
+    /// Number of norm-contiguous shard blocks the packed engine streamed
+    /// the distance plane over (the larger of the two matrix sides).
+    /// `1` means the flat resident engine (no memory budget, or a budget
+    /// large enough for a single shard); `0` means the engine did not
+    /// run (every strategy but exact-DBSCAN).
+    #[serde(default)]
+    pub distance_shards: usize,
     /// Worker-thread count per parallel stage.
     pub threads: StageThreads,
 }
@@ -391,6 +398,7 @@ mod tests {
             similar_users: Duration::from_millis(5),
             similar_permissions: Duration::from_millis(6),
             distance_precompute: Duration::from_millis(7),
+            distance_shards: 1,
             threads: StageThreads::default(),
         };
         assert_eq!(t.total(), Duration::from_millis(28));

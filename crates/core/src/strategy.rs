@@ -18,7 +18,7 @@ use rolediet_cluster::dbscan::{Dbscan, DbscanParams};
 use rolediet_cluster::hnsw::{Hnsw, HnswParams};
 use rolediet_cluster::metric::{BinaryMetric, BinaryRows};
 use rolediet_cluster::minhash::{MinHashLsh, MinHashLshParams};
-use rolediet_cluster::neighbors::all_range_queries_packed;
+use rolediet_cluster::neighbors::{all_range_queries_packed, all_range_queries_sharded};
 use rolediet_cluster::UnionFind;
 use rolediet_matrix::{CsrMatrix, PackedRows, RowMatrix};
 
@@ -113,9 +113,31 @@ pub fn find_similar_pairs(
 /// — apart from the grouping they feed — so benches can compare the
 /// distance plane against the scalar [`PointSet`] oracle directly.
 ///
+/// Under a positive [`DetectionConfig::memory_budget_bytes`] the engine
+/// keeps only the source matrix resident and streams each neighbourhood
+/// precompute through the sharded driver
+/// ([`PackedShards`](rolediet_matrix::PackedShards)), whose shard blocks
+/// are sized to the budget — with output bit-identical to the resident
+/// engine at every budget and thread count.
+///
 /// [`PointSet`]: rolediet_cluster::metric::PointSet
+/// [`DetectionConfig::memory_budget_bytes`]: crate::DetectionConfig
 pub struct DbscanEngine {
-    rows: PackedRows,
+    backend: EngineBackend,
+}
+
+/// How the engine holds the distance plane.
+enum EngineBackend {
+    /// The whole packed matrix resident (the unbounded default).
+    Resident(PackedRows),
+    /// Norm-contiguous shard blocks built two at a time under a byte
+    /// budget; the source matrix stays in its compact CSR form.
+    Sharded {
+        matrix: CsrMatrix,
+        norms: Vec<u32>,
+        budget: usize,
+        shards: usize,
+    },
 }
 
 impl DbscanEngine {
@@ -123,22 +145,95 @@ impl DbscanEngine {
     /// by density; see [`PackedRows::from_matrix`]).
     pub fn build(matrix: &CsrMatrix, threads: usize) -> Self {
         DbscanEngine {
-            rows: PackedRows::from_matrix(matrix, threads.max(1)),
+            backend: EngineBackend::Resident(PackedRows::from_matrix(matrix, threads.max(1))),
+        }
+    }
+
+    /// [`DbscanEngine::build`] under a memory budget: `0` is unbounded
+    /// (the resident engine, byte-for-byte); a positive budget keeps the
+    /// CSR matrix and streams packed shard blocks per query instead.
+    pub fn build_with_budget(
+        matrix: &CsrMatrix,
+        memory_budget_bytes: usize,
+        threads: usize,
+    ) -> Self {
+        if memory_budget_bytes == 0 {
+            return DbscanEngine::build(matrix, threads);
+        }
+        let threads = threads.max(1);
+        let norms: Vec<u32> =
+            rolediet_matrix::parallel::par_map_rows(matrix.n_rows(), threads, |range| {
+                range.map(|i| matrix.row_norm(i) as u32).collect()
+            });
+        let shards = rolediet_matrix::ShardPlan::new(
+            &norms,
+            matrix.n_cols(),
+            matrix.nnz(),
+            memory_budget_bytes,
+        )
+        .n_shards();
+        DbscanEngine {
+            backend: EngineBackend::Sharded {
+                matrix: matrix.clone(),
+                norms,
+                budget: memory_budget_bytes,
+                shards,
+            },
+        }
+    }
+
+    /// Number of shard blocks the distance plane streams over (`1` for
+    /// the resident engine).
+    pub fn shard_count(&self) -> usize {
+        match &self.backend {
+            EngineBackend::Resident(_) => 1,
+            EngineBackend::Sharded { shards, .. } => *shards,
+        }
+    }
+
+    /// Norm (number of set bits) of row `i`.
+    pub fn row_norm(&self, i: usize) -> usize {
+        match &self.backend {
+            EngineBackend::Resident(rows) => rows.row_norm(i),
+            EngineBackend::Sharded { norms, .. } => norms[i] as usize,
+        }
+    }
+
+    /// Hamming distance between rows `i` and `j` if it is `<= bound`,
+    /// `None` otherwise (same contract as
+    /// [`PackedRows::bounded_hamming`]).
+    pub fn bounded_hamming(&self, i: usize, j: usize, bound: usize) -> Option<usize> {
+        match &self.backend {
+            EngineBackend::Resident(rows) => rows.bounded_hamming(i, j, bound),
+            EngineBackend::Sharded { matrix, norms, .. } => {
+                if (norms[i].abs_diff(norms[j])) as usize > bound {
+                    return None;
+                }
+                let d = matrix.row_hamming(i, j);
+                (d <= bound).then_some(d)
+            }
         }
     }
 
     /// Neighbour lists for the T4 duplicate query (`eps` from
     /// [`DbscanParams::exact_duplicates`]).
     pub fn duplicate_neighborhoods(&self, threads: usize) -> Vec<Vec<usize>> {
-        let eps = DbscanParams::exact_duplicates().eps;
-        all_range_queries_packed(&self.rows, eps, threads.max(1))
+        self.neighborhoods(DbscanParams::exact_duplicates().eps, threads)
     }
 
     /// Neighbour lists for the T5 similarity query (`eps` from
     /// [`DbscanParams::similar`]).
     pub fn similar_neighborhoods(&self, threshold: usize, threads: usize) -> Vec<Vec<usize>> {
-        let eps = DbscanParams::similar(threshold).eps;
-        all_range_queries_packed(&self.rows, eps, threads.max(1))
+        self.neighborhoods(DbscanParams::similar(threshold).eps, threads)
+    }
+
+    fn neighborhoods(&self, eps: f64, threads: usize) -> Vec<Vec<usize>> {
+        match &self.backend {
+            EngineBackend::Resident(rows) => all_range_queries_packed(rows, eps, threads.max(1)),
+            EngineBackend::Sharded { matrix, budget, .. } => {
+                all_range_queries_sharded(matrix, eps, *budget, threads.max(1))
+            }
+        }
     }
 }
 
@@ -155,7 +250,7 @@ pub fn dbscan_same_groups_cached(
         Dbscan::new(DbscanParams::exact_duplicates()).group_cached_with(neighborhoods, threads);
     let mut groups = normalize_groups(labels.clusters());
     if !include_empty {
-        groups.retain(|g| engine.rows.row_norm(g[0]) > 0);
+        groups.retain(|g| engine.row_norm(g[0]) > 0);
     }
     groups
 }
@@ -181,7 +276,7 @@ pub fn dbscan_similar_pairs_cached(
     for cluster in labels.clusters() {
         for (x, &i) in cluster.iter().enumerate() {
             for &j in &cluster[x + 1..] {
-                if let Some(d) = engine.rows.bounded_hamming(i, j, cfg.threshold) {
+                if let Some(d) = engine.bounded_hamming(i, j, cfg.threshold) {
                     if d >= 1 {
                         pairs.push(SimilarPair::new(i, j, d));
                     }

@@ -24,6 +24,10 @@
 //!   norm-band pruning plus early-exit Hamming kernels over density-keyed
 //!   packed-word or sparse-merge row storage, feeding every exact O(n²)
 //!   T4/T5 stage.
+//! * [`shard`] — the sharded, memory-budgeted driver over [`PackedRows`]
+//!   ([`PackedShards`]): norm-contiguous shard blocks streamed as
+//!   shard×shard tile passes under an explicit byte budget, bit-identical
+//!   to the flat engine at every thread and shard count.
 //! * [`parallel`] — the deterministic chunked map-reduce substrate every
 //!   parallel stage in the workspace is built on.
 //!
@@ -52,6 +56,7 @@ pub mod error;
 pub mod ops;
 pub mod packed;
 pub mod parallel;
+pub mod shard;
 pub mod signature;
 pub mod sparse;
 mod traits;
@@ -61,6 +66,7 @@ pub use bitvec::BitVec;
 pub use dense::{BitMatrix, RowRef};
 pub use error::MatrixError;
 pub use packed::PackedRows;
+pub use shard::{PackedShards, RowSubsetView, ShardPlan};
 pub use signature::{hash_words, RowSignature, SignatureIndex};
 pub use sparse::CsrMatrix;
 pub use traits::RowMatrix;

@@ -14,8 +14,9 @@
 //!    the band `[‖rᵢ‖ − bound, ‖rᵢ‖ + bound]` instead of scanning all n.
 //! 2. **Early-exit kernels.** Within the band, the distance loop aborts
 //!    the moment the running mismatch count exceeds `bound`: the packed
-//!    representation XOR-popcounts contiguous `u64` word blocks (checked
-//!    every four words), the sparse representation merge-walks two sorted
+//!    representation XOR-popcounts contiguous `u64` word blocks in
+//!    eight-word lanes (checked once per block — see
+//!    [`xor_popcount_within`]), the sparse representation merge-walks two sorted
 //!    index lists and counts mismatches as it goes.
 //!
 //! The representation is **density-keyed** at construction: rows pack
@@ -276,6 +277,125 @@ impl PackedRows {
         matches!(self.repr, Repr::Packed { .. })
     }
 
+    /// Row `i`'s packed word block, or `None` under the sparse
+    /// representation. Exposes row storage to the kernel-ablation
+    /// benches and the sharded engine without copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows()`.
+    pub fn row_words(&self, i: usize) -> Option<&[u64]> {
+        assert!(i < self.rows, "row {i} out of range");
+        match &self.repr {
+            Repr::Packed {
+                words,
+                words_per_row,
+            } => Some(&words[i * words_per_row..(i + 1) * words_per_row]),
+            Repr::Sparse { .. } => None,
+        }
+    }
+
+    /// Row `i`'s sparse index span (ascending set columns), or `None`
+    /// under the packed representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows()`.
+    pub fn row_index_slice(&self, i: usize) -> Option<&[u32]> {
+        assert!(i < self.rows, "row {i} out of range");
+        match &self.repr {
+            Repr::Sparse {
+                starts, indices, ..
+            } => Some(&indices[starts[i]..starts[i] + self.norms[i] as usize]),
+            Repr::Packed { .. } => None,
+        }
+    }
+
+    /// [`bounded_hamming`](Self::bounded_hamming) across two engines
+    /// over the same column space: `Some(Hamming)` when row `i` of
+    /// `self` and row `j` of `other` are within `bound`, `None`
+    /// otherwise. The norm-band rejection and the early-exit kernels
+    /// work exactly as in the single-engine case; mixed representations
+    /// fall back to a popcount-through probe (cold — the sharded
+    /// builder derives every shard's representation from one global
+    /// density key, so cross-shard queries stay same-representation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts differ or either index is out of
+    /// range.
+    pub fn bounded_hamming_cross(
+        &self,
+        i: usize,
+        other: &PackedRows,
+        j: usize,
+        bound: usize,
+    ) -> Option<usize> {
+        assert_eq!(
+            self.cols, other.cols,
+            "cross-engine query over mismatched column spaces"
+        );
+        if (self.norms[i].abs_diff(other.norms[j])) as usize > bound {
+            return None;
+        }
+        match (&self.repr, &other.repr) {
+            (
+                Repr::Packed {
+                    words: wa,
+                    words_per_row: ra,
+                },
+                Repr::Packed {
+                    words: wb,
+                    words_per_row: rb,
+                },
+            ) => xor_popcount_within(&wa[i * ra..(i + 1) * ra], &wb[j * rb..(j + 1) * rb], bound),
+            (
+                Repr::Sparse {
+                    starts: sa,
+                    indices: ia,
+                    ..
+                },
+                Repr::Sparse {
+                    starts: sb,
+                    indices: ib,
+                    ..
+                },
+            ) => sparse_within(
+                &ia[sa[i]..sa[i] + self.norms[i] as usize],
+                &ib[sb[j]..sb[j] + other.norms[j] as usize],
+                bound,
+            ),
+            (
+                Repr::Packed {
+                    words,
+                    words_per_row,
+                },
+                Repr::Sparse {
+                    starts, indices, ..
+                },
+            ) => mixed_within(
+                &words[i * words_per_row..(i + 1) * words_per_row],
+                self.norms[i] as usize,
+                &indices[starts[j]..starts[j] + other.norms[j] as usize],
+                bound,
+            ),
+            (
+                Repr::Sparse {
+                    starts, indices, ..
+                },
+                Repr::Packed {
+                    words,
+                    words_per_row,
+                },
+            ) => mixed_within(
+                &words[j * words_per_row..(j + 1) * words_per_row],
+                other.norms[j] as usize,
+                &indices[starts[i]..starts[i] + self.norms[i] as usize],
+                bound,
+            ),
+        }
+    }
+
     /// `Some(Hamming(i, j))` when the distance is at most `bound`,
     /// `None` otherwise — the engine's core kernel. Pairs outside the
     /// norm band `|‖rᵢ‖ − ‖rⱼ‖| > bound` are rejected without touching
@@ -306,7 +426,7 @@ impl PackedRows {
             } => {
                 let a = &words[i * words_per_row..(i + 1) * words_per_row];
                 let b = &words[j * words_per_row..(j + 1) * words_per_row];
-                packed_within(a, b, bound)
+                xor_popcount_within(a, b, bound)
             }
             Repr::Sparse {
                 starts, indices, ..
@@ -347,14 +467,33 @@ impl PackedRows {
 
     /// Visits the rows whose norm lies within `bound` of `norm`, in
     /// ascending row order: a k-way merge of the (already ascending)
-    /// bucket slices, `k ≤ 2·bound + 1`.
-    fn for_each_band_candidate(&self, norm: usize, bound: usize, mut f: impl FnMut(usize)) {
+    /// bucket slices, `k ≤ 2·bound + 1`. Allocating wrapper around
+    /// [`for_each_band_candidate_in`](Self::for_each_band_candidate_in)
+    /// for one-shot callers.
+    fn for_each_band_candidate(&self, norm: usize, bound: usize, f: impl FnMut(usize)) {
+        let mut slices = Vec::new();
+        self.for_each_band_candidate_in(norm, bound, &mut slices, f);
+    }
+
+    /// [`for_each_band_candidate`](Self::for_each_band_candidate) with
+    /// the merge-cursor storage supplied by the caller, so the batched
+    /// kernels reuse one scratch buffer across an entire worker chunk
+    /// instead of allocating in the innermost per-query loop.
+    fn for_each_band_candidate_in<'s>(
+        &'s self,
+        norm: usize,
+        bound: usize,
+        slices: &mut Vec<&'s [u32]>,
+        mut f: impl FnMut(usize),
+    ) {
         let lo = norm.saturating_sub(bound);
         let hi = (norm + bound).min(self.max_norm());
-        let mut slices: Vec<&[u32]> = (lo..=hi)
-            .map(|b| self.rows_with_norm(b))
-            .filter(|s| !s.is_empty())
-            .collect();
+        slices.clear();
+        slices.extend(
+            (lo..=hi)
+                .map(|b| self.rows_with_norm(b))
+                .filter(|s| !s.is_empty()),
+        );
         if slices.len() == 1 {
             // The common T4 case (bound 0): one bucket, no merge needed.
             for &j in slices[0] {
@@ -390,17 +529,28 @@ impl PackedRows {
             return self.scan_queries(bound, threads, true);
         }
         parallel::par_map_rows(self.rows, threads, |range| {
+            // Chunk-level scratch: the band-merge cursors and a reusable
+            // row accumulator, so the per-row loop allocates only the
+            // exact-size output row it returns.
+            let mut slices: Vec<&[u32]> = Vec::new();
+            let mut row: Vec<usize> = Vec::new();
             range
                 .map(|i| {
-                    let mut out = Vec::new();
-                    self.for_each_band_candidate(self.norms[i] as usize, bound, |j| {
-                        if j == i {
-                            out.push(i);
-                        } else if self.distance_within(i, j, bound).is_some() {
-                            out.push(j);
-                        }
-                    });
-                    out
+                    row.clear();
+                    let hits = &mut row;
+                    self.for_each_band_candidate_in(
+                        self.norms[i] as usize,
+                        bound,
+                        &mut slices,
+                        |j| {
+                            if j == i {
+                                hits.push(i);
+                            } else if self.distance_within(i, j, bound).is_some() {
+                                hits.push(j);
+                            }
+                        },
+                    );
+                    row.as_slice().to_vec()
                 })
                 .collect()
         })
@@ -461,6 +611,7 @@ impl PackedRows {
         let scan = self.prefer_scan(bound);
         let chunks = parallel::par_map_ranges(self.rows, threads, |range| {
             let mut out = Vec::new();
+            let mut slices: Vec<&[u32]> = Vec::new();
             for i in range {
                 if scan {
                     for j in (i + 1)..self.rows {
@@ -469,13 +620,19 @@ impl PackedRows {
                         }
                     }
                 } else {
-                    self.for_each_band_candidate(self.norms[i] as usize, bound, |j| {
-                        if j > i {
-                            if let Some(d) = self.distance_within(i, j, bound) {
-                                out.push((i, j, d));
+                    let hits = &mut out;
+                    self.for_each_band_candidate_in(
+                        self.norms[i] as usize,
+                        bound,
+                        &mut slices,
+                        |j| {
+                            if j > i {
+                                if let Some(d) = self.distance_within(i, j, bound) {
+                                    hits.push((i, j, d));
+                                }
                             }
-                        }
-                    });
+                        },
+                    );
                 }
             }
             out
@@ -498,8 +655,13 @@ impl PackedRows {
     ///
     /// Panics if `i >= rows()`.
     pub fn range_query_within(&self, i: usize, bound: usize) -> Vec<(usize, usize)> {
-        let mut out = Vec::new();
-        self.for_each_band_candidate(self.norms[i] as usize, bound, |j| {
+        let norm = self.norms[i] as usize;
+        let lo = norm.saturating_sub(bound);
+        let hi = (norm + bound).min(self.max_norm());
+        // Presize to the band population: every hit comes from the band,
+        // so the accumulator never reallocates mid-query.
+        let mut out = Vec::with_capacity(self.bucket_indptr[hi + 1] - self.bucket_indptr[lo]);
+        self.for_each_band_candidate(norm, bound, |j| {
             if j == i {
                 out.push((i, 0));
             } else if let Some(d) = self.distance_within(i, j, bound) {
@@ -721,9 +883,43 @@ fn assert_row_indices(cols: usize, indices: &[u32]) {
     }
 }
 
-/// Early-exit XOR-popcount over packed words, unrolled four words at a
-/// time with the running distance checked per block.
-fn packed_within(a: &[u64], b: &[u64], bound: usize) -> Option<usize> {
+/// Early-exit XOR-popcount over packed words — the live dense kernel.
+///
+/// Eight-word lanes at a time: each block sums eight independent
+/// XOR-popcounts into a lane accumulator before the running distance is
+/// checked once, giving LLVM a straight-line, bounds-check-free
+/// reduction it auto-vectorizes on stable (no `unsafe`). Returns `None`
+/// as soon as the running distance exceeds `bound`, `Some(distance)`
+/// otherwise. Both slices must be the same length (the callers' rows
+/// share one `words_per_row`).
+pub fn xor_popcount_within(a: &[u64], b: &[u64], bound: usize) -> Option<usize> {
+    let mut d = 0usize;
+    for (ca, cb) in a.chunks_exact(8).zip(b.chunks_exact(8)) {
+        let mut lanes = 0u32;
+        for l in 0..8 {
+            lanes += (ca[l] ^ cb[l]).count_ones();
+        }
+        d += lanes as usize;
+        if d > bound {
+            return None;
+        }
+    }
+    let tail = a.len() - a.len() % 8;
+    for (x, y) in a[tail..].iter().zip(&b[tail..]) {
+        d += (x ^ y).count_ones() as usize;
+    }
+    if d > bound {
+        None
+    } else {
+        Some(d)
+    }
+}
+
+/// The PR 5 dense kernel: XOR-popcount unrolled four words at a time
+/// with the running distance checked per block. Kept verbatim as the
+/// ablation baseline for [`xor_popcount_within`] (`abl-distkern`
+/// compares the two on identical inputs).
+pub fn xor_popcount_within_unrolled4(a: &[u64], b: &[u64], bound: usize) -> Option<usize> {
     let mut d = 0usize;
     let mut k = 0usize;
     let n = a.len();
@@ -741,6 +937,29 @@ fn packed_within(a: &[u64], b: &[u64], bound: usize) -> Option<usize> {
         d += (a[k] ^ b[k]).count_ones() as usize;
         k += 1;
     }
+    if d > bound {
+        None
+    } else {
+        Some(d)
+    }
+}
+
+/// Bounded Hamming distance between a packed row (`words`, popcount
+/// `packed_norm`) and a sparse ascending index list, via the identity
+/// `Hamming = ‖a‖ + ‖b‖ − 2·g` with the dot product `g` counted by
+/// probing each sparse index in the packed words. Cold path — only
+/// mixed-representation cross-engine queries reach it (the sharded
+/// builder derives every shard's representation from one global density
+/// key).
+fn mixed_within(words: &[u64], packed_norm: usize, indices: &[u32], bound: usize) -> Option<usize> {
+    let mut dot = 0usize;
+    for &c in indices {
+        let w = c as usize / 64;
+        if w < words.len() && (words[w] >> (c % 64)) & 1 == 1 {
+            dot += 1;
+        }
+    }
+    let d = packed_norm + indices.len() - 2 * dot;
     if d > bound {
         None
     } else {
@@ -1088,5 +1307,86 @@ mod tests {
         let m = sample();
         let mut p = PackedRows::packed_from_matrix(&m, 1);
         p.push_row(&[70]);
+    }
+
+    /// The 8-lane kernel, the PR 5 unrolled-4 baseline, and the scalar
+    /// distance agree on every pair and bound — including widths that
+    /// exercise the 8-word blocks, the 4-word remainder, and the scalar
+    /// tail.
+    #[test]
+    fn lane_kernels_agree_with_scalar_distance() {
+        for cols in [1usize, 63, 64, 130, 257, 512, 700] {
+            let m = CsrMatrix::from_rows_of_indices(
+                4,
+                cols,
+                &[
+                    (0..cols).step_by(3).collect(),
+                    (0..cols).step_by(3).map(|c| c.min(cols - 1)).collect(),
+                    vec![],
+                    (0..cols).step_by(7).collect(),
+                ],
+            )
+            .unwrap();
+            let p = PackedRows::packed_from_matrix(&m, 2);
+            for i in 0..4 {
+                for j in 0..4 {
+                    let a = p.row_words(i).expect("forced packed");
+                    let b = p.row_words(j).expect("forced packed");
+                    let d = m.row_hamming(i, j);
+                    for bound in [0usize, 1, 2, d.saturating_sub(1), d, d + 1, cols] {
+                        let expected = (d <= bound).then_some(d);
+                        assert_eq!(xor_popcount_within(a, b, bound), expected);
+                        assert_eq!(xor_popcount_within_unrolled4(a, b, bound), expected);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Cross-engine bounded queries agree with the scalar distance for
+    /// every representation pairing, including the mixed fallback.
+    #[test]
+    fn bounded_hamming_cross_agrees_for_all_repr_pairs() {
+        let m = sample();
+        let reprs = both_reprs(&m);
+        for a in &reprs {
+            for b in &reprs {
+                for i in 0..m.n_rows() {
+                    for j in 0..m.n_rows() {
+                        let d = m.row_hamming(i, j);
+                        for bound in [0usize, 1, 3, 40, 100] {
+                            assert_eq!(
+                                a.bounded_hamming_cross(i, b, j, bound),
+                                (d <= bound).then_some(d),
+                                "i={i} j={j} bound={bound} a_packed={} b_packed={}",
+                                a.is_packed(),
+                                b.is_packed()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched column spaces")]
+    fn bounded_hamming_cross_rejects_width_mismatch() {
+        let a = PackedRows::from_matrix(&sample(), 1);
+        let narrow = CsrMatrix::from_rows_of_indices(2, 8, &[vec![0], vec![1]]).unwrap();
+        let b = PackedRows::from_matrix(&narrow, 1);
+        a.bounded_hamming_cross(0, &b, 0, 3);
+    }
+
+    #[test]
+    fn row_accessors_expose_the_live_representation() {
+        let m = sample();
+        let packed = PackedRows::packed_from_matrix(&m, 1);
+        let sparse = PackedRows::sparse_from_matrix(&m, 1);
+        assert!(packed.row_words(0).is_some());
+        assert!(packed.row_index_slice(0).is_none());
+        assert!(sparse.row_words(0).is_none());
+        assert_eq!(sparse.row_index_slice(0), Some(&[0u32, 1, 65][..]));
+        assert_eq!(sparse.row_index_slice(1), Some(&[][..]));
     }
 }

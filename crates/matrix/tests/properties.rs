@@ -253,6 +253,51 @@ proptest! {
     }
 
     #[test]
+    fn sharded_engine_matches_flat_engine_under_tiny_budgets(
+        (rows, cols, mut data) in matrix_strategy(),
+        bound in 0usize..6,
+    ) {
+        // Degenerate shapes on purpose: an empty row, a duplicate of
+        // row 0, and `matrix_strategy`'s 1..150 column range covering
+        // widths % 64 != 0.
+        data.push(Vec::new());
+        data.push(data[0].clone());
+        let rows = rows + 2;
+        let m = CsrMatrix::from_rows_of_indices(rows, cols, &data).unwrap();
+        let flat = rolediet_matrix::PackedRows::from_matrix(&m, 1);
+        let expected_pairs = flat.pairs_within(bound, 1);
+        let expected_queries = flat.range_queries_within(bound, 1);
+        // A per-row budget so tiny the plan is forced to cut one shard
+        // per row when there are 3+ rows — the most adversarial
+        // shard count — plus a mid-size budget and the unbounded plan.
+        for budget in [1usize, 600, 0] {
+            for threads in [1usize, 2, 4, 8] {
+                let sharded = rolediet_matrix::PackedShards::new(&m, budget, threads);
+                if budget == 1 && rows >= 3 {
+                    prop_assert!(
+                        sharded.n_shards() >= 3,
+                        "budget=1 rows={} must force >=3 shards, got {}",
+                        rows,
+                        sharded.n_shards()
+                    );
+                }
+                prop_assert_eq!(
+                    &sharded.pairs_within(bound),
+                    &expected_pairs,
+                    "pairs budget={} threads={} shards={}",
+                    budget, threads, sharded.n_shards()
+                );
+                prop_assert_eq!(
+                    &sharded.range_queries_within(bound),
+                    &expected_queries,
+                    "queries budget={} threads={} shards={}",
+                    budget, threads, sharded.n_shards()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn subset_difference_consistency(
         a in row_strategy(60),
         b in row_strategy(60),

@@ -70,6 +70,67 @@ pub fn generate_ing_like(scale: f64, seed: u64) -> GeneratedOrg {
     crate::org_gen::generate_org(ing_like(scale, seed))
 }
 
+/// An organization matching explicit shape targets: ~`users` users,
+/// ~`roles` roles, and a user-side density of about `density` (mean role
+/// user degree ≈ `density × users`), with a modest *fixed-size*
+/// inefficiency plan.
+///
+/// Unlike [`ing_like`], the planted counts do not scale with the
+/// organization: every planted norm-0 role (userless/standalone) is
+/// mutually within any distance bound of every other, so scaling them
+/// proportionally would blow the distance plane's output up
+/// quadratically at million-user scale. The plan is capped at a few
+/// thousand roles regardless of size. Backing for the
+/// `--users/--roles/--density` bench flags.
+///
+/// # Panics
+///
+/// Panics if `users < 600` (two departments' worth) or `density` is not
+/// in `(0, 1]`.
+pub fn custom_shape(users: usize, roles: usize, density: f64, seed: u64) -> OrgConfig {
+    assert!(users >= 600, "custom_shape needs at least 600 users");
+    assert!(density > 0.0 && density <= 1.0, "density must be in (0, 1]");
+    let users_per_department = 298;
+    let departments = (users / users_per_department).max(2);
+    // Planted counts: fixed targets, capped so small orgs stay feasible.
+    let cap = |n: usize| n.min(roles / 25 + 1);
+    let plan = InefficiencyPlan {
+        standalone_users: 200.min(users / 50),
+        standalone_permissions: 500,
+        standalone_roles: cap(100),
+        userless_roles: cap(1_000),
+        permless_roles: cap(500),
+        single_user_roles: cap(1_000),
+        single_permission_roles: cap(500),
+        same_user_role_pairs: cap(200),
+        same_permission_role_pairs: cap(100),
+        similar_user_role_pairs: cap(200),
+        similar_permission_role_pairs: cap(100),
+    };
+    let planted = departments
+        + plan.standalone_roles
+        + plan.userless_roles
+        + plan.permless_roles
+        + plan.single_user_roles
+        + plan.single_permission_roles;
+    let healthy_roles_per_department = roles.saturating_sub(planted).div_euclid(departments).max(2);
+    // Degree range (2, dmax) whose midpoint hits the density target.
+    let mean_degree = (density * users as f64).round() as usize;
+    let dmax = (2 * mean_degree)
+        .saturating_sub(2)
+        .clamp(3, users_per_department - 2);
+    OrgConfig {
+        departments,
+        users_per_department,
+        healthy_roles_per_department,
+        permissions_per_department: 120,
+        role_user_degree: (2, dmax),
+        role_perm_degree: (2, 10),
+        plan,
+        seed,
+    }
+}
+
 /// A laptop-sized smoke-test profile: a few thousand nodes with every
 /// inefficiency type present. Generates in milliseconds; used by examples
 /// and integration tests.
@@ -165,5 +226,28 @@ mod tests {
     #[should_panic(expected = "scale must be in (0, 1]")]
     fn scale_validated() {
         ing_like(0.0, 0);
+    }
+
+    #[test]
+    fn custom_shape_hits_its_targets() {
+        let cfg = custom_shape(1_000, 400, 0.02, 7);
+        let org = crate::org_gen::generate_org(cfg);
+        let g = &org.graph;
+        g.validate().unwrap();
+        assert!(g.n_users() > 800 && g.n_users() < 1_100, "{}", g.n_users());
+        assert!(g.n_roles() > 300 && g.n_roles() < 500, "{}", g.n_roles());
+        // Mean attached-role user degree ≈ density × users = 20.
+        let degrees: Vec<usize> = (0..g.n_roles())
+            .map(|r| g.users_of(rolediet_model::RoleId::from_index(r)).count())
+            .filter(|&d| d >= 2)
+            .collect();
+        let mean = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
+        assert!(mean > 10.0 && mean < 40.0, "mean degree {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "density must be in (0, 1]")]
+    fn custom_shape_density_validated() {
+        custom_shape(1_000, 400, 0.0, 7);
     }
 }

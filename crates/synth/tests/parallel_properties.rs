@@ -1,0 +1,160 @@
+//! Property tests for the parallel generators.
+//!
+//! The seeded-determinism contract: `generate_matrix_with(cfg, t)` and
+//! `generate_org_with(cfg, t)` are byte-identical for every thread count
+//! `t`, because all randomness flows through per-entity streams fixed by
+//! construction order. The parallel output must also honor the same
+//! planted-ground-truth guarantees as the sequential generators.
+
+use proptest::prelude::*;
+
+use rolediet_model::{PermissionId, RoleId, UserId};
+use rolediet_synth::org_gen::InefficiencyPlan;
+use rolediet_synth::{generate_matrix_with, generate_org_with, MatrixGenConfig, OrgConfig};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn matrix_generator_is_thread_count_invariant(
+        roles in 1usize..160,
+        users in 1usize..100,
+        cluster_pct in 0u32..=100,
+        perturbed in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let cfg = MatrixGenConfig {
+            roles,
+            users,
+            cluster_fraction: f64::from(cluster_pct) / 100.0,
+            max_cluster_size: 6,
+            density: 0.1,
+            perturbed_per_cluster: perturbed.min(5),
+            seed,
+        };
+        let base = generate_matrix_with(cfg, 1);
+        for t in THREADS {
+            let gen = generate_matrix_with(cfg, t);
+            prop_assert_eq!(&gen.dense, &base.dense, "threads={}", t);
+            prop_assert_eq!(&gen.truth, &base.truth, "threads={}", t);
+        }
+        // Same guarantees as the sequential generator.
+        for group in &base.truth.planted_groups {
+            let first = group[0];
+            for &m in &group[1..] {
+                prop_assert!(rolediet_matrix::RowMatrix::rows_equal(&base.dense, first, m));
+            }
+        }
+        for &(a, b) in &base.truth.planted_similar_pairs {
+            prop_assert_eq!(rolediet_matrix::RowMatrix::row_hamming(&base.dense, a, b), 1);
+        }
+    }
+
+    #[test]
+    fn org_generator_is_thread_count_invariant(
+        departments in 1usize..5,
+        healthy in 4usize..12,
+        seed in 0u64..1000,
+    ) {
+        let cfg = OrgConfig {
+            departments,
+            users_per_department: 40,
+            healthy_roles_per_department: healthy,
+            permissions_per_department: 30,
+            role_user_degree: (2, 6),
+            role_perm_degree: (2, 5),
+            plan: InefficiencyPlan {
+                standalone_users: 2,
+                standalone_permissions: 1,
+                standalone_roles: 1,
+                userless_roles: 2,
+                permless_roles: 1,
+                single_user_roles: 2,
+                single_permission_roles: 2,
+                same_user_role_pairs: 1,
+                same_permission_role_pairs: 1,
+                similar_user_role_pairs: 1,
+                similar_permission_role_pairs: 1,
+            },
+            seed,
+        };
+        let base = generate_org_with(cfg, 1);
+        base.graph.validate().expect("parallel output must be a consistent graph");
+        for t in THREADS {
+            let gen = generate_org_with(cfg, t);
+            prop_assert_eq!(&gen.graph, &base.graph, "threads={}", t);
+            prop_assert_eq!(&gen.truth, &base.truth, "threads={}", t);
+        }
+    }
+}
+
+/// The parallel org generator plants every inefficiency type at exact
+/// counts, just like the sequential one (checked post-hoc from degrees).
+#[test]
+fn parallel_org_planted_counts_are_exact() {
+    let plan = InefficiencyPlan {
+        standalone_users: 5,
+        standalone_permissions: 11,
+        standalone_roles: 2,
+        userless_roles: 7,
+        permless_roles: 3,
+        single_user_roles: 6,
+        single_permission_roles: 8,
+        same_user_role_pairs: 4,
+        same_permission_role_pairs: 3,
+        similar_user_role_pairs: 5,
+        similar_permission_role_pairs: 2,
+    };
+    let org = generate_org_with(
+        OrgConfig {
+            plan,
+            seed: 21,
+            ..OrgConfig::default()
+        },
+        4,
+    );
+    let g = &org.graph;
+    g.validate().unwrap();
+
+    let zero_users: Vec<UserId> = (0..g.n_users())
+        .map(UserId::from_index)
+        .filter(|&u| g.roles_of_user(u).next().is_none())
+        .collect();
+    assert_eq!(zero_users, org.truth.standalone_users);
+    let zero_perms: Vec<PermissionId> = (0..g.n_permissions())
+        .map(PermissionId::from_index)
+        .filter(|&p| g.roles_of_permission(p).next().is_none())
+        .collect();
+    assert_eq!(zero_perms, org.truth.standalone_permissions);
+
+    let mut userless = Vec::new();
+    let mut permless = Vec::new();
+    let mut standalone = Vec::new();
+    for r in (0..g.n_roles()).map(RoleId::from_index) {
+        match (g.user_degree(r), g.permission_degree(r)) {
+            (0, 0) => standalone.push(r),
+            (0, _) => userless.push(r),
+            (_, 0) => permless.push(r),
+            _ => {}
+        }
+    }
+    assert_eq!(standalone, org.truth.standalone_roles);
+    assert_eq!(userless, org.truth.userless_roles);
+    assert_eq!(permless, org.truth.permless_roles);
+
+    for &(a, b) in &org.truth.same_user_pairs {
+        assert_eq!(
+            g.users_of(a).collect::<Vec<_>>(),
+            g.users_of(b).collect::<Vec<_>>()
+        );
+    }
+    let ruam = g.ruam_sparse();
+    for &(a, b) in &org.truth.similar_user_pairs {
+        assert_eq!(
+            rolediet_matrix::RowMatrix::row_hamming(&ruam, a.index(), b.index()),
+            1
+        );
+    }
+}

@@ -5,29 +5,33 @@
 # substrate stage plus the sequential baselines, including the DBSCAN
 # grouping kernel vs. BFS expansion and the eps-edge dedup ablation),
 # the abl-distkern microbenchmarks (packed bounded-distance engine vs
-# the scalar scan, plus the norm-band pruning ablation) and then the
-# full-scale JSON bench: two-pass matrix build, bucketed disjoint
-# supplement, DBSCAN connected-components grouping, MinHash, the
-# distance-precompute engine-vs-scalar comparison and the incremental
-# churn-apply vs. full-rerun comparison at the real-org scale of
-# results_realorg.txt (generate_ing_like), plus fig2/fig3 mini-sweeps.
-# The JSON bench writes machine-readable records
-# {stage, size, threads, ns, found} to BENCH_OUT — the same schema as
-# BENCH_pr2.json…BENCH_pr5.json, so the perf trajectory stays
+# the scalar scan, the norm-band pruning ablation, and the PR 7
+# 8-word-lane vs 4-word-unroll kernel rows next to a streaming
+# memory-bandwidth roofline) and then the full-scale JSON bench:
+# two-pass matrix build, bucketed disjoint supplement, DBSCAN
+# connected-components grouping, MinHash, the distance-precompute
+# engine-vs-scalar comparison, the memory-budgeted sharded engine, the
+# parallel-vs-sequential org generator, the incremental churn-apply vs.
+# full-rerun comparison at the real-org scale of results_realorg.txt
+# (generate_ing_like), fig2/fig3 mini-sweeps, and the million-user
+# end-to-end stage (generation + flat/sharded distance plane). The JSON
+# bench writes machine-readable records {stage, size, threads, ns,
+# found} to BENCH_OUT — the same schema as
+# BENCH_pr2.json…BENCH_pr6.json, so the perf trajectory stays
 # machine-readable.
 #
 # Env knobs:
 #   BENCH_SCALE  org scale factor for the JSON bench (default 1.0)
 #   BENCH_SEED   generator seed (default 7)
 #   BENCH_ITERS  timing iterations, min-of-N (default 3)
-#   BENCH_OUT    output path (default BENCH_pr6.json at the repo root)
+#   BENCH_OUT    output path (default BENCH_pr7.json at the repo root)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SCALE="${BENCH_SCALE:-1.0}"
 BENCH_SEED="${BENCH_SEED:-7}"
 BENCH_ITERS="${BENCH_ITERS:-3}"
-BENCH_OUT="${BENCH_OUT:-$PWD/BENCH_pr6.json}"
+BENCH_OUT="${BENCH_OUT:-$PWD/BENCH_pr7.json}"
 
 echo "==> cargo build --workspace --benches --release"
 cargo build --workspace --benches --release

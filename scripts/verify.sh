@@ -38,15 +38,33 @@ cargo test --release -q -p rolediet-core --test properties \
 cargo test --release -q -p rolediet-core --test properties \
     incremental_pipeline_replay_is_deterministic
 
+# The PR 7 scale pins: the sharded engine must be byte-identical to the
+# flat engine under tiny budgets that force multi-shard plans, and the
+# stream-keyed parallel generators must be thread-count invariant.
+echo "==> proptests: sharded distance plane + parallel generators"
+cargo test --release -q -p rolediet-matrix --test properties \
+    sharded_engine_matches_flat_engine_under_tiny_budgets
+cargo test --release -q -p rolediet-synth --test parallel_properties
+
 echo "==> cargo build --workspace --benches"
 cargo build --workspace --benches
 
 # Bench smoke: a short-iteration bench_json run exercises the packed
-# engine's full-pipeline path (scalar-vs-engine equality asserts run
-# inside) without the cost of a real measurement.
-echo "==> bench_json smoke (--scale 0.02 --iters 1)"
+# engine's full-pipeline path (scalar-vs-engine and sharded-vs-oracle
+# equality asserts run inside) without the cost of a real measurement
+# (--skip-million drops the fixed-size 1M-user stage).
+echo "==> bench_json smoke (--scale 0.02 --iters 1 --skip-million)"
 cargo run --release -q -p rolediet-bench --bin bench_json -- \
-    --scale 0.02 --iters 1 --out "$(mktemp -t bench_smoke.XXXXXX.json)" >/dev/null
+    --scale 0.02 --iters 1 --skip-million \
+    --out "$(mktemp -t bench_smoke.XXXXXX.json)" >/dev/null
+
+# Multi-shard smoke: a pipeline run under a 1-byte memory budget forces
+# the distance plane through a maximally sharded plan; the run must
+# report shards > 1 and byte-equal findings vs. the unbudgeted run
+# (asserted inside the test).
+echo "==> tiny-budget multi-shard smoke"
+cargo test --release -q -p rolediet-core \
+    memory_budget_shards_the_distance_plane_without_changing_results
 
 # Churn smoke: replay simulated churn through the incremental pipeline;
 # the subcommand asserts bit-identity against the batch rerun after
