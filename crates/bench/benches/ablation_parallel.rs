@@ -18,7 +18,10 @@
 //!   connected components over cached neighbour lists), with the
 //!   sequential BFS expansion (`Dbscan::fit_cached`) as baseline, plus
 //!   the hoisted eps-edge dedup (union only `q > p`) against the
-//!   both-directions union loop it replaced.
+//!   both-directions union loop it replaced;
+//! * the batched two-phase HNSW build (`Hnsw::build_batched` over the
+//!   packed adapter), with the sequential insert loop (`Hnsw::build`)
+//!   as baseline.
 //!
 //! A final full-pipeline pass records the per-stage thread counts that
 //! `Report::timings` now carries, so a bench run documents which stages
@@ -28,7 +31,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use rolediet_bench::sweep_matrix;
 use rolediet_cluster::dbscan::{Dbscan, DbscanParams};
-use rolediet_cluster::metric::{BinaryMetric, BinaryRows};
+use rolediet_cluster::hnsw::{Hnsw, HnswParams};
+use rolediet_cluster::metric::{BinaryMetric, BinaryRows, PackedPointSet};
 use rolediet_cluster::minhash::{MinHashLsh, MinHashLshParams};
 use rolediet_cluster::neighbors::all_range_queries_with;
 use rolediet_cluster::UnionFind;
@@ -161,6 +165,25 @@ fn parallel_scaling(c: &mut Criterion) {
     }
     group.bench_function("dbscan_expand_baseline", |b| {
         b.iter(|| dbscan.fit_cached(&neighborhoods));
+    });
+
+    // HNSW construction (PR 8): the two-phase batched build across
+    // thread counts vs. the sequential insert loop it parallelizes —
+    // both over the packed adapter, both producing the bit-identical
+    // graph (asserted by the cluster tests, so only time differs here).
+    let hnsw_points = PackedPointSet::from_matrix(&matrix, 8);
+    let hnsw_params = HnswParams::default();
+    for threads in THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("hnsw_build", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| Hnsw::build_batched(&hnsw_points, hnsw_params, 64, threads));
+            },
+        );
+    }
+    group.bench_function("hnsw_build_seq_baseline", |b| {
+        b.iter(|| Hnsw::build(&hnsw_points, hnsw_params));
     });
 
     // Hoisted eps-edge dedup ablation: the kernel's union loop processes

@@ -40,12 +40,14 @@ fn t4_strategies(c: &mut Criterion) {
         });
     }
     // DBSCAN with a VP-tree index instead of brute-force region queries:
-    // the exact baseline with a real metric index (still exact).
+    // the exact baseline with a real metric index (still exact). Distance
+    // evaluations go through the packed adapter (PR 8) rather than the
+    // scalar sparse-row metric.
     {
         use rolediet_cluster::dbscan::{Dbscan, DbscanParams};
-        use rolediet_cluster::metric::{BinaryMetric, BinaryRows};
+        use rolediet_cluster::metric::PackedPointSet;
         use rolediet_cluster::vptree::VpTree;
-        let points = BinaryRows::new(&matrix, BinaryMetric::Hamming);
+        let points = PackedPointSet::from_matrix(&matrix, 1);
         group.bench_function("exact-dbscan-vptree", |b| {
             b.iter(|| {
                 let tree = VpTree::build(&points, 0);

@@ -1,4 +1,4 @@
-//! Machine-readable benchmark of the PR 2/PR 3/PR 5/PR 6/PR 7 kernels.
+//! Machine-readable benchmark of the PR 2–PR 8 kernels.
 //!
 //! Times the parallelized stages — two-pass CSR matrix build,
 //! norm-bucketed disjoint supplement, MinHash sketching + LSH banding
@@ -12,16 +12,21 @@
 //! memory-budgeted sharded distance engine against the resident flat
 //! engine and the scalar oracle, and a million-user end-to-end run
 //! (generation + sharded distance plane, bit-identity asserted against
-//! the unbudgeted engine). Results are written as a JSON array of
-//! `{stage, size, threads, ns, found}` records (`scripts/bench.sh`
-//! invokes this and commits the output as `BENCH_pr7.json`; the schema
-//! is unchanged from `BENCH_pr2.json`…`BENCH_pr6.json` so the perf
-//! trajectory stays machine-readable).
+//! the unbudgeted engine). PR 8 adds the approximate path: the batched
+//! two-phase HNSW build against the sequential-insert oracle (asserted
+//! bit-identical per thread count before timing), the batch k-NN probe,
+//! and its recall against the exact neighbourhoods — at both the
+//! real-org scale and inside the million-user stage. Results are
+//! written as a JSON array of `{stage, size, threads, ns, found}`
+//! records (`scripts/bench.sh` invokes this and commits the output as
+//! `BENCH_pr8.json`; the schema is unchanged from
+//! `BENCH_pr2.json`…`BENCH_pr7.json` so the perf trajectory stays
+//! machine-readable; recall rows store basis points in `found`).
 //!
 //! ```text
 //! bench_json [--scale 1.0] [--seed 7] [--iters 3]
 //!            [--users N --roles N --density D] [--skip-million]
-//!            [--out BENCH_pr7.json]
+//!            [--out BENCH_pr8.json]
 //! ```
 //!
 //! By default the matrix-build, supplement, DBSCAN-grouping and
@@ -44,11 +49,14 @@ use std::time::Instant;
 
 use rolediet_bench::sweep_matrix;
 use rolediet_cluster::dbscan::{Dbscan, DbscanParams};
-use rolediet_cluster::metric::{BinaryMetric, BinaryRows};
+use rolediet_cluster::hnsw::{Hnsw, HnswParams};
+use rolediet_cluster::metric::{BinaryMetric, BinaryRows, PackedPointSet};
 use rolediet_cluster::minhash::{MinHashLsh, MinHashLshParams};
 use rolediet_cluster::neighbors::{
     all_range_queries_packed, all_range_queries_sharded, all_range_queries_with,
 };
+use rolediet_cluster::recall::recall_at_k;
+use rolediet_core::config::DEFAULT_HNSW_BATCH;
 use rolediet_core::cooccur::{disjoint_supplement, disjoint_supplement_naive};
 use rolediet_core::{DetectionConfig, Parallelism, Pipeline, SimilarityConfig, Strategy};
 use rolediet_matrix::packed::{xor_popcount_within, xor_popcount_within_unrolled4};
@@ -97,7 +105,7 @@ impl Opts {
             roles: None,
             density: None,
             million: true,
-            out: "BENCH_pr7.json".to_owned(),
+            out: "BENCH_pr8.json".to_owned(),
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -428,6 +436,102 @@ fn main() {
             });
         }
     }
+    // --- Stage 9 (PR 8): batched HNSW construction + approximate path. ---
+    // The same real-org RUAM, indexed through the packed adapter. The
+    // scalar row is the PR 7 status quo (sequential insert over
+    // `BinaryRows`' `row_hamming`) — the baseline the packed and
+    // batched rows are read against. The packed sequential insert loop
+    // is the oracle (the pipeline's `hnsw_batch = 0` ablation
+    // baseline); the scalar build and every batched build are asserted
+    // bit-identical to it — links, levels, entry point — before their
+    // times are recorded. The query row times the batch k-NN probe over
+    // every row; the recall row scores the probe's within-eps hits
+    // against the exact scalar neighbourhoods of the PR 5 stage via
+    // capped recall@16 (stored in `found` as basis points).
+    let hnsw_params = HnswParams::default();
+    let hnsw_points = PackedPointSet::from_matrix(&ruam, 8);
+    let (hseq_ns, oracle) = time_best(opts.iters, || Hnsw::build(&hnsw_points, hnsw_params));
+    {
+        let scalar_points = BinaryRows::new(&ruam, BinaryMetric::Hamming);
+        let (ns, scalar_index) = time_best(1, || Hnsw::build(&scalar_points, hnsw_params));
+        assert_eq!(
+            scalar_index, oracle,
+            "scalar-baseline HNSW build diverged from the packed-adapter build"
+        );
+        println!("hnsw_build_scalar_seq: {ns} ns");
+        records.push(Record {
+            stage: "hnsw_build_scalar_seq".into(),
+            size: size.clone(),
+            threads: 1,
+            ns,
+            found: scalar_index.len(),
+        });
+    }
+    println!("hnsw_build_seq (sequential): {hseq_ns} ns");
+    records.push(Record {
+        stage: "hnsw_build_seq".into(),
+        size: size.clone(),
+        threads: 1,
+        ns: hseq_ns,
+        found: oracle.len(),
+    });
+    for threads in THREAD_COUNTS {
+        let (ns, index) = time_best(opts.iters, || {
+            Hnsw::build_batched(&hnsw_points, hnsw_params, DEFAULT_HNSW_BATCH, threads)
+        });
+        assert_eq!(
+            index, oracle,
+            "batched HNSW build diverged from the sequential oracle at {threads} threads"
+        );
+        println!("hnsw_build_batched threads={threads}: {ns} ns");
+        records.push(Record {
+            stage: "hnsw_build_batched".into(),
+            size: size.clone(),
+            threads,
+            ns,
+            found: index.len(),
+        });
+    }
+    let (hq_ns, hits) = time_best(opts.iters, || {
+        oracle.knn_batch(&hnsw_points, 16, hnsw_params.ef_search, 8)
+    });
+    println!("hnsw_query threads=8: {hq_ns} ns");
+    records.push(Record {
+        stage: "hnsw_query".into(),
+        size: size.clone(),
+        threads: 8,
+        ns: hq_ns,
+        found: hits.iter().map(Vec::len).sum(),
+    });
+    // Capped recall@16: a 16-NN probe cannot recover a within-eps
+    // neighbourhood larger than 16 (duplicate clusters here hold
+    // thousands of members), so each query's truth is capped at the
+    // probe width — `cluster::recall::recall_at_k`.
+    let recall_bp = |truth: &[Vec<usize>], hits: &[Vec<(usize, f64)>], eps: f64| -> usize {
+        let found: Vec<Vec<usize>> = hits
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .filter(|&&(_, d)| d <= eps)
+                    .map(|&(j, _)| j)
+                    .collect()
+            })
+            .collect();
+        (recall_at_k(truth, &found, 16) * 10_000.0).round() as usize
+    };
+    let bp = recall_bp(&scalar_ref, &hits, eps);
+    println!("hnsw_recall_bp threads=8: {bp} bp vs exact eps={eps}");
+    records.push(Record {
+        stage: "hnsw_recall_bp".into(),
+        size: size.clone(),
+        threads: 8,
+        ns: hq_ns,
+        found: bp,
+    });
+    drop(hits);
+    drop(oracle);
+    drop(hnsw_points);
+
     drop(scalar_ref);
     drop(ruam);
 
@@ -672,10 +776,49 @@ fn main() {
         println!("million_distance_sharded shards={n_shards} threads=8: {shard_ns} ns");
         records.push(Record {
             stage: "million_distance_sharded".into(),
-            size: msize,
+            size: msize.clone(),
             threads: 8,
             ns: shard_ns,
             found: n_shards,
+        });
+        drop(sharded);
+
+        // --- Stage 8b (PR 8): the approximate path at 1M-user scale. ---
+        // Batched HNSW build over the million-user RUAM, the batch k-NN
+        // probe, and the probe's recall against the exact sharded/flat
+        // plane above (the two were just asserted identical, so `flat`
+        // is the ground truth). One pass each; recall in basis points.
+        let mpoints = PackedPointSet::from_matrix(&mruam, 8);
+        let (mb_ns, mindex) = time_best(1, || {
+            Hnsw::build_batched(&mpoints, hnsw_params, DEFAULT_HNSW_BATCH, 8)
+        });
+        println!("million_hnsw_build threads=8: {mb_ns} ns");
+        records.push(Record {
+            stage: "million_hnsw_build".into(),
+            size: msize.clone(),
+            threads: 8,
+            ns: mb_ns,
+            found: mindex.len(),
+        });
+        let (mq_ns, mhits) = time_best(1, || {
+            mindex.knn_batch(&mpoints, 16, hnsw_params.ef_search, 8)
+        });
+        println!("million_hnsw_query threads=8: {mq_ns} ns");
+        records.push(Record {
+            stage: "million_hnsw_query".into(),
+            size: msize.clone(),
+            threads: 8,
+            ns: mq_ns,
+            found: mhits.iter().map(Vec::len).sum(),
+        });
+        let mbp = recall_bp(&flat, &mhits, eps);
+        println!("million_hnsw_recall_bp threads=8: {mbp} bp vs exact eps={eps}");
+        records.push(Record {
+            stage: "million_hnsw_recall_bp".into(),
+            size: msize,
+            threads: 8,
+            ns: mq_ns,
+            found: mbp,
         });
     }
 

@@ -3,7 +3,8 @@
 //! ```text
 //! repro fig2 [--runs 5] [--roles 1000] [--min 1000 --max 10000 --step 1000] [--budget-secs 600] [--similar]
 //! repro fig3 [--runs 5] [--users 1000] [--min 1000 --max 10000 --step 1000] [--budget-secs 600] [--similar]
-//! repro realorg [--scale 1.0 | --users N --roles N --density D] [--seed 7] [--baselines] [--validate] [--budget-secs 600]
+//! repro realorg [--scale 1.0 | --users N --roles N --density D] [--seed 7] [--strategy custom]
+//!               [--hnsw-batch N] [--baselines] [--validate] [--budget-secs 600]
 //! repro recall [--roles 2000] [--users 1000]
 //! repro churn [--steps 500] [--batch 100] [--incremental] [--scale 0.05] [--seed 7]
 //! repro cooccur-example
@@ -71,6 +72,8 @@ fn print_help() {
          \x20             --budget-secs N --similar --scale F --seed N --baselines\n\
          \x20             --threads N (worker threads for the parallel stages; default 1)\n\
          \x20             --validate (realorg: run the report validators on the result)\n\
+         \x20             --strategy custom|dbscan|hnsw|minhash (realorg pipeline strategy)\n\
+         \x20             --hnsw-batch N (realorg: HNSW build generation size; 0 = sequential)\n\
          \x20             --steps N --batch N (churn: total events and events per batch)\n\
          \x20             --incremental (churn: maintain findings online and verify\n\
          \x20                            bit-identity against the batch rerun per batch)"
@@ -96,6 +99,8 @@ struct Opts {
     steps: usize,
     batch: usize,
     incremental: bool,
+    strategy: Strategy,
+    hnsw_batch: Option<usize>,
 }
 
 impl Opts {
@@ -157,6 +162,8 @@ impl Opts {
             steps: 500,
             batch: 100,
             incremental: false,
+            strategy: Strategy::Custom,
+            hnsw_batch: None,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -185,6 +192,18 @@ impl Opts {
                 "--steps" => o.steps = val("--steps").parse().expect("--steps"),
                 "--batch" => o.batch = val("--batch").parse().expect("--batch"),
                 "--incremental" => o.incremental = true,
+                "--strategy" => {
+                    o.strategy = match val("--strategy").as_str() {
+                        "custom" => Strategy::Custom,
+                        "dbscan" => Strategy::ExactDbscan,
+                        "hnsw" => Strategy::hnsw_default(),
+                        "minhash" => Strategy::minhash_default(),
+                        other => panic!("unknown strategy {other:?}"),
+                    }
+                }
+                "--hnsw-batch" => {
+                    o.hnsw_batch = Some(val("--hnsw-batch").parse().expect("--hnsw-batch"))
+                }
                 other => panic!("unknown flag {other:?}"),
             }
         }
@@ -296,10 +315,13 @@ fn realorg(opts: &Opts) {
         stats.permission_grants
     );
 
-    let cfg = DetectionConfig {
+    let mut cfg = DetectionConfig {
         parallelism: opts.parallelism(),
-        ..DetectionConfig::default()
+        ..DetectionConfig::with_strategy(opts.strategy)
     };
+    if let Some(b) = opts.hnsw_batch {
+        cfg.hnsw_batch = b;
+    }
     let t0 = Instant::now();
     let report = Pipeline::new(cfg).run(&org.graph);
     let detect_time = t0.elapsed();
@@ -314,9 +336,9 @@ fn realorg(opts: &Opts) {
         }
     }
     println!("\n{}", report.summary_table());
-    println!("custom pipeline total: {detect_time:.2?}");
+    println!("{} pipeline total: {detect_time:.2?}", opts.strategy.name());
     println!(
-        "  matrix={:.2?} degrees={:.2?} same(u)={:.2?} same(p)={:.2?} similar(u)={:.2?} similar(p)={:.2?} distkern={:.2?}",
+        "  matrix={:.2?} degrees={:.2?} same(u)={:.2?} same(p)={:.2?} similar(u)={:.2?} similar(p)={:.2?} distkern={:.2?} hnswbuild={:.2?}",
         report.timings.matrix_build,
         report.timings.degree_detectors,
         report.timings.same_users,
@@ -324,11 +346,12 @@ fn realorg(opts: &Opts) {
         report.timings.similar_users,
         report.timings.similar_permissions,
         report.timings.distance_precompute,
+        report.timings.hnsw_build,
     );
     let t = report.timings.threads;
     println!(
         "  stage threads: matrix={} degrees={} same(u)={} same(p)={} transpose={} \
-         similar(u)={} similar(p)={} disjoint={} minhash={} distkern={}",
+         similar(u)={} similar(p)={} disjoint={} minhash={} distkern={} hnswbuild={}",
         t.matrix_build,
         t.degree_detectors,
         t.same_users,
@@ -339,6 +362,7 @@ fn realorg(opts: &Opts) {
         t.disjoint_supplement,
         t.minhash,
         t.distance_precompute,
+        t.hnsw_build,
     );
 
     // Planted-vs-detected cross-check (the advantage of a synthetic org).

@@ -3,7 +3,7 @@
 //! ```text
 //! rolediet detect      --users a.csv --perms g.csv [--strategy custom] [--threshold 1]
 //!                      [--no-similar] [--threads N] [--memory-budget BYTES]
-//!                      [--json report.json] [--names N]
+//!                      [--hnsw-batch N] [--json report.json] [--names N]
 //! rolediet stats       --users a.csv --perms g.csv
 //! rolediet consolidate --users a.csv --perms g.csv [--apply PREFIX] [--keep-standalone]
 //! rolediet generate    [--profile small|ing] [--scale F] [--seed N] --out PREFIX
@@ -133,6 +133,9 @@ fn build_config(args: &[String]) -> Result<DetectionConfig, Box<dyn std::error::
     }
     if let Some(b) = flag_value(args, "--memory-budget") {
         cfg.memory_budget_bytes = b.parse()?;
+    }
+    if let Some(b) = flag_value(args, "--hnsw-batch") {
+        cfg.hnsw_batch = b.parse()?;
     }
     Ok(cfg)
 }

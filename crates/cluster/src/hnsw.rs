@@ -11,8 +11,25 @@
 //! because the detector runs periodically and converges over runs; the
 //! [`recall`](crate::recall) module measures exactly this trade-off.
 //!
-//! Determinism: level draws come from a seeded RNG ([`HnswParams::seed`]),
-//! so builds and searches are reproducible.
+//! # Construction
+//!
+//! [`Hnsw::build`] is the textbook sequential insert: each node searches
+//! the graph built so far and commits its links before the next node
+//! starts. [`Hnsw::build_batched`] processes nodes in *generations*
+//! instead: a generation of pending nodes runs its greedy-descent + beam
+//! searches concurrently against the frozen graph of all previously
+//! committed generations (phase 1, read-only), then a sequential commit
+//! phase applies the recorded candidate lists in node-id order (phase 2).
+//! A commit re-runs the search only when an earlier commit *within the
+//! same generation* touched a link list the recorded search read (or
+//! moved the entry point) — the bounded patch-up pass — so the final
+//! graph is a pure function of `(points, params)`: bit-identical to the
+//! sequential insert at every thread count and generation size (see
+//! DESIGN.md §5 for the argument).
+//!
+//! Determinism: level draws come from a per-node splitmix64 stream keyed
+//! on `(params.seed, node)`, so a node's level is independent of how
+//! insertions are batched.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -63,7 +80,7 @@ pub struct HnswParams {
     /// that loses duplicate-role groups sitting far from the bulk of the
     /// data. Costs a little extra insert time.
     pub select_heuristic: bool,
-    /// Seed for the level-assignment RNG.
+    /// Seed for the per-node level-assignment streams.
     pub seed: u64,
 }
 
@@ -79,11 +96,137 @@ impl Default for HnswParams {
     }
 }
 
+/// Epoch-stamped visited marks for [`Hnsw::search_layer_in`], reused
+/// across searches. Replaces a fresh `vec![false; n]` per beam search —
+/// an O(n) allocation + memset that dominated build time on large
+/// indexes (O(n²) bytes touched over a whole build).
+#[derive(Debug, Clone, Default)]
+struct SearchScratch {
+    visited: Vec<u32>,
+    epoch: u32,
+}
+
+impl SearchScratch {
+    /// Starts a new search: all marks become stale at once.
+    fn begin(&mut self, n: usize) {
+        if self.visited.len() < n {
+            self.visited.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped: clear stale marks once every 2^32 searches.
+            self.visited.iter_mut().for_each(|v| *v = 0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Marks `i` visited; returns `true` on the first visit this search.
+    fn visit(&mut self, i: usize) -> bool {
+        if self.visited[i] == self.epoch {
+            false
+        } else {
+            self.visited[i] = self.epoch;
+            true
+        }
+    }
+}
+
+/// Epoch-stamped per-layer dirty marks for the batched build's commit
+/// phase: `(node, layer)` is dirty ⇔ the *bytes* of `links[node][layer]`
+/// changed during the current generation's commits. Marking is exact —
+/// a backlink push whose post-shrink list comes out byte-identical (the
+/// routine case once a duplicate-cluster hub saturates and the diversity
+/// heuristic rejects newcomers) marks nothing, and a layer-0 write never
+/// invalidates an upper-layer read. Layers ≥ 32 share bit 31
+/// (conservative; levels that high do not occur in practice).
+#[derive(Debug, Clone)]
+struct DirtyMarks {
+    /// Last generation that touched node `i` (lazy mask reset).
+    stamps: Vec<u32>,
+    /// Layer bits of node `i`, valid only while `stamps[i] == generation`.
+    masks: Vec<u32>,
+    generation: u32,
+}
+
+/// Encodes a `(node, layer)` link-list read for [`InsertPlan::reads`].
+fn encode_read(node: usize, layer: usize) -> u64 {
+    ((node as u64) << 5) | layer.min(31) as u64
+}
+
+impl DirtyMarks {
+    /// Marks nothing and reports nothing dirty (the sequential build,
+    /// where no speculative plan ever consults the marks).
+    fn disabled() -> Self {
+        DirtyMarks {
+            stamps: Vec::new(),
+            masks: Vec::new(),
+            generation: 0,
+        }
+    }
+
+    fn sized(n: usize) -> Self {
+        DirtyMarks {
+            stamps: vec![0; n],
+            masks: vec![0; n],
+            generation: 0,
+        }
+    }
+
+    /// Whether marks are consulted at all — lets the commit path skip
+    /// the exact byte-comparison bookkeeping in the sequential build.
+    fn tracking(&self) -> bool {
+        !self.stamps.is_empty()
+    }
+
+    /// Starts the next generation: all marks become clean at once.
+    fn next_generation(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            self.stamps.fill(0);
+            self.generation = 1;
+        }
+    }
+
+    fn mark(&mut self, i: usize, layer: usize) {
+        let Some(s) = self.stamps.get_mut(i) else {
+            return;
+        };
+        if *s != self.generation {
+            *s = self.generation;
+            self.masks[i] = 0;
+        }
+        self.masks[i] |= 1u32 << layer.min(31);
+    }
+
+    /// Checks one encoded `(node, layer)` read (see [`encode_read`]).
+    fn is_dirty_read(&self, read: u64) -> bool {
+        let i = (read >> 5) as usize;
+        self.stamps.get(i).is_some_and(|&s| s == self.generation)
+            && self.masks[i] & (1u32 << (read & 31)) != 0
+    }
+}
+
+/// Phase-1 product of the batched build: one pending node's candidate
+/// lists, computed speculatively against the frozen graph, plus the ids
+/// whose link lists the searches read (the conflict set the phase-2
+/// commit checks against [`DirtyMarks`]).
+#[derive(Debug, Clone)]
+struct InsertPlan {
+    node: usize,
+    level: usize,
+    /// Beam results per shared layer, in search order (top shared layer
+    /// first — the order the sequential insert processes them).
+    nearest_per_layer: Vec<Vec<(usize, f64)>>,
+    /// Every `(node, layer)` link list the greedy descent or a beam
+    /// search iterated ([`encode_read`]), sorted and deduplicated.
+    reads: Vec<u64>,
+}
+
 /// A built HNSW index over the points `0..n` of some [`PointSet`].
 ///
 /// The index stores only graph structure; distances are recomputed against
 /// the point set on demand, so the same index type serves dense rows,
-/// sparse rows and test point clouds.
+/// sparse rows, packed rows and test point clouds.
 ///
 /// # Examples
 ///
@@ -96,7 +239,7 @@ impl Default for HnswParams {
 /// let hits = index.knn_by_index(&pts, 50, 3, 64);
 /// assert_eq!(hits[0].0, 50); // the query itself at distance 0
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Hnsw {
     params: HnswParams,
     /// links[node][layer] → neighbour ids; a node exists on layers
@@ -108,24 +251,108 @@ pub struct Hnsw {
 }
 
 impl Hnsw {
-    /// Builds an index over all points of `points`, inserting in index
-    /// order.
+    /// Builds an index over all points of `points`, inserting one node at
+    /// a time in index order — the sequential oracle the batched build is
+    /// asserted against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.m < 2`.
     pub fn build<P: PointSet>(points: &P, params: HnswParams) -> Self {
         assert!(params.m >= 2, "m must be at least 2");
-        let mut index = Hnsw {
-            params,
-            links: Vec::with_capacity(points.len()),
-            levels: Vec::with_capacity(points.len()),
-            entry: None,
-            max_level: 0,
-        };
+        let mut index = Hnsw::empty(params, points.len());
         let ml = 1.0 / (params.m as f64).ln();
-        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut scratch = SearchScratch::default();
+        let mut dirty = DirtyMarks::disabled();
         for node in 0..points.len() {
-            let level = Self::draw_level(&mut rng, ml);
-            index.insert(points, node, level);
+            let level = Self::level_for(params.seed, node, ml);
+            index.insert(points, node, level, &mut scratch, &mut dirty);
         }
         index
+    }
+
+    /// Builds the same index as [`Hnsw::build`] — bit-identical `links`,
+    /// `levels` and `entry` — through the two-phase batched algorithm:
+    /// generations of `batch` pending nodes search the frozen graph
+    /// concurrently on `threads` workers, then commit sequentially in
+    /// node-id order, re-running a search only where an earlier commit of
+    /// the same generation invalidated it.
+    ///
+    /// `batch == 0` falls back to the sequential insert (the ablation
+    /// baseline). The output is independent of both `batch` and
+    /// `threads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.m < 2`.
+    pub fn build_batched<P: PointSet + Sync>(
+        points: &P,
+        params: HnswParams,
+        batch: usize,
+        threads: usize,
+    ) -> Self {
+        if batch == 0 {
+            return Self::build(points, params);
+        }
+        assert!(params.m >= 2, "m must be at least 2");
+        let n = points.len();
+        let mut index = Hnsw::empty(params, n);
+        let ml = 1.0 / (params.m as f64).ln();
+        let mut scratch = SearchScratch::default();
+        let mut dirty = DirtyMarks::sized(n);
+        let mut start = 0usize;
+        while start < n {
+            dirty.next_generation();
+            let len = batch.min(n - start);
+            // Phase 1 — speculative search: every pending node of the
+            // generation runs its greedy descent + beam searches against
+            // the frozen graph, concurrently and read-only (results join
+            // in range order, so the plan list is thread-count
+            // independent).
+            let plans: Vec<InsertPlan> =
+                rolediet_matrix::parallel::par_map_rows(len, threads, |range| {
+                    let mut scratch = SearchScratch::default();
+                    range
+                        .map(|k| {
+                            let node = start + k;
+                            let level = Self::level_for(params.seed, node, ml);
+                            index.plan_insert(points, node, level, &mut scratch)
+                        })
+                        .collect()
+                });
+            // Phase 2 — sequential commit in node-id order. A plan is
+            // applied verbatim only when the sequential insert would
+            // provably have recomputed it: the entry point is where the
+            // speculation left it and no link list the speculation read
+            // was touched by an earlier commit of this generation.
+            let frozen_entry = index.entry;
+            let frozen_max = index.max_level;
+            for plan in &plans {
+                let clean = index.entry == frozen_entry
+                    && index.max_level == frozen_max
+                    && plan.reads.iter().all(|&r| !dirty.is_dirty_read(r));
+                if clean {
+                    index.apply_plan(points, plan, &mut dirty);
+                } else {
+                    // Patch-up: re-run the genuine sequential insert for
+                    // this node (its searches now also see the nodes
+                    // committed earlier in this generation).
+                    index.insert(points, plan.node, plan.level, &mut scratch, &mut dirty);
+                }
+            }
+            start += len;
+        }
+        index
+    }
+
+    fn empty(params: HnswParams, capacity: usize) -> Self {
+        Hnsw {
+            params,
+            links: Vec::with_capacity(capacity),
+            levels: Vec::with_capacity(capacity),
+            entry: None,
+            max_level: 0,
+        }
     }
 
     /// The parameters the index was built with.
@@ -143,7 +370,36 @@ impl Hnsw {
         self.links.is_empty()
     }
 
-    fn draw_level(rng: &mut StdRng, ml: f64) -> usize {
+    /// Link lists: `links()[node][layer]` are the neighbour ids of
+    /// `node` on `layer` (exposed for oracle-identity tests and benches).
+    pub fn links(&self) -> &[Vec<Vec<u32>>] {
+        &self.links
+    }
+
+    /// Top layer of each node.
+    pub fn levels(&self) -> &[usize] {
+        &self.levels
+    }
+
+    /// The entry point of the top layer, if any node is indexed.
+    pub fn entry(&self) -> Option<usize> {
+        self.entry
+    }
+
+    /// The highest occupied layer.
+    pub fn max_level(&self) -> usize {
+        self.max_level
+    }
+
+    /// Level draw for `node`: an exponential draw from a per-node
+    /// splitmix64 stream keyed on `(seed, node)` (the same finalizer as
+    /// `synth::stream`), so levels are a pure function of the node id —
+    /// independent of insertion order and batching.
+    fn level_for(seed: u64, node: usize, ml: f64) -> usize {
+        let mut z = seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let mut rng = StdRng::seed_from_u64(z ^ (z >> 31));
         let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
         ((-u.ln()) * ml).floor() as usize
     }
@@ -156,7 +412,17 @@ impl Hnsw {
         }
     }
 
-    fn insert<P: PointSet>(&mut self, points: &P, node: usize, level: usize) {
+    /// The sequential insert: search the current graph layer by layer and
+    /// commit links as each layer's beam completes. Mutations are
+    /// recorded in `dirty` so the batched build can detect conflicts.
+    fn insert<P: PointSet>(
+        &mut self,
+        points: &P,
+        node: usize,
+        level: usize,
+        scratch: &mut SearchScratch,
+        dirty: &mut DirtyMarks,
+    ) {
         self.links.push(vec![Vec::new(); level + 1]);
         self.levels.push(level);
         let Some(entry) = self.entry else {
@@ -164,28 +430,27 @@ impl Hnsw {
             self.max_level = level;
             return;
         };
-        let dist = |a: usize| points.distance(node, a);
+        let dist = |j: usize| points.distance(node, j);
         let mut ep = entry;
         // Greedy descent through layers above the node's level.
         let top = self.max_level;
         for layer in ((level + 1)..=top).rev() {
-            ep = self.greedy_closest(&dist, ep, layer);
+            ep = self.greedy_closest(&dist, ep, layer, None);
         }
-        // Beam insert on the shared layers.
+        // Beam insert on the shared layers. A layer's pushes only touch
+        // that layer's link lists, so they never perturb the searches of
+        // the layers below — the isolation property the batched build's
+        // speculative phase relies on.
         for layer in (0..=level.min(top)).rev() {
-            let nearest = self.search_layer(&dist, &[ep], self.params.ef_construction, layer);
-            let m = self.params.m;
-            let chosen: Vec<u32> = if self.params.select_heuristic {
-                Self::select_neighbors_heuristic(points, node, &nearest, m)
-            } else {
-                nearest.iter().take(m).map(|&(id, _)| id as u32).collect()
-            };
-            for &nb in &chosen {
-                self.links[node][layer].push(nb);
-                self.links[nb as usize][layer].push(node as u32);
-                self.shrink(points, nb as usize, layer);
-            }
-            if let Some(&(best, _)) = nearest.first() {
+            let nearest = self.search_layer_in(
+                &dist,
+                &[ep],
+                self.params.ef_construction,
+                layer,
+                scratch,
+                None,
+            );
+            if let Some(best) = self.commit_layer(points, node, layer, &nearest, dirty) {
                 ep = best;
             }
         }
@@ -193,6 +458,129 @@ impl Hnsw {
             self.max_level = level;
             self.entry = Some(node);
         }
+    }
+
+    /// The read-only half of [`Hnsw::insert`], run against the frozen
+    /// graph: records each shared layer's beam result and every link list
+    /// the searches iterated.
+    fn plan_insert<P: PointSet>(
+        &self,
+        points: &P,
+        node: usize,
+        level: usize,
+        scratch: &mut SearchScratch,
+    ) -> InsertPlan {
+        let mut plan = InsertPlan {
+            node,
+            level,
+            nearest_per_layer: Vec::new(),
+            reads: Vec::new(),
+        };
+        let Some(entry) = self.entry else {
+            return plan;
+        };
+        let dist = |j: usize| points.distance(node, j);
+        let mut ep = entry;
+        let top = self.max_level;
+        for layer in ((level + 1)..=top).rev() {
+            ep = self.greedy_closest(&dist, ep, layer, Some(&mut plan.reads));
+        }
+        for layer in (0..=level.min(top)).rev() {
+            let nearest = self.search_layer_in(
+                &dist,
+                &[ep],
+                self.params.ef_construction,
+                layer,
+                scratch,
+                Some(&mut plan.reads),
+            );
+            if let Some(&(best, _)) = nearest.first() {
+                ep = best;
+            }
+            plan.nearest_per_layer.push(nearest);
+        }
+        plan.reads.sort_unstable();
+        plan.reads.dedup();
+        plan
+    }
+
+    /// The commit half of [`Hnsw::insert`] fed from a recorded plan (the
+    /// batched build's fast path). Sound exactly when the conflict check
+    /// passed: the entry point is unchanged and no list the plan read is
+    /// dirty, so by induction over the search's heap operations the
+    /// sequential insert's searches would reproduce
+    /// `plan.nearest_per_layer` verbatim — a live beam can only reach a
+    /// node committed earlier in the generation through a mutated (hence
+    /// dirty, hence excluded) link list.
+    fn apply_plan<P: PointSet>(&mut self, points: &P, plan: &InsertPlan, dirty: &mut DirtyMarks) {
+        self.links.push(vec![Vec::new(); plan.level + 1]);
+        self.levels.push(plan.level);
+        if self.entry.is_none() {
+            self.entry = Some(plan.node);
+            self.max_level = plan.level;
+            return;
+        }
+        let top = self.max_level;
+        for (nearest, layer) in plan
+            .nearest_per_layer
+            .iter()
+            .zip((0..=plan.level.min(top)).rev())
+        {
+            self.commit_layer(points, plan.node, layer, nearest, dirty);
+        }
+        if plan.level > self.max_level {
+            self.max_level = plan.level;
+            self.entry = Some(plan.node);
+        }
+    }
+
+    /// One layer of the insert's commit half: choose `node`'s links among
+    /// `nearest`, push them bidirectionally, trim overfull neighbour
+    /// lists, and return the next layer's entry point.
+    fn commit_layer<P: PointSet>(
+        &mut self,
+        points: &P,
+        node: usize,
+        layer: usize,
+        nearest: &[(usize, f64)],
+        dirty: &mut DirtyMarks,
+    ) -> Option<usize> {
+        let m = self.params.m;
+        let chosen: Vec<u32> = if self.params.select_heuristic {
+            Self::select_neighbors_heuristic(points, node, nearest, m)
+        } else {
+            nearest.iter().take(m).map(|&(id, _)| id as u32).collect()
+        };
+        let cap = self.max_links(layer);
+        for &nb in &chosen {
+            self.links[node][layer].push(nb);
+            let nbl = nb as usize;
+            if !dirty.tracking() {
+                // Sequential build: nothing consults the marks, skip the
+                // byte-exact bookkeeping below.
+                self.links[nbl][layer].push(node as u32);
+                self.shrink(points, nbl, layer);
+            } else if self.links[nbl][layer].len() < cap {
+                // Below capacity the push lands verbatim — the list
+                // genuinely grew.
+                self.links[nbl][layer].push(node as u32);
+                dirty.mark(nbl, layer);
+            } else {
+                // At capacity the shrink may select the exact same list
+                // (saturated hubs reject most newcomers under the
+                // diversity heuristic). Mark dirty only when the stored
+                // bytes actually change — that is precisely the
+                // condition under which a concurrent speculative read
+                // could have diverged.
+                let before = self.links[nbl][layer].clone();
+                self.links[nbl][layer].push(node as u32);
+                self.shrink(points, nbl, layer);
+                if self.links[nbl][layer] != before {
+                    dirty.mark(nbl, layer);
+                }
+            }
+        }
+        nearest.first().map(|&(best, _)| best)
     }
 
     /// Algorithm 4 of the HNSW paper: scan candidates in ascending
@@ -260,9 +648,20 @@ impl Hnsw {
     }
 
     /// Greedy walk on one layer to the locally closest node to the query.
-    fn greedy_closest<F: Fn(usize) -> f64>(&self, dist: &F, mut ep: usize, layer: usize) -> usize {
+    /// When `reads` is given, every node whose link list the walk scans
+    /// is recorded.
+    fn greedy_closest(
+        &self,
+        dist: &impl Fn(usize) -> f64,
+        mut ep: usize,
+        layer: usize,
+        mut reads: Option<&mut Vec<u64>>,
+    ) -> usize {
         let mut best = dist(ep);
         loop {
+            if let Some(r) = reads.as_deref_mut() {
+                r.push(encode_read(ep, layer));
+            }
             let mut improved = false;
             for &nb in &self.links[ep][layer] {
                 let d = dist(nb as usize);
@@ -279,42 +678,46 @@ impl Hnsw {
     }
 
     /// Beam search on one layer. Returns up to `ef` nodes sorted by
-    /// ascending distance.
-    fn search_layer<F: Fn(usize) -> f64>(
+    /// ascending distance. When `reads` is given, every node whose link
+    /// list the beam iterates is recorded.
+    fn search_layer_in(
         &self,
-        dist: &F,
+        dist: &impl Fn(usize) -> f64,
         entry_points: &[usize],
         ef: usize,
         layer: usize,
+        scratch: &mut SearchScratch,
+        mut reads: Option<&mut Vec<u64>>,
     ) -> Vec<(usize, f64)> {
-        let mut visited = vec![false; self.links.len()];
+        scratch.begin(self.links.len());
         // candidates: min-heap by distance; results: max-heap by distance.
         let mut candidates: BinaryHeap<Reverse<(Dist, usize)>> = BinaryHeap::new();
         let mut results: BinaryHeap<(Dist, usize)> = BinaryHeap::new();
         for &ep in entry_points {
-            if visited[ep] {
+            if !scratch.visit(ep) {
                 continue;
             }
-            visited[ep] = true;
             let d = Dist(dist(ep));
             candidates.push(Reverse((d, ep)));
             results.push((d, ep));
         }
         while let Some(Reverse((d, node))) = candidates.pop() {
-            let worst = results.peek().expect("results nonempty").0;
-            if results.len() >= ef && d > worst {
-                break;
+            if let Some(&(worst, _)) = results.peek() {
+                if results.len() >= ef && d > worst {
+                    break;
+                }
             }
             if layer < self.links[node].len() {
+                if let Some(r) = reads.as_deref_mut() {
+                    r.push(encode_read(node, layer));
+                }
                 for &nb in &self.links[node][layer] {
                     let nb = nb as usize;
-                    if visited[nb] {
+                    if !scratch.visit(nb) {
                         continue;
                     }
-                    visited[nb] = true;
                     let dnb = Dist(dist(nb));
-                    let worst = results.peek().expect("results nonempty").0;
-                    if results.len() < ef || dnb < worst {
+                    if results.len() < ef || results.peek().is_some_and(|&(worst, _)| dnb < worst) {
                         candidates.push(Reverse((dnb, nb)));
                         results.push((dnb, nb));
                         if results.len() > ef {
@@ -340,28 +743,30 @@ impl Hnsw {
         k: usize,
         ef: usize,
     ) -> Vec<(usize, f64)> {
-        self.search_internal(dist, k, ef, None)
+        let mut scratch = SearchScratch::default();
+        self.search_internal(dist, k, ef, None, &mut scratch)
     }
 
-    fn search_internal<F: Fn(usize) -> f64>(
+    fn search_internal(
         &self,
-        dist: F,
+        dist: impl Fn(usize) -> f64,
         k: usize,
         ef: usize,
         extra_entry: Option<usize>,
+        scratch: &mut SearchScratch,
     ) -> Vec<(usize, f64)> {
         let Some(entry) = self.entry else {
             return Vec::new();
         };
         let mut ep = entry;
         for layer in (1..=self.max_level).rev() {
-            ep = self.greedy_closest(&dist, ep, layer);
+            ep = self.greedy_closest(&dist, ep, layer, None);
         }
         let mut entries = vec![ep];
         if let Some(extra) = extra_entry {
             entries.push(extra);
         }
-        let mut out = self.search_layer(&dist, &entries, ef.max(k), 0);
+        let mut out = self.search_layer_in(&dist, &entries, ef.max(k), 0, scratch, None);
         out.truncate(k);
         out
     }
@@ -387,17 +792,23 @@ impl Hnsw {
         ef: usize,
     ) -> Vec<(usize, f64)> {
         assert!(query < points.len(), "query index out of range");
-        self.search_internal(|i| points.distance(query, i), k, ef, Some(query))
+        let mut scratch = SearchScratch::default();
+        self.search_internal(
+            |j| points.distance(query, j),
+            k,
+            ef,
+            Some(query),
+            &mut scratch,
+        )
     }
 
     /// [`knn_by_index`](Self::knn_by_index) for every indexed point, with
     /// the queries split over `threads` workers via
     /// [`parallel`](rolediet_matrix::parallel).
     ///
-    /// Insertion is inherently sequential (each insert mutates the graph
-    /// the next one searches), but the probe phase is read-only, so
-    /// result `q` is exactly what `knn_by_index(points, q, k, ef)`
-    /// returns — for every thread count.
+    /// The probe phase is read-only, so result `q` is exactly what
+    /// `knn_by_index(points, q, k, ef)` returns — for every thread count.
+    /// Each worker reuses one visited-marks scratch across its queries.
     pub fn knn_batch<P: PointSet + Sync>(
         &self,
         points: &P,
@@ -406,7 +817,12 @@ impl Hnsw {
         threads: usize,
     ) -> Vec<Vec<(usize, f64)>> {
         rolediet_matrix::parallel::par_map_rows(self.len(), threads, |range| {
-            range.map(|q| self.knn_by_index(points, q, k, ef)).collect()
+            let mut scratch = SearchScratch::default();
+            range
+                .map(|q| {
+                    self.search_internal(|j| points.distance(q, j), k, ef, Some(q), &mut scratch)
+                })
+                .collect()
         })
     }
 }
@@ -414,7 +830,7 @@ impl Hnsw {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metric::{BinaryMetric, BinaryRows, VecPoints};
+    use crate::metric::{BinaryMetric, BinaryRows, PackedPointSet, VecPoints};
     use crate::neighbors::knn as exact_knn;
     use rolediet_matrix::BitMatrix;
 
@@ -531,6 +947,69 @@ mod tests {
     }
 
     #[test]
+    fn batched_build_is_bit_identical_to_sequential() {
+        // Line geometry plus duplicate-heavy binary rows, across batch
+        // sizes and thread counts — the whole index must match the
+        // sequential oracle, not just query results.
+        let pts = grid_points(150);
+        let oracle = Hnsw::build(&pts, HnswParams::default());
+        for batch in [1usize, 3, 7, 64, 200] {
+            for threads in [1usize, 2, 4, 8] {
+                let got = Hnsw::build_batched(&pts, HnswParams::default(), batch, threads);
+                assert_eq!(got, oracle, "batch={batch} threads={threads}");
+            }
+        }
+
+        let rows: Vec<Vec<usize>> = (0..120)
+            .map(|i| match i % 4 {
+                0 => vec![0, 1],
+                1 => vec![2, 3, 5],
+                2 => vec![0, 1], // duplicates of the i % 4 == 0 rows
+                _ => vec![i % 17],
+            })
+            .collect();
+        let m = BitMatrix::from_rows_of_indices(120, 17, &rows).unwrap();
+        let pts = PackedPointSet::from_matrix(&m, 2);
+        let oracle = Hnsw::build(&pts, HnswParams::default());
+        for batch in [1usize, 7, 64] {
+            for threads in [1usize, 2, 8] {
+                let got = Hnsw::build_batched(&pts, HnswParams::default(), batch, threads);
+                assert_eq!(got, oracle, "batch={batch} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_zero_is_the_sequential_baseline() {
+        let pts = grid_points(80);
+        assert_eq!(
+            Hnsw::build_batched(&pts, HnswParams::default(), 0, 8),
+            Hnsw::build(&pts, HnswParams::default())
+        );
+    }
+
+    #[test]
+    fn levels_come_from_per_node_streams() {
+        // A node's level depends only on (seed, node id): building over
+        // fewer or more points never changes the level of a shared id.
+        let small = Hnsw::build(&grid_points(20), HnswParams::default());
+        let large = Hnsw::build(&grid_points(90), HnswParams::default());
+        assert_eq!(small.levels(), &large.levels()[..20]);
+        // Regression pin for the stream itself (seed 0xD1E7, m = 16):
+        // a shared-RNG draw sequence would shift whenever insertion
+        // batching changed; the keyed stream cannot.
+        let ml = 1.0 / 16f64.ln();
+        let levels: Vec<usize> = (0..10).map(|n| Hnsw::level_for(0xD1E7, n, ml)).collect();
+        assert_eq!(levels, large.levels()[..10]);
+        let again: Vec<usize> = (0..10).map(|n| Hnsw::level_for(0xD1E7, n, ml)).collect();
+        assert_eq!(levels, again);
+        // Different seeds give different streams.
+        let other: Vec<usize> = (0..64).map(|n| Hnsw::level_for(1, n, ml)).collect();
+        let base: Vec<usize> = (0..64).map(|n| Hnsw::level_for(0xD1E7, n, ml)).collect();
+        assert_ne!(other, base);
+    }
+
+    #[test]
     fn batch_probe_matches_per_query_probe() {
         let pts = grid_points(120);
         let idx = Hnsw::build(&pts, HnswParams::default());
@@ -607,6 +1086,21 @@ mod tests {
                 m: 1,
                 ..HnswParams::default()
             },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "m must be at least 2")]
+    fn batched_rejects_degenerate_m() {
+        let pts = grid_points(3);
+        Hnsw::build_batched(
+            &pts,
+            HnswParams {
+                m: 1,
+                ..HnswParams::default()
+            },
+            4,
+            2,
         );
     }
 }

@@ -53,6 +53,6 @@ pub mod vptree;
 
 pub use dbscan::{ClusterLabels, Dbscan, DbscanParams};
 pub use hnsw::{Hnsw, HnswParams};
-pub use metric::{BinaryMetric, BinaryRows, PointSet, VecPoints};
+pub use metric::{BinaryMetric, BinaryRows, PackedPointSet, PointSet, VecPoints};
 pub use minhash::{MinHashLsh, MinHashLshParams};
 pub use unionfind::UnionFind;

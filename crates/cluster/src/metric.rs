@@ -1,6 +1,6 @@
 //! Distance metrics and the [`PointSet`] abstraction.
 
-use rolediet_matrix::RowMatrix;
+use rolediet_matrix::{PackedRows, RowMatrix};
 
 /// A finite set of points with pairwise distances.
 ///
@@ -96,6 +96,71 @@ impl<M: RowMatrix> PointSet for BinaryRows<'_, M> {
                 }
             }
         }
+    }
+}
+
+/// Owned [`PointSet`] over the packed Hamming engine: every distance call
+/// runs the PR 7 word-lane/merge-walk kernels
+/// ([`PackedRows::hamming`]) instead of scalar `row_hamming`, so HNSW
+/// construction and vp-tree queries ride the same engine as the exact
+/// sharded plane.
+///
+/// Only the Hamming metric is offered — it is the one metric the packed
+/// kernels compute, and the only one the approximate strategies use
+/// (Manhattan ≡ Hamming on binary data).
+///
+/// # Examples
+///
+/// ```
+/// use rolediet_cluster::metric::{PackedPointSet, PointSet};
+/// use rolediet_matrix::BitMatrix;
+///
+/// let m = BitMatrix::from_rows_of_indices(2, 4, &[vec![0, 1], vec![1, 2]]).unwrap();
+/// let pts = PackedPointSet::from_matrix(&m, 1);
+/// assert_eq!(pts.distance(0, 1), 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PackedPointSet {
+    rows: PackedRows,
+}
+
+impl PackedPointSet {
+    /// Packs the rows of `matrix` into the engine's density-adaptive
+    /// representation using `threads` workers.
+    pub fn from_matrix<M: RowMatrix + Sync + ?Sized>(matrix: &M, threads: usize) -> Self {
+        PackedPointSet {
+            rows: PackedRows::from_matrix(matrix, threads),
+        }
+    }
+
+    /// Wraps an already-built engine.
+    pub fn from_rows(rows: PackedRows) -> Self {
+        PackedPointSet { rows }
+    }
+
+    /// The underlying packed engine.
+    pub fn rows(&self) -> &PackedRows {
+        &self.rows
+    }
+
+    /// Number of set columns in row `i` (used by the pipeline's
+    /// empty-row filter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row_norm(&self, i: usize) -> usize {
+        self.rows.row_norm(i)
+    }
+}
+
+impl PointSet for PackedPointSet {
+    fn len(&self) -> usize {
+        self.rows.rows()
+    }
+
+    fn distance(&self, i: usize, j: usize) -> f64 {
+        self.rows.hamming(i, j) as f64
     }
 }
 
@@ -210,6 +275,23 @@ mod tests {
                 assert_eq!(manhattan, h.distance(i, j));
             }
         }
+    }
+
+    #[test]
+    fn packed_point_set_matches_binary_rows() {
+        let m = m();
+        let scalar = BinaryRows::new(&m, BinaryMetric::Hamming);
+        let packed = PackedPointSet::from_matrix(&m, 2);
+        assert_eq!(packed.len(), scalar.len());
+        for i in 0..4 {
+            assert_eq!(packed.row_norm(i), m.row_norm(i));
+            for j in 0..4 {
+                assert_eq!(packed.distance(i, j), scalar.distance(i, j), "i={i} j={j}");
+            }
+        }
+        assert_eq!(packed.rows().rows(), 4);
+        let rewrapped = PackedPointSet::from_rows(packed.rows().clone());
+        assert_eq!(rewrapped.distance(0, 1), packed.distance(0, 1));
     }
 
     #[test]

@@ -245,6 +245,35 @@ mod tests {
     }
 
     #[test]
+    fn packed_adapter_matches_scalar_oracle() {
+        // Routing distance evaluations through PackedPointSet must give
+        // the same tree structure and the same query results as the
+        // scalar BinaryRows oracle — the tree only ever sees distance
+        // values, and the packed kernels compute the identical metric.
+        use crate::metric::PackedPointSet;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(97);
+        let mut rows: Vec<Vec<usize>> = (0..130)
+            .map(|_| (0..70).filter(|_| rng.gen_bool(0.15)).collect())
+            .collect();
+        rows.push(Vec::new()); // empty row
+        rows.push(rows[0].clone()); // duplicate row
+        let m = BitMatrix::from_rows_of_indices(rows.len(), 70, &rows).unwrap();
+        let scalar = BinaryRows::new(&m, BinaryMetric::Hamming);
+        let packed = PackedPointSet::from_matrix(&m, 2);
+        let tree_s = VpTree::build(&scalar, 3);
+        let tree_p = VpTree::build(&packed, 3);
+        assert_eq!(tree_s.len(), tree_p.len());
+        for q in 0..rows.len() {
+            for eps in [0.0, 1.0, 4.0, 70.0] {
+                let hits = tree_p.range_query(&packed, q, eps);
+                assert_eq!(hits, tree_s.range_query(&scalar, q, eps), "q={q} eps={eps}");
+                assert_eq!(hits, brute_range(&scalar, q, eps), "q={q} eps={eps}");
+            }
+        }
+    }
+
+    #[test]
     fn deterministic_given_seed() {
         let pts = VecPoints::new((0..40).map(|i| vec![(i * i % 17) as f64]).collect());
         let a = VpTree::build(&pts, 5);

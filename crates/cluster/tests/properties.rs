@@ -7,7 +7,7 @@ use proptest::prelude::*;
 
 use rolediet_cluster::dbscan::{Dbscan, DbscanParams, NOISE};
 use rolediet_cluster::hnsw::{Hnsw, HnswParams};
-use rolediet_cluster::metric::{BinaryMetric, BinaryRows, PointSet};
+use rolediet_cluster::metric::{BinaryMetric, BinaryRows, PackedPointSet, PointSet};
 use rolediet_cluster::minhash::{MinHashLsh, MinHashLshParams};
 use rolediet_cluster::neighbors::{all_pairs_within, all_range_queries_with, range_query};
 use rolediet_cluster::vptree::VpTree;
@@ -144,6 +144,33 @@ proptest! {
             ids.dedup();
             prop_assert_eq!(ids.len(), hits.len());
         }
+    }
+
+    #[test]
+    fn hnsw_batch_build_matches_sequential_oracle((rows, cols, mut data) in dataset()) {
+        // The tentpole contract: the two-phase batched build is a pure
+        // function of (points, params) — bit-identical links/levels/entry
+        // to the sequential insert at every thread count and generation
+        // size, including the paper's hot shapes (empty rows, exact
+        // duplicates).
+        data.push(Vec::new());
+        data.push(data[0].clone());
+        let m = BitMatrix::from_rows_of_indices(rows + 2, cols, &data).unwrap();
+        let pts = PackedPointSet::from_matrix(&m, 2);
+        let oracle = Hnsw::build(&pts, HnswParams::default());
+        for threads in [1usize, 2, 4, 8] {
+            for batch in [1usize, 7, 64] {
+                let got = Hnsw::build_batched(&pts, HnswParams::default(), batch, threads);
+                prop_assert_eq!(
+                    &got, &oracle,
+                    "batched build diverged: threads={} batch={}", threads, batch
+                );
+            }
+        }
+        // The packed adapter is metric-identical to the scalar rows, so
+        // the oracle built on BinaryRows matches too.
+        let scalar = BinaryRows::new(&m, BinaryMetric::Hamming);
+        prop_assert_eq!(&Hnsw::build(&scalar, HnswParams::default()), &oracle);
     }
 
     #[test]

@@ -118,8 +118,15 @@ impl Parallelism {
     }
 }
 
+/// Default HNSW build generation size ([`DetectionConfig::hnsw_batch`]).
+pub const DEFAULT_HNSW_BATCH: usize = 64;
+
+fn default_hnsw_batch() -> usize {
+    DEFAULT_HNSW_BATCH
+}
+
 /// Full configuration of a detection run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DetectionConfig {
     /// Strategy for the expensive types (T4/T5).
     pub strategy: Strategy,
@@ -149,6 +156,30 @@ pub struct DetectionConfig {
     /// count. Only the exact-DBSCAN strategy consults this knob.
     #[serde(default)]
     pub memory_budget_bytes: usize,
+    /// Generation size for the batch-parallel HNSW build.
+    ///
+    /// Each generation of this many pending nodes searches the frozen
+    /// graph concurrently before a sequential commit pass; the built
+    /// index is bit-identical at every value, so this is purely a
+    /// performance knob. `0` selects the legacy one-node-at-a-time
+    /// sequential insert (the ablation baseline/oracle). Only the
+    /// ApproxHnsw strategy consults this knob.
+    #[serde(default = "default_hnsw_batch")]
+    pub hnsw_batch: usize,
+}
+
+impl Default for DetectionConfig {
+    fn default() -> Self {
+        DetectionConfig {
+            strategy: Strategy::default(),
+            similarity: SimilarityConfig::default(),
+            skip_similarity: false,
+            include_empty_duplicates: false,
+            parallelism: Parallelism::default(),
+            memory_budget_bytes: 0,
+            hnsw_batch: DEFAULT_HNSW_BATCH,
+        }
+    }
 }
 
 impl DetectionConfig {
@@ -173,6 +204,18 @@ mod tests {
         assert!(!cfg.similarity.include_disjoint);
         assert!(!cfg.skip_similarity);
         assert_eq!(cfg.parallelism.threads(), 1);
+        assert_eq!(cfg.hnsw_batch, DEFAULT_HNSW_BATCH);
+    }
+
+    #[test]
+    fn hnsw_batch_defaults_when_absent_from_json() {
+        // Configs serialized before the knob existed must deserialize to
+        // the batched default, not the legacy sequential insert.
+        let json = serde_json::to_string(&DetectionConfig::default()).unwrap();
+        let stripped = json.replace(&format!(",\"hnsw_batch\":{DEFAULT_HNSW_BATCH}"), "");
+        assert_ne!(json, stripped, "test must actually strip the field");
+        let back: DetectionConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.hnsw_batch, DEFAULT_HNSW_BATCH);
     }
 
     #[test]

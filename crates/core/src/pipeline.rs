@@ -15,7 +15,8 @@ use crate::detector::detect_degrees_with;
 use crate::report::{Report, SimilarPair};
 use crate::strategy::{
     dbscan_same_groups_cached, dbscan_similar_pairs_cached, find_same_groups,
-    find_same_groups_with_empty, find_similar_pairs, DbscanEngine,
+    find_same_groups_with_empty, find_similar_pairs, hnsw_same_groups, hnsw_similar_pairs,
+    DbscanEngine, HnswEngine,
 };
 
 /// The detection framework: runs all detectors over a graph or a pair of
@@ -119,6 +120,25 @@ impl Pipeline {
             None
         };
 
+        // The ApproxHnsw strategy builds one batch-parallel index per
+        // side ([`HnswEngine`]) and shares it between the T4 and T5
+        // probes; construction (packing + the two-phase batched build,
+        // generation size `cfg.hnsw_batch`) accumulates into
+        // `timings.hnsw_build`, apart from the probes it feeds.
+        let (hnsw_engines, hnsw_probe_k) =
+            if let crate::config::Strategy::ApproxHnsw { params, probe_k } = cfg.strategy {
+                report.timings.threads.hnsw_build = threads;
+                let t0 = Instant::now();
+                let e = (
+                    HnswEngine::build(ruam, params, cfg.hnsw_batch, threads),
+                    HnswEngine::build(rpam, params, cfg.hnsw_batch, threads),
+                );
+                report.timings.hnsw_build = t0.elapsed();
+                (Some(e), probe_k)
+            } else {
+                (None, 0)
+            };
+
         if let Some((ruam_engine, rpam_engine)) = &engines {
             let (groups, pre, grouping) =
                 dbscan_same_stage(ruam_engine, cfg.include_empty_duplicates, threads);
@@ -131,6 +151,21 @@ impl Pipeline {
             report.same_permission_groups = groups;
             report.timings.distance_precompute += pre;
             report.timings.same_permissions = grouping;
+        } else if let Some((ruam_engine, rpam_engine)) = &hnsw_engines {
+            let same = |engine: &HnswEngine| {
+                let mut groups = hnsw_same_groups(engine, hnsw_probe_k, threads);
+                if !cfg.include_empty_duplicates {
+                    groups.retain(|g| engine.row_norm(g[0]) > 0);
+                }
+                groups
+            };
+            let t0 = Instant::now();
+            report.same_user_groups = same(ruam_engine);
+            report.timings.same_users = t0.elapsed();
+
+            let t0 = Instant::now();
+            report.same_permission_groups = same(rpam_engine);
+            report.timings.same_permissions = t0.elapsed();
         } else {
             let same = |m: &CsrMatrix| {
                 if cfg.include_empty_duplicates {
@@ -182,6 +217,18 @@ impl Pipeline {
                 report.similar_permission_pairs = pairs;
                 report.timings.distance_precompute += pre;
                 report.timings.similar_permissions = grouping;
+            } else if let Some((ruam_engine, rpam_engine)) = &hnsw_engines {
+                // The shared index replaces the transposed inverted
+                // index too (`threads.transpose` stays 0).
+                let t0 = Instant::now();
+                report.similar_user_pairs =
+                    hnsw_similar_pairs(ruam_engine, hnsw_probe_k, &cfg.similarity, threads);
+                report.timings.similar_users = t0.elapsed();
+
+                let t0 = Instant::now();
+                report.similar_permission_pairs =
+                    hnsw_similar_pairs(rpam_engine, hnsw_probe_k, &cfg.similarity, threads);
+                report.timings.similar_permissions = t0.elapsed();
             } else {
                 report.timings.threads.transpose = threads;
                 // The disjoint supplement only runs inside the custom T5
@@ -410,6 +457,8 @@ mod tests {
             threads.distance_precompute, 0,
             "engine only runs under exact-DBSCAN"
         );
+        assert_eq!(threads.hnsw_build, 0, "HNSW strategy not selected");
+        assert_eq!(report.timings.hnsw_build, std::time::Duration::ZERO);
 
         // The exact-DBSCAN strategy routes grouping through the
         // connected-components kernel instead of the union-find path,
@@ -452,6 +501,20 @@ mod tests {
         let report = Pipeline::new(cfg).run(&graph);
         assert_eq!(report.timings.threads.minhash, 3);
         assert_eq!(report.timings.threads.disjoint_supplement, 0);
+
+        // The HNSW strategy builds its shared index once per side; like
+        // the DBSCAN engine, it replaces the transposed index.
+        let cfg = DetectionConfig {
+            parallelism: Parallelism::Threads(2),
+            ..DetectionConfig::with_strategy(Strategy::hnsw_default())
+        };
+        let report = Pipeline::new(cfg).run(&graph);
+        assert_eq!(report.timings.threads.hnsw_build, 2);
+        assert_eq!(
+            report.timings.threads.transpose, 0,
+            "the shared index replaces the transposed index"
+        );
+        assert_eq!(report.timings.threads.group_extract, 2);
     }
 
     #[test]

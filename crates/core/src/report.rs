@@ -79,6 +79,11 @@ pub struct StageThreads {
     /// HNSW/LSH candidate-component grouping (`0` under the exact-DBSCAN
     /// strategy, whose groups come out of the cluster labels instead).
     pub group_extract: usize,
+    /// Batch-parallel HNSW index construction — the phase-1 speculative
+    /// searches of each generation (`0` unless the ApproxHnsw strategy is
+    /// active).
+    #[serde(default)]
+    pub hnsw_build: usize,
 }
 
 /// Wall-clock time spent in each pipeline stage, plus the thread counts
@@ -110,6 +115,12 @@ pub struct StageTimings {
     /// run (every strategy but exact-DBSCAN).
     #[serde(default)]
     pub distance_shards: usize,
+    /// HNSW index construction (both sides), including the packed-engine
+    /// build backing its distance calls (zero unless the ApproxHnsw
+    /// strategy is active; carved out of the per-stage timings so probing
+    /// is timed apart from the shared index build).
+    #[serde(default)]
+    pub hnsw_build: Duration,
     /// Worker-thread count per parallel stage.
     pub threads: StageThreads,
 }
@@ -124,6 +135,7 @@ impl StageTimings {
             + self.similar_users
             + self.similar_permissions
             + self.distance_precompute
+            + self.hnsw_build
     }
 }
 
@@ -399,9 +411,10 @@ mod tests {
             similar_permissions: Duration::from_millis(6),
             distance_precompute: Duration::from_millis(7),
             distance_shards: 1,
+            hnsw_build: Duration::from_millis(8),
             threads: StageThreads::default(),
         };
-        assert_eq!(t.total(), Duration::from_millis(28));
+        assert_eq!(t.total(), Duration::from_millis(36));
     }
 
     #[test]
@@ -420,6 +433,7 @@ mod tests {
                 cluster_expand: 0,
                 distance_precompute: 8,
                 group_extract: 4,
+                hnsw_build: 8,
             },
             ..StageTimings::default()
         };

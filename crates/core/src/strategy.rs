@@ -16,13 +16,13 @@
 
 use rolediet_cluster::dbscan::{Dbscan, DbscanParams};
 use rolediet_cluster::hnsw::{Hnsw, HnswParams};
-use rolediet_cluster::metric::{BinaryMetric, BinaryRows};
+use rolediet_cluster::metric::{PackedPointSet, PointSet};
 use rolediet_cluster::minhash::{MinHashLsh, MinHashLshParams};
 use rolediet_cluster::neighbors::{all_range_queries_packed, all_range_queries_sharded};
 use rolediet_cluster::UnionFind;
 use rolediet_matrix::{CsrMatrix, PackedRows, RowMatrix};
 
-use crate::config::{Parallelism, SimilarityConfig, Strategy};
+use crate::config::{Parallelism, SimilarityConfig, Strategy, DEFAULT_HNSW_BATCH};
 use crate::cooccur;
 use crate::report::SimilarPair;
 
@@ -58,8 +58,8 @@ pub fn find_same_groups_with_empty(
             dbscan_same_groups_cached(&engine, &neighborhoods, true, threads)
         }
         Strategy::ApproxHnsw { params, probe_k } => {
-            let pairs = hnsw_pairs(matrix, *params, *probe_k, 0, threads);
-            groups_from_pairs_with(matrix.n_rows(), &pairs, threads)
+            let engine = HnswEngine::build(matrix, *params, DEFAULT_HNSW_BATCH, threads);
+            hnsw_same_groups(&engine, *probe_k, threads)
         }
         Strategy::MinHashLsh { params } => {
             let pairs = minhash_pairs(matrix, *params, 0, threads);
@@ -86,15 +86,9 @@ pub fn find_similar_pairs(
         }
         Strategy::ExactDbscan => dbscan_similar_pairs(matrix, cfg, parallelism.threads()),
         Strategy::ApproxHnsw { params, probe_k } => {
-            let mut pairs = hnsw_pairs(
-                matrix,
-                *params,
-                *probe_k,
-                cfg.threshold,
-                parallelism.threads(),
-            );
-            pairs.retain(|p| p.distance >= 1);
-            finalize(pairs, cfg.max_pairs)
+            let threads = parallelism.threads();
+            let engine = HnswEngine::build(matrix, *params, DEFAULT_HNSW_BATCH, threads);
+            hnsw_similar_pairs(&engine, *probe_k, cfg, threads)
         }
         Strategy::MinHashLsh { params } => {
             let mut pairs = minhash_pairs(matrix, *params, cfg.threshold, parallelism.threads());
@@ -300,22 +294,85 @@ fn dbscan_similar_pairs(
     dbscan_similar_pairs_cached(&engine, &neighborhoods, cfg, threads)
 }
 
+/// The ApproxHnsw strategy's engine: role rows packed once
+/// ([`PackedPointSet`], sharing the exact plane's distance kernels), then
+/// one HNSW index built over them with the batch-parallel two-phase
+/// algorithm ([`Hnsw::build_batched`]).
+///
+/// The pipeline builds one engine per matrix side and times it into
+/// `Report::timings.hnsw_build` — apart from the probes it feeds
+/// ([`hnsw_same_groups`], [`hnsw_similar_pairs`]) — so benches can compare
+/// construction against the sequential-insert oracle directly. The built
+/// index is bit-identical at every `batch` and `threads` value (`batch =
+/// 0` *is* the sequential oracle), so results never depend on either knob.
+pub struct HnswEngine {
+    points: PackedPointSet,
+    index: Hnsw,
+}
+
+impl HnswEngine {
+    /// Packs `matrix` and builds the index with generations of `batch`
+    /// nodes on `threads` workers.
+    pub fn build(matrix: &CsrMatrix, params: HnswParams, batch: usize, threads: usize) -> Self {
+        let threads = threads.max(1);
+        let points = PackedPointSet::from_matrix(matrix, threads);
+        let index = Hnsw::build_batched(&points, params, batch, threads);
+        HnswEngine { points, index }
+    }
+
+    /// The packed rows the index measures distances against.
+    pub fn points(&self) -> &PackedPointSet {
+        &self.points
+    }
+
+    /// The built index.
+    pub fn index(&self) -> &Hnsw {
+        &self.index
+    }
+
+    /// Norm (number of set bits) of row `i`.
+    pub fn row_norm(&self, i: usize) -> usize {
+        self.points.row_norm(i)
+    }
+}
+
+/// T4 groups over a built [`HnswEngine`]: probe every role for its
+/// `probe_k` nearest neighbours, keep verified 0-distance pairs, and
+/// union them into groups (empty-row groups included; the pipeline
+/// filters those like every other strategy).
+pub fn hnsw_same_groups(engine: &HnswEngine, probe_k: usize, threads: usize) -> Vec<Vec<usize>> {
+    let pairs = hnsw_engine_pairs(engine, probe_k, 0, threads);
+    groups_from_pairs_with(engine.points.len(), &pairs, threads)
+}
+
+/// T5 pairs over a built [`HnswEngine`]: probed like
+/// [`hnsw_same_groups`] but keeping verified pairs with `1 ≤ distance ≤
+/// cfg.threshold`.
+pub fn hnsw_similar_pairs(
+    engine: &HnswEngine,
+    probe_k: usize,
+    cfg: &SimilarityConfig,
+    threads: usize,
+) -> Vec<SimilarPair> {
+    let mut pairs = hnsw_engine_pairs(engine, probe_k, cfg.threshold, threads);
+    pairs.retain(|p| p.distance >= 1);
+    finalize(pairs, cfg.max_pairs)
+}
+
 /// HNSW probe: query every role for its `probe_k` nearest neighbours and
-/// keep verified pairs with distance ≤ `threshold`. The index build is
-/// sequential (insertion order is part of the deterministic result); the
-/// read-only probe fans out over `threads` workers.
-fn hnsw_pairs(
-    matrix: &CsrMatrix,
-    params: HnswParams,
+/// keep verified pairs with distance ≤ `threshold`. The read-only probe
+/// fans out over `threads` workers.
+fn hnsw_engine_pairs(
+    engine: &HnswEngine,
     probe_k: usize,
     threshold: usize,
     threads: usize,
 ) -> Vec<SimilarPair> {
-    let points = BinaryRows::new(matrix, BinaryMetric::Hamming);
-    let index = Hnsw::build(&points, params);
+    let ef_search = engine.index.params().ef_search;
     let mut pairs = Vec::new();
-    for (q, hits) in index
-        .knn_batch(&points, probe_k, params.ef_search, threads)
+    for (q, hits) in engine
+        .index
+        .knn_batch(&engine.points, probe_k, ef_search, threads)
         .into_iter()
         .enumerate()
     {
@@ -546,6 +603,48 @@ mod tests {
                 let d = m.row_hamming(p.a, p.b);
                 assert_eq!(d, p.distance, "strategy {}", strategy.name());
                 assert!((1..=2).contains(&d));
+            }
+        }
+    }
+
+    #[test]
+    fn hnsw_engine_halves_match_the_dispatch_entry_points() {
+        // The pipeline's cached path (one engine, probed twice) must give
+        // exactly what the strategy dispatch gives, at every batch size
+        // and thread count — the engine's build is bit-identical to the
+        // batch-0 sequential oracle.
+        let gen = generate_matrix(MatrixGenConfig {
+            perturbed_per_cluster: 1,
+            ..MatrixGenConfig::paper(140, 70, 29)
+        });
+        let m = gen.sparse();
+        let tr = m.transpose();
+        let cfg = SimilarityConfig {
+            threshold: 2,
+            ..SimilarityConfig::default()
+        };
+        let strategy = Strategy::hnsw_default();
+        let Strategy::ApproxHnsw { params, probe_k } = strategy else {
+            unreachable!()
+        };
+        let groups = find_same_groups_with_empty(&m, &strategy, Parallelism::Sequential);
+        let pairs = find_similar_pairs(&m, &tr, &strategy, &cfg, Parallelism::Sequential);
+        for batch in [0usize, 1, 64] {
+            for threads in [1usize, 4] {
+                let engine = HnswEngine::build(&m, params, batch, threads);
+                assert_eq!(
+                    hnsw_same_groups(&engine, probe_k, threads),
+                    groups,
+                    "batch={batch} threads={threads}"
+                );
+                assert_eq!(
+                    hnsw_similar_pairs(&engine, probe_k, &cfg, threads),
+                    pairs,
+                    "batch={batch} threads={threads}"
+                );
+                assert_eq!(engine.row_norm(0), m.row_norm(0));
+                assert_eq!(engine.points().len(), m.n_rows());
+                assert_eq!(engine.index().len(), m.n_rows());
             }
         }
     }

@@ -254,6 +254,37 @@ proptest! {
         }
     }
 
+    /// Whole-`Report` bit-identity through `Pipeline::run_on_matrices`
+    /// under `ApproxHnsw`: the batched two-phase HNSW build is a pure
+    /// function of (points, params), so every (batch, threads) pairing
+    /// must reproduce the sequential-insert oracle (`hnsw_batch = 0`)
+    /// exactly — including on the appended empty and duplicate rows.
+    #[test]
+    fn hnsw_pipeline_reports_identical_across_batch_and_threads(
+        (ruam, rpam) in matrix_pair_inputs(),
+    ) {
+        let base_cfg = DetectionConfig {
+            hnsw_batch: 0,
+            ..DetectionConfig::with_strategy(rolediet_core::config::Strategy::hnsw_default())
+        };
+        let baseline = Pipeline::new(base_cfg).run_on_matrices(&ruam, &rpam);
+        for batch in [1usize, 7, 64] {
+            for threads in [1usize, 2, 4, 8] {
+                let cfg = DetectionConfig {
+                    hnsw_batch: batch,
+                    parallelism: Parallelism::Threads(threads),
+                    ..base_cfg
+                };
+                let mut report = Pipeline::new(cfg).run_on_matrices(&ruam, &rpam);
+                prop_assert_eq!(report.timings.threads.hnsw_build, threads);
+                prop_assert_eq!(report.timings.threads.transpose, 0);
+                report.timings = baseline.timings;
+                report.config = baseline.config;
+                prop_assert_eq!(&report, &baseline, "batch={} threads={}", batch, threads);
+            }
+        }
+    }
+
     #[test]
     fn graph_pipeline_reports_identical_across_thread_counts(graph in graph_inputs()) {
         // The graph entry point additionally exercises the two-pass
@@ -443,4 +474,49 @@ proptest! {
         b.apply_all(&stream).unwrap();
         prop_assert_eq!(a, b);
     }
+}
+
+/// Recall floor on the figure-3 workload: the approximate HNSW path may
+/// miss pairs by design, but on the paper's synthetic generator it must
+/// recover the bulk of the planted duplicate and Hamming-1 structure,
+/// and everything it does report must be exact (precision 1).
+#[test]
+fn hnsw_recall_on_figure3_workload_clears_the_floor() {
+    use rolediet_cluster::recall::{groups_to_pairs, pair_stats};
+    use rolediet_core::config::Strategy;
+    use rolediet_synth::{generate_matrix, MatrixGenConfig};
+
+    let gen = generate_matrix(MatrixGenConfig {
+        perturbed_per_cluster: 2,
+        ..MatrixGenConfig::paper(600, 240, 17)
+    });
+    let ruam = gen.sparse();
+    let rpam = generate_matrix(MatrixGenConfig::paper(600, 200, 18)).sparse();
+
+    let cfg = DetectionConfig::with_strategy(Strategy::hnsw_default());
+    let report = Pipeline::new(cfg).run_on_matrices(&ruam, &rpam);
+
+    let dup_truth = groups_to_pairs(&gen.truth.exact_duplicate_groups);
+    let dup_stats = pair_stats(&dup_truth, &groups_to_pairs(&report.same_user_groups));
+    assert!(
+        dup_stats.recall >= 0.8,
+        "figure-3 duplicate recall {} below floor",
+        dup_stats.recall
+    );
+    assert_eq!(
+        dup_stats.false_positives, 0,
+        "reported a non-duplicate pair"
+    );
+
+    let found_similar: Vec<(usize, usize)> = report
+        .similar_user_pairs
+        .iter()
+        .map(|p| (p.a, p.b))
+        .collect();
+    let sim_stats = pair_stats(&gen.truth.planted_similar_pairs, &found_similar);
+    assert!(
+        sim_stats.recall >= 0.8,
+        "figure-3 similar-pair recall {} below floor",
+        sim_stats.recall
+    );
 }

@@ -412,6 +412,39 @@ impl PackedRows {
         self.distance_within(i, j, bound)
     }
 
+    /// Exact `Hamming(i, j)` with no cutoff, on the unbounded fast
+    /// kernels ([`xor_popcount`] / [`sparse_mismatches`]) — no norm-band
+    /// check and no per-step bound tests, which matters when the rows
+    /// are short sparse lists and the bound bookkeeping would rival the
+    /// merge itself. This is the adapter entry point for distance
+    /// consumers that need a total metric — `cluster::PackedPointSet`
+    /// routes HNSW and vp-tree evaluations through it. Agrees with
+    /// [`bounded_hamming`](Self::bounded_hamming) at `bound = cols()`
+    /// (pinned by the `hamming_is_the_unbounded_kernel` test).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn hamming(&self, i: usize, j: usize) -> usize {
+        match &self.repr {
+            Repr::Packed {
+                words,
+                words_per_row,
+            } => {
+                let a = &words[i * words_per_row..(i + 1) * words_per_row];
+                let b = &words[j * words_per_row..(j + 1) * words_per_row];
+                xor_popcount(a, b)
+            }
+            Repr::Sparse {
+                starts, indices, ..
+            } => {
+                let a = &indices[starts[i]..starts[i] + self.norms[i] as usize];
+                let b = &indices[starts[j]..starts[j] + self.norms[j] as usize];
+                sparse_mismatches(a, b)
+            }
+        }
+    }
+
     /// The bounded kernel *without* the norm-band check — only the
     /// early-exit distance loop. Same result as
     /// [`bounded_hamming`](Self::bounded_hamming); kept separate so the
@@ -944,6 +977,33 @@ pub fn xor_popcount_within_unrolled4(a: &[u64], b: &[u64], bound: usize) -> Opti
     }
 }
 
+/// Unbounded XOR-popcount over packed words: the straight reduction
+/// with no running-distance checks, so LLVM vectorizes the whole loop.
+/// The exact-total counterpart of [`xor_popcount_within`].
+pub fn xor_popcount(a: &[u64], b: &[u64]) -> usize {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x ^ y).count_ones() as usize)
+        .sum()
+}
+
+/// Unbounded sorted-merge mismatch count over two ascending index
+/// lists, via `Hamming = |a| + |b| − 2·|a ∩ b|`. The intersection walk
+/// is branchless in the body (the advance-and-count updates compile to
+/// flag-setting arithmetic, not compare-and-jump), which beats the
+/// three-way-branching bounded merge ([`sparse_within`]) on the short
+/// unpredictable lists RBAC rows produce.
+fn sparse_mismatches(a: &[u32], b: &[u32]) -> usize {
+    let (mut x, mut y, mut inter) = (0usize, 0usize, 0usize);
+    while x < a.len() && y < b.len() {
+        let (av, bv) = (a[x], b[y]);
+        inter += (av == bv) as usize;
+        x += (av <= bv) as usize;
+        y += (av >= bv) as usize;
+    }
+    a.len() + b.len() - 2 * inter
+}
+
 /// Bounded Hamming distance between a packed row (`words`, popcount
 /// `packed_norm`) and a sparse ascending index list, via the identity
 /// `Hamming = ‖a‖ + ‖b‖ − 2·g` with the dot product `g` counted by
@@ -1159,6 +1219,28 @@ mod tests {
         let auto = PackedRows::from_matrix(&m, 2);
         let expected = PackedRows::packed_from_matrix(&m, 1).range_queries_within(2, 1);
         assert_eq!(auto.range_queries_within(2, 3), expected);
+    }
+
+    #[test]
+    fn hamming_is_the_unbounded_kernel() {
+        let m = sample();
+        for p in both_reprs(&m) {
+            for i in 0..m.rows() {
+                for j in 0..m.rows() {
+                    assert_eq!(
+                        p.hamming(i, j),
+                        m.row_hamming(i, j),
+                        "i={i} j={j} packed={}",
+                        p.is_packed()
+                    );
+                }
+            }
+        }
+        // Zero columns: all rows identical at distance 0.
+        let zero_cols = CsrMatrix::zeros(3, 0);
+        for p in both_reprs(&zero_cols) {
+            assert_eq!(p.hamming(0, 2), 0);
+        }
     }
 
     #[test]

@@ -46,6 +46,18 @@ cargo test --release -q -p rolediet-matrix --test properties \
     sharded_engine_matches_flat_engine_under_tiny_budgets
 cargo test --release -q -p rolediet-synth --test parallel_properties
 
+# The PR 8 batched-HNSW pins: the two-phase batched build must be
+# bit-identical to the sequential insert oracle at every tested
+# (batch, threads) pairing, both at the index level and through the
+# whole pipeline report.
+echo "==> proptests: batched HNSW determinism"
+cargo test --release -q -p rolediet-cluster --test properties \
+    hnsw_batch_build_matches_sequential_oracle
+cargo test --release -q -p rolediet-core --test properties \
+    hnsw_pipeline_reports_identical_across_batch_and_threads
+cargo test --release -q -p rolediet-core --test properties \
+    hnsw_recall_on_figure3_workload_clears_the_floor
+
 echo "==> cargo build --workspace --benches"
 cargo build --workspace --benches
 
@@ -72,6 +84,13 @@ cargo test --release -q -p rolediet-core \
 echo "==> repro churn --incremental smoke"
 cargo run --release -q -p rolediet-bench --bin repro -- \
     churn --incremental --steps 200 --batch 50 --scale 0.02 >/dev/null
+
+# Approximate-path smoke: the full pipeline under the HNSW strategy with
+# the batched parallel build (2 worker threads) on a small ing-like org,
+# with the report validators on.
+echo "==> repro realorg --strategy hnsw smoke"
+cargo run --release -q -p rolediet-bench --bin repro -- \
+    realorg --strategy hnsw --threads 2 --scale 0.02 --validate >/dev/null
 
 # Race-audit feature: the write-span auditor is compiled into the
 # parallel substrate's release path too, not just under cfg(test).

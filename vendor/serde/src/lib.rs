@@ -138,6 +138,13 @@ pub fn get_field<'a>(map: &'a [(String, Content)], name: &str) -> Result<&'a Con
         .ok_or_else(|| Error::custom(format!("missing field `{name}`")))
 }
 
+/// [`get_field`] for fields carrying `#[serde(default)]` / `#[serde(default
+/// = "path")]`: absence is not an error, the derive substitutes the default
+/// expression instead.
+pub fn get_opt_field<'a>(map: &'a [(String, Content)], name: &str) -> Option<&'a Content> {
+    map.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
 /// Renders a serialized value as a JSON object key.
 ///
 /// JSON keys are strings, so integer and boolean keys are stringified —

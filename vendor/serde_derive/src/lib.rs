@@ -5,9 +5,12 @@
 //! token stream by hand (the real implementation's `syn`/`quote` stack is
 //! unavailable offline). Supported shapes cover everything this workspace
 //! derives: named/tuple/newtype/unit structs; enums with unit, newtype,
-//! tuple and struct variants (externally tagged, as upstream); and the
+//! tuple and struct variants (externally tagged, as upstream); the
 //! container attributes `#[serde(transparent)]` (a no-op here — newtype
-//! structs are always transparent) and `#[serde(from = "T", into = "T")]`.
+//! structs are always transparent) and `#[serde(from = "T", into = "T")]`;
+//! and the field attributes `#[serde(default)]` / `#[serde(default =
+//! "path")]`, which make a missing map entry deserialize to
+//! `Default::default()` / `path()` instead of erroring.
 #![allow(clippy::all, clippy::pedantic)]
 #![forbid(unsafe_code)]
 
@@ -20,10 +23,25 @@ struct SerdeAttrs {
     into: Option<String>,
 }
 
+/// How a missing map entry deserializes for one named field.
+enum FieldDefault {
+    /// No `#[serde(default)]`: absence is an error.
+    Required,
+    /// `#[serde(default)]`: substitute `Default::default()`.
+    Trait,
+    /// `#[serde(default = "path")]`: substitute `path()`.
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
 enum VariantShape {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 struct Variant {
@@ -34,7 +52,7 @@ struct Variant {
 enum Kind {
     UnitStruct,
     TupleStruct(usize),
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     Enum(Vec<Variant>),
 }
 
@@ -158,15 +176,46 @@ fn collect_serde_attr(attr_body: &TokenStream, attrs: &mut SerdeAttrs) {
     }
 }
 
-/// Extracts field names from a named-fields body, skipping attributes and
-/// consuming each type angle-bracket-aware (so `HashMap<K, V>` commas do
-/// not split fields).
-fn parse_named_fields(body: &TokenStream) -> Vec<String> {
+/// Records a field-level `#[serde(default)]` / `#[serde(default = "path")]`
+/// from one attribute body; every other attribute is ignored.
+fn collect_field_default(attr_body: &TokenStream, default: &mut FieldDefault) {
+    let tokens: Vec<TokenTree> = attr_body.clone().into_iter().collect();
+    if tokens.first().and_then(ident_of).as_deref() != Some("serde") {
+        return;
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return;
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < args.len() {
+        if ident_of(&args[i]).as_deref() == Some("default") {
+            if i + 2 < args.len() && is_punct(&args[i + 1], '=') {
+                if let TokenTree::Literal(lit) = &args[i + 2] {
+                    *default = FieldDefault::Path(lit.to_string().trim_matches('"').to_string());
+                    i += 3;
+                    continue;
+                }
+            }
+            *default = FieldDefault::Trait;
+        }
+        i += 1;
+    }
+}
+
+/// Extracts field names from a named-fields body, recording any
+/// `#[serde(default)]` markers and consuming each type
+/// angle-bracket-aware (so `HashMap<K, V>` commas do not split fields).
+fn parse_named_fields(body: &TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
+        let mut default = FieldDefault::Required;
         while i < tokens.len() && is_punct(&tokens[i], '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                collect_field_default(&g.stream(), &mut default);
+            }
             i += 2;
         }
         if i >= tokens.len() {
@@ -199,7 +248,7 @@ fn parse_named_fields(body: &TokenStream) -> Vec<String> {
             }
             i += 1;
         }
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     fields
 }
@@ -305,6 +354,7 @@ fn generate_serialize(item: &Input) -> String {
                 let entries: Vec<String> = fields
                     .iter()
                     .map(|f| {
+                        let f = &f.name;
                         format!("(String::from(\"{f}\"), serde::Serialize::to_content(&self.{f}))")
                     })
                     .collect();
@@ -338,7 +388,9 @@ fn generate_serialize(item: &Input) -> String {
                             ));
                         }
                         VariantShape::Named(fields) => {
-                            let entries: Vec<String> = fields
+                            let names: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let entries: Vec<String> = names
                                 .iter()
                                 .map(|f| {
                                     format!(
@@ -348,7 +400,7 @@ fn generate_serialize(item: &Input) -> String {
                                 .collect();
                             out.push_str(&format!(
                                 "{name}::{vname} {{ {} }} => serde::Content::Map(vec![(String::from(\"{vname}\"), serde::Content::Map(vec![{}]))]),\n",
-                                fields.join(", "),
+                                names.join(", "),
                                 entries.join(", ")
                             ));
                         }
@@ -362,13 +414,28 @@ fn generate_serialize(item: &Input) -> String {
     out
 }
 
-fn named_struct_body(type_path: &str, fields: &[String], map_expr: &str) -> String {
+fn named_struct_body(type_path: &str, fields: &[Field], map_expr: &str) -> String {
     let inits: Vec<String> = fields
         .iter()
         .map(|f| {
-            format!(
-                "{f}: serde::Deserialize::from_content(serde::get_field({map_expr}, \"{f}\")?)?"
-            )
+            let name = &f.name;
+            match &f.default {
+                FieldDefault::Required => format!(
+                    "{name}: serde::Deserialize::from_content(serde::get_field({map_expr}, \"{name}\")?)?"
+                ),
+                FieldDefault::Trait => format!(
+                    "{name}: match serde::get_opt_field({map_expr}, \"{name}\") {{\n\
+                         Some(__v) => serde::Deserialize::from_content(__v)?,\n\
+                         None => ::std::default::Default::default(),\n\
+                     }}"
+                ),
+                FieldDefault::Path(path) => format!(
+                    "{name}: match serde::get_opt_field({map_expr}, \"{name}\") {{\n\
+                         Some(__v) => serde::Deserialize::from_content(__v)?,\n\
+                         None => {path}(),\n\
+                     }}"
+                ),
+            }
         })
         .collect();
     format!("{type_path} {{ {} }}", inits.join(", "))
