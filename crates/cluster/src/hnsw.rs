@@ -54,9 +54,10 @@ impl PartialOrd for Dist {
 
 impl Ord for Dist {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .partial_cmp(&other.0)
-            .expect("distances are never NaN")
+        // IEEE total order: agrees with partial_cmp on the non-NaN,
+        // non-negative-zero distances this wrapper ever holds, and
+        // removes the panic path entirely.
+        self.0.total_cmp(&other.0)
     }
 }
 

@@ -5,61 +5,122 @@
 //! ```text
 //! RULE  PATH  MAX  # why this is sound
 //! D2    crates/matrix/src/signature.rs  2  # buckets sorted before exposure
+//! boundary  crates/matrix/src/parallel.rs  par_map_rows  # join order proven deterministic
 //! ```
 //!
 //! `MAX` is a ratchet: the file may carry at most that many violations
 //! of the rule. Growing past the allowance fails the lint, so audited
 //! debt can shrink but never silently grow. Entries with slack (fewer
 //! violations than allowed) are reported as warnings so the allowance
-//! can be tightened.
+//! can be tightened — or promoted to hard errors under `--strict`.
+//!
+//! `boundary PATH FN` lines declare audited determinism boundaries for
+//! the D6 taint analysis: reachability stops at the named fn, on the
+//! strength of the written justification (mandatory, like every
+//! D6–D8 allowance — the interprocedural rules are new enough that no
+//! unexplained debt is grandfathered in).
 
 use std::collections::BTreeMap;
 
 use crate::rules::Violation;
 
-/// One parsed allowlist entry.
+/// One parsed allowance entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Entry {
-    /// Rule code (`D1`..`D5`).
+    /// Rule code (`D1`..`D8`).
     pub rule: String,
-    /// Workspace-relative path the allowance applies to.
+    /// Workspace-relative path the allowance applies to (for D7, the
+    /// per-crate ratchet path, e.g. `crates/matrix`).
     pub path: String,
     /// Maximum violations of `rule` allowed in `path`.
     pub max: usize,
 }
 
+/// One audited D6 boundary: taint reachability stops at this fn.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Boundary {
+    /// Workspace-relative path of the defining file.
+    pub path: String,
+    /// The fn's identifier (unqualified).
+    pub func: String,
+}
+
+/// The parsed allowlist: ratchet entries plus taint boundaries.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Allowlist {
+    /// Per-`(rule, path)` ratchet allowances.
+    pub entries: Vec<Entry>,
+    /// Audited D6 determinism boundaries.
+    pub boundaries: Vec<Boundary>,
+}
+
+/// Rules whose allowances (and boundaries) must carry a written audit
+/// justification on the same line.
+const JUSTIFIED_RULES: &[&str] = &["D6", "D7", "D8"];
+
 /// Parses allowlist text.
 ///
 /// # Errors
 ///
-/// Returns a message naming the first malformed line.
-pub fn parse(text: &str) -> Result<Vec<Entry>, String> {
-    let mut entries = Vec::new();
+/// Returns a message naming the first malformed line — including a
+/// D6–D8 allowance or a boundary with no `# why` justification.
+pub fn parse(text: &str) -> Result<Allowlist, String> {
+    let mut out = Allowlist::default();
     for (idx, raw) in text.lines().enumerate() {
-        let line = raw.split('#').next().unwrap_or("").trim();
+        let (line, comment) = match raw.split_once('#') {
+            Some((l, c)) => (l.trim(), c.trim()),
+            None => (raw.trim(), ""),
+        };
         if line.is_empty() {
             continue;
         }
         let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.first() == Some(&"boundary") {
+            let [_, path, func] = fields.as_slice() else {
+                return Err(format!(
+                    "allowlist line {}: expected `boundary PATH FN  # why`, got {raw:?}",
+                    idx + 1
+                ));
+            };
+            if comment.is_empty() {
+                return Err(format!(
+                    "allowlist line {}: boundary {func} needs a written audit \
+                     justification (`# why the join is deterministic`)",
+                    idx + 1
+                ));
+            }
+            out.boundaries.push(Boundary {
+                path: (*path).to_owned(),
+                func: (*func).to_owned(),
+            });
+            continue;
+        }
         let [rule, path, max] = fields.as_slice() else {
             return Err(format!(
                 "allowlist line {}: expected `RULE PATH MAX`, got {raw:?}",
                 idx + 1
             ));
         };
-        if !matches!(*rule, "D1" | "D2" | "D3" | "D4" | "D5") {
+        if !matches!(*rule, "D1" | "D2" | "D3" | "D4" | "D5" | "D6" | "D7" | "D8") {
             return Err(format!("allowlist line {}: unknown rule {rule:?}", idx + 1));
+        }
+        if JUSTIFIED_RULES.contains(rule) && comment.is_empty() {
+            return Err(format!(
+                "allowlist line {}: {rule} allowances need a written audit \
+                 justification (`# why this is sound`)",
+                idx + 1
+            ));
         }
         let max: usize = max
             .parse()
             .map_err(|_| format!("allowlist line {}: bad count {max:?}", idx + 1))?;
-        entries.push(Entry {
+        out.entries.push(Entry {
             rule: (*rule).to_owned(),
             path: (*path).to_owned(),
             max,
         });
     }
-    Ok(entries)
+    Ok(out)
 }
 
 /// Result of filtering violations through the allowlist.
@@ -79,12 +140,7 @@ pub fn apply(violations: Vec<Violation>, entries: &[Entry]) -> Filtered {
     for e in entries {
         allowance.insert((e.rule.clone(), e.path.clone()), e.max);
     }
-    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
-    for v in &violations {
-        *counts
-            .entry((v.rule.to_owned(), v.path.clone()))
-            .or_default() += 1;
-    }
+    let counts = group_counts(&violations);
     let mut out = Filtered::default();
     for v in violations {
         let key = (v.rule.to_owned(), v.path.clone());
@@ -118,32 +174,118 @@ pub fn apply(violations: Vec<Violation>, entries: &[Entry]) -> Filtered {
     out
 }
 
+/// Raw violation counts per `(rule, path)` group.
+pub fn group_counts(violations: &[Violation]) -> BTreeMap<(String, String), usize> {
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for v in violations {
+        *counts
+            .entry((v.rule.to_owned(), v.path.clone()))
+            .or_default() += 1;
+    }
+    counts
+}
+
+/// Rewrites allowlist text with ratchets tightened to the raw `counts`
+/// actually found (`--fix-allowlist`).
+///
+/// The rewrite is line-preserving: comments, blank lines, boundary
+/// declarations, and entry justifications survive verbatim. Only the
+/// MAX field changes — down to the found count when there is slack —
+/// and entries whose count reached zero are dropped entirely. Counts
+/// *above* the allowance are never written: growth must be audited by
+/// hand, not laundered through the fixer.
+pub fn tighten(text: &str, counts: &BTreeMap<(String, String), usize>) -> String {
+    let mut out = String::new();
+    for raw in text.lines() {
+        let (line, _comment) = match raw.split_once('#') {
+            Some((l, c)) => (l.trim(), c.trim()),
+            None => (raw.trim(), ""),
+        };
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let entry = match fields.as_slice() {
+            [rule, path, max] if *rule != "boundary" && max.parse::<usize>().is_ok() => {
+                Some(((*rule).to_owned(), (*path).to_owned()))
+            }
+            _ => None,
+        };
+        let Some(key) = entry else {
+            out.push_str(raw);
+            out.push('\n');
+            continue;
+        };
+        let found = counts.get(&key).copied().unwrap_or(0);
+        let max: usize = fields[2].parse().unwrap_or(0);
+        if found == 0 {
+            continue; // stale entry: drop the line
+        }
+        if found >= max {
+            out.push_str(raw);
+            out.push('\n');
+            continue;
+        }
+        // Replace the MAX field in place, preserving everything else.
+        let mut rebuilt = String::new();
+        let mut replaced = false;
+        let mut rest = raw;
+        for (fi, field) in fields.iter().enumerate() {
+            let at = rest.find(field).unwrap_or(0);
+            rebuilt.push_str(&rest[..at]);
+            if fi == 2 && !replaced {
+                rebuilt.push_str(&found.to_string());
+                replaced = true;
+            } else {
+                rebuilt.push_str(field);
+            }
+            rest = &rest[at + field.len()..];
+        }
+        rebuilt.push_str(rest);
+        out.push_str(&rebuilt);
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn v(rule: &'static str, path: &str, line: u32) -> Violation {
-        Violation {
-            rule,
-            path: path.to_owned(),
-            line,
-            msg: "m".to_owned(),
-        }
+        Violation::new(rule, path, line, "m".to_owned())
     }
 
     #[test]
     fn parse_accepts_comments_and_rejects_junk() {
-        let entries = parse("# header\nD4 crates/x/src/a.rs 3 # audited\n\n").unwrap();
-        assert_eq!(entries.len(), 1);
-        assert_eq!(entries[0].max, 3);
+        let allow = parse("# header\nD4 crates/x/src/a.rs 3 # audited\n\n").unwrap();
+        assert_eq!(allow.entries.len(), 1);
+        assert_eq!(allow.entries[0].max, 3);
         assert!(parse("D9 p 1").is_err());
         assert!(parse("D4 p notanumber").is_err());
         assert!(parse("D4 p").is_err());
     }
 
     #[test]
+    fn parse_boundaries_and_justification_requirements() {
+        let allow = parse(
+            "boundary crates/matrix/src/parallel.rs par_map_rows # deterministic join\n\
+             D6 crates/core/src/pipeline.rs 17 # timings only\n",
+        )
+        .unwrap();
+        assert_eq!(allow.boundaries.len(), 1);
+        assert_eq!(allow.boundaries[0].func, "par_map_rows");
+        assert_eq!(allow.entries[0].rule, "D6");
+        // D6–D8 allowances and boundaries without a justification fail.
+        assert!(parse("D6 crates/core/src/pipeline.rs 17").is_err());
+        assert!(parse("D7 crates/matrix 40").is_err());
+        assert!(parse("D8 crates/core/src/x.rs 1").is_err());
+        assert!(parse("boundary p f").is_err());
+        assert!(parse("boundary p").is_err());
+        // D1–D5 entries keep working without (legacy ratchet format).
+        assert!(parse("D4 p 1").is_ok());
+    }
+
+    #[test]
     fn apply_ratchets() {
-        let entries = parse("D4 a.rs 2\nD2 b.rs 1\nD5 stale.rs 4").unwrap();
+        let allow = parse("D4 a.rs 2\nD2 b.rs 1\nD5 stale.rs 4").unwrap();
         let vs = vec![
             v("D4", "a.rs", 1),
             v("D4", "a.rs", 9),
@@ -151,7 +293,7 @@ mod tests {
             v("D2", "b.rs", 7), // exceeds allowance of 1
             v("D1", "c.rs", 2), // no entry
         ];
-        let filtered = apply(vs, &entries);
+        let filtered = apply(vs, &allow.entries);
         // a.rs fits; b.rs exceeds (both reported); c.rs unlisted.
         assert_eq!(filtered.violations.len(), 3);
         assert!(filtered.violations.iter().any(|x| x.path == "c.rs"));
@@ -161,5 +303,27 @@ mod tests {
             .filter(|x| x.path == "b.rs")
             .all(|x| x.msg.contains("ratchet")));
         assert!(filtered.warnings.iter().any(|w| w.contains("stale")));
+    }
+
+    #[test]
+    fn tighten_preserves_structure_and_ratchets_down() {
+        let text = "# header comment\n\
+                    D4 a.rs 5  # five audited sites\n\
+                    D4 gone.rs 2  # all fixed now\n\
+                    D2 b.rs 1  # exact\n\
+                    boundary p.rs f  # audited join\n";
+        let vs = vec![v("D4", "a.rs", 1), v("D4", "a.rs", 2), v("D2", "b.rs", 3)];
+        let got = tighten(text, &group_counts(&vs));
+        assert!(got.contains("# header comment"));
+        assert!(got.contains("D4 a.rs 2  # five audited sites"));
+        assert!(!got.contains("gone.rs"), "stale entry dropped: {got}");
+        assert!(got.contains("D2 b.rs 1  # exact"));
+        assert!(got.contains("boundary p.rs f  # audited join"));
+        // Over-allowance counts are never written by the fixer.
+        let over = tighten(
+            "D2 b.rs 1\n",
+            &group_counts(&[v("D2", "b.rs", 1), v("D2", "b.rs", 2)]),
+        );
+        assert!(over.contains("D2 b.rs 1"));
     }
 }

@@ -1,0 +1,464 @@
+//! The interprocedural rules D6–D8, run over the workspace call graph.
+//!
+//! | Rule | Contract it guards |
+//! |------|--------------------|
+//! | D6 | Determinism taint: nondeterminism sources (hash-order iteration, `thread::spawn`/`scope`, wall clocks, `std::env` reads, RNG not drawn from a seeded stream) must be unreachable from the report-producing entry points — `Pipeline::run*`, `IncrementalPipeline::apply*`, every pub fn in `core::strategy` — except through explicitly audited boundary fns declared in the allowlist. |
+//! | D7 | Panic surface: per public API fn of `matrix`/`cluster`/`core`, whether any panic site (`unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`) is reachable; the per-crate count is ratcheted in the allowlist and `--explain` prints the offending call chain. |
+//! | D8 | Parallel-closure capture audit: arguments to the substrate's `par_map_rows`/`par_map_ranges`/`par_map_reduce_ranges`/`par_fill_by_offsets` must not touch statics or interior-mutability types outside `matrix::parallel` — shared mutation inside a parallel closure is how bit-identity dies quietly. |
+//!
+//! All three rules inherit the call graph's over-approximation (see
+//! [`crate::graph`]): they may flag chains that cannot execute, never
+//! miss ones that can. Findings carry the enclosing fn and the
+//! entry-to-finding call chain for `--explain` and `--json`.
+
+use std::collections::BTreeSet;
+
+use crate::allowlist::Boundary;
+use crate::graph::CallGraph;
+use crate::lexer::Token;
+use crate::rules::{FileKind, Violation};
+
+/// Where the report-producing pipeline entry points live.
+const PIPELINE_FILE: &str = "crates/core/src/pipeline.rs";
+/// Where the incremental entry points live.
+const INCREMENTAL_FILE: &str = "crates/core/src/incremental.rs";
+/// Every pub fn here is a strategy backend and thus an entry point.
+const STRATEGY_FILE: &str = "crates/core/src/strategy.rs";
+/// The parallel substrate (exempt from D8 — it IS the audited code).
+const SUBSTRATE: &str = "crates/matrix/src/parallel.rs";
+/// Crates whose public API panic surface is ratcheted by D7.
+const PANIC_RATCHET_CRATES: &[&str] = &["matrix", "cluster", "core"];
+/// Substrate fns whose argument closures D8 audits.
+const PAR_FNS: &[&str] = &[
+    "par_map_rows",
+    "par_map_ranges",
+    "par_map_reduce_ranges",
+    "par_fill_by_offsets",
+];
+
+/// Runs D6–D8 over the linked call graph.
+pub fn scan(graph: &CallGraph, boundaries: &[Boundary]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    d6_determinism_taint(graph, boundaries, &mut out);
+    d7_panic_surface(graph, &mut out);
+    d8_parallel_capture(graph, &mut out);
+    out
+}
+
+/// The D6 entry set: report-producing fns whose transitive callees must
+/// be deterministic.
+pub fn d6_entry_points(graph: &CallGraph) -> Vec<usize> {
+    let mut entries = Vec::new();
+    for (id, f) in graph.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        let rel = graph.rel(id);
+        let hit = (rel == PIPELINE_FILE
+            && f.self_type.as_deref() == Some("Pipeline")
+            && f.name.starts_with("run"))
+            || (rel == INCREMENTAL_FILE
+                && f.self_type.as_deref() == Some("IncrementalPipeline")
+                && f.name.starts_with("apply"))
+            || (rel == STRATEGY_FILE && f.is_pub);
+        if hit {
+            entries.push(id);
+        }
+    }
+    entries
+}
+
+/// `"Name @ path:line"` — one rendered chain element.
+fn chain_elem(graph: &CallGraph, id: usize) -> String {
+    format!(
+        "{} ({}:{})",
+        graph.qualified(id),
+        graph.rel(id),
+        graph.fns[id].line
+    )
+}
+
+/// D6: nondeterminism sources unreachable from pipeline entry points.
+fn d6_determinism_taint(graph: &CallGraph, boundaries: &[Boundary], out: &mut Vec<Violation>) {
+    let entries = d6_entry_points(graph);
+    let blocked: Vec<bool> = (0..graph.fns.len())
+        .map(|id| {
+            graph.fns[id].is_test
+                || boundaries
+                    .iter()
+                    .any(|b| b.func == graph.fns[id].name && b.path == graph.rel(id))
+        })
+        .collect();
+    let reach = graph.reach(&entries, |id| blocked[id]);
+    for id in 0..graph.fns.len() {
+        if !reach.reached[id] {
+            continue;
+        }
+        let Some((lo, hi)) = graph.fns[id].body else {
+            continue;
+        };
+        let tokens = &graph.files[graph.fns[id].file].tokens;
+        let rel = graph.rel(id).to_owned();
+        let chain: Vec<String> = reach
+            .chain(id)
+            .into_iter()
+            .map(|f| chain_elem(graph, f))
+            .collect();
+        for (line, what) in nondet_sources(tokens, lo, hi.min(tokens.len())) {
+            out.push(Violation {
+                rule: "D6",
+                path: rel.clone(),
+                line,
+                msg: format!(
+                    "{what} is reachable from pipeline entry point `{}`; determinism \
+                     taint must stop at an audited boundary (run --explain for the chain)",
+                    chain.first().map(String::as_str).unwrap_or("?"),
+                ),
+                func: Some(graph.qualified(id)),
+                chain: chain.clone(),
+            });
+        }
+    }
+}
+
+/// Scans `[lo, hi)` of a token stream for nondeterminism sources,
+/// returning `(line, description)` per occurrence.
+fn nondet_sources(tokens: &[Token], lo: usize, hi: usize) -> Vec<(u32, String)> {
+    let mut found = Vec::new();
+    for i in lo..hi {
+        let t = &tokens[i];
+        if !t.ident || t.in_test {
+            continue;
+        }
+        let after_colons = |k: usize| {
+            tokens.get(k).is_some_and(|a| a.text == ":")
+                && tokens.get(k + 1).is_some_and(|b| b.text == ":")
+        };
+        let qualified_by = |name: &str| {
+            i >= 3 && tokens[i - 3].ident && tokens[i - 3].text == name && after_colons(i - 2)
+        };
+        match t.text.as_str() {
+            "HashMap" | "HashSet" => found.push((
+                t.line,
+                format!("`{}` (hash iteration order varies per process)", t.text),
+            )),
+            "Instant" | "SystemTime" => {
+                found.push((t.line, format!("`{}` (wall-clock read)", t.text)))
+            }
+            "thread_rng" | "from_entropy" | "from_os_rng" => found.push((
+                t.line,
+                format!(
+                    "`{}` (RNG seeded from the OS, not a splitmix stream)",
+                    t.text
+                ),
+            )),
+            "spawn" | "scope" if qualified_by("thread") => found.push((
+                t.line,
+                format!("`thread::{}` (unmanaged parallelism)", t.text),
+            )),
+            "random" if qualified_by("rand") => found.push((
+                t.line,
+                "`rand::random` (thread-local OS-seeded RNG)".to_owned(),
+            )),
+            "var" | "vars" | "var_os" | "args" | "args_os" if qualified_by("env") => found.push((
+                t.line,
+                format!("`env::{}` (process environment read)", t.text),
+            )),
+            _ => {}
+        }
+    }
+    found
+}
+
+/// D7: ratcheted panic-surface count per public API fn of the core crates.
+fn d7_panic_surface(graph: &CallGraph, out: &mut Vec<Violation>) {
+    // Seed: fns with a *direct* panic site in their body.
+    let mut seeds = vec![false; graph.fns.len()];
+    let mut site: Vec<Option<(String, u32)>> = vec![None; graph.fns.len()];
+    for (id, f) in graph.fns.iter().enumerate() {
+        let Some((lo, hi)) = f.body else { continue };
+        let tokens = &graph.files[f.file].tokens;
+        if let Some((what, line)) = first_panic_site(tokens, lo, hi.min(tokens.len())) {
+            seeds[id] = true;
+            site[id] = Some((what, line));
+        }
+    }
+    let can = graph.can_reach_seed(&seeds);
+    for (id, f) in graph.fns.iter().enumerate() {
+        let crate_ok =
+            PANIC_RATCHET_CRATES.contains(&graph.files[f.file].class.crate_name.as_str());
+        if !crate_ok
+            || !f.is_pub
+            || f.is_test
+            || graph.files[f.file].class.kind != FileKind::LibSrc
+            || !can[id]
+        {
+            continue;
+        }
+        let chain_ids = graph.chain_to(id, &seeds);
+        let chain: Vec<String> = chain_ids.iter().map(|&c| chain_elem(graph, c)).collect();
+        let (what, line) = chain_ids
+            .last()
+            .and_then(|&last| site[last].clone())
+            .unwrap_or_else(|| ("panic site".to_owned(), 0));
+        let sink = chain_ids
+            .last()
+            .map(|&last| format!("{} ({}:{line})", graph.qualified(last), graph.rel(last)))
+            .unwrap_or_default();
+        out.push(Violation {
+            rule: "D7",
+            path: format!("crates/{}", graph.files[f.file].class.crate_name),
+            line: 0,
+            msg: format!(
+                "public fn `{}` ({}:{}) can reach {what} in `{sink}` — panic surface \
+                 is ratcheted per crate (run --explain for the chain)",
+                graph.qualified(id),
+                graph.rel(id),
+                f.line,
+            ),
+            func: Some(graph.qualified(id)),
+            chain,
+        });
+    }
+}
+
+/// First direct panic site in `[lo, hi)`, as `(description, line)`.
+fn first_panic_site(tokens: &[Token], lo: usize, hi: usize) -> Option<(String, u32)> {
+    for i in lo..hi {
+        let t = &tokens[i];
+        if !t.ident || t.in_test {
+            continue;
+        }
+        match t.text.as_str() {
+            "unwrap" | "expect"
+                if i > 0
+                    && tokens[i - 1].text == "."
+                    && tokens.get(i + 1).is_some_and(|n| n.text == "(") =>
+            {
+                return Some((format!("`.{}(..)`", t.text), t.line));
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if tokens.get(i + 1).is_some_and(|n| n.text == "!") =>
+            {
+                return Some((format!("`{}!`", t.text), t.line));
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Idents that mean shared interior mutability inside a parallel closure.
+fn interior_mutability(name: &str) -> bool {
+    matches!(
+        name,
+        "RefCell"
+            | "Cell"
+            | "OnceCell"
+            | "OnceLock"
+            | "LazyLock"
+            | "Mutex"
+            | "RwLock"
+            | "UnsafeCell"
+            | "thread_local"
+            | "lazy_static"
+    ) || name.starts_with("Atomic")
+}
+
+/// D8: arguments to the substrate's `par_*` fns must not touch statics
+/// or interior-mutability types.
+fn d8_parallel_capture(graph: &CallGraph, out: &mut Vec<Violation>) {
+    // Workspace static names (from the item parser's symbol table).
+    let statics: BTreeSet<&str> = graph
+        .files
+        .iter()
+        .flat_map(|u| u.parsed.statics.iter().map(String::as_str))
+        .collect();
+    for (id, f) in graph.fns.iter().enumerate() {
+        if f.is_test || graph.rel(id) == SUBSTRATE {
+            continue;
+        }
+        let Some((lo, hi)) = f.body else { continue };
+        let tokens = &graph.files[f.file].tokens;
+        let hi = hi.min(tokens.len());
+        let mut i = lo;
+        while i < hi {
+            let t = &tokens[i];
+            let is_par_call = t.ident
+                && PAR_FNS.contains(&t.text.as_str())
+                && tokens.get(i + 1).is_some_and(|n| n.text == "(");
+            if !is_par_call {
+                i += 1;
+                continue;
+            }
+            let par_name = t.text.clone();
+            // Balance parens over the whole argument list: the closure
+            // plus everything around it (over-approximation, documented).
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < hi && depth > 0 {
+                match tokens[j].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            for k in i + 2..j.saturating_sub(1) {
+                let a = &tokens[k];
+                if !a.ident || a.in_test {
+                    continue;
+                }
+                let prev = &tokens[k - 1].text;
+                let lifetime = prev == "'";
+                let field = prev == ".";
+                let what = if a.text == "static" && !lifetime {
+                    Some("a `static` item".to_owned())
+                } else if interior_mutability(&a.text) {
+                    Some(format!("interior-mutability type `{}`", a.text))
+                } else if !field && statics.contains(a.text.as_str()) {
+                    Some(format!("workspace static `{}`", a.text))
+                } else {
+                    None
+                };
+                if let Some(what) = what {
+                    out.push(Violation {
+                        rule: "D8",
+                        path: graph.rel(id).to_owned(),
+                        line: a.line,
+                        msg: format!(
+                            "argument to `{par_name}` touches {what}: parallel closures \
+                             must be free of shared mutation outside the substrate",
+                        ),
+                        func: Some(graph.qualified(id)),
+                        chain: Vec::new(),
+                    });
+                }
+            }
+            i = j;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Workspace;
+    use crate::rules::classify;
+
+    fn graph_of(files: &[(&str, &str)]) -> CallGraph {
+        Workspace::build(
+            files
+                .iter()
+                .map(|(rel, src)| (classify(rel).expect("classifiable"), (*src).to_owned()))
+                .collect(),
+        )
+    }
+
+    const PIPELINE: &str = "pub struct Pipeline;\n\
+         impl Pipeline { pub fn run(&self) { stage(); } }\n\
+         fn stage() { helper(); }\n";
+
+    #[test]
+    fn d6_catches_source_two_calls_deep() {
+        // The ISSUE's seeded regression: a nondeterminism source two
+        // calls below Pipeline::run, in another crate.
+        let g = graph_of(&[
+            ("crates/core/src/pipeline.rs", PIPELINE),
+            (
+                "crates/cluster/src/helper.rs",
+                "pub fn helper() { let t = std::time::Instant::now(); }",
+            ),
+        ]);
+        let vs = scan(&g, &[]);
+        let d6: Vec<_> = vs.iter().filter(|v| v.rule == "D6").collect();
+        assert_eq!(d6.len(), 1, "{vs:?}");
+        assert_eq!(d6[0].path, "crates/cluster/src/helper.rs");
+        assert!(d6[0].msg.contains("Instant"));
+        assert_eq!(d6[0].chain.len(), 3, "{:?}", d6[0].chain);
+        assert!(d6[0].chain[0].starts_with("Pipeline::run"));
+    }
+
+    #[test]
+    fn d6_respects_audited_boundaries() {
+        let g = graph_of(&[
+            ("crates/core/src/pipeline.rs", PIPELINE),
+            (
+                "crates/cluster/src/helper.rs",
+                "pub fn helper() { std::thread::spawn(|| {}); }",
+            ),
+        ]);
+        assert!(scan(&g, &[]).iter().any(|v| v.rule == "D6"));
+        let boundary = Boundary {
+            path: "crates/cluster/src/helper.rs".to_owned(),
+            func: "helper".to_owned(),
+        };
+        assert!(scan(&g, &[boundary]).iter().all(|v| v.rule != "D6"));
+    }
+
+    #[test]
+    fn d6_ignores_unreachable_and_test_code() {
+        let g = graph_of(&[
+            ("crates/core/src/pipeline.rs", PIPELINE),
+            (
+                "crates/cluster/src/helper.rs",
+                "pub fn helper() {}\n\
+                 pub fn island() { let t = std::time::Instant::now(); }\n\
+                 #[cfg(test)]\nmod tests { fn t() { let x = std::time::Instant::now(); } }",
+            ),
+        ]);
+        assert!(scan(&g, &[]).iter().all(|v| v.rule != "D6"));
+    }
+
+    #[test]
+    fn d7_counts_reachable_panics_per_crate() {
+        let g = graph_of(&[(
+            "crates/matrix/src/m.rs",
+            "pub fn risky() { inner(); }\n\
+             fn inner() { x.unwrap(); }\n\
+             pub fn safe() {}\n",
+        )]);
+        let vs = scan(&g, &[]);
+        let d7: Vec<_> = vs.iter().filter(|v| v.rule == "D7").collect();
+        assert_eq!(d7.len(), 1, "{vs:?}");
+        assert_eq!(d7[0].path, "crates/matrix");
+        assert_eq!(d7[0].func.as_deref(), Some("risky"));
+        assert!(d7[0].chain.len() == 2, "{:?}", d7[0].chain);
+    }
+
+    #[test]
+    fn d7_ignores_non_ratcheted_crates_and_private_fns() {
+        let g = graph_of(&[
+            ("crates/synth/src/s.rs", "pub fn gen() { x.unwrap(); }"),
+            ("crates/matrix/src/m.rs", "fn private() { x.unwrap(); }"),
+        ]);
+        assert!(scan(&g, &[]).iter().all(|v| v.rule != "D7"));
+    }
+
+    #[test]
+    fn d8_flags_interior_mutability_and_statics_in_par_args() {
+        let g = graph_of(&[(
+            "crates/cluster/src/c.rs",
+            "static TABLE: [u32; 4] = [0; 4];\n\
+             fn f(n: usize) { par_map_rows(n, 4, |r| { let x = TABLE[r]; }); }\n\
+             fn g(n: usize) { par_map_ranges(n, 4, |lo, hi| { let c = AtomicUsize::new(0); }); }\n\
+             fn clean(n: usize) { par_map_rows(n, 4, |r| r + 1); }\n",
+        )]);
+        let vs = scan(&g, &[]);
+        let d8: Vec<_> = vs.iter().filter(|v| v.rule == "D8").collect();
+        assert_eq!(d8.len(), 2, "{vs:?}");
+        assert!(d8
+            .iter()
+            .any(|v| v.msg.contains("workspace static `TABLE`")));
+        assert!(d8.iter().any(|v| v.msg.contains("AtomicUsize")));
+    }
+
+    #[test]
+    fn d8_exempts_the_substrate_itself() {
+        let g = graph_of(&[(
+            "crates/matrix/src/parallel.rs",
+            "fn par_map_rows(n: usize) { par_map_ranges(n, |x| { let c = Mutex::new(0); }); }",
+        )]);
+        assert!(scan(&g, &[]).iter().all(|v| v.rule != "D8"));
+    }
+}

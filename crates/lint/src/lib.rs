@@ -3,29 +3,42 @@
 //! The workspace's central claim is that every parallel stage is
 //! bit-identical to its sequential oracle at every thread count. The
 //! proptests pin that dynamically; this crate prevents the *next* change
-//! from breaking it statically, with five hand-rolled lints (see
-//! [`rules`] for the table) enforced by a dependency-free token scanner
-//! over the workspace's own sources.
+//! from breaking it statically:
+//!
+//! * **D1–D5** — per-file token lints (see [`rules`] for the table),
+//!   a dependency-free scanner over the workspace's own sources;
+//! * **D6–D8** — interprocedural rules (see [`interproc`]) over a
+//!   conservative workspace call graph: determinism-taint reachability
+//!   from the pipeline entry points, a ratcheted per-crate panic
+//!   surface, and a capture audit for parallel closures. The graph is
+//!   recovered by a lightweight item parser ([`parse`]) and linked by
+//!   [`graph`]; resolution over-approximates, so a deny verdict is
+//!   sound even where static resolution is ambiguous.
 //!
 //! Audited exceptions live in `crates/lint/allowlist.txt` as per-file,
 //! per-rule allowances with a ratchet: the violation count may shrink
-//! but never grow (see [`allowlist`]).
+//! but never grow (see [`allowlist`]). D6 taint boundaries are declared
+//! there too, each with a mandatory written justification.
 //!
 //! Run it as `cargo run -p rolediet-lint` (wired into
-//! `scripts/verify.sh` and CI), or `--print-allowlist` to emit entries
-//! for the current findings when auditing new debt.
+//! `scripts/verify.sh` and CI; `--strict` there), `--print-allowlist`
+//! to emit entries for the current findings when auditing new debt, or
+//! `--fix-allowlist` to tighten ratchets in place.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod allowlist;
+pub mod graph;
+pub mod interproc;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 pub mod walk;
 
 use std::path::Path;
 
-use rules::Violation;
+use rules::{FileKind, Violation};
 
 /// Everything one lint run produced.
 #[derive(Debug, Default)]
@@ -33,12 +46,80 @@ pub struct Outcome {
     /// Actionable violations (allowlist already applied). Non-empty
     /// means the run failed.
     pub violations: Vec<Violation>,
-    /// Non-fatal notes (allowlist slack, stale entries).
+    /// Non-fatal notes (allowlist slack, stale entries). Hard errors
+    /// under `--strict`.
     pub warnings: Vec<String>,
     /// Number of files scanned.
     pub files_scanned: usize,
     /// Raw violation count before the allowlist was applied.
     pub raw_count: usize,
+    /// Fns indexed in the workspace call graph.
+    pub fns_indexed: usize,
+    /// Resolved call edges in the workspace call graph.
+    pub call_edges: usize,
+}
+
+/// Raw analysis results: every finding before the allowlist, plus the
+/// call-graph size for reporting.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// All violations, D1–D8, unfiltered.
+    pub raw: Vec<Violation>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Fns indexed in the call graph.
+    pub fns_indexed: usize,
+    /// Resolved call edges.
+    pub call_edges: usize,
+}
+
+/// Reads and parses `crates/lint/allowlist.txt` under `root` (an absent
+/// file is an empty allowlist).
+///
+/// # Errors
+///
+/// Returns a message when the file exists but cannot be read or parsed.
+pub fn load_allowlist(root: &Path) -> Result<allowlist::Allowlist, String> {
+    let allow_path = root.join("crates/lint/allowlist.txt");
+    match std::fs::read_to_string(&allow_path) {
+        Ok(text) => allowlist::parse(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(allowlist::Allowlist::default()),
+        Err(e) => Err(format!("cannot read {}: {e}", allow_path.display())),
+    }
+}
+
+/// Scans every lintable workspace file (D1–D5), builds the call graph
+/// over library and binary sources, and runs D6–D8 with the given
+/// taint `boundaries`. No allowlist filtering is applied.
+///
+/// # Errors
+///
+/// Returns a message when a file or directory cannot be read.
+pub fn analyze(root: &Path, boundaries: &[allowlist::Boundary]) -> Result<Analysis, String> {
+    let mut raw = Vec::new();
+    let mut files_scanned = 0usize;
+    let mut graph_sources: Vec<(rules::FileClass, String)> = Vec::new();
+    for rel in walk::workspace_files(root)? {
+        let Some(class) = rules::classify(&rel) else {
+            continue;
+        };
+        let path = root.join(&rel);
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        files_scanned += 1;
+        raw.extend(rules::scan_file(&class, &src));
+        if matches!(class.kind, FileKind::LibSrc | FileKind::BinSrc) {
+            graph_sources.push((class, src));
+        }
+    }
+    let graph = graph::Workspace::build(graph_sources);
+    raw.extend(interproc::scan(&graph, boundaries));
+    Ok(Analysis {
+        raw,
+        files_scanned,
+        fns_indexed: graph.fns.len(),
+        call_edges: graph.edge_count,
+    })
 }
 
 /// Lints the workspace rooted at `root` with the checked-in allowlist.
@@ -49,57 +130,120 @@ pub struct Outcome {
 /// allowlist is malformed — infrastructure failures, distinct from lint
 /// violations, which are reported in the [`Outcome`].
 pub fn run(root: &Path) -> Result<Outcome, String> {
-    let allow_path = root.join("crates/lint/allowlist.txt");
-    let entries = match std::fs::read_to_string(&allow_path) {
-        Ok(text) => allowlist::parse(&text)?,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
-        Err(e) => return Err(format!("cannot read {}: {e}", allow_path.display())),
-    };
-    let raw = scan_workspace(root)?;
-    let files_scanned = walk::workspace_files(root)?
-        .iter()
-        .filter(|rel| rules::classify(rel).is_some())
-        .count();
-    let raw_count = raw.len();
-    let filtered = allowlist::apply(raw, &entries);
+    let allow = load_allowlist(root)?;
+    let analysis = analyze(root, &allow.boundaries)?;
+    let raw_count = analysis.raw.len();
+    let filtered = allowlist::apply(analysis.raw, &allow.entries);
     Ok(Outcome {
         violations: filtered.violations,
         warnings: filtered.warnings,
-        files_scanned,
+        files_scanned: analysis.files_scanned,
         raw_count,
+        fns_indexed: analysis.fns_indexed,
+        call_edges: analysis.call_edges,
     })
 }
 
-/// Scans every lintable workspace file, with no allowlist applied.
+/// Scans the whole workspace (D1–D8) with no allowlist filtering,
+/// using the checked-in boundaries when the allowlist parses.
 ///
 /// # Errors
 ///
-/// Returns a message when a file or directory cannot be read.
+/// Returns a message when the workspace cannot be walked or read.
 pub fn scan_workspace(root: &Path) -> Result<Vec<Violation>, String> {
-    let mut out = Vec::new();
-    for rel in walk::workspace_files(root)? {
-        let Some(class) = rules::classify(&rel) else {
-            continue;
-        };
-        let path = root.join(&rel);
-        let src = std::fs::read_to_string(&path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        out.extend(rules::scan_file(&class, &src));
-    }
-    Ok(out)
+    let boundaries = load_allowlist(root)
+        .map(|a| a.boundaries)
+        .unwrap_or_default();
+    Ok(analyze(root, &boundaries)?.raw)
 }
 
 /// Renders `violations` as allowlist entries (one per `(rule, path)`
 /// group, allowance = current count) for `--print-allowlist`.
 pub fn suggested_allowlist(violations: &[Violation]) -> String {
-    let mut counts: std::collections::BTreeMap<(&str, &str), usize> =
-        std::collections::BTreeMap::new();
-    for v in violations {
-        *counts.entry((v.rule, v.path.as_str())).or_default() += 1;
-    }
     let mut out = String::new();
-    for ((rule, path), n) in counts {
+    for ((rule, path), n) in allowlist::group_counts(violations) {
         out.push_str(&format!("{rule} {path} {n}  # TODO: justify\n"));
     }
     out
+}
+
+/// Renders the outcome as machine-readable JSON for `--json`:
+/// violations carry rule, file, line, enclosing fn, and call chain.
+pub fn render_json(outcome: &Outcome) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    fn str_list(items: &[String]) -> String {
+        let parts: Vec<String> = items.iter().map(|s| format!("\"{}\"", esc(s))).collect();
+        format!("[{}]", parts.join(","))
+    }
+    let mut vs = Vec::new();
+    for v in &outcome.violations {
+        let func = match &v.func {
+            Some(f) => format!("\"{}\"", esc(f)),
+            None => "null".to_owned(),
+        };
+        vs.push(format!(
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"fn\":{},\"msg\":\"{}\",\"chain\":{}}}",
+            v.rule,
+            esc(&v.path),
+            v.line,
+            func,
+            esc(&v.msg),
+            str_list(&v.chain),
+        ));
+    }
+    format!(
+        "{{\"files_scanned\":{},\"fns_indexed\":{},\"call_edges\":{},\"raw_count\":{},\
+         \"violations\":[{}],\"warnings\":{}}}\n",
+        outcome.files_scanned,
+        outcome.fns_indexed,
+        outcome.call_edges,
+        outcome.raw_count,
+        vs.join(","),
+        str_list(&outcome.warnings),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_structures() {
+        let outcome = Outcome {
+            violations: vec![Violation {
+                rule: "D6",
+                path: "crates/x/src/a.rs".to_owned(),
+                line: 3,
+                msg: "a \"quoted\" msg".to_owned(),
+                func: Some("T::f".to_owned()),
+                chain: vec!["entry (a.rs:1)".to_owned(), "T::f (a.rs:3)".to_owned()],
+            }],
+            warnings: vec!["slack".to_owned()],
+            files_scanned: 2,
+            raw_count: 1,
+            fns_indexed: 5,
+            call_edges: 7,
+        };
+        let json = render_json(&outcome);
+        assert!(json.contains("\"rule\":\"D6\""));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"fn\":\"T::f\""));
+        assert!(json.contains("\"chain\":[\"entry (a.rs:1)\",\"T::f (a.rs:3)\"]"));
+        assert!(json.contains("\"fns_indexed\":5"));
+        // Exactly one line, parseable shape.
+        assert_eq!(json.lines().count(), 1);
+    }
 }

@@ -1,20 +1,27 @@
 //! Driver for `rolediet-lint`.
 //!
 //! ```text
-//! cargo run -p rolediet-lint [-- --root PATH] [--print-allowlist] [--quiet]
+//! cargo run -p rolediet-lint [-- --root PATH] [--strict] [--explain] [--json]
+//!                            [--print-allowlist] [--fix-allowlist] [--quiet]
 //! ```
 //!
-//! Exits non-zero when any violation survives the allowlist, so
+//! Exits non-zero when any violation survives the allowlist (and, under
+//! `--strict`, when any allowlist slack/stale warning remains), so
 //! `scripts/verify.sh` and CI can gate on it.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 use std::path::PathBuf;
+use std::time::Instant;
 
 fn main() {
     let mut root: Option<PathBuf> = None;
     let mut print_allowlist = false;
+    let mut fix_allowlist = false;
+    let mut strict = false;
+    let mut explain = false;
+    let mut json = false;
     let mut quiet = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -24,13 +31,21 @@ fn main() {
                 None => die("--root needs a path"),
             },
             "--print-allowlist" => print_allowlist = true,
+            "--fix-allowlist" => fix_allowlist = true,
+            "--strict" => strict = true,
+            "--explain" => explain = true,
+            "--json" => json = true,
             "--quiet" | "-q" => quiet = true,
             "--help" | "-h" => {
                 println!(
-                    "rolediet-lint — workspace domain lints (D1–D5)\n\
+                    "rolediet-lint — workspace domain lints (per-file D1–D5, interprocedural D6–D8)\n\
                      \n\
                      \x20 --root PATH         workspace root (default: inferred)\n\
+                     \x20 --strict            promote allowlist slack/stale warnings to errors\n\
+                     \x20 --explain           print the call chain under each D6/D7 finding\n\
+                     \x20 --json              machine-readable output (rule, file, fn, chain)\n\
                      \x20 --print-allowlist   emit allowlist entries for current findings\n\
+                     \x20 --fix-allowlist     rewrite allowlist.txt with tightened ratchets\n\
                      \x20 --quiet             suppress the summary line"
                 );
                 return;
@@ -39,6 +54,7 @@ fn main() {
         }
     }
     let root = root.unwrap_or_else(workspace_root);
+    let started = Instant::now();
 
     if print_allowlist {
         match rolediet_lint::scan_workspace(&root) {
@@ -48,24 +64,65 @@ fn main() {
         return;
     }
 
+    if fix_allowlist {
+        let allow_path = root.join("crates/lint/allowlist.txt");
+        let text = match std::fs::read_to_string(&allow_path) {
+            Ok(t) => t,
+            Err(e) => die(&format!("cannot read {}: {e}", allow_path.display())),
+        };
+        let boundaries = match rolediet_lint::allowlist::parse(&text) {
+            Ok(allow) => allow.boundaries,
+            Err(e) => die(&e),
+        };
+        let raw = match rolediet_lint::analyze(&root, &boundaries) {
+            Ok(a) => a.raw,
+            Err(e) => die(&e),
+        };
+        let counts = rolediet_lint::allowlist::group_counts(&raw);
+        let tightened = rolediet_lint::allowlist::tighten(&text, &counts);
+        if tightened == text {
+            eprintln!("rolediet-lint: allowlist already tight");
+        } else if let Err(e) = std::fs::write(&allow_path, &tightened) {
+            die(&format!("cannot write {}: {e}", allow_path.display()));
+        } else {
+            eprintln!("rolediet-lint: tightened {}", allow_path.display());
+        }
+        return;
+    }
+
     match rolediet_lint::run(&root) {
         Ok(outcome) => {
-            for w in &outcome.warnings {
-                eprintln!("warning: {w}");
+            let failed = !outcome.violations.is_empty() || (strict && !outcome.warnings.is_empty());
+            if json {
+                print!("{}", rolediet_lint::render_json(&outcome));
+            } else {
+                let warn_tag = if strict { "error (strict)" } else { "warning" };
+                for w in &outcome.warnings {
+                    eprintln!("{warn_tag}: {w}");
+                }
+                for v in &outcome.violations {
+                    println!("{v}");
+                    if explain && !v.chain.is_empty() {
+                        for (depth, hop) in v.chain.iter().enumerate() {
+                            println!("    {}{hop}", "  ".repeat(depth));
+                        }
+                    }
+                }
+                if !quiet {
+                    eprintln!(
+                        "rolediet-lint: {} files scanned, {} fns / {} call edges indexed, \
+                         {} raw findings, {} allowlisted, {} actionable in {} ms",
+                        outcome.files_scanned,
+                        outcome.fns_indexed,
+                        outcome.call_edges,
+                        outcome.raw_count,
+                        outcome.raw_count - outcome.violations.len(),
+                        outcome.violations.len(),
+                        started.elapsed().as_millis(),
+                    );
+                }
             }
-            for v in &outcome.violations {
-                println!("{v}");
-            }
-            if !quiet {
-                eprintln!(
-                    "rolediet-lint: {} files scanned, {} raw findings, {} allowlisted, {} actionable",
-                    outcome.files_scanned,
-                    outcome.raw_count,
-                    outcome.raw_count - outcome.violations.len(),
-                    outcome.violations.len()
-                );
-            }
-            if !outcome.violations.is_empty() {
+            if failed {
                 std::process::exit(1);
             }
         }

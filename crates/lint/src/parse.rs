@@ -1,0 +1,664 @@
+//! A lightweight item parser over the token stream of [`crate::lexer`].
+//!
+//! Recovers the item structure the interprocedural rules need — `mod`
+//! nesting, `use` imports, type aliases, `static` items, `impl`/`trait`
+//! blocks, and `fn` items with their body token ranges — without parsing
+//! Rust for real. The contract mirrors the lexer's: *sound for the
+//! workspace's own sources*, conservative everywhere else. Constructs
+//! the parser does not model (macro definitions, exotic type paths)
+//! degrade into over-approximation in [`crate::graph`], never silence.
+//!
+//! Two deliberate simplifications:
+//!
+//! * fn bodies are treated as opaque token ranges — nested `fn` items
+//!   and closures stay part of the enclosing body, so any call they
+//!   make is attributed to the enclosing fn (an over-approximation of
+//!   "may call", which is the sound direction for deny-lints);
+//! * visibility is binary: `pub` with no restriction is public,
+//!   everything else (`pub(crate)`, `pub(super)`, private) is not.
+
+use crate::lexer::Token;
+
+/// One `fn` item (free fn, inherent/trait method, or trait default).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// The fn's identifier.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name (last path segment), or
+    /// `None` for free fns.
+    pub self_type: Option<String>,
+    /// `pub` with no restriction.
+    pub is_pub: bool,
+    /// Inside a `#[test]`/`#[cfg(test)]`-marked region.
+    pub is_test: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range of the body including its braces, or `None`
+    /// for bodiless trait method declarations.
+    pub body: Option<(usize, usize)>,
+}
+
+/// One flattened `use` binding: `alias` is the local name, `path` the
+/// full segment list (globs are recorded with a final `*` segment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseImport {
+    /// The name this import binds locally.
+    pub alias: String,
+    /// Full path segments, e.g. `["std", "collections", "HashMap"]`.
+    pub path: Vec<String>,
+}
+
+/// A `type Alias = Target;` item (generics stripped, target reduced to
+/// its last path segment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeAlias {
+    /// The alias name.
+    pub alias: String,
+    /// Last segment of the aliased type path.
+    pub target: String,
+}
+
+/// Everything the parser recovers from one file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// All fn items, in source order (including nested-in-nothing
+    /// trait declarations; bodies of nested fns belong to their
+    /// enclosing fn).
+    pub fns: Vec<FnItem>,
+    /// Flattened `use` imports.
+    pub uses: Vec<UseImport>,
+    /// `type` aliases (item-level and associated).
+    pub aliases: Vec<TypeAlias>,
+    /// Names with an `impl` block in this file.
+    pub impl_types: Vec<String>,
+    /// Names declared as `trait` in this file.
+    pub traits: Vec<String>,
+    /// Names of `static` items (mutable global state candidates).
+    pub statics: Vec<String>,
+}
+
+/// Keywords that can sit between a visibility modifier and `fn`.
+const FN_MODIFIERS: &[&str] = &["const", "async", "unsafe", "extern"];
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "as" | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "extern"
+            | "false"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "self"
+            | "Self"
+            | "static"
+            | "struct"
+            | "super"
+            | "trait"
+            | "true"
+            | "type"
+            | "union"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+    )
+}
+
+/// Is `s` a keyword that can never be a call/fn name? (Re-exported for
+/// the call scanner in [`crate::graph`].)
+pub fn reserved_word(s: &str) -> bool {
+    is_keyword(s)
+}
+
+/// Returns the index just past the delimiter-balanced region opening at
+/// `open` (which must hold the opening token). Balances only the given
+/// pair, so it is safe for `<...>` generics where each `>` is a
+/// separate token.
+fn skip_balanced(tokens: &[Token], open: usize, open_ch: &str, close_ch: &str) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if !t.ident {
+            if t.text == open_ch {
+                depth += 1;
+            } else if t.text == close_ch {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// One entry of the parser's scope stack: a named block (impl, trait)
+/// whose closing brace restores the previous self-type context.
+struct Scope {
+    /// Brace depth *after* this scope's opening `{`.
+    open_depth: usize,
+    /// `impl`/`trait` type name, or `None` for `mod` blocks.
+    self_type: Option<String>,
+}
+
+/// Parses one file's token stream.
+pub fn parse_file(tokens: &[Token]) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if !t.ident {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    if scopes.last().is_some_and(|s| s.open_depth == depth) {
+                        scopes.pop();
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        // Macro definition or invocation at item position: skip the
+        // whole delimited body so its tokens can't fake items.
+        if tokens.get(i + 1).is_some_and(|n| !n.ident && n.text == "!") {
+            i = skip_macro(tokens, i);
+            continue;
+        }
+        match t.text.as_str() {
+            "fn" => i = parse_fn(tokens, i, &mut out, &scopes),
+            "impl" => {
+                let (next, name) = parse_impl_header(tokens, i);
+                if let Some(name) = name {
+                    if !out.impl_types.contains(&name) {
+                        out.impl_types.push(name.clone());
+                    }
+                    // `next` points at the opening `{` (or past a
+                    // degenerate header); register the scope the brace
+                    // will open.
+                    scopes.push(Scope {
+                        open_depth: depth + 1,
+                        self_type: Some(name),
+                    });
+                }
+                i = next;
+            }
+            "trait" => {
+                if let Some(name_tok) = tokens.get(i + 1).filter(|n| n.ident) {
+                    let name = name_tok.text.clone();
+                    if !out.traits.contains(&name) {
+                        out.traits.push(name.clone());
+                    }
+                    scopes.push(Scope {
+                        open_depth: depth + 1,
+                        self_type: Some(name),
+                    });
+                    i = seek_brace(tokens, i + 2);
+                } else {
+                    i += 1;
+                }
+            }
+            "use" => {
+                let (next, mut imports) = parse_use(tokens, i + 1);
+                out.uses.append(&mut imports);
+                i = next;
+            }
+            "type" => {
+                i = parse_type_alias(tokens, i, &mut out);
+            }
+            "static" => {
+                // `static NAME: Ty = ...;` (skip an optional `mut`,
+                // which D3 forbids anyway but the parser stays honest).
+                let mut j = i + 1;
+                if tokens.get(j).is_some_and(|n| n.ident && n.text == "mut") {
+                    j += 1;
+                }
+                if let Some(name_tok) = tokens.get(j).filter(|n| n.ident) {
+                    out.statics.push(name_tok.text.clone());
+                }
+                i = j + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Skips a macro definition/invocation starting at the macro name;
+/// returns the index after its delimited body (or after `!` when no
+/// delimiter follows, e.g. `assert!` inside an expression context we
+/// were never meant to see here).
+fn skip_macro(tokens: &[Token], name_idx: usize) -> usize {
+    // `macro_rules! name { ... }` has one extra ident before the body.
+    let mut j = name_idx + 2;
+    if tokens[name_idx].text == "macro_rules" && tokens.get(j).is_some_and(|n| n.ident) {
+        j += 1;
+    }
+    match tokens.get(j).map(|n| n.text.as_str()) {
+        Some("{") => skip_balanced(tokens, j, "{", "}"),
+        Some("(") => skip_balanced(tokens, j, "(", ")"),
+        Some("[") => skip_balanced(tokens, j, "[", "]"),
+        _ => j,
+    }
+}
+
+/// Advances to just past the next `{` at the current nesting level
+/// (entering the block), used for trait/impl headers with bounds and
+/// `where` clauses. Parens and brackets are balanced over.
+fn seek_brace(tokens: &[Token], mut i: usize) -> usize {
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if !t.ident {
+            match t.text.as_str() {
+                "{" => return i, // caller's main loop will push depth
+                "(" => {
+                    i = skip_balanced(tokens, i, "(", ")");
+                    continue;
+                }
+                "[" => {
+                    i = skip_balanced(tokens, i, "[", "]");
+                    continue;
+                }
+                ";" => return i + 1, // bodiless (e.g. `impl Foo;` never, but stay safe)
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses an `impl` header starting at the `impl` token. Returns
+/// `(index of the opening brace, self-type name)`.
+fn parse_impl_header(tokens: &[Token], impl_idx: usize) -> (usize, Option<String>) {
+    let mut i = impl_idx + 1;
+    // Generic parameters.
+    if tokens.get(i).is_some_and(|t| !t.ident && t.text == "<") {
+        i = skip_balanced(tokens, i, "<", ">");
+    }
+    // First type path (the trait in `impl Trait for Type`, or the type).
+    let (next, first) = parse_type_path(tokens, i);
+    i = next;
+    let mut name = first;
+    if tokens.get(i).is_some_and(|t| t.ident && t.text == "for") {
+        let (next, second) = parse_type_path(tokens, i + 1);
+        i = next;
+        name = second;
+    }
+    (seek_brace(tokens, i), name)
+}
+
+/// Parses a type path (`a::b::Name<...>` with leading `&`/`mut`/`dyn`),
+/// returning the index after it and the last ident segment.
+fn parse_type_path(tokens: &[Token], mut i: usize) -> (usize, Option<String>) {
+    let mut last: Option<String> = None;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.ident {
+            match t.text.as_str() {
+                "for" | "where" => break,
+                "mut" | "dyn" => i += 1,
+                _ => {
+                    last = Some(t.text.clone());
+                    i += 1;
+                }
+            }
+        } else {
+            match t.text.as_str() {
+                ":" | "&" => i += 1,
+                "<" => i = skip_balanced(tokens, i, "<", ">"),
+                "(" => i = skip_balanced(tokens, i, "(", ")"), // fn-pointer / tuple types
+                _ => break,
+            }
+        }
+    }
+    (i, last)
+}
+
+/// Parses one `fn` item starting at the `fn` keyword; records it and
+/// returns the index just past its body (or its `;`).
+fn parse_fn(tokens: &[Token], fn_idx: usize, out: &mut ParsedFile, scopes: &[Scope]) -> usize {
+    let Some(name_tok) = tokens.get(fn_idx + 1).filter(|n| n.ident) else {
+        return fn_idx + 1;
+    };
+    // Visibility: walk back over fn modifiers to an unrestricted `pub`.
+    let mut j = fn_idx;
+    while j > 0 && FN_MODIFIERS.contains(&tokens[j - 1].text.as_str()) {
+        j -= 1;
+    }
+    let is_pub = j > 0
+        && tokens[j - 1].ident
+        && tokens[j - 1].text == "pub"
+        && tokens.get(j).is_some_and(|t| t.text != "(");
+    // Signature: scan to the body `{` or a bodiless `;`, balancing
+    // parens/brackets (generics hold no braces; `where` clauses hold no
+    // parens at depth 0 that matter).
+    let mut i = fn_idx + 2;
+    let mut body = None;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if !t.ident {
+            match t.text.as_str() {
+                "(" => {
+                    i = skip_balanced(tokens, i, "(", ")");
+                    continue;
+                }
+                "{" => {
+                    let end = skip_balanced(tokens, i, "{", "}");
+                    body = Some((i, end));
+                    i = end;
+                    break;
+                }
+                ";" => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    let self_type = scopes.iter().rev().find_map(|s| s.self_type.clone());
+    out.fns.push(FnItem {
+        name: name_tok.text.clone(),
+        self_type,
+        is_pub,
+        is_test: tokens[fn_idx].in_test,
+        line: tokens[fn_idx].line,
+        body,
+    });
+    i
+}
+
+/// Parses a `type Alias<..> = Target;` item starting at `type`.
+fn parse_type_alias(tokens: &[Token], type_idx: usize, out: &mut ParsedFile) -> usize {
+    let Some(name_tok) = tokens.get(type_idx + 1).filter(|n| n.ident) else {
+        return type_idx + 1;
+    };
+    let mut i = type_idx + 2;
+    if tokens.get(i).is_some_and(|t| !t.ident && t.text == "<") {
+        i = skip_balanced(tokens, i, "<", ">");
+    }
+    if !tokens.get(i).is_some_and(|t| !t.ident && t.text == "=") {
+        // Associated type declaration (`type Item;`) or bounds: skip to `;`.
+        while i < tokens.len() && tokens[i].text != ";" {
+            i += 1;
+        }
+        return i + 1;
+    }
+    let (next, target) = parse_type_path(tokens, i + 1);
+    if let Some(target) = target {
+        out.aliases.push(TypeAlias {
+            alias: name_tok.text.clone(),
+            target,
+        });
+    }
+    // To `;`.
+    let mut i = next;
+    while i < tokens.len() && tokens[i].text != ";" {
+        i += 1;
+    }
+    i + 1
+}
+
+/// Parses a use tree after the `use` keyword; returns the index after
+/// the terminating `;` and the flattened imports.
+fn parse_use(tokens: &[Token], start: usize) -> (usize, Vec<UseImport>) {
+    let mut imports = Vec::new();
+    let end = parse_use_tree(tokens, start, &mut Vec::new(), &mut imports);
+    // Consume a trailing `;` if present.
+    let end = if tokens.get(end).is_some_and(|t| t.text == ";") {
+        end + 1
+    } else {
+        end
+    };
+    (end, imports)
+}
+
+/// Recursive use-tree walk, accumulating the current path prefix.
+fn parse_use_tree(
+    tokens: &[Token],
+    mut i: usize,
+    prefix: &mut Vec<String>,
+    out: &mut Vec<UseImport>,
+) -> usize {
+    let base_len = prefix.len();
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.ident {
+            if t.text == "as" {
+                // `path as alias`
+                if let Some(alias) = tokens.get(i + 1).filter(|n| n.ident) {
+                    out.push(UseImport {
+                        alias: alias.text.clone(),
+                        path: prefix.clone(),
+                    });
+                    prefix.truncate(base_len);
+                    i += 2;
+                    // The segment was emitted under its alias; eat a
+                    // separator if the caller is a group.
+                    continue;
+                }
+                i += 1;
+                continue;
+            }
+            prefix.push(t.text.clone());
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            ":" => i += 1,
+            "*" => {
+                prefix.push("*".to_owned());
+                emit_leaf(prefix, out, base_len);
+                i += 1;
+            }
+            "{" => {
+                i += 1;
+                loop {
+                    i = parse_use_tree(tokens, i, prefix, out);
+                    match tokens.get(i).map(|t| t.text.as_str()) {
+                        Some(",") => i += 1,
+                        Some("}") => {
+                            i += 1;
+                            break;
+                        }
+                        _ => break,
+                    }
+                }
+                prefix.truncate(base_len);
+                return i;
+            }
+            "," | "}" | ";" => {
+                emit_leaf(prefix, out, base_len);
+                return i;
+            }
+            _ => i += 1,
+        }
+    }
+    emit_leaf(prefix, out, base_len);
+    i
+}
+
+/// Emits the accumulated path as an import named after its last
+/// segment, then restores the prefix for the caller.
+fn emit_leaf(prefix: &mut Vec<String>, out: &mut Vec<UseImport>, base_len: usize) {
+    if prefix.len() > base_len {
+        if let Some(last) = prefix.last().filter(|s| s.as_str() != "*") {
+            out.push(UseImport {
+                alias: last.clone(),
+                path: prefix.clone(),
+            });
+        }
+        prefix.truncate(base_len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file(&tokenize(src))
+    }
+
+    #[test]
+    fn free_and_method_fns() {
+        let p = parse(
+            "pub fn free(x: u32) -> u32 { x }\n\
+             struct S;\n\
+             impl S { pub fn m(&self) {} fn private(&self) {} }\n\
+             impl Clone for S { fn clone(&self) -> S { S } }",
+        );
+        assert_eq!(p.fns.len(), 4);
+        assert_eq!(p.fns[0].name, "free");
+        assert!(p.fns[0].is_pub);
+        assert_eq!(p.fns[0].self_type, None);
+        assert_eq!(p.fns[1].self_type.as_deref(), Some("S"));
+        assert!(p.fns[1].is_pub);
+        assert!(!p.fns[2].is_pub);
+        // `impl Clone for S` attributes methods to S.
+        assert_eq!(p.fns[3].self_type.as_deref(), Some("S"));
+        assert_eq!(p.impl_types, ["S"]);
+    }
+
+    #[test]
+    fn pub_crate_is_not_public() {
+        let p = parse("pub(crate) fn a() {} pub const fn b() {} pub async fn c() {}");
+        assert!(!p.fns[0].is_pub);
+        assert!(p.fns[1].is_pub);
+        assert!(p.fns[2].is_pub);
+    }
+
+    #[test]
+    fn bodies_are_token_ranges() {
+        let src = "fn outer() { inner(); helper(1, 2); }";
+        let toks = tokenize(src);
+        let p = parse_file(&toks);
+        let (a, b) = p.fns[0].body.expect("has body");
+        let names: Vec<&str> = toks[a..b]
+            .iter()
+            .filter(|t| t.ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(names, ["inner", "helper"]);
+    }
+
+    #[test]
+    fn generics_and_impl_trait_do_not_confuse_body_detection() {
+        let p = parse(
+            "fn f<T: Iterator<Item = u32>>(it: T) -> impl Iterator<Item = u32> where T: Clone { it }\n\
+             fn g() {}",
+        );
+        assert_eq!(p.fns.len(), 2);
+        assert!(p.fns[0].body.is_some());
+        assert_eq!(p.fns[1].name, "g");
+    }
+
+    #[test]
+    fn trait_decls_and_defaults() {
+        let p = parse("trait T { fn decl(&self); fn dflt(&self) { self.decl() } }");
+        assert_eq!(p.traits, ["T"]);
+        assert_eq!(p.fns[0].body, None);
+        assert!(p.fns[1].body.is_some());
+        assert_eq!(p.fns[0].self_type.as_deref(), Some("T"));
+    }
+
+    #[test]
+    fn impl_generic_header() {
+        let p = parse("impl<'a, T: Clone> Wrapper<'a, T> { fn get(&self) {} }");
+        assert_eq!(p.impl_types, ["Wrapper"]);
+        assert_eq!(p.fns[0].self_type.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn use_imports_flatten_groups_and_aliases() {
+        let p = parse(
+            "use std::collections::{BTreeMap, HashMap as Map};\n\
+             use crate::graph::CallGraph;\n\
+             use rolediet_matrix::parallel::*;",
+        );
+        let find = |alias: &str| {
+            p.uses
+                .iter()
+                .find(|u| u.alias == alias)
+                .unwrap_or_else(|| panic!("alias {alias} in {:?}", p.uses))
+        };
+        assert_eq!(find("BTreeMap").path, ["std", "collections", "BTreeMap"]);
+        assert_eq!(find("Map").path, ["std", "collections", "HashMap"]);
+        assert_eq!(find("CallGraph").path, ["crate", "graph", "CallGraph"]);
+    }
+
+    #[test]
+    fn type_aliases_and_statics() {
+        let p = parse(
+            "type Rows = crate::sparse::CsrMatrix;\n\
+             static TABLE: [u32; 4] = [0; 4];\n\
+             fn f() {}",
+        );
+        assert_eq!(p.aliases[0].alias, "Rows");
+        assert_eq!(p.aliases[0].target, "CsrMatrix");
+        assert_eq!(p.statics, ["TABLE"]);
+    }
+
+    #[test]
+    fn macro_rules_bodies_cannot_fake_items() {
+        let p = parse(
+            "macro_rules! fake { () => { fn not_an_item() {} }; }\n\
+             fn real() {}",
+        );
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "real");
+    }
+
+    #[test]
+    fn test_attributes_mark_fns() {
+        let p = parse("#[cfg(test)]\nmod tests { fn helper() {} }\nfn live() {}");
+        assert!(p.fns[0].is_test);
+        assert!(!p.fns[1].is_test);
+    }
+
+    #[test]
+    fn raw_string_bodies_cannot_fake_items() {
+        let p = parse("fn real() { let s = r#\"fn fake() {}\"#; }");
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "real");
+    }
+
+    #[test]
+    fn nested_fn_stays_inside_enclosing_body() {
+        let src = "fn outer() { fn inner() { probe(); } inner(); }";
+        let toks = tokenize(src);
+        let p = parse_file(&toks);
+        // The nested fn is not a separate item; its tokens belong to
+        // outer's body (over-approximation documented in the module).
+        assert_eq!(p.fns.len(), 1);
+        let (a, b) = p.fns[0].body.expect("body");
+        assert!(toks[a..b].iter().any(|t| t.text == "probe"));
+    }
+}

@@ -7,20 +7,44 @@
 //! | D3 | Crate roots carry `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]`; no `unsafe` token anywhere (including keyword-adjacent `unsafe_` bindings, which read as `unsafe` in diffs). |
 //! | D4 | No `.unwrap()`/`.expect(..)` in non-test library code (invariant-backed uses are audited in the allowlist). |
 //! | D5 | No wall-clock reads (`Instant`/`SystemTime`) outside the `Report::timings` plumbing (`crates/core/src/pipeline.rs`) and the bench crate. |
+//!
+//! The interprocedural rules D6–D8 (determinism taint, panic surface,
+//! parallel-closure capture audit) live in [`crate::interproc`]; they run
+//! over the workspace call graph rather than one file at a time.
 
 use crate::lexer::{tokenize, Token};
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule code, `"D1"`..`"D5"`.
+    /// Rule code, `"D1"`..`"D8"`.
     pub rule: &'static str,
-    /// Workspace-relative path with `/` separators.
+    /// Workspace-relative path with `/` separators (for the per-crate
+    /// D7 ratchet, the crate directory, e.g. `crates/matrix`).
     pub path: String,
     /// 1-based line (0 for whole-file findings such as missing attributes).
     pub line: u32,
     /// Human-readable description.
     pub msg: String,
+    /// Enclosing fn (interprocedural rules only), `Type::name` form.
+    pub func: Option<String>,
+    /// Call chain from the analyzed entry point to the finding
+    /// (interprocedural rules only); printed by `--explain`/`--json`.
+    pub chain: Vec<String>,
+}
+
+impl Violation {
+    /// A plain (per-file) finding with no call-chain context.
+    pub fn new(rule: &'static str, path: &str, line: u32, msg: String) -> Violation {
+        Violation {
+            rule,
+            path: path.to_owned(),
+            line,
+            msg,
+            func: None,
+            chain: Vec::new(),
+        }
+    }
 }
 
 impl std::fmt::Display for Violation {
@@ -121,12 +145,7 @@ pub fn scan_file(class: &FileClass, src: &str) -> Vec<Violation> {
 }
 
 fn push(out: &mut Vec<Violation>, rule: &'static str, class: &FileClass, line: u32, msg: String) {
-    out.push(Violation {
-        rule,
-        path: class.rel.clone(),
-        line,
-        msg,
-    });
+    out.push(Violation::new(rule, &class.rel, line, msg));
 }
 
 /// D1: `thread::spawn` / `thread::scope` only inside the substrate.

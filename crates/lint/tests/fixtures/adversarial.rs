@@ -1,0 +1,54 @@
+//! Adversarial parser/call-graph fixture: nested closures, shadowed
+//! names, macro invocations, `impl Trait` arguments, and fn-shaped text
+//! inside raw strings. The pin is over-but-never-under approximation:
+//! every real item and call edge below must be recovered, and no item
+//! may be invented from string contents.
+
+/// Calls `target` from inside a closure nested in a closure.
+pub fn outer() -> usize {
+    let f = |x: usize| {
+        let g = |y: usize| y + target();
+        g(x)
+    };
+    f(1)
+}
+
+fn target() -> usize {
+    7
+}
+
+/// A local binding shadows the callee's name; the call must still
+/// resolve to the fn item.
+pub fn shadower() -> usize {
+    let helper_fn = 3;
+    let _ = helper_fn;
+    helper_fn_impl() + helper_fn
+}
+
+fn helper_fn_impl() -> usize {
+    1
+}
+
+macro_rules! fabricate {
+    ($name:ident) => {
+        fn $name() -> usize {
+            0
+        }
+    };
+}
+
+fabricate!(macro_made);
+
+/// `impl Trait` in argument position must not derail the signature
+/// scanner before the body.
+pub fn takes_impl(x: impl Iterator<Item = usize>) -> usize {
+    x.map(|v| v + target()).sum()
+}
+
+/// Raw-string and plain-string bodies containing `fn fake()` text —
+/// these are data, not items.
+pub fn raw_strings() -> String {
+    let a = r#"fn fake_in_raw() { panic!("not real") }"#;
+    let b = "fn fake_in_str() {}";
+    format!("{a}{b}")
+}

@@ -1,0 +1,20 @@
+//! D6 fixture: a nondeterminism source two calls deep under
+//! `Pipeline::run`. Scanned as `crates/core/src/pipeline.rs`, where the
+//! wall-clock token itself is D5-exempt (timings plumbing) — only the
+//! interprocedural taint walk can catch it.
+
+pub struct Pipeline;
+
+impl Pipeline {
+    pub fn run(&self) -> u128 {
+        stage()
+    }
+}
+
+fn stage() -> u128 {
+    helper()
+}
+
+fn helper() -> u128 {
+    std::time::Instant::now().elapsed().as_micros()
+}

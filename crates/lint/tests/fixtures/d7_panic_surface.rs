@@ -1,0 +1,20 @@
+//! D7 fixture: a panic site reachable from a public API fn of a
+//! ratcheted crate. `panic!` is not a D4 pattern (that rule tracks
+//! `.unwrap()`/`.expect()`), so only the surface walk reports it.
+
+/// Public API: panics transitively via `inner`.
+pub fn widen(v: &[u32]) -> u32 {
+    inner(v)
+}
+
+fn inner(v: &[u32]) -> u32 {
+    match v.first() {
+        Some(&x) => x,
+        None => panic!("widen requires a non-empty slice"),
+    }
+}
+
+/// Public API with no reachable panic: must stay off the surface.
+pub fn total(v: &[u32]) -> u64 {
+    v.iter().map(|&x| u64::from(x)).sum()
+}

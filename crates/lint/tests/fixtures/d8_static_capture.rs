@@ -1,0 +1,18 @@
+//! D8 fixture: a parallel-map closure capturing a workspace static of
+//! an interior-mutability type. Either signal alone must trip the
+//! capture audit outside `matrix::parallel`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static HITS: AtomicUsize = AtomicUsize::new(0);
+
+pub fn tally(rows: &[u64]) -> Vec<u32> {
+    par_map_rows(rows.len(), |r| {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        rows[r].count_ones()
+    })
+}
+
+fn par_map_rows<T>(n: usize, f: impl Fn(usize) -> T) -> Vec<T> {
+    (0..n).map(f).collect()
+}

@@ -95,19 +95,33 @@ fn seeded_workspace(test_name: &str, rel: &str, fixture_name: &str) -> PathBuf {
     let root =
         std::env::temp_dir().join(format!("rolediet-lint-{}-{test_name}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
-    let target = root.join(rel);
-    std::fs::create_dir_all(target.parent().expect("fixture path has a parent"))
-        .expect("create workspace dirs");
-    std::fs::write(&target, fixture(fixture_name)).expect("write fixture");
+    write_file(&root, rel, &fixture(fixture_name));
     root
 }
 
-fn lint_exit_code(root: &Path) -> i32 {
+fn write_file(root: &Path, rel: &str, content: &str) {
+    let target = root.join(rel);
+    std::fs::create_dir_all(target.parent().expect("fixture path has a parent"))
+        .expect("create workspace dirs");
+    std::fs::write(&target, content).expect("write fixture");
+}
+
+/// Runs the real binary against `root`; returns (exit code, stdout).
+fn lint_run(root: &Path, extra: &[&str]) -> (i32, String) {
+    let mut args = vec!["--root".to_owned(), root.display().to_string()];
+    args.extend(extra.iter().map(|s| (*s).to_owned()));
     let output = Command::new(env!("CARGO_BIN_EXE_rolediet-lint"))
-        .args(["--root", &root.display().to_string(), "--quiet"])
+        .args(&args)
         .output()
         .expect("run rolediet-lint");
-    output.status.code().expect("exit code")
+    (
+        output.status.code().expect("exit code"),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+    )
+}
+
+fn lint_exit_code(root: &Path) -> i32 {
+    lint_run(root, &["--quiet"]).0
 }
 
 #[test]
@@ -143,6 +157,151 @@ fn binary_exits_zero_on_clean_workspace() {
     let root = seeded_workspace("bin-clean", "crates/matrix/src/lib.rs", "clean.rs");
     assert_eq!(lint_exit_code(&root), 0);
     let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Each interprocedural fixture trips exactly its rule, observed
+/// through the real binary's `--json` output.
+#[test]
+fn interprocedural_fixtures_trip_their_rules() {
+    let cases = [
+        ("bin-d6", "crates/core/src/pipeline.rs", "d6_taint.rs", "D6"),
+        (
+            "bin-d7",
+            "crates/matrix/src/seeded.rs",
+            "d7_panic_surface.rs",
+            "D7",
+        ),
+        (
+            "bin-d8",
+            "crates/cluster/src/seeded.rs",
+            "d8_static_capture.rs",
+            "D8",
+        ),
+    ];
+    for (name, rel, fixture_name, rule) in cases {
+        let root = seeded_workspace(name, rel, fixture_name);
+        let (code, json) = lint_run(&root, &["--json"]);
+        assert_eq!(code, 1, "{fixture_name} must fail the lint");
+        assert!(
+            json.contains(&format!("\"rule\":\"{rule}\"")),
+            "{fixture_name} must report {rule}: {json}"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}
+
+/// The D6 regression fixture (a source two calls deep under
+/// `Pipeline::run`) is reported with its full call chain end to end:
+/// `--explain` prints `Pipeline::run → stage → helper`.
+#[test]
+fn explain_prints_the_taint_chain() {
+    let root = seeded_workspace(
+        "bin-d6-explain",
+        "crates/core/src/pipeline.rs",
+        "d6_taint.rs",
+    );
+    let (code, out) = lint_run(&root, &["--explain", "--quiet"]);
+    assert_eq!(code, 1);
+    for hop in ["Pipeline::run (", "stage (", "helper ("] {
+        assert!(out.contains(hop), "chain hop {hop:?} missing from:\n{out}");
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// `--strict` promotes allowlist warnings (here: a stale entry for a
+/// file with no findings) to a failing exit.
+#[test]
+fn strict_promotes_stale_allowlist_to_error() {
+    let root = seeded_workspace("bin-strict", "crates/matrix/src/lib.rs", "clean.rs");
+    write_file(
+        &root,
+        "crates/lint/allowlist.txt",
+        "D4 crates/matrix/src/lib.rs 3  # stale: the expects were removed\n",
+    );
+    assert_eq!(lint_run(&root, &["--quiet"]).0, 0, "warnings alone pass");
+    assert_eq!(
+        lint_run(&root, &["--strict", "--quiet"]).0,
+        1,
+        "strict mode fails on the stale entry"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// `--fix-allowlist` rewrites slack ratchets down to the observed count
+/// and drops stale entries, preserving everything else.
+#[test]
+fn fix_allowlist_tightens_ratchets_in_place() {
+    let root = seeded_workspace("bin-fix", "crates/model/src/seeded.rs", "d4_unwrap.rs");
+    let allow_rel = "crates/lint/allowlist.txt";
+    write_file(
+        &root,
+        allow_rel,
+        "# audited debt\n\
+         D4 crates/model/src/seeded.rs 9  # slack: audit note survives\n\
+         D4 crates/model/src/gone.rs   2  # stale: file no longer exists\n",
+    );
+    let (code, _) = lint_run(&root, &["--fix-allowlist"]);
+    assert_eq!(code, 0);
+    let rewritten = std::fs::read_to_string(root.join(allow_rel)).expect("read allowlist");
+    assert!(
+        rewritten.contains("D4 crates/model/src/seeded.rs 4  # slack: audit note survives"),
+        "ratchet tightened to the observed count: {rewritten}"
+    );
+    assert!(
+        !rewritten.contains("gone.rs"),
+        "stale entry dropped: {rewritten}"
+    );
+    assert!(rewritten.contains("# audited debt"), "comments preserved");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The adversarial fixture pins over-but-never-under approximation:
+/// every real item and call edge is recovered; no item is invented
+/// from fn-shaped text inside strings.
+#[test]
+fn adversarial_fixture_parses_and_links_soundly() {
+    use rolediet_lint::graph::Workspace;
+    use rolediet_lint::rules::classify;
+
+    let src = fixture("adversarial.rs");
+    let class = classify("crates/core/src/adversarial.rs").expect("classifies");
+    let graph = Workspace::build(vec![(class, src)]);
+
+    let names: Vec<&str> = graph.fns.iter().map(|f| f.name.as_str()).collect();
+    for real in [
+        "outer",
+        "target",
+        "shadower",
+        "helper_fn_impl",
+        "takes_impl",
+        "raw_strings",
+    ] {
+        assert!(names.contains(&real), "missing item {real}: {names:?}");
+    }
+    for fake in ["fake_in_raw", "fake_in_str"] {
+        assert!(!names.contains(&fake), "string text parsed as item: {fake}");
+    }
+
+    let id_of = |name: &str| {
+        graph
+            .fns
+            .iter()
+            .position(|f| f.name == name)
+            .unwrap_or_else(|| panic!("{name} indexed"))
+    };
+    let edges = |name: &str| &graph.edges[id_of(name)];
+    assert!(
+        edges("outer").contains(&id_of("target")),
+        "call through nested closures resolves"
+    );
+    assert!(
+        edges("shadower").contains(&id_of("helper_fn_impl")),
+        "shadowed local binding does not hide the fn call"
+    );
+    assert!(
+        edges("takes_impl").contains(&id_of("target")),
+        "impl Trait argument does not derail body scanning"
+    );
 }
 
 /// The repository itself must lint clean with the checked-in allowlist —

@@ -168,6 +168,13 @@ fn sample_distinct(rng: &mut StdRng, lo: usize, len: usize, k: usize) -> Vec<usi
 /// pools too small for the requested pair counts (each panic message says
 /// which knob to raise).
 pub fn generate_org(config: OrgConfig) -> GeneratedOrg {
+    build_org(config).expect("planted ids are in range by construction")
+}
+
+/// Fallible body of [`generate_org`]: edge insertions propagate
+/// [`rolediet_model::ModelError`] instead of panicking mid-build, so the
+/// public wrapper carries the one audited `.expect` for the whole walk.
+fn build_org(config: OrgConfig) -> rolediet_model::Result<GeneratedOrg> {
     let plan = config.plan;
     check_config(&config);
 
@@ -200,15 +207,11 @@ pub fn generate_org(config: OrgConfig) -> GeneratedOrg {
         catch_all.push(r);
         let (ulo, ulen) = user_range(d);
         for u in sample_distinct(&mut rng, ulo, ulen, 2) {
-            graph
-                .assign_user(r, UserId::from_index(u))
-                .expect("in range");
+            graph.assign_user(r, UserId::from_index(u))?;
         }
         let (plo, plen) = perm_range(d);
         for p in sample_distinct(&mut rng, plo, plen, 2) {
-            graph
-                .grant_permission(r, PermissionId::from_index(p))
-                .expect("in range");
+            graph.grant_permission(r, PermissionId::from_index(p))?;
         }
     }
     let mut healthy: Vec<RoleId> = Vec::with_capacity(healthy_total);
@@ -222,14 +225,14 @@ pub fn generate_org(config: OrgConfig) -> GeneratedOrg {
             r,
             user_range(d),
             config.role_user_degree,
-        );
+        )?;
         attach_perms(
             &mut graph,
             &mut rng,
             r,
             perm_range(d),
             config.role_perm_degree,
-        );
+        )?;
     }
 
     // --- planted degree-type roles --------------------------------------
@@ -242,7 +245,7 @@ pub fn generate_org(config: OrgConfig) -> GeneratedOrg {
             r,
             perm_range(d),
             config.role_perm_degree,
-        );
+        )?;
         truth.userless_roles.push(r);
     }
     for i in 0..plan.permless_roles {
@@ -254,7 +257,7 @@ pub fn generate_org(config: OrgConfig) -> GeneratedOrg {
             r,
             user_range(d),
             config.role_user_degree,
-        );
+        )?;
         truth.permless_roles.push(r);
     }
     for i in 0..plan.single_user_roles {
@@ -262,16 +265,14 @@ pub fn generate_org(config: OrgConfig) -> GeneratedOrg {
         let r = graph.add_role();
         let (ulo, ulen) = user_range(d);
         let u = sample_distinct(&mut rng, ulo, ulen, 1)[0];
-        graph
-            .assign_user(r, UserId::from_index(u))
-            .expect("in range");
+        graph.assign_user(r, UserId::from_index(u))?;
         attach_perms(
             &mut graph,
             &mut rng,
             r,
             perm_range(d),
             config.role_perm_degree,
-        );
+        )?;
         truth.single_user_roles.push(r);
     }
     for i in 0..plan.single_permission_roles {
@@ -283,12 +284,10 @@ pub fn generate_org(config: OrgConfig) -> GeneratedOrg {
             r,
             user_range(d),
             config.role_user_degree,
-        );
+        )?;
         let (plo, plen) = perm_range(d);
         let p = sample_distinct(&mut rng, plo, plen, 1)[0];
-        graph
-            .grant_permission(r, PermissionId::from_index(p))
-            .expect("in range");
+        graph.grant_permission(r, PermissionId::from_index(p))?;
         truth.single_permission_roles.push(r);
     }
     for _ in 0..plan.standalone_roles {
@@ -317,6 +316,11 @@ pub fn generate_org(config: OrgConfig) -> GeneratedOrg {
 ///
 /// Same configuration panics as [`generate_org`].
 pub fn generate_org_with(config: OrgConfig, threads: usize) -> GeneratedOrg {
+    build_org_with(config, threads).expect("planted ids are in range by construction")
+}
+
+/// Fallible body of [`generate_org_with`] (see [`build_org`]).
+fn build_org_with(config: OrgConfig, threads: usize) -> rolediet_model::Result<GeneratedOrg> {
     let plan = config.plan;
     check_config(&config);
 
@@ -410,14 +414,10 @@ pub fn generate_org_with(config: OrgConfig, threads: usize) -> GeneratedOrg {
     for (kind, (users, perms)) in kinds.iter().zip(&edges) {
         let r = graph.add_role();
         for &u in users {
-            graph
-                .assign_user(r, UserId::from_index(u))
-                .expect("in range");
+            graph.assign_user(r, UserId::from_index(u))?;
         }
         for &p in perms {
-            graph
-                .grant_permission(r, PermissionId::from_index(p))
-                .expect("in range");
+            graph.grant_permission(r, PermissionId::from_index(p))?;
         }
         match kind {
             Kind::CatchAll(_) => catch_all.push(r),
@@ -468,7 +468,7 @@ fn finish_org(
     healthy: &[RoleId],
     catch_all: &[RoleId],
     config: OrgConfig,
-) -> GeneratedOrg {
+) -> rolediet_model::Result<GeneratedOrg> {
     let plan = config.plan;
     let base_users = config.departments * config.users_per_department;
     let base_perms = config.departments * config.permissions_per_department;
@@ -503,32 +503,31 @@ fn finish_org(
         perm_pool.len()
     );
 
-    let mut user_iter = user_pool.into_iter();
-    for _ in 0..plan.same_user_role_pairs {
-        let a = user_iter.next().expect("pool checked");
-        let b = user_iter.next().expect("pool checked");
-        copy_users(&mut graph, a, b);
+    // Pairs are drawn by index: the pool-size asserts above make every
+    // `2 * i + 1` access in range by construction, so no panicking
+    // iterator plumbing is needed.
+    for i in 0..plan.same_user_role_pairs {
+        let (a, b) = (user_pool[2 * i], user_pool[2 * i + 1]);
+        copy_users(&mut graph, a, b)?;
         truth.same_user_pairs.push(ordered(a, b));
     }
-    for _ in 0..plan.similar_user_role_pairs {
-        let a = user_iter.next().expect("pool checked");
-        let b = user_iter.next().expect("pool checked");
-        copy_users(&mut graph, a, b);
-        perturb_user_side(&mut graph, rng, b, base_users);
+    let uoff = 2 * plan.same_user_role_pairs;
+    for i in 0..plan.similar_user_role_pairs {
+        let (a, b) = (user_pool[uoff + 2 * i], user_pool[uoff + 2 * i + 1]);
+        copy_users(&mut graph, a, b)?;
+        perturb_user_side(&mut graph, rng, b, base_users)?;
         truth.similar_user_pairs.push(ordered(a, b));
     }
-    let mut perm_iter = perm_pool.into_iter();
-    for _ in 0..plan.same_permission_role_pairs {
-        let a = perm_iter.next().expect("pool checked");
-        let b = perm_iter.next().expect("pool checked");
-        copy_perms(&mut graph, a, b);
+    for i in 0..plan.same_permission_role_pairs {
+        let (a, b) = (perm_pool[2 * i], perm_pool[2 * i + 1]);
+        copy_perms(&mut graph, a, b)?;
         truth.same_permission_pairs.push(ordered(a, b));
     }
-    for _ in 0..plan.similar_permission_role_pairs {
-        let a = perm_iter.next().expect("pool checked");
-        let b = perm_iter.next().expect("pool checked");
-        copy_perms(&mut graph, a, b);
-        perturb_perm_side(&mut graph, rng, b, base_perms);
+    let poff = 2 * plan.same_permission_role_pairs;
+    for i in 0..plan.similar_permission_role_pairs {
+        let (a, b) = (perm_pool[poff + 2 * i], perm_pool[poff + 2 * i + 1]);
+        copy_perms(&mut graph, a, b)?;
+        perturb_perm_side(&mut graph, rng, b, base_perms)?;
         truth.similar_permission_pairs.push(ordered(a, b));
     }
 
@@ -537,14 +536,14 @@ fn finish_org(
         let uid = UserId::from_index(u);
         if graph.roles_of_user(uid).next().is_none() {
             let d = u / config.users_per_department;
-            graph.assign_user(catch_all[d], uid).expect("in range");
+            graph.assign_user(catch_all[d], uid)?;
         }
     }
     for p in 0..base_perms {
         let pid = PermissionId::from_index(p);
         if graph.roles_of_permission(pid).next().is_none() {
             let d = p / config.permissions_per_department;
-            graph.grant_permission(catch_all[d], pid).expect("in range");
+            graph.grant_permission(catch_all[d], pid)?;
         }
     }
 
@@ -558,11 +557,11 @@ fn finish_org(
             .push(PermissionId::from_index(p));
     }
 
-    GeneratedOrg {
+    Ok(GeneratedOrg {
         graph,
         truth,
         config,
-    }
+    })
 }
 
 fn ordered(a: RoleId, b: RoleId) -> (RoleId, RoleId) {
@@ -586,13 +585,12 @@ fn attach_users(
     role: RoleId,
     (lo, len): (usize, usize),
     (dmin, dmax): (usize, usize),
-) {
+) -> rolediet_model::Result<()> {
     let k = rng.gen_range(dmin..=dmax);
     for u in sample_distinct(rng, lo, len, k) {
-        graph
-            .assign_user(role, UserId::from_index(u))
-            .expect("in range");
+        graph.assign_user(role, UserId::from_index(u))?;
     }
+    Ok(())
 }
 
 fn attach_perms(
@@ -601,37 +599,38 @@ fn attach_perms(
     role: RoleId,
     (lo, len): (usize, usize),
     (dmin, dmax): (usize, usize),
-) {
+) -> rolediet_model::Result<()> {
     let k = rng.gen_range(dmin..=dmax);
     for p in sample_distinct(rng, lo, len, k) {
-        graph
-            .grant_permission(role, PermissionId::from_index(p))
-            .expect("in range");
+        graph.grant_permission(role, PermissionId::from_index(p))?;
     }
+    Ok(())
 }
 
 /// Replaces `b`'s user set with a copy of `a`'s.
-fn copy_users(graph: &mut TripartiteGraph, a: RoleId, b: RoleId) {
+fn copy_users(graph: &mut TripartiteGraph, a: RoleId, b: RoleId) -> rolediet_model::Result<()> {
     let old: Vec<UserId> = graph.users_of(b).collect();
     for u in old {
-        graph.revoke_user(b, u).expect("edge exists");
+        graph.revoke_user(b, u)?;
     }
     let src: Vec<UserId> = graph.users_of(a).collect();
     for u in src {
-        graph.assign_user(b, u).expect("in range");
+        graph.assign_user(b, u)?;
     }
+    Ok(())
 }
 
 /// Replaces `b`'s permission set with a copy of `a`'s.
-fn copy_perms(graph: &mut TripartiteGraph, a: RoleId, b: RoleId) {
+fn copy_perms(graph: &mut TripartiteGraph, a: RoleId, b: RoleId) -> rolediet_model::Result<()> {
     let old: Vec<PermissionId> = graph.permissions_of(b).collect();
     for p in old {
-        graph.revoke_permission(b, p).expect("edge exists");
+        graph.revoke_permission(b, p)?;
     }
     let src: Vec<PermissionId> = graph.permissions_of(a).collect();
     for p in src {
-        graph.grant_permission(b, p).expect("in range");
+        graph.grant_permission(b, p)?;
     }
+    Ok(())
 }
 
 /// Flips exactly one user edge of `role`: removes one user if the set has
@@ -641,20 +640,21 @@ fn perturb_user_side(
     rng: &mut StdRng,
     role: RoleId,
     base_users: usize,
-) {
+) -> rolediet_model::Result<()> {
     let members: Vec<UserId> = graph.users_of(role).collect();
     if members.len() > 2 {
         let victim = members[rng.gen_range(0..members.len())];
-        graph.revoke_user(role, victim).expect("edge exists");
+        graph.revoke_user(role, victim)?;
     } else {
         loop {
             let u = UserId::from_index(rng.gen_range(0..base_users));
             if !graph.has_user(role, u) {
-                graph.assign_user(role, u).expect("in range");
+                graph.assign_user(role, u)?;
                 break;
             }
         }
     }
+    Ok(())
 }
 
 /// Flips exactly one permission edge of `role` (same policy as
@@ -664,20 +664,21 @@ fn perturb_perm_side(
     rng: &mut StdRng,
     role: RoleId,
     base_perms: usize,
-) {
+) -> rolediet_model::Result<()> {
     let members: Vec<PermissionId> = graph.permissions_of(role).collect();
     if members.len() > 2 {
         let victim = members[rng.gen_range(0..members.len())];
-        graph.revoke_permission(role, victim).expect("edge exists");
+        graph.revoke_permission(role, victim)?;
     } else {
         loop {
             let p = PermissionId::from_index(rng.gen_range(0..base_perms));
             if !graph.has_permission(role, p) {
-                graph.grant_permission(role, p).expect("in range");
+                graph.grant_permission(role, p)?;
                 break;
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]

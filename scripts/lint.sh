@@ -1,6 +1,14 @@
 #!/usr/bin/env bash
-# Run the workspace domain lints (rolediet-lint, rules D1-D5) against
-# the ratcheting allowlist in crates/lint/allowlist.txt.
+# Run the workspace domain lints (rolediet-lint): per-file rules D1-D5
+# plus the interprocedural rules D6-D8 (determinism taint, panic
+# surface, parallel-closure captures) over the workspace call graph,
+# against the ratcheting allowlist in crates/lint/allowlist.txt.
+#
+# Useful flags (see --help for all):
+#   --strict          promote allowlist slack/stale warnings to errors
+#   --explain         print the call chain under each D6/D7 finding
+#   --json            machine-readable output (rule, file, fn, chain)
+#   --fix-allowlist   rewrite allowlist.txt with tightened ratchets
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -97,8 +97,15 @@ cargo run --release -q -p rolediet-bench --bin repro -- \
 echo "==> cargo test -q -p rolediet-matrix --features audit"
 cargo test -q -p rolediet-matrix --features audit
 
-echo "==> rolediet-lint (domain lints D1-D5)"
-cargo run -q -p rolediet-lint
+# Strict mode promotes allowlist slack/stale warnings to errors, so a
+# ratchet that should have been tightened fails the gate too (fix with
+# `scripts/lint.sh --fix-allowlist`). The summary line (files, fns,
+# call edges, wall time) is kept for the Outcome report below.
+echo "==> rolediet-lint --strict (domain lints D1-D8)"
+lint_log="$(mktemp -t rolediet_lint.XXXXXX.log)"
+cargo run -q -p rolediet-lint -- --strict 2>&1 | tee "$lint_log"
+lint_summary="$(sed -n 's/^rolediet-lint: //p' "$lint_log" | tail -n 1)"
+rm -f "$lint_log"
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -107,3 +114,4 @@ echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "verify: all checks passed"
+echo "Outcome: lint ${lint_summary:-summary unavailable}"
