@@ -1,10 +1,14 @@
 //! Ablation: role mining (regenerate) vs. the role diet (refine) runtime
-//! on identical organizations, plus mining candidate-depth sensitivity.
+//! on identical organizations, plus lazy-greedy (CELF) vs. the eager
+//! full-rescan oracle on the same candidate pool.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use rolediet_core::{DetectionConfig, MergePlan, Pipeline};
-use rolediet_mining::{mine_greedy_cover, CandidateConfig, MiningConfig};
+use rolediet_mining::{
+    generate_candidates, mine_eager_from_pool, mine_greedy_cover, mine_lazy_from_pool,
+    CandidateConfig, MiningConfig,
+};
 use rolediet_synth::profiles::generate_ing_like;
 
 fn mining_vs_diet(c: &mut Criterion) {
@@ -13,6 +17,12 @@ fn mining_vs_diet(c: &mut Criterion) {
     let org = generate_ing_like(0.01, 4);
     let graph = org.graph;
     let upam = graph.upam_sparse();
+    let pool = generate_candidates(&upam, &CandidateConfig::default());
+    assert_eq!(
+        mine_lazy_from_pool(&upam, &pool, 1).unwrap(),
+        mine_eager_from_pool(&upam, &pool).unwrap(),
+        "lazy and eager engines must agree before timing them"
+    );
 
     group.bench_function("diet/detect-and-plan", |b| {
         b.iter(|| {
@@ -24,18 +34,24 @@ fn mining_vs_diet(c: &mut Criterion) {
             MergePlan::from_report(&report, graph.n_roles(), true)
         });
     });
-    for rounds in [1usize, 2] {
+    group.bench_function("mining/lazy-cover", |b| {
+        b.iter(|| mine_lazy_from_pool(&upam, &pool, 1).unwrap());
+    });
+    group.bench_function("mining/eager-cover", |b| {
+        b.iter(|| mine_eager_from_pool(&upam, &pool).unwrap());
+    });
+    for probe_limit in [32usize, 128] {
         group.bench_with_input(
-            BenchmarkId::new("mining/greedy-cover", rounds),
-            &rounds,
-            |b, &rounds| {
+            BenchmarkId::new("mining/end-to-end", probe_limit),
+            &probe_limit,
+            |b, &probe_limit| {
                 let cfg = MiningConfig {
                     candidates: CandidateConfig {
-                        closure_rounds: rounds,
+                        probe_limit,
                         ..CandidateConfig::default()
                     },
                 };
-                b.iter(|| mine_greedy_cover(&upam, &cfg));
+                b.iter(|| mine_greedy_cover(&upam, &cfg).unwrap());
             },
         );
     }

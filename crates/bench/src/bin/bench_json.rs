@@ -16,17 +16,24 @@
 //! two-phase HNSW build against the sequential-insert oracle (asserted
 //! bit-identical per thread count before timing), the batch k-NN probe,
 //! and its recall against the exact neighbourhoods — at both the
-//! real-org scale and inside the million-user stage. Results are
-//! written as a JSON array of `{stage, size, threads, ns, found}`
-//! records (`scripts/bench.sh` invokes this and commits the output as
-//! `BENCH_pr8.json`; the schema is unchanged from
-//! `BENCH_pr2.json`…`BENCH_pr7.json` so the perf trajectory stays
-//! machine-readable; recall rows store basis points in `found`).
+//! real-org scale and inside the million-user stage. PR 10 adds role
+//! mining: parallel candidate generation on the real-org UPAM
+//! (`mining_candidates`), a real-org run of the lazy-greedy (CELF)
+//! cover with its exactness verified (`mining_lazy`), and the
+//! lazy-vs-eager engine ratio on the largest eager-feasible
+//! organization (`mining_eager_baseline` vs. the small `mining_lazy`
+//! row; the two engines are asserted bit-identical before timing).
+//! Results are written as a JSON array of
+//! `{stage, size, threads, ns, found}` records (`scripts/bench.sh`
+//! invokes this and commits the output as `BENCH_pr10.json`; the
+//! schema is unchanged from `BENCH_pr2.json`…`BENCH_pr8.json` so the
+//! perf trajectory stays machine-readable; recall rows store basis
+//! points in `found`).
 //!
 //! ```text
 //! bench_json [--scale 1.0] [--seed 7] [--iters 3]
 //!            [--users N --roles N --density D] [--skip-million]
-//!            [--out BENCH_pr8.json]
+//!            [--out BENCH_pr10.json]
 //! ```
 //!
 //! By default the matrix-build, supplement, DBSCAN-grouping and
@@ -105,7 +112,7 @@ impl Opts {
             roles: None,
             density: None,
             million: true,
-            out: "BENCH_pr8.json".to_owned(),
+            out: "BENCH_pr10.json".to_owned(),
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -714,6 +721,103 @@ fn main() {
             threads,
             ns,
             found: total_findings(&report),
+        });
+    }
+
+    // --- Stage 10 (PR 10): role mining — lazy-greedy (CELF) cover. ---
+    // Candidate generation fans out over the real-org UPAM's distinct
+    // rows (pools asserted identical across thread counts); the lazy
+    // engine then mines the full real-org matrix with sparse O(nnz)
+    // coverage state — the eager oracle's dense per-candidate rescan is
+    // infeasible at this width — and the cover is verified exact. The
+    // engine ratio is measured where both engines can run: the largest
+    // eager-feasible ing-like organization, on the identical pool, with
+    // bit-identity asserted before either time is recorded.
+    {
+        use rolediet_mining::{
+            generate_candidates_with, mine_eager_from_pool, mine_lazy_from_pool,
+            verify_exact_cover, CandidateConfig,
+        };
+        let upam = graph.upam_sparse_with(8);
+        let upam_size = format!("{}x{}", upam.rows(), upam.cols());
+        println!("# real-org UPAM: {} nnz", upam.nnz());
+        let mut pool_ref: Option<rolediet_mining::CandidatePool> = None;
+        for threads in THREAD_COUNTS {
+            let (ns, pool) = time_best(1, || {
+                generate_candidates_with(&upam, &CandidateConfig::default(), threads)
+            });
+            match &pool_ref {
+                Some(reference) => assert_eq!(
+                    &pool, reference,
+                    "candidate generation diverged at {threads} threads"
+                ),
+                None => pool_ref = Some(pool),
+            }
+            let found = pool_ref.as_ref().expect("pool recorded").len();
+            println!("mining_candidates threads={threads}: {ns} ns ({found} candidates)");
+            records.push(Record {
+                stage: "mining_candidates".into(),
+                size: upam_size.clone(),
+                threads,
+                ns,
+                found,
+            });
+        }
+        let pool = pool_ref.expect("candidate generation ran");
+        let (ns, mined) = time_best(1, || {
+            mine_lazy_from_pool(&upam, &pool, 8).expect("generated pool covers the matrix")
+        });
+        verify_exact_cover(&upam, &mined.roles).expect("real-org mined cover must be exact");
+        println!(
+            "mining_lazy threads=8: {ns} ns ({} roles, cover verified exact)",
+            mined.n_roles()
+        );
+        records.push(Record {
+            stage: "mining_lazy".into(),
+            size: upam_size,
+            threads: 8,
+            ns,
+            found: mined.n_roles(),
+        });
+        drop(mined);
+        drop(pool);
+        drop(upam);
+
+        let small = generate_org(ing_like(0.02, opts.seed));
+        let supam = small.graph.upam_sparse_with(8);
+        let ssize = format!("{}x{}", supam.rows(), supam.cols());
+        let spool = generate_candidates_with(&supam, &CandidateConfig::default(), 8);
+        let oracle = mine_eager_from_pool(&supam, &spool).expect("generated pool covers");
+        assert_eq!(
+            mine_lazy_from_pool(&supam, &spool, 1).expect("generated pool covers"),
+            oracle,
+            "lazy engine diverged from the eager oracle on the ratio organization"
+        );
+        verify_exact_cover(&supam, &oracle.roles).expect("ratio-org cover must be exact");
+        let (eager_ns, _) = time_best(opts.iters, || {
+            mine_eager_from_pool(&supam, &spool).expect("generated pool covers")
+        });
+        println!("mining_eager_baseline (sequential): {eager_ns} ns");
+        records.push(Record {
+            stage: "mining_eager_baseline".into(),
+            size: ssize.clone(),
+            threads: 1,
+            ns: eager_ns,
+            found: oracle.n_roles(),
+        });
+        let (lazy_ns, _) = time_best(opts.iters, || {
+            mine_lazy_from_pool(&supam, &spool, 1).expect("generated pool covers")
+        });
+        println!(
+            "mining_lazy (sequential, ratio org): {lazy_ns} ns ({:.1}x over eager)",
+            eager_ns as f64 / lazy_ns as f64
+        );
+        records.push(Record {
+            stage: "mining_lazy".into(),
+            size: ssize,
+            threads: 1,
+            ns: lazy_ns,
+            found: oracle.n_roles(),
         });
     }
 

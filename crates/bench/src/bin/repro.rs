@@ -6,6 +6,7 @@
 //! repro realorg [--scale 1.0 | --users N --roles N --density D] [--seed 7] [--strategy custom]
 //!               [--hnsw-batch N] [--baselines] [--validate] [--budget-secs 600]
 //! repro recall [--roles 2000] [--users 1000]
+//! repro mining [--steps 500] [--scale 0.02] [--seed 7] [--threads N]
 //! repro churn [--steps 500] [--batch 100] [--incremental] [--scale 0.05] [--seed 7]
 //! repro cooccur-example
 //! ```
@@ -63,7 +64,7 @@ fn print_help() {
          \x20 realorg          Section IV-B inefficiency table on the ing-like org\n\
          \x20 recall           HNSW/MinHash recall ablation (abl-recall)\n\
          \x20 periodic         periodic-cleanup convergence per strategy\n\
-         \x20 mining           regenerate (role mining) vs refine (role diet)\n\
+         \x20 mining           refine (role diet) vs regenerate (lazy-greedy mining) on a churned org\n\
          \x20 churn            replay simulated churn in batches, re-detecting per batch\n\
          \x20 cooccur-example  print the Section III-C co-occurrence matrix\n\
          \n\
@@ -540,44 +541,74 @@ fn periodic(opts: &Opts) {
     }
 }
 
-/// Mining-vs-diet comparison across organization scales (the related-work
-/// refine-vs-regenerate claim, quantified).
+/// Refine-vs-regenerate on a churned organization (the D'Antoni et al.
+/// claim the paper leans on: refining existing roles beats regenerating
+/// them from scratch). The ing-like organization is first aged with
+/// `--steps` simulated churn events, then both repair strategies run on
+/// the aged graph:
+///
+/// * **refine (diet)**: periodic duplicate-consolidation rounds — keeps
+///   role metadata/ownership, only removes redundancy;
+/// * **regenerate (mine)**: discard the role set and mine a fresh exact
+///   cover from the user→permission assignments with the lazy-greedy
+///   engine (at `--threads`) — every mined cover is verified exact.
 fn mining(opts: &Opts) {
     use rolediet_core::periodic::simulate_periodic_cleanup;
-    use rolediet_mining::{mine_greedy_cover, verify_exact_cover, MiningConfig};
+    use rolediet_mining::{mine_greedy_cover_with, verify_exact_cover, MiningConfig};
+    use rolediet_synth::churn::{ChurnSimulator, ChurnWeights};
+
     let scale = if opts.scale >= 1.0 { 0.02 } else { opts.scale };
     println!(
-        "# ing-like organization at scale {scale}, seed {}",
-        opts.seed
+        "# ing-like organization at scale {scale}, seed {}, aged by {} churn events, threads {}",
+        opts.seed,
+        opts.steps,
+        opts.parallelism().threads()
     );
     let org = rolediet_synth::profiles::generate_ing_like(scale, opts.seed);
-    let graph = &org.graph;
+    let mut sim = ChurnSimulator::from_graph(org.graph, ChurnWeights::default(), opts.seed);
+    sim.run(opts.steps);
+    sim.drain_deltas();
+    let graph = sim.graph();
     println!(
-        "# users={} roles={} permissions={}",
+        "# aged organization: users={} roles={} permissions={} assignments={}",
         graph.n_users(),
         graph.n_roles(),
-        graph.n_permissions()
+        graph.n_permissions(),
+        graph.n_user_assignments()
     );
+
     let t0 = Instant::now();
     let (trace, cleaned) = simulate_periodic_cleanup(graph, DetectionConfig::default(), 10);
+    let diet_time = t0.elapsed();
     println!(
-        "diet   : {} -> {} roles in {:.2?} (metadata preserved, access verified)",
+        "refine (diet) : {} -> {} roles, {} assignments, in {diet_time:.2?} \
+         ({} cleanup rounds; metadata preserved, access verified)",
         graph.n_roles(),
         cleaned.n_roles(),
-        t0.elapsed()
+        cleaned.n_user_assignments(),
+        trace.n_rounds()
     );
-    let _ = trace;
+
+    let threads = opts.parallelism().threads();
     let t0 = Instant::now();
-    let upam = graph.upam_sparse();
-    let mined = mine_greedy_cover(&upam, &MiningConfig::default());
-    let elapsed = t0.elapsed();
+    let upam = graph.upam_sparse_with(threads);
+    let mined = mine_greedy_cover_with(&upam, &MiningConfig::default(), threads)
+        .expect("generated candidate pools always cover the matrix");
+    let mine_time = t0.elapsed();
     verify_exact_cover(&upam, &mined.roles).expect("mined cover must be exact");
     println!(
-        "mining : {} -> {} roles in {:.2?} ({} candidates; all metadata lost)",
+        "regenerate    : {} -> {} roles, {} assignments, in {mine_time:.2?} \
+         ({} candidates; cover verified exact, all metadata lost)",
         graph.n_roles(),
         mined.n_roles(),
-        elapsed,
+        mined.n_assignments(),
         mined.candidates_considered
+    );
+    println!(
+        "# refine keeps {} of {} roles; regeneration rebuilds {} roles from zero",
+        cleaned.n_roles(),
+        graph.n_roles(),
+        mined.n_roles()
     );
 }
 

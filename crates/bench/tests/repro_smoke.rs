@@ -133,6 +133,7 @@ fn mining_miniature_compares_both_approaches() {
         String::from_utf8_lossy(&out.stderr)
     );
     let text = String::from_utf8(out.stdout).unwrap();
-    assert!(text.contains("diet   :"), "{text}");
-    assert!(text.contains("mining :"), "{text}");
+    assert!(text.contains("refine (diet) :"), "{text}");
+    assert!(text.contains("regenerate    :"), "{text}");
+    assert!(text.contains("cover verified exact"), "{text}");
 }

@@ -6,6 +6,8 @@
 //!                      [--hnsw-batch N] [--json report.json] [--names N]
 //! rolediet stats       --users a.csv --perms g.csv
 //! rolediet consolidate --users a.csv --perms g.csv [--apply PREFIX] [--keep-standalone]
+//! rolediet mine        --users a.csv --perms g.csv [--threads N]
+//!                      [--max-candidates N] [--min-shared N]
 //! rolediet generate    [--profile small|ing] [--scale F] [--seed N] --out PREFIX
 //! ```
 //!
@@ -47,6 +49,7 @@ fn run(args: &[String]) -> CliResult {
         "detect" => detect(&args[1..]),
         "stats" => stats(&args[1..]),
         "consolidate" => consolidate(&args[1..]),
+        "mine" => mine(&args[1..]),
         "suggest" => suggest(&args[1..]),
         "diff" => diff_cmd(&args[1..]),
         "access" => access(&args[1..]),
@@ -71,6 +74,7 @@ fn print_help() {
          \x20 detect       run all detectors, print the inefficiency table\n\
          \x20 stats        print dataset shape statistics\n\
          \x20 consolidate  plan (and optionally apply) duplicate-role merges\n\
+         \x20 mine         regenerate a role set from scratch (lazy-greedy cover)\n\
          \x20 suggest      subset roles, provably redundant roles, merge deltas\n\
          \x20 diff         compare two snapshots (--old-users/--old-perms vs --users/--perms)\n\
          \x20 access       effective user→permission analysis (review classes)\n\
@@ -136,6 +140,12 @@ fn build_config(args: &[String]) -> Result<DetectionConfig, Box<dyn std::error::
     }
     if let Some(b) = flag_value(args, "--hnsw-batch") {
         cfg.hnsw_batch = b.parse()?;
+    }
+    if let Some(n) = flag_value(args, "--max-candidates") {
+        cfg.mining.candidates.max_candidates = n.parse()?;
+    }
+    if let Some(n) = flag_value(args, "--min-shared") {
+        cfg.mining.candidates.min_shared = n.parse()?;
     }
     Ok(cfg)
 }
@@ -247,6 +257,46 @@ fn consolidate(args: &[String]) -> CliResult {
         println!(
             "applied: {} roles removed, verified access-preserving; written to {prefix}-*.csv",
             outcome.roles_removed
+        );
+    }
+    Ok(())
+}
+
+/// Regenerates a role set from the user→permission assignments with the
+/// lazy-greedy (CELF) cover engine and contrasts it against the dataset's
+/// existing roles — the "regenerate" side of the refine-vs-regenerate
+/// comparison (`repro mining` runs it on churned organizations).
+fn mine(args: &[String]) -> CliResult {
+    let ds = load_dataset(args)?;
+    let cfg = build_config(args)?;
+    let threads = cfg.parallelism.threads();
+    let start = std::time::Instant::now();
+    let upam = ds.graph().upam_sparse_with(threads);
+    let result = rolediet_mining::mine_greedy_cover_with(&upam, &cfg.mining, threads)?;
+    let elapsed = start.elapsed();
+    rolediet_mining::verify_exact_cover(&upam, &result.roles)?;
+    println!(
+        "mined {} roles / {} assignments from {} candidates in {elapsed:.2?} (verified exact)",
+        result.n_roles(),
+        result.n_assignments(),
+        result.candidates_considered,
+    );
+    println!(
+        "existing model: {} roles / {} assignments for {} users, {} permissions",
+        ds.graph().n_roles(),
+        ds.graph().n_user_assignments(),
+        ds.graph().n_users(),
+        ds.graph().n_permissions()
+    );
+    let show = flag_value(args, "--names")
+        .map(str::parse)
+        .transpose()?
+        .unwrap_or(5usize);
+    for (i, role) in result.roles.iter().take(show).enumerate() {
+        println!(
+            "  mined role {i}: {} permission(s), {} user(s)",
+            role.permissions.len(),
+            role.users.len()
         );
     }
     Ok(())

@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use rolediet_cluster::hnsw::HnswParams;
 use rolediet_cluster::minhash::MinHashLshParams;
+use rolediet_mining::MiningConfig;
 
 /// Which role-grouping strategy handles the expensive types T4/T5
 /// (Section III-C of the paper).
@@ -166,6 +167,12 @@ pub struct DetectionConfig {
     /// ApproxHnsw strategy consults this knob.
     #[serde(default = "default_hnsw_batch")]
     pub hnsw_batch: usize,
+    /// Role-mining (regeneration) settings, used by the `mine` CLI
+    /// command and the `repro mining` experiment that contrast
+    /// regenerating a role set from scratch against the diet's
+    /// refinement. Ignored by the detection pipeline itself.
+    #[serde(default)]
+    pub mining: MiningConfig,
 }
 
 impl Default for DetectionConfig {
@@ -178,6 +185,7 @@ impl Default for DetectionConfig {
             parallelism: Parallelism::default(),
             memory_budget_bytes: 0,
             hnsw_batch: DEFAULT_HNSW_BATCH,
+            mining: MiningConfig::default(),
         }
     }
 }
@@ -205,6 +213,18 @@ mod tests {
         assert!(!cfg.skip_similarity);
         assert_eq!(cfg.parallelism.threads(), 1);
         assert_eq!(cfg.hnsw_batch, DEFAULT_HNSW_BATCH);
+    }
+
+    #[test]
+    fn mining_defaults_when_absent_from_json() {
+        // Configs serialized before the mining knob existed must
+        // deserialize to the default mining configuration.
+        let json = serde_json::to_string(&DetectionConfig::default()).unwrap();
+        let mining = serde_json::to_string(&rolediet_mining::MiningConfig::default()).unwrap();
+        let stripped = json.replace(&format!(",\"mining\":{mining}"), "");
+        assert_ne!(json, stripped, "test must actually strip the field");
+        let back: DetectionConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.mining, rolediet_mining::MiningConfig::default());
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //!
 //! | Rule | Contract it guards |
 //! |------|--------------------|
-//! | D6 | Determinism taint: nondeterminism sources (hash-order iteration, `thread::spawn`/`scope`, wall clocks, `std::env` reads, RNG not drawn from a seeded stream) must be unreachable from the report-producing entry points — `Pipeline::run*`, `IncrementalPipeline::apply*`, every pub fn in `core::strategy` — except through explicitly audited boundary fns declared in the allowlist. |
-//! | D7 | Panic surface: per public API fn of `matrix`/`cluster`/`core`, whether any panic site (`unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`) is reachable; the per-crate count is ratcheted in the allowlist and `--explain` prints the offending call chain. |
+//! | D6 | Determinism taint: nondeterminism sources (hash-order iteration, `thread::spawn`/`scope`, wall clocks, `std::env` reads, RNG not drawn from a seeded stream) must be unreachable from the report-producing entry points — `Pipeline::run*`, `IncrementalPipeline::apply*`, every pub fn in `core::strategy`, every pub fn of the `mining` crate — except through explicitly audited boundary fns declared in the allowlist. |
+//! | D7 | Panic surface: per public API fn of `matrix`/`cluster`/`core`/`mining`, whether any panic site (`unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`) is reachable; the per-crate count is ratcheted in the allowlist and `--explain` prints the offending call chain. |
 //! | D8 | Parallel-closure capture audit: arguments to the substrate's `par_map_rows`/`par_map_ranges`/`par_map_reduce_ranges`/`par_fill_by_offsets` must not touch statics or interior-mutability types outside `matrix::parallel` — shared mutation inside a parallel closure is how bit-identity dies quietly. |
 //!
 //! All three rules inherit the call graph's over-approximation (see
@@ -24,10 +24,15 @@ const PIPELINE_FILE: &str = "crates/core/src/pipeline.rs";
 const INCREMENTAL_FILE: &str = "crates/core/src/incremental.rs";
 /// Every pub fn here is a strategy backend and thus an entry point.
 const STRATEGY_FILE: &str = "crates/core/src/strategy.rs";
+/// Every pub fn of the mining crate is a result-producing entry point
+/// (the lazy/eager engines and candidate generation are proptested
+/// bit-identical across thread counts, so their whole callee set must
+/// be deterministic).
+const MINING_DIR: &str = "crates/mining/src/";
 /// The parallel substrate (exempt from D8 — it IS the audited code).
 const SUBSTRATE: &str = "crates/matrix/src/parallel.rs";
 /// Crates whose public API panic surface is ratcheted by D7.
-const PANIC_RATCHET_CRATES: &[&str] = &["matrix", "cluster", "core"];
+const PANIC_RATCHET_CRATES: &[&str] = &["matrix", "cluster", "core", "mining"];
 /// Substrate fns whose argument closures D8 audits.
 const PAR_FNS: &[&str] = &[
     "par_map_rows",
@@ -60,7 +65,8 @@ pub fn d6_entry_points(graph: &CallGraph) -> Vec<usize> {
             || (rel == INCREMENTAL_FILE
                 && f.self_type.as_deref() == Some("IncrementalPipeline")
                 && f.name.starts_with("apply"))
-            || (rel == STRATEGY_FILE && f.is_pub);
+            || (rel == STRATEGY_FILE && f.is_pub)
+            || (rel.starts_with(MINING_DIR) && f.is_pub);
         if hit {
             entries.push(id);
         }

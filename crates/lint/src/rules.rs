@@ -126,7 +126,7 @@ const SUBSTRATE: &str = "crates/matrix/src/parallel.rs";
 /// The one file allowed to read wall clocks outside the bench crate.
 const TIMINGS_PLUMBING: &str = "crates/core/src/pipeline.rs";
 /// Crates whose non-test library code must not use hash collections (D2).
-const ORDER_SENSITIVE_CRATES: &[&str] = &["matrix", "cluster", "core"];
+const ORDER_SENSITIVE_CRATES: &[&str] = &["matrix", "cluster", "core", "mining"];
 /// Crates whose non-test library code must not unwrap/expect (D4).
 const LIBRARY_CRATES: &[&str] = &[
     "matrix", "model", "cluster", "synth", "core", "mining", "lint", "rolediet",

@@ -28,6 +28,10 @@
 //!   ([`PackedShards`]): norm-contiguous shard blocks streamed as
 //!   shard×shard tile passes under an explicit byte budget, bit-identical
 //!   to the flat engine at every thread and shard count.
+//! * [`setops`] — two-pointer set algebra over sorted index slices (the
+//!   CSR row representation): intersection, containment and in-place
+//!   difference without materializing dense bit rows — the O(nnz)
+//!   coverage-state kernels of the lazy-greedy mining engine.
 //! * [`parallel`] — the deterministic chunked map-reduce substrate every
 //!   parallel stage in the workspace is built on.
 //!
@@ -56,6 +60,7 @@ pub mod error;
 pub mod ops;
 pub mod packed;
 pub mod parallel;
+pub mod setops;
 pub mod shard;
 pub mod signature;
 pub mod sparse;

@@ -1,0 +1,202 @@
+//! Sorted-index set operations.
+//!
+//! The sparse kernels keep row contents as strictly increasing `u32`
+//! index slices (the CSR convention of [`CsrMatrix`](crate::CsrMatrix)).
+//! These helpers are the set algebra over that representation: two-pointer
+//! merges that never materialize a dense bit row, so callers' memory
+//! stays proportional to the indices actually present (O(nnz)) instead
+//! of the enclosing width. The lazy-greedy mining cover engine is the
+//! main consumer: coverage state, candidate gains and containment checks
+//! all reduce to these three walks.
+//!
+//! All inputs must be sorted ascending and duplicate-free; the operations
+//! are pure and allocation-free except where an output vector is
+//! documented.
+
+/// Size of the intersection of two sorted, duplicate-free slices.
+///
+/// # Examples
+///
+/// ```
+/// use rolediet_matrix::setops::intersect_count;
+///
+/// assert_eq!(intersect_count(&[1, 3, 5, 9], &[2, 3, 4, 5]), 2);
+/// assert_eq!(intersect_count(&[], &[1, 2]), 0);
+/// ```
+pub fn intersect_count(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Intersection of two sorted, duplicate-free slices as a new vector.
+///
+/// # Examples
+///
+/// ```
+/// use rolediet_matrix::setops::intersect;
+///
+/// assert_eq!(intersect(&[0, 1, 7], &[0, 2, 7]), vec![0, 7]);
+/// ```
+pub fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Whether sorted, duplicate-free `a` is a subset of sorted,
+/// duplicate-free `b`.
+///
+/// # Examples
+///
+/// ```
+/// use rolediet_matrix::setops::is_subset;
+///
+/// assert!(is_subset(&[1, 5], &[0, 1, 4, 5]));
+/// assert!(!is_subset(&[1, 6], &[0, 1, 4, 5]));
+/// assert!(is_subset(&[], &[3]));
+/// ```
+pub fn is_subset(a: &[u32], b: &[u32]) -> bool {
+    if a.len() > b.len() {
+        return false;
+    }
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() {
+        // Each unmatched element of `a` must still fit in b's tail.
+        if b.len() - j < a.len() - i {
+            return false;
+        }
+        match b[j].cmp(&a[i]) {
+            std::cmp::Ordering::Less => j += 1,
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Greater => return false,
+        }
+    }
+    true
+}
+
+/// Removes every element of sorted `remove` from sorted `v` in place,
+/// returning how many elements were removed.
+///
+/// # Examples
+///
+/// ```
+/// use rolediet_matrix::setops::difference_in_place;
+///
+/// let mut v = vec![0, 2, 4, 6];
+/// assert_eq!(difference_in_place(&mut v, &[2, 3, 6]), 2);
+/// assert_eq!(v, vec![0, 4]);
+/// ```
+pub fn difference_in_place(v: &mut Vec<u32>, remove: &[u32]) -> usize {
+    if v.is_empty() || remove.is_empty() {
+        return 0;
+    }
+    let before = v.len();
+    let mut j = 0usize;
+    v.retain(|&x| {
+        while j < remove.len() && remove[j] < x {
+            j += 1;
+        }
+        !(j < remove.len() && remove[j] == x)
+    });
+    before - v.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersect_count_matches_intersect_len() {
+        let cases: &[(&[u32], &[u32])] = &[
+            (&[], &[]),
+            (&[1], &[]),
+            (&[1, 2, 3], &[2, 3, 4]),
+            (&[0, 10, 20], &[5, 10, 15, 20, 25]),
+            (&[7], &[7]),
+        ];
+        for (a, b) in cases {
+            assert_eq!(intersect_count(a, b), intersect(a, b).len());
+            assert_eq!(intersect_count(a, b), intersect_count(b, a));
+        }
+    }
+
+    #[test]
+    fn subset_cases() {
+        assert!(is_subset(&[], &[]));
+        assert!(is_subset(&[], &[1]));
+        assert!(is_subset(&[1, 2, 3], &[1, 2, 3]));
+        assert!(is_subset(&[2], &[1, 2, 3]));
+        assert!(!is_subset(&[0], &[1, 2, 3]));
+        assert!(!is_subset(&[1, 4], &[1, 2, 3]));
+        assert!(!is_subset(&[1, 2, 3, 4], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn difference_removes_and_counts() {
+        let mut v = vec![1, 2, 3, 4, 5];
+        assert_eq!(difference_in_place(&mut v, &[0, 2, 4, 9]), 2);
+        assert_eq!(v, vec![1, 3, 5]);
+        assert_eq!(difference_in_place(&mut v, &[]), 0);
+        let mut empty: Vec<u32> = Vec::new();
+        assert_eq!(difference_in_place(&mut empty, &[1]), 0);
+        let mut all = vec![1, 2];
+        assert_eq!(difference_in_place(&mut all, &[1, 2]), 2);
+        assert!(all.is_empty());
+    }
+
+    #[test]
+    fn agrees_with_bitvec_oracle() {
+        use crate::BitVec;
+        // Cross-check the sorted-slice walks against the dense BitVec
+        // algebra on a deterministic family of index sets.
+        let sets: Vec<Vec<u32>> = (0u32..8)
+            .map(|k| (0u32..32).filter(|x| (x * (k + 3)) % 7 < 3).collect())
+            .collect();
+        for a in &sets {
+            for b in &sets {
+                let ba =
+                    BitVec::from_indices(32, &a.iter().map(|&x| x as usize).collect::<Vec<_>>())
+                        .unwrap();
+                let bb =
+                    BitVec::from_indices(32, &b.iter().map(|&x| x as usize).collect::<Vec<_>>())
+                        .unwrap();
+                assert_eq!(intersect_count(a, b), ba.intersection_count(&bb).unwrap());
+                assert_eq!(is_subset(a, b), ba.is_subset_of(&bb).unwrap());
+                let mut v = a.clone();
+                let removed = difference_in_place(&mut v, b);
+                let mut d = ba.clone();
+                d.difference_with(&bb).unwrap();
+                assert_eq!(removed, a.len() - d.count_ones());
+                assert_eq!(
+                    v,
+                    d.to_indices().iter().map(|&x| x as u32).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+}

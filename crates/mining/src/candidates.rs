@@ -1,48 +1,160 @@
-//! Candidate role generation (RoleMiner's `GenerateRoles` idea).
+//! Candidate role generation (RoleMiner's `GenerateRoles` idea,
+//! biclique-flavored).
 //!
 //! Candidates are permission sets that could become roles:
 //!
-//! 1. every *distinct* user permission-set (the "initial roles" — these
-//!    alone already guarantee an exact cover exists);
-//! 2. pairwise intersections of initial roles (the sets of permissions
-//!    shared by user groups — where the compression comes from), applied
-//!    repeatedly up to a closure bound.
+//! 1. every *distinct* non-empty user permission-set (the "initial
+//!    roles") — these alone already guarantee an exact cover exists, so
+//!    they are **never capped**;
+//! 2. *shared cores*: intersections of distinct rows that co-occur on a
+//!    permission, enumerated through the inverted permission→row index
+//!    the way maximal-biclique miners walk the bipartite graph. For each
+//!    distinct row the probe column is its rarest permission shared with
+//!    at least one other row, which bounds the pairing work by that
+//!    column's support instead of the quadratic all-pairs closure the
+//!    seed implementation used.
 //!
-//! The candidate pool is deduplicated, empty sets are dropped, and the
-//! pool is capped (intersection closure can explode combinatorially; the
-//! cap keeps mining polynomial, trading optimality like every practical
-//! role miner does).
-
-use std::collections::HashSet;
+//! The shared-core pool is deduplicated, restricted to proper subsets of
+//! at least [`CandidateConfig::min_shared`] permissions, and capped at
+//! [`CandidateConfig::max_candidates`] (largest first) — the cap keeps
+//! mining polynomial, trading optimality like every practical role miner
+//! does, but can no longer starve the cover of the initial rows it needs
+//! to terminate.
+//!
+//! Enumeration fans out over [`rolediet_matrix::parallel`] and is
+//! bit-identical at every thread count: workers emit per-row candidate
+//! lists that are joined in row order, and the final pool order is a
+//! pure function of the set contents (larger sets first, ties by
+//! lexicographic index order).
 
 use serde::{Deserialize, Serialize};
 
-use rolediet_matrix::{BitVec, CsrMatrix, RowMatrix};
+use rolediet_matrix::parallel::par_map_rows;
+use rolediet_matrix::{setops, CsrMatrix, RowMatrix};
+use rolediet_model::{EntityKind, ModelError};
 
 /// Candidate generation configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CandidateConfig {
-    /// Maximum number of candidate permission-sets kept.
+    /// Maximum number of *shared-core* (derived) candidates kept. The
+    /// distinct user rows are exempt: they are what makes an exact cover
+    /// always constructible, so capping them would break termination.
     pub max_candidates: usize,
-    /// Number of intersection-closure rounds over the initial roles
-    /// (1 = pairwise intersections of initial roles only).
-    pub closure_rounds: usize,
+    /// Minimum size of a derived shared-core candidate (initial rows are
+    /// exempt). Values below 1 are treated as 1.
+    pub min_shared: usize,
+    /// Maximum co-occurring rows probed per distinct row during
+    /// shared-core enumeration (the first `probe_limit` rows of the
+    /// probe column, in row order — deterministic). Bounds the worst
+    /// case on columns with huge support.
+    pub probe_limit: usize,
 }
 
 impl Default for CandidateConfig {
     fn default() -> Self {
         CandidateConfig {
             max_candidates: 10_000,
-            closure_rounds: 1,
+            min_shared: 2,
+            probe_limit: 128,
         }
     }
 }
 
-/// Generates candidate permission sets from a UPAM (users × permissions).
+/// A generated candidate pool: sorted permission-index sets in the
+/// canonical mining order (larger sets first, ties lexicographic).
 ///
-/// The result always contains every distinct non-empty user row (so an
-/// exact cover is always constructible), ordered largest-first, then by
-/// bit pattern for determinism.
+/// The pool always contains every distinct non-empty user row of the
+/// UPAM it was generated from ([`CandidatePool::n_initial`] of them), so
+/// the greedy cover always terminates; derived shared cores follow under
+/// the configured cap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidatePool {
+    cols: usize,
+    sets: Vec<Vec<u32>>,
+    n_initial: usize,
+}
+
+impl CandidatePool {
+    /// Builds a pool from hand-picked permission sets (for tests and
+    /// ablations; [`generate_candidates`] is the production path).
+    ///
+    /// Sets are sorted, deduplicated (within and across sets), stripped
+    /// of empties, and put in the canonical pool order. All sets count
+    /// as derived (`n_initial` = 0): a hand-built pool carries no
+    /// termination guarantee, and the cover engines surface that as
+    /// [`ModelError::CoverStalled`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownId`] if a set references a permission index
+    /// `>= cols`.
+    pub fn from_sets(cols: usize, sets: Vec<Vec<u32>>) -> Result<CandidatePool, ModelError> {
+        let mut canon: Vec<Vec<u32>> = Vec::with_capacity(sets.len());
+        for mut set in sets {
+            set.sort_unstable();
+            set.dedup();
+            if let Some(&max) = set.last() {
+                if max as usize >= cols {
+                    return Err(ModelError::UnknownId {
+                        kind: EntityKind::Permission,
+                        id: max,
+                        bound: cols as u32,
+                    });
+                }
+                canon.push(set);
+            }
+        }
+        canon.sort_unstable();
+        canon.dedup();
+        sort_pool(&mut canon);
+        Ok(CandidatePool {
+            cols,
+            sets: canon,
+            n_initial: 0,
+        })
+    }
+
+    /// Number of candidate sets in the pool.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Permission-index width the sets are drawn from.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// How many pool members are distinct user rows (the uncappable
+    /// cover-guaranteeing subset).
+    pub fn n_initial(&self) -> usize {
+        self.n_initial
+    }
+
+    /// All candidate sets in pool order.
+    pub fn sets(&self) -> &[Vec<u32>] {
+        &self.sets
+    }
+
+    /// One candidate's sorted permission indices.
+    pub fn get(&self, i: usize) -> &[u32] {
+        &self.sets[i]
+    }
+}
+
+/// Canonical pool order: larger sets first (better greedy seeds), ties
+/// by lexicographic index order. A pure function of the set contents,
+/// so the order is identical however the sets were produced.
+fn sort_pool(sets: &mut [Vec<u32>]) {
+    sets.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
+}
+
+/// Generates candidate permission sets from a UPAM (users ×
+/// permissions), sequentially. See [`generate_candidates_with`].
 ///
 /// # Examples
 ///
@@ -54,63 +166,98 @@ impl Default for CandidateConfig {
 /// let upam = CsrMatrix::from_rows_of_indices(3, 3, &[
 ///     vec![0, 1], vec![0, 1], vec![0, 1, 2],
 /// ]).unwrap();
-/// let cands = generate_candidates(&upam, &CandidateConfig::default());
-/// // {0,1,2}, {0,1} — the intersection adds nothing new here.
-/// assert_eq!(cands.len(), 2);
+/// let pool = generate_candidates(&upam, &CandidateConfig::default());
+/// // {0,1,2} and {0,1} — the shared core {0,1} is already a user row.
+/// assert_eq!(pool.len(), 2);
+/// assert_eq!(pool.get(0), &[0, 1, 2]);
+/// assert_eq!(pool.get(1), &[0, 1]);
 /// ```
-pub fn generate_candidates(upam: &CsrMatrix, config: &CandidateConfig) -> Vec<BitVec> {
+pub fn generate_candidates(upam: &CsrMatrix, config: &CandidateConfig) -> CandidatePool {
+    generate_candidates_with(upam, config, 1)
+}
+
+/// Generates candidate permission sets from a UPAM on up to `threads`
+/// workers.
+///
+/// The result is bit-identical at every thread count: per-row shared
+/// cores are joined in row order and the pool order is content-defined.
+/// The pool always contains every distinct non-empty user row (exempt
+/// from [`CandidateConfig::max_candidates`]); shared cores are
+/// intersections of co-occurring distinct rows probed through the
+/// inverted permission→row index.
+pub fn generate_candidates_with(
+    upam: &CsrMatrix,
+    config: &CandidateConfig,
+    threads: usize,
+) -> CandidatePool {
     let cols = upam.cols();
-    let mut seen: HashSet<BitVec> = HashSet::new();
-    let mut initial: Vec<BitVec> = Vec::new();
-    for u in 0..upam.rows() {
-        if upam.row_norm(u) == 0 {
-            continue;
-        }
-        let row = upam.row_bitvec(u);
-        if seen.insert(row.clone()) {
-            initial.push(row);
-        }
-    }
-    let mut pool = initial.clone();
-    let mut frontier = initial.clone();
-    for _ in 0..config.closure_rounds {
-        if pool.len() >= config.max_candidates {
-            break;
-        }
-        let mut next = Vec::new();
-        'outer: for (i, a) in frontier.iter().enumerate() {
-            for b in initial.iter().skip(i + 1) {
-                let mut inter = a.clone();
-                inter
-                    .intersect_with(b)
-                    .expect("candidates share the UPAM width");
-                if inter.is_zero() {
-                    continue;
-                }
-                if seen.insert(inter.clone()) {
-                    next.push(inter);
-                    if seen.len() >= config.max_candidates {
-                        break 'outer;
+    let threads = threads.max(1);
+    // Distinct non-empty user rows, deduplicated by content.
+    let mut rows: Vec<&[u32]> = (0..upam.rows())
+        .map(|u| upam.row(u))
+        .filter(|r| !r.is_empty())
+        .collect();
+    rows.sort_unstable();
+    rows.dedup();
+    let d = rows.len();
+    // The distinct-row matrix and its inverted index (permission →
+    // distinct rows that contain it).
+    let distinct = CsrMatrix::from_row_iter_two_pass(d, cols, threads, |i| rows[i].iter().copied());
+    let inverted = distinct.transpose_with(threads);
+    let min_shared = config.min_shared.max(1);
+    // Shared-core enumeration, one distinct row per work item.
+    let per_row: Vec<Vec<Vec<u32>>> = par_map_rows(d, threads, |range| {
+        range
+            .map(|i| {
+                let ri = distinct.row(i);
+                // Probe column: the rarest permission of this row that at
+                // least one *other* row shares (support >= 2). Rows whose
+                // every permission is private share no core with anyone.
+                let mut probe: Option<(usize, u32)> = None;
+                for &p in ri {
+                    let support = inverted.row_norm(p as usize);
+                    if support >= 2 && probe.is_none_or(|best| (support, p) < best) {
+                        probe = Some((support, p));
                     }
                 }
-            }
-        }
-        if next.is_empty() {
-            break;
-        }
-        pool.extend(next.iter().cloned());
-        frontier = next;
-    }
-    pool.truncate(config.max_candidates);
-    // Deterministic order: larger sets first (better greedy seeds), ties
-    // by bit pattern.
-    pool.sort_by(|a, b| {
-        b.count_ones()
-            .cmp(&a.count_ones())
-            .then_with(|| a.as_words().cmp(b.as_words()))
+                let Some((_, p)) = probe else {
+                    return Vec::new();
+                };
+                let mut cores: Vec<Vec<u32>> = Vec::new();
+                for &j in inverted.row(p as usize).iter().take(config.probe_limit) {
+                    if j as usize == i {
+                        continue;
+                    }
+                    let core = setops::intersect(ri, distinct.row(j as usize));
+                    // Proper subsets only: a core equal to the row itself
+                    // is already an initial candidate.
+                    if core.len() >= min_shared && core.len() < ri.len() {
+                        cores.push(core);
+                    }
+                }
+                cores.sort_unstable();
+                cores.dedup();
+                cores
+            })
+            .collect()
     });
-    debug_assert!(pool.iter().all(|c| c.len() == cols));
-    pool
+    let mut derived: Vec<Vec<u32>> = per_row.into_iter().flatten().collect();
+    derived.sort_unstable();
+    derived.dedup();
+    // A shared core can coincide with some *other* initial row; keep the
+    // pool duplicate-free (initial rows win — they are uncapped).
+    derived.retain(|c| rows.binary_search_by(|r| (*r).cmp(c.as_slice())).is_err());
+    // The cap applies to derived candidates only, largest first.
+    sort_pool(&mut derived);
+    derived.truncate(config.max_candidates);
+    let mut sets: Vec<Vec<u32>> = rows.iter().map(|r| r.to_vec()).collect();
+    sets.extend(derived);
+    sort_pool(&mut sets);
+    CandidatePool {
+        cols,
+        sets,
+        n_initial: d,
+    }
 }
 
 #[cfg(test)]
@@ -124,72 +271,74 @@ mod tests {
     #[test]
     fn initial_roles_are_distinct_user_rows() {
         let m = upam(&[vec![0, 1], vec![0, 1], vec![2], vec![]], 3);
-        let cands = generate_candidates(&m, &CandidateConfig::default());
-        // {0,1} and {2}; empty row dropped; duplicates merged; the
-        // intersection {0,1}∩{2} is empty and dropped.
-        assert_eq!(cands.len(), 2);
-        assert_eq!(cands[0].to_indices(), vec![0, 1]);
-        assert_eq!(cands[1].to_indices(), vec![2]);
+        let pool = generate_candidates(&m, &CandidateConfig::default());
+        // {0,1} and {2}; empty row dropped; duplicates merged; the rows
+        // share no permission so no cores are derived.
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.n_initial(), 2);
+        assert_eq!(pool.get(0), &[0, 1]);
+        assert_eq!(pool.get(1), &[2]);
     }
 
     #[test]
-    fn intersections_surface_shared_subsets() {
-        // Users: {0,1,2}, {0,1,3} — intersection {0,1} is the shared
-        // "real role" no single user exposes.
+    fn shared_cores_surface_shared_subsets() {
+        // Users: {0,1,2}, {0,1,3} — the shared core {0,1} is the "real
+        // role" no single user exposes.
         let m = upam(&[vec![0, 1, 2], vec![0, 1, 3]], 4);
-        let cands = generate_candidates(&m, &CandidateConfig::default());
-        assert!(cands.iter().any(|c| c.to_indices() == vec![0, 1]));
-        assert_eq!(cands.len(), 3);
+        let pool = generate_candidates(&m, &CandidateConfig::default());
+        assert!(pool.sets().iter().any(|c| c == &[0, 1]));
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.n_initial(), 2);
     }
 
     #[test]
-    fn closure_rounds_deepen_the_pool() {
-        // Three users whose pairwise intersections differ from the triple
-        // intersection: rounds=1 finds pairwise; rounds=2 also finds the
-        // intersection of an intersection with the third row.
-        let m = upam(&[vec![0, 1, 2], vec![0, 1, 3], vec![0, 2, 3]], 4);
-        let one = generate_candidates(
+    fn min_shared_prunes_small_cores() {
+        let m = upam(&[vec![0, 1, 2], vec![0, 1, 3], vec![0, 4, 5]], 6);
+        let loose = generate_candidates(
             &m,
             &CandidateConfig {
-                closure_rounds: 1,
+                min_shared: 1,
                 ..CandidateConfig::default()
             },
         );
-        let two = generate_candidates(
-            &m,
-            &CandidateConfig {
-                closure_rounds: 2,
-                ..CandidateConfig::default()
-            },
-        );
-        assert!(two.len() >= one.len());
-        assert!(two.iter().any(|c| c.to_indices() == vec![0]));
+        // {0} is the (singleton) core shared by all three rows.
+        assert!(loose.sets().iter().any(|c| c == &[0]));
+        let strict = generate_candidates(&m, &CandidateConfig::default());
+        assert!(strict.sets().iter().all(|c| c.len() >= 2));
     }
 
     #[test]
-    fn cap_is_respected() {
-        let rows: Vec<Vec<usize>> = (0..12)
-            .map(|i| (0..12).filter(|j| (i + j) % 3 != 0).collect())
-            .collect();
-        let m = upam(&rows, 12);
-        let cands = generate_candidates(
+    fn cap_never_drops_initial_rows() {
+        // 12 distinct rows with a cap of 5: every row must survive; only
+        // derived shared cores (here {0,1} and its extensions) are capped.
+        let rows: Vec<Vec<usize>> = (0..12).map(|i| vec![0, 1, i + 2]).collect();
+        let m = upam(&rows, 14);
+        let pool = generate_candidates(
             &m,
             &CandidateConfig {
                 max_candidates: 5,
-                closure_rounds: 3,
+                ..CandidateConfig::default()
             },
         );
-        assert!(cands.len() <= 5);
+        assert_eq!(pool.n_initial(), 12);
+        assert!(pool.len() >= 12);
+        assert!(pool.len() <= 12 + 5);
+        for row in &rows {
+            let want: Vec<u32> = row.iter().map(|&p| p as u32).collect();
+            assert!(pool.sets().iter().any(|c| c == &want));
+        }
     }
 
     #[test]
-    fn deterministic_and_sorted_largest_first() {
-        let m = upam(&[vec![0], vec![1, 2], vec![1, 2, 3]], 4);
-        let a = generate_candidates(&m, &CandidateConfig::default());
-        let b = generate_candidates(&m, &CandidateConfig::default());
-        assert_eq!(a, b);
-        for w in a.windows(2) {
-            assert!(w[0].count_ones() >= w[1].count_ones());
+    fn deterministic_and_sorted_largest_first_at_every_thread_count() {
+        let m = upam(&[vec![0], vec![1, 2], vec![1, 2, 3], vec![1, 3]], 4);
+        let reference = generate_candidates(&m, &CandidateConfig::default());
+        for threads in [1, 2, 4, 8] {
+            let pool = generate_candidates_with(&m, &CandidateConfig::default(), threads);
+            assert_eq!(pool, reference, "pool diverged at {threads} threads");
+        }
+        for w in reference.sets().windows(2) {
+            assert!(w[0].len() >= w[1].len());
         }
     }
 
@@ -197,5 +346,22 @@ mod tests {
     fn empty_upam_yields_no_candidates() {
         let m = upam(&[vec![], vec![]], 3);
         assert!(generate_candidates(&m, &CandidateConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn from_sets_canonicalizes_and_validates() {
+        let pool =
+            CandidatePool::from_sets(5, vec![vec![3, 1, 1], vec![], vec![4], vec![1, 3]]).unwrap();
+        assert_eq!(pool.sets(), &[vec![1, 3], vec![4]]);
+        assert_eq!(pool.n_initial(), 0);
+        let err = CandidatePool::from_sets(3, vec![vec![0, 7]]).unwrap_err();
+        assert!(matches!(
+            err,
+            ModelError::UnknownId {
+                kind: EntityKind::Permission,
+                id: 7,
+                bound: 3,
+            }
+        ));
     }
 }

@@ -1,27 +1,35 @@
-//! Greedy role-minimization cover (basic RMP heuristic).
+//! The eager greedy cover — the bit-identity oracle for the lazy engine.
 //!
 //! Given the UPAM and a candidate pool, repeatedly pick the candidate
 //! role that covers the most still-uncovered user–permission cells,
 //! assign it to every user whose permission set contains it, and repeat
-//! until every cell is covered. Because the candidate pool always
-//! contains every distinct user row, the loop terminates with an *exact*
-//! cover: mined roles grant exactly the permissions users already had —
-//! never more (assignment requires containment) and never less (coverage
-//! is run to completion).
+//! until every cell is covered. Because the generated candidate pool
+//! always contains every distinct user row, the loop terminates with an
+//! *exact* cover: mined roles grant exactly the permissions users
+//! already had — never more (assignment requires containment) and never
+//! less (coverage is run to completion).
 //!
 //! This is the standard baseline heuristic for the (NP-hard) Role
 //! Minimization Problem; greedy set cover gives the classic `ln n`
-//! approximation guarantee. Note that greedy optimizes *covered cells per
-//! step*, not the final role count: factoring out a large shared
-//! intersection can leave per-user residues that each need their own
-//! role, occasionally exceeding the trivial one-role-per-distinct-profile
-//! cover (pinned in the `greedy_can_exceed_distinct_profiles` test).
+//! approximation guarantee. The implementation here is deliberately the
+//! seed-era one — dense per-user `BitVec` state and a full rescan of
+//! every live candidate's gain each round, O(rounds × candidates × users
+//! × width) — kept as the oracle the scalable engine in
+//! [`cover`](crate::cover) is proptested bit-identical against, and as
+//! the baseline the `mining_eager_baseline` bench row measures.
+//!
+//! Note that greedy optimizes *covered cells per step*, not the final
+//! role count: factoring out a large shared intersection can leave
+//! per-user residues that each need their own role, occasionally
+//! exceeding the trivial one-role-per-distinct-profile cover (pinned in
+//! the `greedy_can_exceed_distinct_profiles` test).
 
 use serde::{Deserialize, Serialize};
 
 use rolediet_matrix::{BitVec, CsrMatrix, RowMatrix};
+use rolediet_model::ModelError;
 
-use crate::candidates::{generate_candidates, CandidateConfig};
+use crate::candidates::{generate_candidates, CandidateConfig, CandidatePool};
 
 /// One mined role: a permission set and the users it is assigned to.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -62,27 +70,53 @@ impl MiningResult {
     }
 }
 
-/// Mines a role set that exactly covers `upam` (users × permissions).
+/// Mines an exact cover of `upam` with the eager full-rescan loop (the
+/// oracle; use [`mine_greedy_cover`](crate::mine_greedy_cover) for the
+/// scalable engine — both return bit-identical results).
+///
+/// # Errors
+///
+/// [`ModelError::CoverStalled`] if the candidate pool cannot cover the
+/// matrix — unreachable with a generated pool, which always contains
+/// every distinct user row.
+pub fn mine_eager_cover(
+    upam: &CsrMatrix,
+    config: &MiningConfig,
+) -> Result<MiningResult, ModelError> {
+    let pool = generate_candidates(upam, &config.candidates);
+    mine_eager_from_pool(upam, &pool)
+}
+
+/// Mines an exact cover of `upam` from an explicit candidate pool with
+/// the eager full-rescan loop.
 ///
 /// Deterministic: ties in coverage gain break toward the
-/// earlier-generated (larger) candidate.
+/// earlier-generated candidate (pool order: larger sets first).
 ///
-/// # Examples
+/// # Errors
 ///
-/// ```
-/// use rolediet_matrix::CsrMatrix;
-/// use rolediet_mining::{mine_greedy_cover, MiningConfig};
-///
-/// // Three users, two of them identical: two roles suffice.
-/// let upam = CsrMatrix::from_rows_of_indices(3, 3, &[
-///     vec![0, 1], vec![0, 1], vec![2],
-/// ]).unwrap();
-/// let result = mine_greedy_cover(&upam, &MiningConfig::default());
-/// assert_eq!(result.n_roles(), 2);
-/// ```
-pub fn mine_greedy_cover(upam: &CsrMatrix, config: &MiningConfig) -> MiningResult {
+/// [`ModelError::CoverStalled`] if no positive-gain candidate remains
+/// while cells are still uncovered, and [`ModelError::UnknownId`] if the
+/// pool's permission width differs from the UPAM's (both possible only
+/// for hand-built pools).
+pub fn mine_eager_from_pool(
+    upam: &CsrMatrix,
+    pool: &CandidatePool,
+) -> Result<MiningResult, ModelError> {
+    crate::cover::check_width(upam, pool)?;
     let n_users = upam.rows();
-    let candidates = generate_candidates(upam, &config.candidates);
+    let candidates: Vec<BitVec> = pool
+        .sets()
+        .iter()
+        .map(|set| {
+            // Pool indices are validated `< cols` by `CandidatePool`.
+            let mut bv = BitVec::new(pool.cols());
+            for &p in set {
+                bv.set(p as usize, true);
+            }
+            bv
+        })
+        .collect();
     let user_rows: Vec<BitVec> = (0..n_users).map(|u| upam.row_bitvec(u)).collect();
     // uncovered[u] = cells of user u not yet granted by a mined role.
     let mut uncovered: Vec<BitVec> = user_rows.clone();
@@ -124,10 +158,7 @@ pub fn mine_greedy_cover(upam: &CsrMatrix, config: &MiningConfig) -> MiningResul
             }
         }
         let Some((_, ci)) = best else {
-            unreachable!(
-                "candidate pool contains every distinct user row, so a \
-                 positive-gain candidate exists while cells remain"
-            );
+            return Err(ModelError::CoverStalled { remaining });
         };
         let cand = &candidates[ci];
         let mut assigned_users = Vec::new();
@@ -144,16 +175,17 @@ pub fn mine_greedy_cover(upam: &CsrMatrix, config: &MiningConfig) -> MiningResul
             users: assigned_users,
         });
     }
-    MiningResult {
+    Ok(MiningResult {
         roles,
-        candidates_considered: candidates.len(),
+        candidates_considered: pool.len(),
         cells_covered: upam.nnz(),
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cover::mine_greedy_cover;
     use crate::verify::verify_exact_cover;
 
     fn upam(rows: &[Vec<usize>], cols: usize) -> CsrMatrix {
@@ -164,12 +196,12 @@ mod tests {
     fn trivial_cases() {
         // Empty UPAM → no roles.
         let m = upam(&[vec![], vec![]], 3);
-        let r = mine_greedy_cover(&m, &MiningConfig::default());
+        let r = mine_eager_cover(&m, &MiningConfig::default()).unwrap();
         assert_eq!(r.n_roles(), 0);
         assert_eq!(r.cells_covered, 0);
         // One user → one role.
         let m = upam(&[vec![0, 2]], 3);
-        let r = mine_greedy_cover(&m, &MiningConfig::default());
+        let r = mine_eager_cover(&m, &MiningConfig::default()).unwrap();
         assert_eq!(r.n_roles(), 1);
         assert_eq!(r.roles[0].permissions, vec![0, 2]);
         assert_eq!(r.roles[0].users, vec![0]);
@@ -181,7 +213,7 @@ mod tests {
         // then the two leftovers; or the full rows first. Either way the
         // cover is exact; with the shared core the count is 3.
         let m = upam(&[vec![0, 1, 2], vec![0, 1, 3], vec![0, 1]], 4);
-        let r = mine_greedy_cover(&m, &MiningConfig::default());
+        let r = mine_eager_cover(&m, &MiningConfig::default()).unwrap();
         verify_exact_cover(&m, &r.roles).unwrap();
         assert!(r.n_roles() <= 3);
         assert!(r
@@ -193,7 +225,7 @@ mod tests {
     #[test]
     fn duplicate_users_share_one_role() {
         let m = upam(&[vec![1, 2], vec![1, 2], vec![1, 2], vec![3]], 4);
-        let r = mine_greedy_cover(&m, &MiningConfig::default());
+        let r = mine_eager_cover(&m, &MiningConfig::default()).unwrap();
         verify_exact_cover(&m, &r.roles).unwrap();
         assert_eq!(r.n_roles(), 2);
         assert_eq!(r.roles[0].users, vec![0, 1, 2]);
@@ -203,7 +235,7 @@ mod tests {
     fn cover_is_exact_on_figure1_upam() {
         let g = rolediet_model::TripartiteGraph::figure1_example();
         let m = g.upam_sparse();
-        let r = mine_greedy_cover(&m, &MiningConfig::default());
+        let r = mine_eager_cover(&m, &MiningConfig::default()).unwrap();
         verify_exact_cover(&m, &r.roles).unwrap();
         // Figure 1 has 3 distinct non-empty access profiles
         // (U01: {P02,P03}, U02=U03=U04: {P05,P06}) → 2 roles.
@@ -211,12 +243,27 @@ mod tests {
     }
 
     #[test]
-    fn deterministic() {
+    fn deterministic_and_matches_lazy_engine() {
         let g = rolediet_model::TripartiteGraph::figure1_example();
         let m = g.upam_sparse();
-        let a = mine_greedy_cover(&m, &MiningConfig::default());
-        let b = mine_greedy_cover(&m, &MiningConfig::default());
+        let a = mine_eager_cover(&m, &MiningConfig::default()).unwrap();
+        let b = mine_eager_cover(&m, &MiningConfig::default()).unwrap();
         assert_eq!(a, b);
+        let lazy = mine_greedy_cover(&m, &MiningConfig::default()).unwrap();
+        assert_eq!(a, lazy);
+    }
+
+    #[test]
+    fn stalls_with_typed_error_on_insufficient_pool() {
+        let m = upam(&[vec![0, 1]], 2);
+        // A pool that can only ever cover cell 0.
+        let pool = CandidatePool::from_sets(2, vec![vec![0]]).unwrap();
+        let err = mine_eager_from_pool(&m, &pool).unwrap_err();
+        assert!(matches!(err, ModelError::CoverStalled { remaining: 1 }));
+        // An empty pool can cover nothing at all.
+        let empty = CandidatePool::from_sets(2, vec![]).unwrap();
+        let err = mine_eager_from_pool(&m, &empty).unwrap_err();
+        assert!(matches!(err, ModelError::CoverStalled { remaining: 2 }));
     }
 
     #[test]
@@ -228,7 +275,7 @@ mod tests {
                 .map(|_| (0..20).filter(|_| rng.gen_bool(0.25)).collect())
                 .collect();
             let m = upam(&rows, 20);
-            let r = mine_greedy_cover(&m, &MiningConfig::default());
+            let r = mine_eager_cover(&m, &MiningConfig::default()).unwrap();
             verify_exact_cover(&m, &r.roles).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
             assert_eq!(r.cells_covered, m.nnz());
         }
@@ -238,7 +285,7 @@ mod tests {
     fn mining_compresses_an_organization_scale_upam() {
         let org = rolediet_synth::generate_org(rolediet_synth::profiles::small_org(2));
         let m = org.graph.upam_sparse();
-        let r = mine_greedy_cover(&m, &MiningConfig::default());
+        let r = mine_eager_cover(&m, &MiningConfig::default()).unwrap();
         verify_exact_cover(&m, &r.roles).unwrap();
         // On organization-shaped data (users clustered by department),
         // shared cores dominate and greedy compresses well below the

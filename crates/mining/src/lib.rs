@@ -1,4 +1,4 @@
-//! Bottom-up role mining baselines.
+//! Bottom-up role mining: the organization-scale "regenerate" backend.
 //!
 //! The paper's related work (Section II) contrasts two philosophies for
 //! fixing role bloat: *role mining* — throw the existing roles away and
@@ -9,29 +9,44 @@
 //! is better (or at least as effective) than regenerating.
 //!
 //! This crate implements the regeneration side so the claim can be
-//! measured instead of cited:
+//! measured instead of cited — at the same realorg scale the rest of the
+//! system reaches:
 //!
-//! * [`candidates`] — RoleMiner-style candidate role generation: the
-//!   distinct user permission-sets ("initial roles") closed under
-//!   pairwise intersection, with a configurable cap.
-//! * [`greedy`] — the classic greedy heuristic for the Role Minimization
-//!   Problem (basic RMP): repeatedly pick the candidate covering the most
-//!   still-uncovered user–permission cells, until the UPAM is exactly
-//!   covered.
-//! * [`verify`] — exact-cover checking: mined roles must reproduce every
-//!   user's effective permissions bit-for-bit, never over-granting (the
-//!   same safety bar the diet's consolidation is held to).
+//! * [`candidates`] — biclique-flavored candidate generation: every
+//!   distinct user permission-set ("initial roles", never capped — they
+//!   guarantee an exact cover exists) plus shared-core intersections of
+//!   co-occurring rows enumerated through the inverted permission→row
+//!   index, fanned out on the parallel substrate and bit-identical at
+//!   every thread count.
+//! * [`cover`] — the lazy-greedy (CELF) cover engine: a max-heap of
+//!   cached gain upper bounds (valid because greedy set cover is
+//!   submodular, so gains only shrink), delta-dirtying through an
+//!   inverted permission→candidate index, and sorted-index coverage
+//!   state in O(nnz) memory. This is the production path
+//!   ([`mine_greedy_cover`] / [`mine_greedy_cover_with`]).
+//! * [`greedy`] — the seed-era eager loop (dense state, full rescan per
+//!   round), kept as the bit-identity oracle the lazy engine is
+//!   proptested against and as the benchmark baseline.
+//! * [`verify`] — sparse exact-cover checking: mined roles must
+//!   reproduce every user's effective permissions bit-for-bit, never
+//!   over-granting (the same safety bar the diet's consolidation is held
+//!   to).
 //!
 //! The `mining_vs_diet` example and `repro mining` compare the mined role
-//! count against the diet's consolidated count on the same organizations.
+//! count against the diet's consolidated count on the same (optionally
+//! churned) organizations.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod candidates;
+pub mod cover;
 pub mod greedy;
 pub mod verify;
 
-pub use candidates::{generate_candidates, CandidateConfig};
-pub use greedy::{mine_greedy_cover, MinedRole, MiningConfig, MiningResult};
+pub use candidates::{
+    generate_candidates, generate_candidates_with, CandidateConfig, CandidatePool,
+};
+pub use cover::{mine_greedy_cover, mine_greedy_cover_with, mine_lazy_from_pool};
+pub use greedy::{mine_eager_cover, mine_eager_from_pool, MinedRole, MiningConfig, MiningResult};
 pub use verify::{verify_exact_cover, CoverError};

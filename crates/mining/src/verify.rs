@@ -1,9 +1,17 @@
 //! Exact-cover verification for mined role sets.
+//!
+//! The checker is sparse end-to-end: assignments are inverted into
+//! per-user role lists with a counting sort, and each user's granted set
+//! is the sorted merge of their roles' permission lists, compared
+//! against the UPAM row with one intersection count. Peak memory is
+//! O(assignments + max per-user grant) — no dense `users × width`
+//! matrix, so the oracle runs at the same realorg scale as the lazy
+//! cover engine it certifies.
 
 use std::error::Error;
 use std::fmt;
 
-use rolediet_matrix::{BitVec, CsrMatrix, RowMatrix};
+use rolediet_matrix::{setops, CsrMatrix, RowMatrix};
 
 use crate::greedy::MinedRole;
 
@@ -57,38 +65,55 @@ impl Error for CoverError {}
 ///
 /// Returns the first [`CoverError`] found (lowest user index; over-grants
 /// reported before under-grants for the same user).
-#[allow(clippy::needless_range_loop)] // u indexes two parallel structures
 pub fn verify_exact_cover(upam: &CsrMatrix, roles: &[MinedRole]) -> Result<(), CoverError> {
     let (n_users, n_perms) = (upam.rows(), upam.cols());
-    let mut granted: Vec<BitVec> = (0..n_users).map(|_| BitVec::new(n_perms)).collect();
+    // Range checks plus the per-user assignment counts in one pass.
+    let mut counts = vec![0usize; n_users + 1];
     for (ri, role) in roles.iter().enumerate() {
         if role.users.iter().any(|&u| u >= n_users)
             || role.permissions.iter().any(|&p| p >= n_perms)
         {
             return Err(CoverError::OutOfRange { role: ri });
         }
-        let perms = BitVec::from_indices(n_perms, &role.permissions).expect("range checked above");
         for &u in &role.users {
-            granted[u].union_with(&perms).expect("widths equal");
+            counts[u + 1] += 1;
         }
     }
+    // Counting sort: user → ids of the roles assigned to them.
     for u in 0..n_users {
-        let want = upam.row_bitvec(u);
-        let have = &granted[u];
-        let mut extra = have.clone();
-        extra.difference_with(&want).expect("widths equal");
-        if !extra.is_zero() {
+        counts[u + 1] += counts[u];
+    }
+    let mut assigned = vec![0u32; counts[n_users]];
+    let mut cursor = counts.clone();
+    for (ri, role) in roles.iter().enumerate() {
+        for &u in &role.users {
+            assigned[cursor[u]] = ri as u32;
+            cursor[u] += 1;
+        }
+    }
+    // Per user: the union of assigned role permissions must equal the
+    // UPAM row. One reusable scratch vector; over-grants are reported
+    // before under-grants for the same user, lowest user first.
+    let mut granted: Vec<u32> = Vec::new();
+    for (u, span) in counts.windows(2).enumerate() {
+        granted.clear();
+        for &ri in &assigned[span[0]..span[1]] {
+            granted.extend(roles[ri as usize].permissions.iter().map(|&p| p as u32));
+        }
+        granted.sort_unstable();
+        granted.dedup();
+        let want = upam.row(u);
+        let shared = setops::intersect_count(&granted, want);
+        if granted.len() > shared {
             return Err(CoverError::OverGrant {
                 user: u,
-                extra: extra.count_ones(),
+                extra: granted.len() - shared,
             });
         }
-        let mut missing = want;
-        missing.difference_with(have).expect("widths equal");
-        if !missing.is_zero() {
+        if want.len() > shared {
             return Err(CoverError::UnderGrant {
                 user: u,
-                missing: missing.count_ones(),
+                missing: want.len() - shared,
             });
         }
     }

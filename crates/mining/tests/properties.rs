@@ -1,13 +1,18 @@
-//! Property tests for the mining baselines: exact cover on arbitrary
-//! UPAMs, candidate soundness, and the distinct-profile upper bound.
+//! Property tests for the mining engines: the lazy-greedy (CELF) cover
+//! must be bit-identical to the eager oracle at every thread count and
+//! configuration, covers must be exact on arbitrary UPAMs, candidates
+//! must be sound, and cap-exceeding pools must mine without panicking.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 
 use rolediet_matrix::{CsrMatrix, RowMatrix};
 use rolediet_mining::{
-    generate_candidates, mine_greedy_cover, verify_exact_cover, CandidateConfig, MiningConfig,
+    generate_candidates, generate_candidates_with, mine_eager_cover, mine_greedy_cover,
+    mine_greedy_cover_with, verify_exact_cover, CandidateConfig, MiningConfig,
 };
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 fn upam_inputs() -> impl Strategy<Value = (usize, usize, Vec<Vec<usize>>)> {
     (1usize..16, 1usize..14).prop_flat_map(|(users, perms)| {
@@ -15,13 +20,51 @@ fn upam_inputs() -> impl Strategy<Value = (usize, usize, Vec<Vec<usize>>)> {
     })
 }
 
+/// Mining configurations the equivalence is pinned across: the default,
+/// a loose pool (singleton cores allowed), and a starved cap that forces
+/// the pool down to (nearly) the uncappable initial rows.
+fn configs() -> Vec<MiningConfig> {
+    vec![
+        MiningConfig::default(),
+        MiningConfig {
+            candidates: CandidateConfig {
+                min_shared: 1,
+                ..CandidateConfig::default()
+            },
+        },
+        MiningConfig {
+            candidates: CandidateConfig {
+                max_candidates: 1,
+                probe_limit: 3,
+                ..CandidateConfig::default()
+            },
+        },
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
+    fn lazy_greedy_matches_eager_oracle_across_threads((users, perms, data) in upam_inputs()) {
+        let upam = CsrMatrix::from_rows_of_indices(users, perms, &data).unwrap();
+        for config in configs() {
+            let oracle = mine_eager_cover(&upam, &config).unwrap();
+            verify_exact_cover(&upam, &oracle.roles).unwrap();
+            for threads in THREAD_COUNTS {
+                let lazy = mine_greedy_cover_with(&upam, &config, threads).unwrap();
+                prop_assert_eq!(
+                    &lazy, &oracle,
+                    "lazy engine diverged from the eager oracle at {} threads", threads
+                );
+            }
+        }
+    }
+
+    #[test]
     fn greedy_cover_is_always_exact((users, perms, data) in upam_inputs()) {
         let upam = CsrMatrix::from_rows_of_indices(users, perms, &data).unwrap();
-        let result = mine_greedy_cover(&upam, &MiningConfig::default());
+        let result = mine_greedy_cover(&upam, &MiningConfig::default()).unwrap();
         verify_exact_cover(&upam, &result.roles).unwrap();
         prop_assert_eq!(result.cells_covered, upam.nnz());
         // Greedy optimizes covered cells per step, not role count, so it
@@ -40,35 +83,109 @@ proptest! {
     #[test]
     fn candidates_are_sound((users, perms, data) in upam_inputs()) {
         let upam = CsrMatrix::from_rows_of_indices(users, perms, &data).unwrap();
-        let cands = generate_candidates(&upam, &CandidateConfig::default());
-        // Every candidate is non-empty, unique, within width, and is a
-        // subset of at least one user's permissions (candidates come from
-        // rows and their intersections).
-        let mut seen = std::collections::HashSet::new();
-        for c in &cands {
-            prop_assert_eq!(c.len(), perms);
-            prop_assert!(!c.is_zero());
-            prop_assert!(seen.insert(c.clone()), "duplicate candidate");
+        let pool = generate_candidates(&upam, &CandidateConfig::default());
+        // Every candidate is sorted, non-empty, unique, within width,
+        // and a subset of at least one user's permissions (candidates
+        // are rows and their pairwise intersections).
+        for (i, c) in pool.sets().iter().enumerate() {
+            prop_assert!(!c.is_empty());
+            prop_assert!(c.windows(2).all(|w| w[0] < w[1]), "unsorted candidate");
+            prop_assert!(c.last().copied().unwrap() < perms as u32);
+            prop_assert!(
+                !pool.sets()[..i].contains(c),
+                "duplicate candidate"
+            );
             let contained = (0..users).any(|u| {
-                c.is_subset_of(&upam.row_bitvec(u)).unwrap()
+                rolediet_matrix::setops::is_subset(c, upam.row(u))
             });
             prop_assert!(contained, "candidate not grounded in any user row");
         }
-        // Every distinct non-empty user row is present.
+        // Every distinct non-empty user row is present, cap or no cap.
+        let starved = generate_candidates(
+            &upam,
+            &CandidateConfig { max_candidates: 0, ..CandidateConfig::default() },
+        );
         for u in 0..users {
             if upam.row_norm(u) > 0 {
-                prop_assert!(cands.contains(&upam.row_bitvec(u)));
+                prop_assert!(pool.sets().iter().any(|c| c.as_slice() == upam.row(u)));
+                prop_assert!(starved.sets().iter().any(|c| c.as_slice() == upam.row(u)));
             }
+        }
+        prop_assert_eq!(starved.len(), starved.n_initial());
+    }
+
+    #[test]
+    fn candidate_pools_are_thread_count_invariant((users, perms, data) in upam_inputs()) {
+        let upam = CsrMatrix::from_rows_of_indices(users, perms, &data).unwrap();
+        let reference = generate_candidates(&upam, &CandidateConfig::default());
+        for threads in THREAD_COUNTS {
+            let pool = generate_candidates_with(&upam, &CandidateConfig::default(), threads);
+            prop_assert_eq!(&pool, &reference, "pool diverged at {} threads", threads);
         }
     }
 
     #[test]
     fn mining_is_deterministic((users, perms, data) in upam_inputs()) {
         let upam = CsrMatrix::from_rows_of_indices(users, perms, &data).unwrap();
-        let a = mine_greedy_cover(&upam, &MiningConfig::default());
-        let b = mine_greedy_cover(&upam, &MiningConfig::default());
+        let a = mine_greedy_cover(&upam, &MiningConfig::default()).unwrap();
+        let b = mine_greedy_cover(&upam, &MiningConfig::default()).unwrap();
         prop_assert_eq!(a, b);
     }
+}
+
+/// Lazy == eager on organization-shaped UPAMs (department-clustered
+/// users, duplicate profiles, standalone users, empty rows), across
+/// thread counts. Heavier than the random-shape proptest, so a few
+/// seeds instead of 64 cases.
+#[test]
+fn lazy_greedy_matches_eager_oracle_on_org_shaped_upams() {
+    for seed in [2, 17] {
+        let org = rolediet_synth::generate_org(rolediet_synth::profiles::small_org(seed));
+        let upam = org.graph.upam_sparse();
+        let oracle = mine_eager_cover(&upam, &MiningConfig::default()).unwrap();
+        verify_exact_cover(&upam, &oracle.roles).unwrap();
+        for threads in THREAD_COUNTS {
+            let lazy = mine_greedy_cover_with(&upam, &MiningConfig::default(), threads).unwrap();
+            assert_eq!(
+                lazy, oracle,
+                "seed {seed}: lazy diverged from eager at {threads} threads"
+            );
+        }
+    }
+}
+
+/// Regression (PR 10 satellite): with more distinct non-empty rows than
+/// `max_candidates`, the seed-era generator truncated initial rows out
+/// of the pool and the greedy loop died on its `unreachable!()`. The cap
+/// now applies to derived candidates only, so this mines fine — and a
+/// genuinely insufficient (hand-built) pool returns the typed
+/// `ModelError::CoverStalled` instead of panicking.
+#[test]
+fn cap_exceeding_pools_mine_without_panicking() {
+    let rows: Vec<Vec<usize>> = (0..10).map(|i| vec![i, (i + 1) % 10]).collect();
+    let upam = CsrMatrix::from_rows_of_indices(10, 10, &rows).unwrap();
+    let cfg = MiningConfig {
+        candidates: CandidateConfig {
+            max_candidates: 3,
+            ..CandidateConfig::default()
+        },
+    };
+    let eager = mine_eager_cover(&upam, &cfg).unwrap();
+    let lazy = mine_greedy_cover(&upam, &cfg).unwrap();
+    assert_eq!(eager, lazy);
+    verify_exact_cover(&upam, &lazy.roles).unwrap();
+
+    let pool = rolediet_mining::CandidatePool::from_sets(10, vec![vec![0]]).unwrap();
+    let err = rolediet_mining::mine_lazy_from_pool(&upam, &pool, 1).unwrap_err();
+    assert!(matches!(
+        err,
+        rolediet_model::ModelError::CoverStalled { .. }
+    ));
+    let err = rolediet_mining::mine_eager_from_pool(&upam, &pool).unwrap_err();
+    assert!(matches!(
+        err,
+        rolediet_model::ModelError::CoverStalled { .. }
+    ));
 }
 
 /// Regression pin (found by the property above in an earlier form):
@@ -82,7 +199,7 @@ proptest! {
 fn greedy_can_exceed_distinct_profiles() {
     let upam =
         CsrMatrix::from_rows_of_indices(2, 9, &[vec![0, 1, 2, 7], vec![0, 1, 3, 7]]).unwrap();
-    let result = mine_greedy_cover(&upam, &MiningConfig::default());
+    let result = mine_greedy_cover(&upam, &MiningConfig::default()).unwrap();
     verify_exact_cover(&upam, &result.roles).unwrap();
     assert_eq!(result.n_roles(), 3);
     assert_eq!(result.roles[0].permissions, vec![0, 1, 7]);

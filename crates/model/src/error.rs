@@ -32,6 +32,17 @@ pub enum ModelError {
         /// Human-readable description of the problem.
         message: String,
     },
+    /// A greedy role-mining cover ran out of positive-gain candidates
+    /// while user–permission cells were still uncovered.
+    ///
+    /// Unreachable when the candidate pool contains every distinct
+    /// non-empty user row (the default generator guarantees it); a
+    /// hand-built pool that cannot cover the matrix surfaces here
+    /// instead of panicking.
+    CoverStalled {
+        /// User–permission cells still uncovered when mining stalled.
+        remaining: usize,
+    },
     /// An underlying I/O failure.
     Io(std::io::Error),
     /// A JSON (de)serialization failure.
@@ -49,6 +60,13 @@ impl fmt::Display for ModelError {
             }
             ModelError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
+            }
+            ModelError::CoverStalled { remaining } => {
+                write!(
+                    f,
+                    "role-mining cover stalled with {remaining} cell(s) uncovered \
+                     (candidate pool cannot cover the matrix)"
+                )
             }
             ModelError::Io(e) => write!(f, "i/o error: {e}"),
             ModelError::Json(e) => write!(f, "json error: {e}"),
@@ -100,6 +118,12 @@ mod tests {
             message: "expected 2 fields".into(),
         };
         assert_eq!(e.to_string(), "parse error at line 7: expected 2 fields");
+        let e = ModelError::CoverStalled { remaining: 4 };
+        assert_eq!(
+            e.to_string(),
+            "role-mining cover stalled with 4 cell(s) uncovered \
+             (candidate pool cannot cover the matrix)"
+        );
     }
 
     #[test]

@@ -57,7 +57,8 @@ fn main() {
     // --- role mining: regenerate from the UPAM -------------------------
     let t0 = Instant::now();
     let upam = graph.upam_sparse();
-    let mined = mine_greedy_cover(&upam, &MiningConfig::default());
+    let mined = mine_greedy_cover(&upam, &MiningConfig::default())
+        .expect("generated candidate pools always cover the matrix");
     let mining_time = t0.elapsed();
     verify_exact_cover(&upam, &mined.roles).expect("mined cover must be exact");
     println!(

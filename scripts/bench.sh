@@ -15,25 +15,28 @@
 # full-rerun comparison at the real-org scale of results_realorg.txt
 # (generate_ing_like), fig2/fig3 mini-sweeps, the PR 8 batched HNSW
 # build vs the sequential insert oracle plus the approximate path's
-# query/recall rows, and the million-user end-to-end stage (generation
-# + flat/sharded distance plane + the approximate path at 1M users).
+# query/recall rows, the million-user end-to-end stage (generation
+# + flat/sharded distance plane + the approximate path at 1M users),
+# and the PR 10 role-mining rows: parallel candidate generation and the
+# lazy-greedy (CELF) cover on the real-org UPAM plus the lazy-vs-eager
+# engine ratio on the largest eager-feasible organization.
 # The JSON bench writes machine-readable records {stage, size, threads,
 # ns, found} to BENCH_OUT — the same schema as
-# BENCH_pr2.json…BENCH_pr7.json, so the perf trajectory stays
+# BENCH_pr2.json…BENCH_pr8.json, so the perf trajectory stays
 # machine-readable (recall rows store basis points in `found`).
 #
 # Env knobs:
 #   BENCH_SCALE  org scale factor for the JSON bench (default 1.0)
 #   BENCH_SEED   generator seed (default 7)
 #   BENCH_ITERS  timing iterations, min-of-N (default 3)
-#   BENCH_OUT    output path (default BENCH_pr8.json at the repo root)
+#   BENCH_OUT    output path (default BENCH_pr10.json at the repo root)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SCALE="${BENCH_SCALE:-1.0}"
 BENCH_SEED="${BENCH_SEED:-7}"
 BENCH_ITERS="${BENCH_ITERS:-3}"
-BENCH_OUT="${BENCH_OUT:-$PWD/BENCH_pr8.json}"
+BENCH_OUT="${BENCH_OUT:-$PWD/BENCH_pr10.json}"
 
 echo "==> cargo build --workspace --benches --release"
 cargo build --workspace --benches --release

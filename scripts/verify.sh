@@ -58,6 +58,18 @@ cargo test --release -q -p rolediet-core --test properties \
 cargo test --release -q -p rolediet-core --test properties \
     hnsw_recall_on_figure3_workload_clears_the_floor
 
+# The PR 10 mining pins: the lazy-greedy (CELF) cover must be
+# bit-identical to the eager full-rescan oracle at every tested thread
+# count and candidate configuration, and candidate pools must be
+# thread-count invariant.
+echo "==> proptests: lazy-greedy mining oracle"
+cargo test --release -q -p rolediet-mining --test properties \
+    lazy_greedy_matches_eager_oracle_across_threads
+cargo test --release -q -p rolediet-mining --test properties \
+    candidate_pools_are_thread_count_invariant
+cargo test --release -q -p rolediet-mining --test properties \
+    cap_exceeding_pools_mine_without_panicking
+
 echo "==> cargo build --workspace --benches"
 cargo build --workspace --benches
 
@@ -84,6 +96,12 @@ cargo test --release -q -p rolediet-core \
 echo "==> repro churn --incremental smoke"
 cargo run --release -q -p rolediet-bench --bin repro -- \
     churn --incremental --steps 200 --batch 50 --scale 0.02 >/dev/null
+
+# Mining smoke: refine-vs-regenerate on a churned org at 2 worker
+# threads; every mined cover is verified exact inside the subcommand.
+echo "==> repro mining smoke (2 threads)"
+cargo run --release -q -p rolediet-bench --bin repro -- \
+    mining --steps 200 --scale 0.02 --threads 2 >/dev/null
 
 # Approximate-path smoke: the full pipeline under the HNSW strategy with
 # the batched parallel build (2 worker threads) on a small ing-like org,
